@@ -1,0 +1,103 @@
+// Command dimctl runs the Dimetrodon reproduction's experiment harnesses and
+// prints the tables and series corresponding to the paper's figures.
+//
+// Usage:
+//
+//	dimctl list                 list available experiments
+//	dimctl run <id> [...]       run experiments by ID (or "all")
+//	dimctl -scale 0.25 run all  run everything at quarter scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dimetrodon "repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-duration runs")
+	outDir := flag.String("out", "results", "output directory for `export`")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "export":
+		targets := args[1:]
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "dimctl: export requires experiment IDs or \"all\"")
+			os.Exit(2)
+		}
+		if len(targets) == 1 && targets[0] == "all" {
+			targets = dimetrodon.ExperimentIDs()
+		}
+		for _, id := range targets {
+			if _, ok := dimetrodon.Experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "dimctl: unknown experiment %q (try: dimctl list)\n", id)
+				os.Exit(2)
+			}
+			start := time.Now()
+			paths, err := dimetrodon.Export(id, dimetrodon.Scale(*scale), *outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dimctl: exporting %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s -> %d file(s) in %v\n", id, len(paths), time.Since(start).Round(time.Millisecond))
+			for _, p := range paths {
+				fmt.Printf("  %s\n", p)
+			}
+		}
+		return
+	case "list":
+		for _, id := range dimetrodon.ExperimentIDs() {
+			e := dimetrodon.Experiments[id]
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Printf("%-18s   %s\n", "", e.Summary)
+		}
+	case "run":
+		targets := args[1:]
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "dimctl: run requires experiment IDs or \"all\"")
+			os.Exit(2)
+		}
+		if len(targets) == 1 && targets[0] == "all" {
+			targets = dimetrodon.ExperimentIDs()
+		}
+		for _, id := range targets {
+			e, ok := dimetrodon.Experiments[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dimctl: unknown experiment %q (try: dimctl list)\n", id)
+				os.Exit(2)
+			}
+			fmt.Printf("==== %s (%s) ====\n", e.ID, e.Title)
+			start := time.Now()
+			if err := e.Run(os.Stdout, dimetrodon.Scale(*scale)); err != nil {
+				fmt.Fprintf(os.Stderr, "dimctl: %s failed: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `dimctl — Dimetrodon (DAC 2011) reproduction harness
+
+usage:
+  dimctl list                               list experiments
+  dimctl [-scale S] run <id>...             run experiments (or "all")
+  dimctl [-scale S] [-out DIR] export <id>  write plot-ready CSVs (or "all")
+
+flags:
+`)
+	flag.PrintDefaults()
+}

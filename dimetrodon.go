@@ -1,0 +1,154 @@
+// Package dimetrodon is the public API of the Dimetrodon reproduction: a
+// simulated server testbed, the Dimetrodon idle-cycle-injection policy
+// engine, the comparable thermal-management techniques, and the paper's
+// evaluation harnesses.
+//
+// Dimetrodon (Bailis, Reddi, Gandhi, Brooks, Seltzer — DAC 2011) is a
+// software technique for preventive, average-case thermal management: at
+// every scheduling decision, with per-thread probability P the chosen thread
+// is displaced by an idle quantum of length L, letting the core drop into a
+// low-power state and cool. This module reproduces the paper's system and
+// evaluation on a deterministic discrete-event simulation of its hardware
+// testbed (see DESIGN.md for the substitution rationale).
+//
+// # Quick start
+//
+//	tb := dimetrodon.NewTestbed(dimetrodon.TestbedConfig{Seed: 1})
+//	tb.InstallGlobalPolicy(dimetrodon.Policy{P: 0.5, L: 50 * dimetrodon.Millisecond})
+//	tb.SpawnBurn("burn", 4) // four cpuburn threads, one per core
+//	tb.Run(60 * dimetrodon.Second)
+//	fmt.Println(tb.MeanJunctionTemp(), tb.WorkDone())
+//
+// The experiment harnesses behind every figure and table of the paper are
+// exposed via the Experiments table and the cmd/dimctl command.
+package dimetrodon
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Re-exported time units for convenient policy construction.
+const (
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+)
+
+// Time is a span or instant of virtual time (integer nanoseconds).
+type Time = units.Time
+
+// Celsius is a temperature.
+type Celsius = units.Celsius
+
+// Watts is a power.
+type Watts = units.Watts
+
+// Policy is an idle-cycle-injection policy: at each scheduling decision the
+// governed thread is displaced with probability P by an idle quantum of
+// length L.
+type Policy struct {
+	P float64
+	L Time
+	// Deterministic selects the error-accumulator variant instead of the
+	// Bernoulli draw.
+	Deterministic bool
+}
+
+// TestbedConfig configures a simulated testbed.
+type TestbedConfig struct {
+	// Seed drives all stochastic behaviour; equal seeds reproduce runs
+	// exactly. The zero value selects seed 1.
+	Seed uint64
+	// RecordPower enables the power-meter sample trace.
+	RecordPower bool
+	// TempSampleEvery enables the decimated per-core temperature traces
+	// when positive.
+	TempSampleEvery Time
+}
+
+// Testbed is a running simulated server with an optional Dimetrodon
+// controller attached.
+type Testbed struct {
+	M   *machine.Machine
+	Ctl *core.Controller
+}
+
+// NewTestbed builds the paper's calibrated testbed machine.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	mc := machine.DefaultConfig()
+	if cfg.Seed != 0 {
+		mc.Seed = cfg.Seed
+	}
+	mc.RecordPower = cfg.RecordPower
+	mc.TempSampleEvery = cfg.TempSampleEvery
+	m := machine.New(mc)
+	ctl := core.NewController(m.RNG.Split())
+	m.Sched.SetInjector(ctl)
+	return &Testbed{M: m, Ctl: ctl}
+}
+
+// InstallGlobalPolicy applies a system-wide injection policy.
+func (tb *Testbed) InstallGlobalPolicy(p Policy) error {
+	tb.Ctl.Deterministic = p.Deterministic
+	return tb.Ctl.SetGlobal(core.Params{P: p.P, L: p.L})
+}
+
+// InstallProcessPolicy applies a policy to one process's threads only — the
+// per-thread control of §3.6.
+func (tb *Testbed) InstallProcessPolicy(pid int, p Policy) error {
+	tb.Ctl.Deterministic = p.Deterministic
+	return tb.Ctl.SetProcess(pid, core.Params{P: p.P, L: p.L})
+}
+
+// SpawnBurn starts n worst-case CPU-bound (cpuburn) threads under process 0.
+func (tb *Testbed) SpawnBurn(name string, n int) {
+	for i := 0; i < n; i++ {
+		tb.M.Sched.Spawn(workload.Burn(), sched.SpawnConfig{
+			Name:        fmt.Sprintf("%s-%d", name, i),
+			PowerFactor: 1.0,
+		})
+	}
+}
+
+// SpawnSpec starts n instances of a SPEC CPU2006 proxy ("calculix", "namd",
+// "dealII", "bzip2", "gcc", "astar") under the given process ID.
+func (tb *Testbed) SpawnSpec(benchmark string, pid, n int) error {
+	spec, err := workload.FindSpec(benchmark)
+	if err != nil {
+		return err
+	}
+	workload.SpawnSpec(tb.M.Sched, spec, pid, n)
+	return nil
+}
+
+// Run advances the testbed by dt of virtual time.
+func (tb *Testbed) Run(dt Time) { tb.M.RunFor(dt) }
+
+// Now returns the current virtual time.
+func (tb *Testbed) Now() Time { return tb.M.Now() }
+
+// MeanJunctionTemp returns the across-core mean junction temperature now.
+func (tb *Testbed) MeanJunctionTemp() Celsius {
+	temps := tb.M.JunctionTemps()
+	var sum float64
+	for _, t := range temps {
+		sum += float64(t)
+	}
+	return Celsius(sum / float64(len(temps)))
+}
+
+// IdleTemp returns the all-idle equilibrium junction temperature — the
+// baseline against which the paper normalises temperature reductions.
+func (tb *Testbed) IdleTemp() Celsius { return tb.M.IdleJunctionTemp() }
+
+// WorkDone returns the total completed work in reference-seconds.
+func (tb *Testbed) WorkDone() float64 { return tb.M.TotalWorkDone() }
+
+// MeanPower returns the average package power since t=0.
+func (tb *Testbed) MeanPower() Watts { return tb.M.Energy.MeanPower() }

@@ -1,0 +1,70 @@
+// Web-server QoS (Figure 6's scenario, §3.7): the SPECWeb-like closed-loop
+// workload — 440 connections, two-stage interrupt + worker service path —
+// under increasing idle-cycle injection. Prints the QoS / temperature
+// trade-off per setting and shows the saturation cliff.
+package main
+
+import (
+	"fmt"
+
+	dimetrodon "repro"
+	"repro/internal/dtm"
+	"repro/internal/machine"
+	"repro/internal/units"
+	"repro/internal/webserver"
+)
+
+func main() {
+	fmt.Println("Web serving under Dimetrodon: QoS vs temperature (good<=3s, tolerable<=5s)")
+	fmt.Println()
+
+	duration := 120 * units.Second
+	webCfg := webserver.DefaultConfig()
+
+	type outcome struct {
+		stats webserver.Stats
+		temp  units.Celsius
+		idle  units.Celsius
+	}
+	run := func(p float64, l units.Time) outcome {
+		cfg := machine.DefaultConfig()
+		cfg.Seed = 21
+		m := machine.New(cfg)
+		if p > 0 {
+			if err := (dtm.Dimetrodon{P: p, L: l}).Apply(m); err != nil {
+				panic(err)
+			}
+		}
+		srv := webserver.New(m, webCfg)
+		m.RunUntil(webCfg.Warmup)
+		i0 := m.MeanJunctionIntegral()
+		t0 := m.Now()
+		m.RunUntil(duration)
+		i1 := m.MeanJunctionIntegral()
+		secs := (m.Now() - t0).Seconds()
+		return outcome{
+			stats: srv.Snapshot(m.Now()),
+			temp:  units.Celsius((i1 - i0) / secs),
+			idle:  m.IdleJunctionTemp(),
+		}
+	}
+
+	base := run(0, 0)
+	rise := float64(base.temp - base.idle)
+	fmt.Printf("baseline: rise %.2fC, %s\n\n", rise, base.stats)
+	fmt.Println("   p     L        r      good   tolerable   mean latency   req/s")
+
+	l := 25 * dimetrodon.Millisecond
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.85, 0.9, 0.95} {
+		o := run(p, l)
+		r := float64(base.temp-o.temp) / rise
+		fmt.Printf(" %4.2f  %-6v  %5.1f%%  %5.1f%%   %5.1f%%     %-12v  %5.1f\n",
+			p, l, 100*r,
+			100*o.stats.GoodFraction()/base.stats.GoodFraction(),
+			100*o.stats.TolerableFraction()/base.stats.TolerableFraction(),
+			o.stats.MeanLatency, o.stats.Throughput)
+	}
+	fmt.Println()
+	fmt.Println("Stretched responses slow the closed loop (cooling the chip) until the")
+	fmt.Println("injected idle saturates the cores and QoS falls off a cliff — Figure 6.")
+}

@@ -1,0 +1,195 @@
+package dimetrodon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+// Scale controls experiment durations and trial counts; 1.0 reproduces the
+// paper's full runs, smaller values shrink them proportionally (floors keep
+// windows meaningful).
+type Scale = experiments.Scale
+
+// Canonical scales.
+const (
+	FullScale  = experiments.Full
+	QuickScale = experiments.Quick
+)
+
+// Experiment is one reproducible artefact of the paper's evaluation.
+type Experiment struct {
+	ID      string
+	Title   string
+	Summary string
+	// Run executes the harness and writes the rendered result to w.
+	Run func(w io.Writer, scale Scale) error
+}
+
+// Experiments maps experiment IDs to harnesses — one per figure and table of
+// the paper plus the ablation studies (see DESIGN.md §3 for the index).
+var Experiments = map[string]Experiment{
+	"fig1": {
+		ID: "fig1", Title: "Figure 1: race-to-idle vs Dimetrodon power trace",
+		Summary: "Package power while a 4-thread CPU-bound job runs, with and without injection.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure1(s))
+			return err
+		},
+	},
+	"val-throughput": {
+		ID: "val-throughput", Title: "§3.3 throughput model validation",
+		Summary: "Measured runtimes vs D(t)=R+S·p/(1−p)·L across the p×L grid.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunValidationThroughput(s))
+			return err
+		},
+	},
+	"val-energy": {
+		ID: "val-energy", Title: "§3.3 energy model validation",
+		Summary: "Dimetrodon energy as % of race-to-idle over equal windows.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunValidationEnergy(s))
+			return err
+		},
+	},
+	"fig2": {
+		ID: "fig2", Title: "Figure 2: temperature rise over idle vs time",
+		Summary: "cpuburn under p ∈ {0,.25,.5,.75}, L=100ms.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure2(s))
+			return err
+		},
+	},
+	"fig3": {
+		ID: "fig3", Title: "Figure 3: efficiency vs idle quantum length",
+		Summary: "Temperature:throughput efficiency across L ∈ [1,100]ms per p.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure3(s))
+			return err
+		},
+	},
+	"fig4": {
+		ID: "fig4", Title: "Figure 4: technique comparison sweep",
+		Summary: "Dimetrodon vs VFS vs p4tcc Pareto boundaries and power-law fit.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure4(s))
+			return err
+		},
+	},
+	"table1": {
+		ID: "table1", Title: "Table 1: SPEC CPU2006 workload results",
+		Summary: "Rise % of cpuburn and T(r)=α·r^β fits per workload.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunTable1(s))
+			return err
+		},
+	},
+	"fig5": {
+		ID: "fig5", Title: "Figure 5: global vs thread-specific control",
+		Summary: "Cool-process throughput vs system temperature reduction.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure5(s))
+			return err
+		},
+	},
+	"fig6": {
+		ID: "fig6", Title: "Figure 6: web workload QoS vs temperature",
+		Summary: "SPECWeb-like closed loop; good/tolerable QoS boundaries.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunFigure6(s))
+			return err
+		},
+	},
+	"abl-leakage": {
+		ID: "abl-leakage", Title: "Ablation: leakage temperature coupling",
+		Summary: "Trade-off curves with leakage frozen at its reference value.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAblationLeakage(s))
+			return err
+		},
+	},
+	"abl-cstate": {
+		ID: "abl-cstate", Title: "Ablation: C1E vs halt-only injected idle",
+		Summary: "Injected quanta at full-voltage halt instead of C1E.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAblationCState(s))
+			return err
+		},
+	},
+	"abl-deterministic": {
+		ID: "abl-deterministic", Title: "Ablation: deterministic injection",
+		Summary: "Error-accumulator injection vs the probabilistic model.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAblationDeterministic(s))
+			return err
+		},
+	},
+	"abl-hotspot": {
+		ID: "abl-hotspot", Title: "Ablation: sensor placement (hotspot)",
+		Summary: "Trade-off sensitivity to reading a fast hotspot node instead of the junction block.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAblationHotspot(s))
+			return err
+		},
+	},
+	"abl-kernel": {
+		ID: "abl-kernel", Title: "Ablation: injecting kernel threads",
+		Summary: "§3.1 policy decision — QoS cost of making the interrupt path injectable.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAblationKernelThreads(s))
+			return err
+		},
+	},
+	"ext-adaptive": {
+		ID: "ext-adaptive", Title: "Extension: adaptive setpoint control",
+		Summary: "Closed-loop online policy adjustment (§2.1) holding a junction target across load phases.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunAdaptiveControl(s))
+			return err
+		},
+	},
+	"ext-smt": {
+		ID: "ext-smt", Title: "Extension: SMT idle co-scheduling",
+		Summary: "§3.2's deferred problem — gang-idling sibling contexts so the core reaches C1E.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunSMTCoScheduling(s))
+			return err
+		},
+	},
+	"ext-ule": {
+		ID: "ext-ule", Title: "Extension: scheduler generality (ULE)",
+		Summary: "Footnote 2's claim — identical trade-offs under a ULE-style per-CPU-queue scheduler.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunULEComparison(s))
+			return err
+		},
+	},
+	"ext-emergency": {
+		ID: "ext-emergency", Title: "Extension: cooling failure vs reactive DTM",
+		Summary: "§1's framing — preventive control keeps the PROCHOT/TM1 backstop dormant under a fan failure.",
+		Run: func(w io.Writer, s Scale) error {
+			_, err := fmt.Fprintln(w, experiments.RunEmergencyScenario(s))
+			return err
+		},
+	},
+}
+
+// ExperimentIDs returns the experiment identifiers in stable order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Export runs the identified experiment and writes plot-ready CSV files into
+// dir, returning the written paths. Every experiment ID in Experiments is
+// exportable.
+func Export(id string, scale Scale, dir string) ([]string, error) {
+	return experiments.Export(id, scale, dir)
+}

@@ -1,0 +1,174 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func burnMachine(seed uint64, threads int) *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	m := machine.New(cfg)
+	for i := 0; i < threads; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "burn", PowerFactor: 1})
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(45)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Target: 45, L: 0, Interval: units.Second, Kp: 0.1, Ki: 0.01, PMax: 0.9},
+		{Target: 45, L: units.Millisecond, Interval: 0, Kp: 0.1, Ki: 0.01, PMax: 0.9},
+		{Target: 45, L: units.Millisecond, Interval: units.Second, Kp: 0.1, Ki: 0.01, PMax: 1},
+		{Target: 45, L: units.Millisecond, Interval: units.Second, Kp: -1, Ki: 0.01, PMax: 0.9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	m := burnMachine(1, 0)
+	if _, err := Attach(m, bad[0]); err == nil {
+		t.Error("Attach accepted invalid config")
+	}
+}
+
+func TestConvergesToSetpoint(t *testing.T) {
+	m := burnMachine(1, 4)
+	// Target halfway between idle and the unconstrained operating point.
+	idle := float64(m.IdleJunctionTemp())
+	target := units.Celsius(idle + 12)
+	ctl, err := Attach(m, DefaultConfig(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(240 * units.Second)
+	// Mean DTS reading over the last 60 s within 1.5 °C of target
+	// (the observable is quantised to 1 °C).
+	mean, ok := ctl.TempTrace.MeanOver(180*units.Second, 240*units.Second)
+	if !ok {
+		t.Fatal("no temperature trace")
+	}
+	if math.Abs(mean-float64(target)) > 1.5 {
+		t.Errorf("settled at %.2fC, target %.1fC", mean, float64(target))
+	}
+	// The controller must actually be injecting.
+	if ctl.P() <= 0.01 {
+		t.Errorf("steady-state p = %v", ctl.P())
+	}
+}
+
+func TestIdlesWhenBelowTarget(t *testing.T) {
+	// With no workload the chip sits at idle temperature, far below any
+	// sensible target: the controller must actuate p = 0.
+	m := burnMachine(2, 0)
+	ctl, err := Attach(m, DefaultConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(30 * units.Second)
+	if ctl.P() != 0 {
+		t.Errorf("p = %v with a cold chip", ctl.P())
+	}
+	if _, ok := ctl.Policy().PolicyFor(&sched.Thread{Priority: sched.PriorityUser}); ok {
+		t.Error("global policy installed while below target")
+	}
+}
+
+func TestUnreachableTargetSaturates(t *testing.T) {
+	// A target below the idle temperature cannot be met; the controller
+	// must saturate at PMax without the integrator winding up further.
+	m := burnMachine(3, 4)
+	cfg := DefaultConfig(m.IdleJunctionTemp() - 5)
+	ctl, err := Attach(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(120 * units.Second)
+	if math.Abs(ctl.P()-cfg.PMax) > 1e-9 {
+		t.Errorf("p = %v, want saturated at %v", ctl.P(), cfg.PMax)
+	}
+	integBefore := ctl.integ
+	m.RunFor(60 * units.Second)
+	if ctl.integ > integBefore+1 {
+		t.Errorf("integrator wound up while saturated: %v -> %v", integBefore, ctl.integ)
+	}
+}
+
+func TestAdaptsToWorkloadChange(t *testing.T) {
+	// Four burners, then two exit: the controller must back off p to hold
+	// the same target with the lighter load.
+	cfg := machine.DefaultConfig()
+	cfg.Seed = 4
+	m := machine.New(cfg)
+	for i := 0; i < 2; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "persistent", PowerFactor: 1})
+	}
+	for i := 0; i < 2; i++ {
+		m.Sched.Spawn(workload.FiniteBurn(100), sched.SpawnConfig{Name: "phase1", PowerFactor: 1})
+	}
+	// Target between the two phases' unconstrained operating points: the
+	// four-burner phase needs injection to hold it, the two-burner phase
+	// sits below it naturally.
+	idle := float64(m.IdleJunctionTemp())
+	ctl, err := Attach(m, DefaultConfig(units.Celsius(idle+16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(150 * units.Second)
+	pHeavy := ctl.P()
+	m.RunFor(450 * units.Second) // finite burners have long exited
+	pLight := ctl.P()
+	if pHeavy < 0.05 {
+		t.Errorf("controller idle during the heavy phase (p=%v)", pHeavy)
+	}
+	if pLight >= pHeavy/2 {
+		t.Errorf("p did not back off after load drop: %v -> %v", pHeavy, pLight)
+	}
+}
+
+func TestStopFreezesActuation(t *testing.T) {
+	m := burnMachine(5, 4)
+	ctl, err := Attach(m, DefaultConfig(units.Celsius(float64(m.IdleJunctionTemp())+10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(60 * units.Second)
+	ctl.Stop()
+	frozen := ctl.P()
+	tracesBefore := ctl.PTrace.Len()
+	m.RunFor(30 * units.Second)
+	if ctl.P() != frozen {
+		t.Error("p changed after Stop")
+	}
+	if ctl.PTrace.Len() != tracesBefore {
+		t.Error("controller kept sampling after Stop")
+	}
+}
+
+func TestDeterministicControl(t *testing.T) {
+	run := func() (float64, float64) {
+		m := burnMachine(9, 4)
+		ctl, err := Attach(m, DefaultConfig(units.Celsius(float64(m.IdleJunctionTemp())+8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.RunFor(90 * units.Second)
+		mean, _ := ctl.TempTrace.MeanOver(0, 90*units.Second)
+		return ctl.P(), mean
+	}
+	p1, m1 := run()
+	p2, m2 := run()
+	if p1 != p2 || m1 != m2 {
+		t.Errorf("control runs diverged: (%v,%v) vs (%v,%v)", p1, m1, p2, m2)
+	}
+}

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.StdDev != 0 {
+		t.Errorf("singleton Summarize = %+v", one)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-1, 1, -3, 3}); got != 2 {
+		t.Errorf("MeanAbs = %v", got)
+	}
+	if got := MeanAbs(nil); got != 0 {
+		t.Errorf("MeanAbs(nil) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %v", got)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 2
+	}
+	fit, ok := FitLinear(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Slope-3) > 1e-12 || math.Abs(fit.Intercept+2) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if _, ok := FitLinear([]float64{1}, []float64{2}); ok {
+		t.Error("fit succeeded with one point")
+	}
+	if _, ok := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); ok {
+		t.Error("fit succeeded with constant x")
+	}
+	if _, ok := FitLinear([]float64{1, 2}, []float64{1}); ok {
+		t.Error("fit succeeded with mismatched lengths")
+	}
+	// Constant y: slope 0, perfect fit.
+	fit, ok := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !ok || fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant-y fit = %+v, %v", fit, ok)
+	}
+}
+
+func TestFitPowerLawRecovery(t *testing.T) {
+	// Synthesise T(r) = 1.092·r^1.541 and recover the parameters.
+	var pts []TradeoffPoint
+	for r := 0.05; r <= 0.9; r += 0.05 {
+		pts = append(pts, TradeoffPoint{TempReduction: r, PerfReduction: 1.092 * math.Pow(r, 1.541)})
+	}
+	fit, ok := FitPowerLaw(pts)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Alpha-1.092) > 1e-6 || math.Abs(fit.Beta-1.541) > 1e-6 {
+		t.Errorf("recovered %+v", fit)
+	}
+	if math.Abs(fit.Eval(0.5)-1.092*math.Pow(0.5, 1.541)) > 1e-9 {
+		t.Errorf("Eval mismatch")
+	}
+	if fit.Eval(0) != 0 {
+		t.Errorf("Eval(0) = %v", fit.Eval(0))
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	r := rng.New(1)
+	var pts []TradeoffPoint
+	for x := 0.02; x <= 0.9; x += 0.02 {
+		noise := math.Exp(0.05 * r.NormFloat64())
+		pts = append(pts, TradeoffPoint{TempReduction: x, PerfReduction: 1.3 * math.Pow(x, 1.7) * noise})
+	}
+	fit, ok := FitPowerLaw(pts)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(fit.Alpha-1.3) > 0.1 || math.Abs(fit.Beta-1.7) > 0.05 {
+		t.Errorf("noisy recovery %+v", fit)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitPowerLawFiltersNonPositive(t *testing.T) {
+	pts := []TradeoffPoint{
+		{TempReduction: -0.1, PerfReduction: 0.1},
+		{TempReduction: 0.5, PerfReduction: 0},
+	}
+	if _, ok := FitPowerLaw(pts); ok {
+		t.Error("fit succeeded with no usable points")
+	}
+}
+
+func TestFitPowerLawUpTo(t *testing.T) {
+	var pts []TradeoffPoint
+	for r := 0.1; r <= 0.9; r += 0.1 {
+		pts = append(pts, TradeoffPoint{TempReduction: r, PerfReduction: math.Pow(r, 1.5)})
+	}
+	fit, ok := FitPowerLawUpTo(pts, 0.5)
+	if !ok || math.Abs(fit.Beta-1.5) > 1e-6 {
+		t.Errorf("restricted fit = %+v, %v", fit, ok)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	// The paper's cpuburn fit: 1:1 near r ≈ 0.85.
+	p := PowerLaw{Alpha: 1.092, Beta: 1.541}
+	be := p.BreakEven()
+	if math.Abs(be-0.849) > 0.005 {
+		t.Errorf("BreakEven = %v, want ≈0.849", be)
+	}
+	if (PowerLaw{Alpha: 1, Beta: 1}).BreakEven() != 1 {
+		t.Error("α=β=1 break-even should be 1")
+	}
+	if !math.IsInf((PowerLaw{Alpha: 2, Beta: 1}).BreakEven(), 1) {
+		t.Error("β=1, α≠1 break-even should be +Inf")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []TradeoffPoint{
+		{Label: "a", TempReduction: 0.1, PerfReduction: 0.05},
+		{Label: "b", TempReduction: 0.2, PerfReduction: 0.04}, // dominates a
+		{Label: "c", TempReduction: 0.3, PerfReduction: 0.2},
+		{Label: "d", TempReduction: 0.25, PerfReduction: 0.3}, // dominated by c
+		{Label: "e", TempReduction: 0.5, PerfReduction: 0.5},
+	}
+	front := ParetoFrontier(pts)
+	labels := map[string]bool{}
+	for _, p := range front {
+		labels[p.Label] = true
+	}
+	if labels["a"] || labels["d"] {
+		t.Errorf("dominated points on frontier: %v", labels)
+	}
+	if !labels["b"] || !labels["c"] || !labels["e"] {
+		t.Errorf("frontier missing points: %v", labels)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].TempReduction < front[i-1].TempReduction {
+			t.Error("frontier not sorted by temperature reduction")
+		}
+		if front[i].PerfReduction < front[i-1].PerfReduction {
+			t.Error("frontier cost not monotone")
+		}
+	}
+}
+
+func TestParetoFrontierProperty(t *testing.T) {
+	src := rng.New(99)
+	f := func(n uint8) bool {
+		count := int(n%40) + 2
+		pts := make([]TradeoffPoint, count)
+		for i := range pts {
+			pts[i] = TradeoffPoint{
+				TempReduction: src.Float64(),
+				PerfReduction: src.Float64(),
+			}
+		}
+		front := ParetoFrontier(pts)
+		// No frontier member dominates another.
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		// Every input point is dominated by or equal to some frontier
+		// member.
+		for _, p := range pts {
+			ok := false
+			for _, f := range front {
+				if Dominates(f, p) || (f.TempReduction == p.TempReduction && f.PerfReduction == p.PerfReduction) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoEmpty(t *testing.T) {
+	if got := ParetoFrontier(nil); got != nil {
+		t.Errorf("ParetoFrontier(nil) = %v", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if e := (TradeoffPoint{TempReduction: 0.4, PerfReduction: 0.2}).Efficiency(); e != 2 {
+		t.Errorf("Efficiency = %v", e)
+	}
+	if e := (TradeoffPoint{TempReduction: 0, PerfReduction: 0}).Efficiency(); e != 0 {
+		t.Errorf("zero point Efficiency = %v", e)
+	}
+	if e := (TradeoffPoint{TempReduction: 0.3, PerfReduction: 0}).Efficiency(); e != infEfficiency {
+		t.Errorf("free-reduction Efficiency = %v", e)
+	}
+}
+
+func TestThroughputModel(t *testing.T) {
+	m := ThroughputModel{P: 0.5, L: 100 * units.Millisecond, Q: 100 * units.Millisecond}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// p=50%, L=q: runtime doubles (§2.2's worked example).
+	if got := m.PredictRuntime(7 * units.Second); got != 14*units.Second {
+		t.Errorf("PredictRuntime = %v, want 14s", got)
+	}
+	if got := m.ThroughputFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ThroughputFraction = %v", got)
+	}
+	// p=75%: 3 idle quanta per execution quantum.
+	m2 := ThroughputModel{P: 0.75, L: 100 * units.Millisecond, Q: 100 * units.Millisecond}
+	if got := m2.PredictRuntime(units.Second); got != 4*units.Second {
+		t.Errorf("p=0.75 PredictRuntime = %v, want 4s", got)
+	}
+	// p=0 or L=0: no slowdown.
+	m3 := ThroughputModel{P: 0, L: 100 * units.Millisecond, Q: 100 * units.Millisecond}
+	if m3.PredictRuntime(units.Second) != units.Second || m3.ThroughputFraction() != 1 {
+		t.Error("p=0 should be identity")
+	}
+	if m.IdleFraction()+m.ThroughputFraction() != 1 {
+		t.Error("fractions don't sum to 1")
+	}
+}
+
+func TestThroughputModelValidate(t *testing.T) {
+	bad := []ThroughputModel{
+		{P: -0.1, L: units.Millisecond, Q: units.Millisecond},
+		{P: 1.0, L: units.Millisecond, Q: units.Millisecond},
+		{P: 0.5, L: -units.Millisecond, Q: units.Millisecond},
+		{P: 0.5, L: units.Millisecond, Q: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate passed for %+v", i, m)
+		}
+	}
+}
+
+func TestEnergyModelNeutrality(t *testing.T) {
+	// §2.2: the two policies consume the same total energy.
+	e := EnergyModel{ActivePower: 80, IdlePower: 15}
+	f := func(pRaw, lRaw uint8, busySec uint8) bool {
+		p := float64(pRaw%90+1) / 100 // 0.01..0.90
+		l := units.Time(lRaw%100+1) * units.Millisecond
+		busy := units.Time(busySec%20+1) * units.Second
+		m := ThroughputModel{P: p, L: l, Q: 100 * units.Millisecond}
+		window := m.PredictRuntime(busy)
+		race := e.RaceToIdleEnergy(busy, window)
+		dim := e.DimetrodonEnergy(busy, m)
+		return math.Abs(float64(race-dim)) < 1e-6*math.Abs(float64(race))+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyModelAveragePower(t *testing.T) {
+	e := EnergyModel{ActivePower: 80, IdlePower: 10}
+	m := ThroughputModel{P: 0.5, L: 100 * units.Millisecond, Q: 100 * units.Millisecond}
+	// Half the time at 80 W, half at 10 W → 45 W.
+	got := e.AveragePowerWhileRunning(10*units.Second, m)
+	if math.Abs(float64(got)-45) > 1e-9 {
+		t.Errorf("AveragePowerWhileRunning = %v", got)
+	}
+	// Lower average power than race-to-idle's active phase — Figure 1.
+	if got >= e.ActivePower {
+		t.Error("Dimetrodon average power not below active power")
+	}
+	// Window shorter than busy: clamps.
+	race := e.RaceToIdleEnergy(10*units.Second, 5*units.Second)
+	if race != units.Energy(80, 10*units.Second) {
+		t.Errorf("RaceToIdleEnergy clamp = %v", race)
+	}
+}

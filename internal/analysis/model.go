@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// ThroughputModel is the analytical runtime model of §2.2. For a CPU-bound
+// thread with unmodified runtime R and average quantum length q, scheduled
+// S = R/q times, injecting an idle quantum of length L with probability p at
+// each scheduling decision predicts a Dimetrodon runtime of
+//
+//	D(t) = R + S · p/(1−p) · L
+type ThroughputModel struct {
+	P float64    // idle injection probability at each dispatch
+	L units.Time // idle quantum length
+	Q units.Time // average execution quantum of the thread
+}
+
+// Validate reports a descriptive error for parameter values outside the
+// model's domain.
+func (m ThroughputModel) Validate() error {
+	if m.P < 0 || m.P >= 1 {
+		return fmt.Errorf("analysis: injection probability p=%v outside [0,1)", m.P)
+	}
+	if m.L < 0 {
+		return fmt.Errorf("analysis: negative idle quantum L=%v", m.L)
+	}
+	if m.Q <= 0 {
+		return fmt.Errorf("analysis: non-positive execution quantum q=%v", m.Q)
+	}
+	return nil
+}
+
+// PredictRuntime returns D(t) for a thread whose unconstrained CPU-bound
+// runtime is r.
+func (m ThroughputModel) PredictRuntime(r units.Time) units.Time {
+	if m.P <= 0 || m.L == 0 {
+		return r
+	}
+	s := r.Seconds() / m.Q.Seconds() // S: number of times scheduled
+	extra := s * m.P / (1 - m.P) * m.L.Seconds()
+	return r + units.FromSeconds(extra)
+}
+
+// ThroughputFraction returns the predicted relative throughput R/D(t), i.e.
+// the fraction of unconstrained performance retained.
+func (m ThroughputModel) ThroughputFraction() float64 {
+	if m.P <= 0 || m.L == 0 {
+		return 1
+	}
+	// R/D = 1 / (1 + (L/q)·p/(1−p)); independent of R.
+	x := m.L.Seconds() / m.Q.Seconds() * m.P / (1 - m.P)
+	return 1 / (1 + x)
+}
+
+// IdleFraction returns the predicted fraction of wall time spent in injected
+// idle quanta: 1 − R/D(t).
+func (m ThroughputModel) IdleFraction() float64 {
+	return 1 - m.ThroughputFraction()
+}
+
+// EnergyModel is §2.2's power accounting: over a window of length D(t), a
+// race-to-idle run consumes u·R + m·(D−R) joules while Dimetrodon consumes
+// u·R + m·(L/q)·(p/(1−p))·R — identical totals, at lower average power while
+// the job is live.
+type EnergyModel struct {
+	ActivePower units.Watts // u: package power while the thread computes
+	IdlePower   units.Watts // m: package power in the idle state
+}
+
+// RaceToIdleEnergy returns the energy consumed over a window `window` by a
+// job that computes for `busy` seconds and then idles.
+func (e EnergyModel) RaceToIdleEnergy(busy, window units.Time) units.Joules {
+	if window < busy {
+		window = busy
+	}
+	return units.Energy(e.ActivePower, busy) + units.Energy(e.IdlePower, window-busy)
+}
+
+// DimetrodonEnergy returns the energy consumed by the same job with idle
+// quanta interleaved per the throughput model m. The total idle time within
+// the stretched runtime equals the race-to-idle tail, so the totals match
+// when both modes reach the same idle state.
+func (e EnergyModel) DimetrodonEnergy(busy units.Time, m ThroughputModel) units.Joules {
+	idle := m.PredictRuntime(busy) - busy
+	return units.Energy(e.ActivePower, busy) + units.Energy(e.IdlePower, idle)
+}
+
+// AveragePowerWhileRunning returns the mean package power during the
+// stretched execution window — the quantity Figure 1 visualises dropping
+// under Dimetrodon.
+func (e EnergyModel) AveragePowerWhileRunning(busy units.Time, m ThroughputModel) units.Watts {
+	total := m.PredictRuntime(busy)
+	if total <= 0 {
+		return e.ActivePower
+	}
+	joules := e.DimetrodonEnergy(busy, m)
+	return units.Watts(float64(joules) / total.Seconds())
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import "sort"
+
+// TradeoffPoint is one configuration's outcome in the temperature/performance
+// plane used throughout the paper's evaluation.
+//
+// TempReduction is the fractional reduction of the steady temperature rise
+// over idle relative to unconstrained operation (the paper's r: 0 = no
+// reduction, 1 = cooled all the way to the idle temperature).
+//
+// PerfReduction is the fractional loss of application performance (throughput
+// reduction, or 1 − relative QoS for the web workload).
+type TradeoffPoint struct {
+	Label         string  // configuration description, e.g. "p=0.25 L=50ms"
+	TempReduction float64 // r, in [0, 1]
+	PerfReduction float64 // T(r), in [0, 1]
+}
+
+// Efficiency returns the paper's temperature:throughput efficiency ratio for
+// the point (Figure 3's y-axis). Points with no measurable performance loss
+// return +Inf via a large sentinel guarded by the caller; here we return 0
+// when both are 0 and a true ratio otherwise.
+func (p TradeoffPoint) Efficiency() float64 {
+	if p.PerfReduction <= 0 {
+		if p.TempReduction <= 0 {
+			return 0
+		}
+		return infEfficiency
+	}
+	return p.TempReduction / p.PerfReduction
+}
+
+// infEfficiency stands in for an unbounded ratio (temperature reduced at no
+// measurable cost). Kept finite so downstream plotting and fitting stay sane.
+const infEfficiency = 1e6
+
+// ParetoFrontier returns the subset of points not dominated by any other:
+// point a dominates b when a achieves at least the temperature reduction of b
+// with at most its performance reduction (and is strictly better in one
+// dimension). The result is sorted by increasing temperature reduction —
+// the "darkened boundary" in Figures 4-6.
+func ParetoFrontier(points []TradeoffPoint) []TradeoffPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := make([]TradeoffPoint, len(points))
+	copy(sorted, points)
+	// Sort by performance cost ascending, then temperature reduction
+	// descending so a single sweep can track the best reduction seen.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PerfReduction != sorted[j].PerfReduction {
+			return sorted[i].PerfReduction < sorted[j].PerfReduction
+		}
+		return sorted[i].TempReduction > sorted[j].TempReduction
+	})
+	var frontier []TradeoffPoint
+	bestTemp := -1.0
+	for _, p := range sorted {
+		if p.TempReduction > bestTemp {
+			frontier = append(frontier, p)
+			bestTemp = p.TempReduction
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		return frontier[i].TempReduction < frontier[j].TempReduction
+	})
+	return frontier
+}
+
+// Dominates reports whether a dominates b in the Pareto sense above.
+func Dominates(a, b TradeoffPoint) bool {
+	if a.TempReduction < b.TempReduction || a.PerfReduction > b.PerfReduction {
+		return false
+	}
+	return a.TempReduction > b.TempReduction || a.PerfReduction < b.PerfReduction
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerLaw is the paper's quantitative trade-off metric: the throughput
+// reduction required for a desired temperature reduction r is modelled as
+//
+//	T(r) = α · r^β
+//
+// fitted over the Pareto boundary (§3.4; Table 1 reports α and β per
+// workload, e.g. cpuburn α=1.092, β=1.541).
+type PowerLaw struct {
+	Alpha float64
+	Beta  float64
+	R2    float64 // goodness of the log-log linear fit
+}
+
+// Eval returns T(r) = α·r^β. Eval(0) is 0 for positive β.
+func (p PowerLaw) Eval(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return p.Alpha * math.Pow(r, p.Beta)
+}
+
+// BreakEven returns the temperature reduction at which the trade-off reaches
+// 1:1 (T(r) = r), i.e. r* = α^(1/(1−β)). For β = 1 it returns +Inf unless
+// α = 1. cpuburn's published fit yields r* ≈ 0.85, matching the paper's
+// observation of a 1:1 trade-off only at ~90 % reductions.
+func (p PowerLaw) BreakEven() float64 {
+	if p.Beta == 1 {
+		if p.Alpha == 1 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return math.Pow(p.Alpha, 1/(1-p.Beta))
+}
+
+// String formats the fit like the paper's table entries.
+func (p PowerLaw) String() string {
+	return fmt.Sprintf("T(r) = %.3f*r^%.3f (R2=%.3f)", p.Alpha, p.Beta, p.R2)
+}
+
+// FitPowerLaw estimates α and β by least squares on ln T = ln α + β·ln r.
+// Points with non-positive r or T carry no information in log space and are
+// skipped. It returns ok=false when fewer than two usable points remain.
+func FitPowerLaw(points []TradeoffPoint) (PowerLaw, bool) {
+	var lx, ly []float64
+	for _, pt := range points {
+		if pt.TempReduction > 0 && pt.PerfReduction > 0 {
+			lx = append(lx, math.Log(pt.TempReduction))
+			ly = append(ly, math.Log(pt.PerfReduction))
+		}
+	}
+	fit, ok := FitLinear(lx, ly)
+	if !ok {
+		return PowerLaw{}, false
+	}
+	return PowerLaw{
+		Alpha: math.Exp(fit.Intercept),
+		Beta:  fit.Slope,
+		R2:    fit.R2,
+	}, true
+}
+
+// FitPowerLawUpTo fits only the points with TempReduction ≤ rMax, matching
+// Table 1's "for r ∈ [0, 0.5]" restriction.
+func FitPowerLawUpTo(points []TradeoffPoint, rMax float64) (PowerLaw, bool) {
+	var kept []TradeoffPoint
+	for _, pt := range points {
+		if pt.TempReduction <= rMax {
+			kept = append(kept, pt)
+		}
+	}
+	return FitPowerLaw(kept)
+}

@@ -1,0 +1,182 @@
+// Package core implements Dimetrodon, the paper's contribution: preventive
+// thermal management by scheduler-level idle cycle injection.
+//
+// Each time the scheduler is about to dispatch a thread, the attached
+// Controller decides — with per-thread, per-process or global probability p —
+// to displace the thread with an idle quantum of length L instead. The
+// scheduler pins the displaced thread (so no other core runs it) and runs the
+// idle thread, letting the core drop into a low-power state and cool; when
+// the quantum ends the thread is unpinned and made runnable again (§3.1).
+//
+// Policy control mirrors the paper's system-call interface: policies can be
+// installed and removed at runtime at global, per-process, and per-thread
+// granularity, with the most specific match winning. Kernel-level threads are
+// always scheduled (never injected) by default, the policy decision the paper
+// adopts to avoid delaying interrupt processing twice; the flag InjectKernel
+// exists for the ablation that shows why that decision matters.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// Params are one injection policy: at each scheduling decision the thread is
+// displaced with probability P by an idle quantum of length L.
+type Params struct {
+	P float64
+	L units.Time
+}
+
+// Validate reports whether the parameters are in the model's domain
+// (p ∈ [0, 1), L ≥ 0; p/(1−p) diverges at 1).
+func (p Params) Validate() error {
+	if p.P < 0 || p.P >= 1 {
+		return fmt.Errorf("dimetrodon: probability %v outside [0,1)", p.P)
+	}
+	if p.L < 0 {
+		return fmt.Errorf("dimetrodon: negative idle quantum %v", p.L)
+	}
+	return nil
+}
+
+// Enabled reports whether the policy can ever inject.
+func (p Params) Enabled() bool { return p.P > 0 && p.L > 0 }
+
+// String formats the policy like the paper's configuration labels.
+func (p Params) String() string {
+	return fmt.Sprintf("p=%g L=%v", p.P, p.L)
+}
+
+// Controller is the Dimetrodon policy engine; it implements sched.Injector.
+type Controller struct {
+	rng *rng.Source
+
+	global     Params
+	hasGlobal  bool
+	perProcess map[int]Params
+	perThread  map[int]Params
+
+	// InjectKernel permits injection into kernel-level threads. The
+	// default (false) reproduces the paper's policy of always scheduling
+	// kernel threads.
+	InjectKernel bool
+
+	// Deterministic replaces the Bernoulli draw with an error-accumulator
+	// that injects exactly every 1/p-th decision on average with no
+	// variance — the "more deterministic model" the paper speculates
+	// "would likely result in smoother curves" (§3.4).
+	Deterministic bool
+	debt          map[int]float64
+
+	// Statistics.
+	Decisions  int // dispatches where a policy applied
+	Injections int // dispatches converted into idle quanta
+}
+
+// NewController returns a controller drawing randomness from src.
+func NewController(src *rng.Source) *Controller {
+	return &Controller{
+		rng:        src,
+		perProcess: make(map[int]Params),
+		perThread:  make(map[int]Params),
+		debt:       make(map[int]float64),
+	}
+}
+
+// SetGlobal installs the system-wide policy applied to every thread without
+// a more specific entry.
+func (c *Controller) SetGlobal(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.global = p
+	c.hasGlobal = true
+	return nil
+}
+
+// ClearGlobal removes the system-wide policy.
+func (c *Controller) ClearGlobal() { c.hasGlobal = false }
+
+// SetProcess installs a policy for every thread of a process — the
+// granularity Figure 5's per-thread control experiment exercises to slow the
+// hot process while the cool process runs uninterrupted.
+func (c *Controller) SetProcess(pid int, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.perProcess[pid] = p
+	return nil
+}
+
+// ClearProcess removes a process policy.
+func (c *Controller) ClearProcess(pid int) { delete(c.perProcess, pid) }
+
+// SetThread installs a policy for a single thread.
+func (c *Controller) SetThread(tid int, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.perThread[tid] = p
+	return nil
+}
+
+// ClearThread removes a thread policy.
+func (c *Controller) ClearThread(tid int) { delete(c.perThread, tid) }
+
+// PolicyFor returns the policy that governs thread t, most specific first,
+// and whether any applies.
+func (c *Controller) PolicyFor(t *sched.Thread) (Params, bool) {
+	if p, ok := c.perThread[t.ID]; ok {
+		return p, true
+	}
+	if p, ok := c.perProcess[t.ProcessID]; ok {
+		return p, true
+	}
+	if c.hasGlobal {
+		return c.global, true
+	}
+	return Params{}, false
+}
+
+// Decide implements sched.Injector. The dispatching core index is unused by
+// the base policy (injection is a per-thread decision); topology-aware
+// wrappers like smt.CoScheduler use it.
+func (c *Controller) Decide(t *sched.Thread, coreID int, now units.Time) (units.Time, bool) {
+	if t.Kernel && !c.InjectKernel {
+		return 0, false
+	}
+	p, ok := c.PolicyFor(t)
+	if !ok || !p.Enabled() {
+		return 0, false
+	}
+	c.Decisions++
+	inject := false
+	if c.Deterministic {
+		d := c.debt[t.ID] + p.P
+		if d >= 1 {
+			d -= 1
+			inject = true
+		}
+		c.debt[t.ID] = d
+	} else {
+		inject = c.rng.Bernoulli(p.P)
+	}
+	if !inject {
+		return 0, false
+	}
+	c.Injections++
+	return p.L, true
+}
+
+// InjectionRate returns the fraction of governed dispatch decisions that were
+// converted into idle quanta — it converges to p for a single global policy.
+func (c *Controller) InjectionRate() float64 {
+	if c.Decisions == 0 {
+		return 0
+	}
+	return float64(c.Injections) / float64(c.Decisions)
+}

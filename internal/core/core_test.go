@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func user(id, pid int) *sched.Thread {
+	return &sched.Thread{ID: id, ProcessID: pid, Priority: sched.PriorityUser}
+}
+
+func kernel(id int) *sched.Thread {
+	return &sched.Thread{ID: id, Kernel: true, Priority: sched.PriorityKernel}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{
+		{P: 0, L: 0},
+		{P: 0.5, L: 100 * units.Millisecond},
+		{P: 0.99, L: units.Millisecond},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", p, err)
+		}
+	}
+	bad := []Params{
+		{P: -0.1, L: units.Millisecond},
+		{P: 1.0, L: units.Millisecond},
+		{P: 0.5, L: -units.Millisecond},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v accepted", p)
+		}
+	}
+	if (Params{P: 0.5, L: 0}).Enabled() {
+		t.Error("zero-L policy enabled")
+	}
+	if !(Params{P: 0.5, L: units.Millisecond}).Enabled() {
+		t.Error("valid policy not enabled")
+	}
+}
+
+func TestPolicyPrecedence(t *testing.T) {
+	c := NewController(rng.New(1))
+	global := Params{P: 0.1, L: 10 * units.Millisecond}
+	process := Params{P: 0.2, L: 20 * units.Millisecond}
+	thread := Params{P: 0.3, L: 30 * units.Millisecond}
+	if err := c.SetGlobal(global); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetProcess(5, process); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetThread(42, thread); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.PolicyFor(user(42, 5)); !ok || got != thread {
+		t.Errorf("thread policy = %v, %v", got, ok)
+	}
+	if got, ok := c.PolicyFor(user(7, 5)); !ok || got != process {
+		t.Errorf("process policy = %v, %v", got, ok)
+	}
+	if got, ok := c.PolicyFor(user(7, 9)); !ok || got != global {
+		t.Errorf("global policy = %v, %v", got, ok)
+	}
+	c.ClearThread(42)
+	if got, _ := c.PolicyFor(user(42, 5)); got != process {
+		t.Errorf("after ClearThread: %v", got)
+	}
+	c.ClearProcess(5)
+	if got, _ := c.PolicyFor(user(42, 5)); got != global {
+		t.Errorf("after ClearProcess: %v", got)
+	}
+	c.ClearGlobal()
+	if _, ok := c.PolicyFor(user(42, 5)); ok {
+		t.Error("policy survived ClearGlobal")
+	}
+}
+
+func TestSetterValidation(t *testing.T) {
+	c := NewController(rng.New(1))
+	if err := c.SetGlobal(Params{P: 1.5, L: units.Millisecond}); err == nil {
+		t.Error("bad global accepted")
+	}
+	if err := c.SetProcess(1, Params{P: -1, L: units.Millisecond}); err == nil {
+		t.Error("bad process accepted")
+	}
+	if err := c.SetThread(1, Params{P: 0.5, L: -1}); err == nil {
+		t.Error("bad thread accepted")
+	}
+}
+
+func TestKernelThreadsNeverInjectedByDefault(t *testing.T) {
+	// §3.1: "We always schedule kernel-level threads."
+	c := NewController(rng.New(1))
+	if err := c.SetGlobal(Params{P: 0.99, L: 100 * units.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, inject := c.Decide(kernel(1), 0, 0); inject {
+			t.Fatal("kernel thread injected")
+		}
+	}
+	c.InjectKernel = true
+	injected := false
+	for i := 0; i < 1000; i++ {
+		if _, inject := c.Decide(kernel(1), 0, 0); inject {
+			injected = true
+			break
+		}
+	}
+	if !injected {
+		t.Error("InjectKernel=true never injected")
+	}
+}
+
+func TestInjectionRateConvergesToP(t *testing.T) {
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75} {
+		c := NewController(rng.New(uint64(p * 1000)))
+		if err := c.SetGlobal(Params{P: p, L: 50 * units.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		th := user(1, 1)
+		n := 200000
+		for i := 0; i < n; i++ {
+			c.Decide(th, 0, 0)
+		}
+		if got := c.InjectionRate(); math.Abs(got-p) > 0.01 {
+			t.Errorf("p=%v: injection rate %v", p, got)
+		}
+	}
+}
+
+func TestDecideReturnsConfiguredQuantum(t *testing.T) {
+	c := NewController(rng.New(3))
+	want := 37 * units.Millisecond
+	if err := c.SetGlobal(Params{P: 0.9, L: want}); err != nil {
+		t.Fatal(err)
+	}
+	th := user(1, 1)
+	for i := 0; i < 1000; i++ {
+		if l, ok := c.Decide(th, 0, 0); ok {
+			if l != want {
+				t.Fatalf("Decide returned %v, want %v", l, want)
+			}
+			return
+		}
+	}
+	t.Fatal("never injected at p=0.9")
+}
+
+func TestDeterministicAccumulator(t *testing.T) {
+	c := NewController(rng.New(1))
+	c.Deterministic = true
+	if err := c.SetGlobal(Params{P: 0.25, L: units.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	th := user(1, 1)
+	pattern := make([]bool, 16)
+	for i := range pattern {
+		_, pattern[i] = c.Decide(th, 0, 0)
+	}
+	// Exactly one injection per 4 decisions, at a fixed phase.
+	count := 0
+	for _, inj := range pattern {
+		if inj {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("16 decisions yielded %d injections, want exactly 4", count)
+	}
+	// Per-thread accumulators are independent.
+	other := user(2, 1)
+	_, injected := c.Decide(other, 0, 0)
+	if injected {
+		t.Error("fresh thread's first decision injected at p=0.25")
+	}
+}
+
+func TestDeterministicRateMatchesP(t *testing.T) {
+	for _, p := range []float64{0.1, 0.33, 0.5, 0.75} {
+		c := NewController(rng.New(1))
+		c.Deterministic = true
+		if err := c.SetGlobal(Params{P: p, L: units.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		th := user(1, 1)
+		n := 10000
+		for i := 0; i < n; i++ {
+			c.Decide(th, 0, 0)
+		}
+		if got := c.InjectionRate(); math.Abs(got-p) > 0.001 {
+			t.Errorf("deterministic p=%v rate %v", p, got)
+		}
+	}
+}
+
+func TestNoPolicyNoDecision(t *testing.T) {
+	c := NewController(rng.New(1))
+	if _, inject := c.Decide(user(1, 1), 0, 0); inject {
+		t.Error("injected without a policy")
+	}
+	if c.Decisions != 0 {
+		t.Error("counted a decision without a policy")
+	}
+	if c.InjectionRate() != 0 {
+		t.Error("rate non-zero without decisions")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := Params{P: 0.5, L: 100 * units.Millisecond}.String()
+	if s != "p=0.5 L=100ms" {
+		t.Errorf("String = %q", s)
+	}
+}

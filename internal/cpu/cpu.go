@@ -1,0 +1,373 @@
+// Package cpu models the processor of the paper's testbed: an Intel
+// Nehalem-class Xeon E5520 — four cores at 2.26 GHz, an 80 W TDP, the C1E
+// enhanced-halt idle state (which does not flush caches), a DVFS ladder in
+// 133 MHz steps down to 1.60 GHz, and the thermal control circuit's (TCC)
+// fine-grained clock duty-cycle modulation used by FreeBSD's p4tcc driver.
+//
+// Power is split per core into switching (dynamic) power — scaling with
+// frequency, squared voltage, the workload's activity factor and the TCC duty
+// cycle — and leakage power, which scales with squared voltage and grows
+// exponentially with junction temperature. The exponential leakage term is
+// what turns idle-cycle injection's linear duty reduction into the nonlinear
+// temperature trade-offs of Figures 3 and 4: near the cpuburn operating point
+// the leakage-temperature feedback loop amplifies small average-power savings,
+// and large junction temperature swings (long idle quanta) raise average
+// leakage via the convexity of the exponential.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// CState is a core idle/active state.
+type CState int
+
+const (
+	// C0 is the active state: the core executes instructions.
+	C0 CState = iota
+	// C1Halt is a plain halt: clocks gated at full voltage. This is what a
+	// nop/hlt loop or TCC gating achieves — dynamic power stops but
+	// leakage continues at the full-voltage rate and the package cannot
+	// enter a low-power state.
+	C1Halt
+	// C1E is the enhanced halt the paper's processor supported: clocks
+	// stopped and core voltage lowered, cutting leakage substantially.
+	// The scheduler's idle thread reaches C1E.
+	C1E
+)
+
+// String returns the conventional state name.
+func (c CState) String() string {
+	switch c {
+	case C0:
+		return "C0"
+	case C1Halt:
+		return "C1-halt"
+	case C1E:
+		return "C1E"
+	default:
+		return fmt.Sprintf("CState(%d)", int(c))
+	}
+}
+
+// PState is one DVFS operating point.
+type PState struct {
+	Freq    units.Hertz
+	Voltage float64 // volts
+}
+
+// Model holds the electrical and architectural constants of a processor.
+// See NewXeonE5520 for the calibrated testbed part.
+type Model struct {
+	Name     string
+	NumCores int
+
+	// PStates is the DVFS ladder, sorted by descending frequency;
+	// PStates[0] is the nominal (maximum) operating point.
+	PStates []PState
+
+	// CoreDynamicMax is the switching power of one core running a
+	// power-factor-1.0 workload (cpuburn) at the top P-state, full duty.
+	CoreDynamicMax units.Watts
+
+	// Leakage: P_leak(T, V) = LeakNominal · exp((T−LeakRefTemp)/LeakSlope)
+	// · (V/Vmax)², further scaled by C1ELeakFactor in C1E.
+	LeakNominal   units.Watts
+	LeakRefTemp   units.Celsius
+	LeakSlope     units.Celsius
+	C1ELeakFactor float64
+
+	// C1EResidual is the small fixed draw of a core parked in C1E
+	// (bus/snoop interface kept alive).
+	C1EResidual units.Watts
+
+	// UncoreActive is the package power (caches, memory controller,
+	// interconnect) while any core is awake; UncoreAllIdle applies when
+	// every core sits in C1E and the package clocks down.
+	UncoreActive  units.Watts
+	UncoreAllIdle units.Watts
+
+	// C1ELatency is the entry/exit transition time ("tens of
+	// microseconds" per the paper's PowerNap citation). Injected idle
+	// quanta shorter than roughly twice this value waste their window.
+	C1ELatency units.Time
+
+	// TCCDutySteps is the number of duty levels the thermal control
+	// circuit supports (Intel's clock modulation has 8: 12.5 %..100 %).
+	TCCDutySteps int
+
+	// TCCResidualDyn is the fraction of dynamic power still drawn during
+	// TCC-gated clock windows: STPCLK modulation stalls instruction issue
+	// but leaves the PLL and clock distribution running, so the saving is
+	// less than proportional to the duty reduction — one of the reasons
+	// p4tcc "performed significantly worse" in Figure 4.
+	TCCResidualDyn float64
+
+	// LeakCapFactor saturates leakage at this multiple of LeakNominal.
+	// The pure exponential is only valid near the calibrated operating
+	// range; off-nominal scenarios (cooling failures) would otherwise
+	// diverge numerically where real silicon saturates and trips PROCHOT.
+	LeakCapFactor float64
+}
+
+// NewXeonE5520 returns the calibrated model of the paper's testbed processor.
+// The constants reproduce the published observables: ≈80 W package draw under
+// cpuburn, a ≈20 W idle floor (Figure 1's band), an ≈19 °C junction rise over
+// idle (Figure 2), and a leakage share of core power around a third, typical
+// of 45 nm parts of that era.
+func NewXeonE5520() *Model {
+	m := &Model{
+		Name:           "Intel Xeon E5520 (simulated)",
+		NumCores:       4,
+		CoreDynamicMax: 11.0,
+		LeakNominal:    8.0,
+		LeakRefTemp:    55,
+		LeakSlope:      10,
+		C1ELeakFactor:  0.22,
+		C1EResidual:    0.3,
+		// The all-idle uncore saving is modest: C1E is a core state on
+		// this part; with every core halted the package sheds only its
+		// interface activity. A small delta is also what the paper's
+		// §3.3 energy-neutrality measurement implies — a large one
+		// would make race-to-idle (whose idle tail aligns all cores)
+		// visibly cheaper than Dimetrodon's interleaved idling.
+		UncoreActive:   15.0,
+		UncoreAllIdle:  14.0,
+		C1ELatency:     30 * units.Microsecond,
+		TCCDutySteps:   8,
+		TCCResidualDyn: 0.12,
+		LeakCapFactor:  2.5,
+	}
+	// DVFS ladder: 2.26 GHz down to 1.60 GHz in 133 MHz steps (§3.2). The
+	// voltage ladder is flat at the top — the upper P-states share the
+	// nominal voltage plane, scaling frequency only, as contemporary
+	// SpeedStep tables did — and ramps down to the minimum voltage over
+	// the lower states. This convexity is what gives VFS its modest
+	// benefit at small reductions but "quadratic reduction in power
+	// utilization as voltage scales down" at large ones (§3.4), producing
+	// the crossover with Dimetrodon around 30 % temperature reduction.
+	const (
+		fMax  = 2.26e9
+		fMin  = 1.60e9
+		step  = 133e6
+		vMax  = 1.10
+		vMin  = 0.85
+		vKnee = 1.995e9 // voltage flat above this frequency
+	)
+	for f := fMax; f >= fMin-10e6; f -= step {
+		v := vMax
+		if f < vKnee {
+			v = vMin + (vMax-vMin)*(f-fMin)/(vKnee-fMin)
+			if v < vMin {
+				v = vMin
+			}
+		}
+		m.PStates = append(m.PStates, PState{Freq: units.Hertz(f), Voltage: v})
+	}
+	return m
+}
+
+// Validate reports configuration errors.
+func (m *Model) Validate() error {
+	if m.NumCores <= 0 {
+		return fmt.Errorf("cpu: model %q has %d cores", m.Name, m.NumCores)
+	}
+	if len(m.PStates) == 0 {
+		return fmt.Errorf("cpu: model %q has no P-states", m.Name)
+	}
+	for i := 1; i < len(m.PStates); i++ {
+		if m.PStates[i].Freq >= m.PStates[i-1].Freq {
+			return fmt.Errorf("cpu: P-states not sorted by descending frequency at %d", i)
+		}
+	}
+	if m.LeakSlope <= 0 {
+		return fmt.Errorf("cpu: leakage slope must be positive, got %v", m.LeakSlope)
+	}
+	if m.C1ELeakFactor < 0 || m.C1ELeakFactor > 1 {
+		return fmt.Errorf("cpu: C1E leak factor %v outside [0,1]", m.C1ELeakFactor)
+	}
+	if m.TCCDutySteps < 1 {
+		return fmt.Errorf("cpu: TCC needs at least one duty step")
+	}
+	return nil
+}
+
+// MaxFreq returns the nominal frequency.
+func (m *Model) MaxFreq() units.Hertz { return m.PStates[0].Freq }
+
+// coreState is the runtime state of one core.
+type coreState struct {
+	cstate      CState
+	powerFactor float64 // activity factor of the running workload in C0
+}
+
+// Chip is a running instance of a Model: per-core C-states and activity
+// factors plus the chip-wide P-state and TCC duty cycle (both are chip-wide
+// on this hardware — the paper notes per-core DVFS was not available on
+// commodity parts).
+type Chip struct {
+	Model *Model
+
+	cores  []coreState
+	pstate int     // index into Model.PStates
+	duty   float64 // TCC duty cycle in (0, 1]; 1 = no modulation
+
+	// LeakageTempCoupling scales the temperature exponent; 1 is the
+	// physical model and 0 freezes leakage at its reference value. It
+	// exists for the leakage ablation study (BenchmarkAblationLeakage).
+	LeakageTempCoupling float64
+}
+
+// NewChip returns a Chip with all cores idle in C1E at the top P-state and
+// full duty.
+func NewChip(m *Model) *Chip {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Chip{Model: m, duty: 1, LeakageTempCoupling: 1}
+	c.cores = make([]coreState, m.NumCores)
+	for i := range c.cores {
+		c.cores[i] = coreState{cstate: C1E, powerFactor: 0}
+	}
+	return c
+}
+
+// NumCores returns the core count.
+func (c *Chip) NumCores() int { return len(c.cores) }
+
+// SetActive marks core id as executing a workload with the given activity
+// (power) factor: cpuburn is 1.0, cooler workloads less.
+func (c *Chip) SetActive(id int, powerFactor float64) {
+	if powerFactor < 0 {
+		powerFactor = 0
+	}
+	c.cores[id] = coreState{cstate: C0, powerFactor: powerFactor}
+}
+
+// SetIdle parks core id in the given idle state (C1Halt or C1E).
+func (c *Chip) SetIdle(id int, s CState) {
+	if s == C0 {
+		panic("cpu: SetIdle with C0; use SetActive")
+	}
+	c.cores[id] = coreState{cstate: s}
+}
+
+// State returns core id's current C-state.
+func (c *Chip) State(id int) CState { return c.cores[id].cstate }
+
+// SetPState selects the chip-wide DVFS operating point by ladder index
+// (0 = fastest). Out-of-range indices are clamped.
+func (c *Chip) SetPState(idx int) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.Model.PStates) {
+		idx = len(c.Model.PStates) - 1
+	}
+	c.pstate = idx
+}
+
+// PState returns the current ladder index.
+func (c *Chip) PState() int { return c.pstate }
+
+// PStateCount returns the number of ladder entries.
+func (c *Chip) PStateCount() int { return len(c.Model.PStates) }
+
+// SetDuty sets the chip-wide TCC duty cycle, clamped to (1/steps, 1].
+func (c *Chip) SetDuty(d float64) {
+	min := 1 / float64(c.Model.TCCDutySteps)
+	if d < min {
+		d = min
+	}
+	if d > 1 {
+		d = 1
+	}
+	c.duty = d
+}
+
+// Duty returns the current TCC duty cycle.
+func (c *Chip) Duty() float64 { return c.duty }
+
+// Freq returns the current chip frequency.
+func (c *Chip) Freq() units.Hertz { return c.Model.PStates[c.pstate].Freq }
+
+// Voltage returns the current chip voltage.
+func (c *Chip) Voltage() float64 { return c.Model.PStates[c.pstate].Voltage }
+
+// ProgressRate returns the rate at which a CPU-bound thread accumulates work
+// on this chip, in reference-seconds per second: 1.0 at the top P-state and
+// full duty. TCC modulation stalls the whole core, so duty scales progress
+// directly; DVFS scales it by the frequency ratio.
+func (c *Chip) ProgressRate() float64 {
+	return float64(c.Freq()) / float64(c.Model.MaxFreq()) * c.duty
+}
+
+// leakage returns one core's leakage power at junction temperature t and the
+// chip's current voltage, before any C-state scaling. The exponential is
+// saturated at LeakCapFactor × nominal (see Model.LeakCapFactor).
+func (c *Chip) leakage(t units.Celsius) units.Watts {
+	m := c.Model
+	vr := c.Voltage() / m.PStates[0].Voltage
+	exp := c.LeakageTempCoupling * float64(t-m.LeakRefTemp) / float64(m.LeakSlope)
+	l := float64(m.LeakNominal) * math.Exp(exp)
+	if cap := float64(m.LeakNominal) * m.LeakCapFactor; m.LeakCapFactor > 0 && l > cap {
+		l = cap
+	}
+	return units.Watts(l * vr * vr)
+}
+
+// CorePower returns the instantaneous power of core id at junction
+// temperature t.
+//
+//   - C0: dynamic · powerFactor · duty · (f/fmax) · (V/Vmax)² plus
+//     full-voltage leakage (TCC gating stops switching, not leakage).
+//   - C1Halt: leakage at full voltage plus the C1E residual floor.
+//   - C1E: leakage scaled by C1ELeakFactor plus the residual floor.
+func (c *Chip) CorePower(id int, t units.Celsius) units.Watts {
+	m := c.Model
+	cs := c.cores[id]
+	leak := c.leakage(t)
+	switch cs.cstate {
+	case C0:
+		fr := float64(c.Freq()) / float64(m.MaxFreq())
+		vr := c.Voltage() / m.PStates[0].Voltage
+		// TCC gating saves less than its duty reduction: the clock
+		// tree keeps running through gated windows.
+		effDuty := c.duty + m.TCCResidualDyn*(1-c.duty)
+		dyn := float64(m.CoreDynamicMax) * cs.powerFactor * effDuty * fr * vr * vr
+		return units.Watts(dyn) + leak
+	case C1Halt:
+		return leak + m.C1EResidual
+	case C1E:
+		return units.Watts(float64(leak)*m.C1ELeakFactor) + m.C1EResidual
+	default:
+		panic("cpu: unknown C-state")
+	}
+}
+
+// UncorePower returns the shared package power for the current C-states: the
+// package only clocks down when every core is parked in C1E.
+func (c *Chip) UncorePower() units.Watts {
+	for i := range c.cores {
+		if c.cores[i].cstate != C1E {
+			return c.Model.UncoreActive
+		}
+	}
+	return c.Model.UncoreAllIdle
+}
+
+// TotalPower returns the package draw for the given per-core junction
+// temperatures (len must equal NumCores).
+func (c *Chip) TotalPower(junctions []units.Celsius) units.Watts {
+	if len(junctions) != len(c.cores) {
+		panic(fmt.Sprintf("cpu: %d junction temps for %d cores", len(junctions), len(c.cores)))
+	}
+	total := c.UncorePower()
+	for i := range c.cores {
+		total += c.CorePower(i, junctions[i])
+	}
+	return total
+}

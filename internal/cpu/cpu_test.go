@@ -1,0 +1,317 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func warm(n int) []units.Celsius {
+	temps := make([]units.Celsius, n)
+	for i := range temps {
+		temps[i] = 45
+	}
+	return temps
+}
+
+func TestXeonModelShape(t *testing.T) {
+	m := NewXeonE5520()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCores != 4 {
+		t.Errorf("cores = %d", m.NumCores)
+	}
+	// §3.2: 2.26 GHz top, 133 MHz steps, 1.6 GHz floor (71 % of max).
+	if m.PStates[0].Freq != 2.26e9 {
+		t.Errorf("top freq = %v", m.PStates[0].Freq)
+	}
+	bottom := m.PStates[len(m.PStates)-1].Freq
+	ratio := float64(bottom) / float64(m.PStates[0].Freq)
+	if math.Abs(ratio-0.71) > 0.01 {
+		t.Errorf("bottom/top = %.3f, want ≈0.71 (1.6/2.26)", ratio)
+	}
+	if len(m.PStates) != 6 {
+		t.Errorf("ladder has %d states, want 6", len(m.PStates))
+	}
+	for i := 1; i < len(m.PStates); i++ {
+		step := float64(m.PStates[i-1].Freq - m.PStates[i].Freq)
+		if math.Abs(step-133e6) > 1e6 {
+			t.Errorf("step %d = %v Hz", i, step)
+		}
+		if m.PStates[i].Voltage > m.PStates[i-1].Voltage {
+			t.Errorf("voltage not monotone at %d", i)
+		}
+	}
+}
+
+func TestModelValidateErrors(t *testing.T) {
+	good := NewXeonE5520()
+	mutations := []func(*Model){
+		func(m *Model) { m.NumCores = 0 },
+		func(m *Model) { m.PStates = nil },
+		func(m *Model) { m.PStates = []PState{{Freq: 1e9}, {Freq: 2e9}} },
+		func(m *Model) { m.LeakSlope = 0 },
+		func(m *Model) { m.C1ELeakFactor = 1.5 },
+		func(m *Model) { m.TCCDutySteps = 0 },
+	}
+	for i, mut := range mutations {
+		m := *good
+		m.PStates = append([]PState(nil), good.PStates...)
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestCStateString(t *testing.T) {
+	if C0.String() != "C0" || C1Halt.String() != "C1-halt" || C1E.String() != "C1E" {
+		t.Error("CState names wrong")
+	}
+	if CState(9).String() == "" {
+		t.Error("unknown CState empty")
+	}
+}
+
+func TestPowerOrderingAcrossCStates(t *testing.T) {
+	// At equal temperature: active > halt > C1E — the ladder Dimetrodon
+	// exploits and p4tcc cannot.
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, 1.0)
+	p0 := c.CorePower(0, 45)
+	c.SetIdle(0, C1Halt)
+	p1 := c.CorePower(0, 45)
+	c.SetIdle(0, C1E)
+	p2 := c.CorePower(0, 45)
+	if !(p0 > p1 && p1 > p2) {
+		t.Errorf("power ordering violated: C0=%v halt=%v C1E=%v", p0, p1, p2)
+	}
+	if p2 <= 0 {
+		t.Errorf("C1E power non-positive: %v", p2)
+	}
+}
+
+func TestLeakageMonotoneInTemperature(t *testing.T) {
+	// Non-decreasing everywhere (the exponential saturates at the leak
+	// cap), strictly increasing below the cap region.
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, 1.0)
+	f := func(aRaw, bRaw uint8) bool {
+		a := units.Celsius(20 + float64(aRaw%60))
+		b := units.Celsius(20 + float64(bRaw%60))
+		pa, pb := c.CorePower(0, a), c.CorePower(0, b)
+		switch {
+		case a < b:
+			return pa <= pb
+		case a > b:
+			return pa >= pb
+		default:
+			return pa == pb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Strict below the cap.
+	if !(c.CorePower(0, 40) < c.CorePower(0, 50)) {
+		t.Error("leakage not strictly increasing below the cap")
+	}
+	// Capped: equal at extreme temperatures.
+	if c.CorePower(0, 75) != c.CorePower(0, 90) {
+		t.Error("leakage not saturated above the cap")
+	}
+}
+
+func TestLeakageCouplingAblation(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.LeakageTempCoupling = 0
+	c.SetActive(0, 1.0)
+	if c.CorePower(0, 30) != c.CorePower(0, 70) {
+		t.Error("decoupled leakage still varies with temperature")
+	}
+}
+
+func TestPowerScalesWithActivityFactor(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, 1.0)
+	hot := c.CorePower(0, 45)
+	c.SetActive(0, 0.5)
+	cool := c.CorePower(0, 45)
+	dynFull := float64(hot) - float64(cool)
+	// Halving the power factor removes half the dynamic component.
+	wantDyn := float64(c.Model.CoreDynamicMax) * 0.5
+	if math.Abs(dynFull-wantDyn) > 1e-9 {
+		t.Errorf("dynamic delta = %v, want %v", dynFull, wantDyn)
+	}
+}
+
+func TestDVFSPowerAndRate(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, 1.0)
+	top := c.CorePower(0, 45)
+	rateTop := c.ProgressRate()
+	if rateTop != 1.0 {
+		t.Errorf("top rate = %v", rateTop)
+	}
+	c.SetPState(c.PStateCount() - 1)
+	bottom := c.CorePower(0, 45)
+	rateBot := c.ProgressRate()
+	if bottom >= top {
+		t.Error("bottom P-state not cheaper")
+	}
+	wantRate := float64(c.Model.PStates[c.PStateCount()-1].Freq) / float64(c.Model.MaxFreq())
+	if math.Abs(rateBot-wantRate) > 1e-12 {
+		t.Errorf("bottom rate = %v, want %v", rateBot, wantRate)
+	}
+	// Cubic-ish: relative power drop exceeds relative rate drop at the
+	// bottom of the ladder (voltage has ramped down).
+	dynDropRatio := (float64(top) - float64(bottom)) / float64(top)
+	rateDropRatio := 1 - rateBot
+	if dynDropRatio <= rateDropRatio {
+		t.Errorf("VFS power drop (%.3f) not superlinear vs rate drop (%.3f)", dynDropRatio, rateDropRatio)
+	}
+}
+
+func TestPStateClamping(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetPState(-5)
+	if c.PState() != 0 {
+		t.Error("negative P-state not clamped")
+	}
+	c.SetPState(99)
+	if c.PState() != c.PStateCount()-1 {
+		t.Error("high P-state not clamped")
+	}
+}
+
+func TestTCCDuty(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetDuty(0.5)
+	if c.Duty() != 0.5 {
+		t.Errorf("duty = %v", c.Duty())
+	}
+	if c.ProgressRate() != 0.5 {
+		t.Errorf("rate under duty = %v", c.ProgressRate())
+	}
+	c.SetDuty(0.01) // below 1/8 floor
+	if c.Duty() != 1.0/8 {
+		t.Errorf("duty floor = %v", c.Duty())
+	}
+	c.SetDuty(2)
+	if c.Duty() != 1 {
+		t.Errorf("duty cap = %v", c.Duty())
+	}
+}
+
+func TestTCCResidualDynamic(t *testing.T) {
+	// Gating to duty d leaves TCCResidualDyn·(1−d) of dynamic power: the
+	// saving is sublinear, and leakage is untouched.
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, 1.0)
+	full := float64(c.CorePower(0, 45))
+	c.SetDuty(0.5)
+	gated := float64(c.CorePower(0, 45))
+	dyn := float64(c.Model.CoreDynamicMax)
+	res := c.Model.TCCResidualDyn
+	wantSaving := dyn * (1 - (0.5 + res*0.5))
+	if math.Abs((full-gated)-wantSaving) > 1e-9 {
+		t.Errorf("TCC saving = %v, want %v", full-gated, wantSaving)
+	}
+}
+
+func TestUncoreIdleOnlyWhenAllC1E(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	if c.UncorePower() != c.Model.UncoreAllIdle {
+		t.Error("fresh chip (all C1E) should be package-idle")
+	}
+	c.SetActive(2, 0.5)
+	if c.UncorePower() != c.Model.UncoreActive {
+		t.Error("one active core should wake the uncore")
+	}
+	c.SetIdle(2, C1Halt)
+	if c.UncorePower() != c.Model.UncoreActive {
+		t.Error("a halted (non-C1E) core keeps the uncore awake")
+	}
+	c.SetIdle(2, C1E)
+	if c.UncorePower() != c.Model.UncoreAllIdle {
+		t.Error("all-C1E should repackage-idle")
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	for i := 0; i < 4; i++ {
+		c.SetActive(i, 1.0)
+	}
+	temps := warm(4)
+	var sum units.Watts
+	for i := 0; i < 4; i++ {
+		sum += c.CorePower(i, temps[i])
+	}
+	sum += c.UncorePower()
+	if got := c.TotalPower(temps); math.Abs(float64(got-sum)) > 1e-9 {
+		t.Errorf("TotalPower = %v, want %v", got, sum)
+	}
+	// cpuburn-at-45C draw should be near the 80 W TDP.
+	if got := float64(c.TotalPower(temps)); got < 55 || got > 90 {
+		t.Errorf("cpuburn power %v outside plausible TDP band", got)
+	}
+}
+
+func TestTotalPowerPanicsOnSizeMismatch(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	defer func() {
+		if recover() == nil {
+			t.Error("TotalPower with wrong temp count did not panic")
+		}
+	}()
+	c.TotalPower(warm(2))
+}
+
+func TestSetIdleC0Panics(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	defer func() {
+		if recover() == nil {
+			t.Error("SetIdle(C0) did not panic")
+		}
+	}()
+	c.SetIdle(0, C0)
+}
+
+func TestNegativePowerFactorClamped(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetActive(0, -3)
+	c.SetActive(1, 0)
+	if c.CorePower(0, 45) != c.CorePower(1, 45) {
+		t.Error("negative power factor not clamped to zero")
+	}
+}
+
+func TestC1EVoltageDropCutsLeakage(t *testing.T) {
+	m := NewXeonE5520()
+	c := NewChip(m)
+	c.SetIdle(0, C1Halt)
+	halt := float64(c.CorePower(0, 60)) - float64(m.C1EResidual)
+	c.SetIdle(0, C1E)
+	c1e := float64(c.CorePower(0, 60)) - float64(m.C1EResidual)
+	if math.Abs(c1e/halt-m.C1ELeakFactor) > 1e-9 {
+		t.Errorf("C1E/halt leak ratio = %v, want %v", c1e/halt, m.C1ELeakFactor)
+	}
+}
+
+func TestStateAccessor(t *testing.T) {
+	c := NewChip(NewXeonE5520())
+	c.SetActive(1, 1)
+	if c.State(1) != C0 || c.State(0) != C1E {
+		t.Error("State accessor wrong")
+	}
+	if c.NumCores() != 4 {
+		t.Error("NumCores wrong")
+	}
+	if c.Freq() != c.Model.PStates[0].Freq || c.Voltage() != c.Model.PStates[0].Voltage {
+		t.Error("Freq/Voltage accessors wrong")
+	}
+}

@@ -1,0 +1,125 @@
+// Package dtm implements the comparable preventive thermal management
+// techniques the paper evaluates against Dimetrodon in Figure 4:
+//
+//   - race-to-idle (no actuation — the unconstrained baseline),
+//   - static voltage and frequency scaling (VFS), run in the paper under
+//     Linux because FreeBSD lacked driver support for the board, and
+//   - p4tcc, FreeBSD's driver for the thermal control circuit's fine-grained
+//     clock duty-cycle modulation.
+//
+// Each technique configures a simulated machine before a run; they share the
+// Technique interface so the Figure 4 sweep can treat them uniformly.
+package dtm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Technique statically configures a machine for one evaluation run.
+type Technique interface {
+	// Name identifies the technique family ("dimetrodon", "vfs", ...).
+	Name() string
+	// Label describes the specific setpoint for plot legends.
+	Label() string
+	// Apply configures the machine. It must be called before workload
+	// threads are spawned.
+	Apply(m *machine.Machine) error
+}
+
+// RaceToIdle is the unconstrained baseline: jobs run to completion at full
+// speed and the processor idles afterwards.
+type RaceToIdle struct{}
+
+// Name implements Technique.
+func (RaceToIdle) Name() string { return "race-to-idle" }
+
+// Label implements Technique.
+func (RaceToIdle) Label() string { return "race-to-idle" }
+
+// Apply implements Technique.
+func (RaceToIdle) Apply(m *machine.Machine) error { return nil }
+
+// VFS pins the chip to one DVFS operating point for the whole run — the
+// static voltage/frequency policy of §3.4. Power falls roughly cubically
+// (frequency times squared voltage) while throughput falls linearly, which is
+// why VFS wins at large temperature reductions; but the ladder is coarse
+// (133 MHz steps, 1.60 GHz floor) and chip-wide.
+type VFS struct {
+	// PState indexes the ladder; 0 is nominal (no actuation).
+	PState int
+}
+
+// Name implements Technique.
+func (VFS) Name() string { return "vfs" }
+
+// Label implements Technique.
+func (v VFS) Label() string { return fmt.Sprintf("vfs[%d]", v.PState) }
+
+// Apply implements Technique.
+func (v VFS) Apply(m *machine.Machine) error {
+	if v.PState < 0 || v.PState >= m.Chip.PStateCount() {
+		return fmt.Errorf("dtm: P-state %d outside ladder of %d", v.PState, m.Chip.PStateCount())
+	}
+	m.Chip.SetPState(v.PState)
+	return nil
+}
+
+// P4TCC engages the thermal control circuit's clock modulation at a fixed
+// duty cycle (multiples of 1/8 on this hardware). Gating at clock granularity
+// stops switching power for the gated fraction but leaves the core at full
+// voltage — leakage continues and the package never reaches a low-power
+// state, which is why the paper found it "significantly worse", failing even
+// 1:1 trade-offs at high reductions.
+type P4TCC struct {
+	// Duty is the fraction of clocks delivered, in (0, 1].
+	Duty float64
+}
+
+// Name implements Technique.
+func (P4TCC) Name() string { return "p4tcc" }
+
+// Label implements Technique.
+func (p P4TCC) Label() string { return fmt.Sprintf("p4tcc[%.3f]", p.Duty) }
+
+// Apply implements Technique.
+func (p P4TCC) Apply(m *machine.Machine) error {
+	if p.Duty <= 0 || p.Duty > 1 {
+		return fmt.Errorf("dtm: duty %v outside (0,1]", p.Duty)
+	}
+	m.Chip.SetDuty(p.Duty)
+	return nil
+}
+
+// Dimetrodon applies a global idle-cycle-injection policy via a fresh
+// Controller attached to the machine's scheduler. For per-process policies
+// use core.Controller directly; this wrapper exists so sweeps can treat
+// Dimetrodon like the other techniques.
+type Dimetrodon struct {
+	P float64
+	L units.Time
+	// Deterministic selects the error-accumulator injection variant.
+	Deterministic bool
+}
+
+// Name implements Technique.
+func (Dimetrodon) Name() string { return "dimetrodon" }
+
+// Label implements Technique.
+func (d Dimetrodon) Label() string {
+	return fmt.Sprintf("dimetrodon[p=%g L=%v]", d.P, d.L)
+}
+
+// Apply implements Technique.
+func (d Dimetrodon) Apply(m *machine.Machine) error {
+	ctl := core.NewController(m.RNG.Split())
+	ctl.Deterministic = d.Deterministic
+	if err := ctl.SetGlobal(core.Params{P: d.P, L: d.L}); err != nil {
+		return err
+	}
+	m.Sched.SetInjector(ctl)
+	return nil
+}

@@ -1,0 +1,107 @@
+package dtm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestRaceToIdleIsNoop(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := (RaceToIdle{}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chip.PState() != 0 || m.Chip.Duty() != 1 {
+		t.Error("race-to-idle changed chip state")
+	}
+}
+
+func TestVFSApply(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := (VFS{PState: 3}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chip.PState() != 3 {
+		t.Errorf("P-state = %d", m.Chip.PState())
+	}
+	if err := (VFS{PState: 99}).Apply(m); err == nil {
+		t.Error("out-of-range P-state accepted")
+	}
+	if err := (VFS{PState: -1}).Apply(m); err == nil {
+		t.Error("negative P-state accepted")
+	}
+}
+
+func TestP4TCCApply(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := (P4TCC{Duty: 0.5}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Chip.Duty() != 0.5 {
+		t.Errorf("duty = %v", m.Chip.Duty())
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if err := (P4TCC{Duty: bad}).Apply(m); err == nil {
+			t.Errorf("duty %v accepted", bad)
+		}
+	}
+}
+
+func TestDimetrodonApplyInstallsInjector(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := (Dimetrodon{P: 0.5, L: 10 * units.Millisecond}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	th := m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	m.RunFor(10 * units.Second)
+	if th.Injections == 0 {
+		t.Error("no injections after Dimetrodon.Apply")
+	}
+	if err := (Dimetrodon{P: 1.5, L: units.Millisecond}).Apply(m); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestDimetrodonSlowdownMatchesModel(t *testing.T) {
+	// End-to-end: p=0.5, L=q doubles runtime within a few percent.
+	m := machine.New(machine.DefaultConfig())
+	if err := (Dimetrodon{P: 0.5, L: 100 * units.Millisecond}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	th := m.Sched.Spawn(workload.FiniteBurn(2.0), sched.SpawnConfig{Name: "fin", PowerFactor: 1})
+	for !th.Exited() && m.Now() < 60*units.Second {
+		m.RunFor(100 * units.Millisecond)
+	}
+	if !th.Exited() {
+		t.Fatal("did not finish")
+	}
+	runtime := th.ExitedAt.Seconds()
+	if runtime < 3.2 || runtime > 4.8 { // E = 4 s, binomial spread
+		t.Errorf("runtime %v s, want ≈4 s", runtime)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		tech Technique
+		name string
+		sub  string
+	}{
+		{RaceToIdle{}, "race-to-idle", "race-to-idle"},
+		{VFS{PState: 2}, "vfs", "vfs[2]"},
+		{P4TCC{Duty: 0.5}, "p4tcc", "0.5"},
+		{Dimetrodon{P: 0.5, L: 10 * units.Millisecond}, "dimetrodon", "p=0.5"},
+	}
+	for _, c := range cases {
+		if c.tech.Name() != c.name {
+			t.Errorf("Name = %q, want %q", c.tech.Name(), c.name)
+		}
+		if !strings.Contains(c.tech.Label(), c.sub) {
+			t.Errorf("Label %q missing %q", c.tech.Label(), c.sub)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package dtm
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestTM1ConfigValidate(t *testing.T) {
+	if err := DefaultTM1Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TM1Config{
+		{Trip: 80, Relief: 80, Duty: 0.5, PollEvery: units.Millisecond},
+		{Trip: 85, Relief: 80, Duty: 0, PollEvery: units.Millisecond},
+		{Trip: 85, Relief: 80, Duty: 1.5, PollEvery: units.Millisecond},
+		{Trip: 85, Relief: 80, Duty: 0.5, PollEvery: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	m := machine.New(machine.DefaultConfig())
+	if _, err := AttachTM1(m, bad[0]); err == nil {
+		t.Error("AttachTM1 accepted invalid config")
+	}
+}
+
+func TestTM1StaysDormantAtNominalCooling(t *testing.T) {
+	// With the paper's full-speed fans, cpuburn peaks near 52 °C: far
+	// below the 85 °C trip; the monitor must never engage.
+	m := machine.New(machine.DefaultConfig())
+	tm1, err := AttachTM1(m, DefaultTM1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	}
+	m.RunFor(120 * units.Second)
+	if tm1.Engagements != 0 || tm1.Engaged() {
+		t.Errorf("TM1 engaged %d times under nominal cooling", tm1.Engagements)
+	}
+	if m.Chip.Duty() != 1 {
+		t.Error("duty modified while dormant")
+	}
+}
+
+func TestTM1EngagesAndBoundsTemperature(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.FanFactor = 2.4 // cooling failure
+	m := machine.New(cfg)
+	tm1, err := AttachTM1(m, DefaultTM1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	}
+	peak := units.Celsius(0)
+	for m.Now() < 180*units.Second {
+		m.RunFor(100 * units.Millisecond)
+		for _, tj := range m.JunctionTemps() {
+			if tj > peak {
+				peak = tj
+			}
+		}
+	}
+	if tm1.Engagements == 0 {
+		t.Fatal("TM1 never engaged under cooling failure")
+	}
+	// The monitor must bound the junction near the trip point.
+	if float64(peak) > 88 {
+		t.Errorf("peak %v exceeded trip + margin", peak)
+	}
+	if tm1.Throttled(m.Now()) == 0 {
+		t.Error("no throttled time accumulated")
+	}
+	// Hysteresis: the duty is restored between engagements (mean temp
+	// oscillates across the relief band), so the engagement count should
+	// exceed one over three minutes.
+	if tm1.Engagements < 2 {
+		t.Errorf("only %d engagement(s); hysteresis not cycling", tm1.Engagements)
+	}
+}

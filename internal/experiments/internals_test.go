@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/units"
+)
+
+func TestInterpCost(t *testing.T) {
+	front := []analysis.TradeoffPoint{
+		{TempReduction: 0.2, PerfReduction: 0.1},
+		{TempReduction: 0.6, PerfReduction: 0.5},
+	}
+	// Below the first point: interpolate from the origin.
+	c, ok := interpCost(front, 0.1)
+	if !ok || math.Abs(c-0.05) > 1e-12 {
+		t.Errorf("interp(0.1) = %v, %v", c, ok)
+	}
+	// Exactly on a point.
+	c, ok = interpCost(front, 0.2)
+	if !ok || math.Abs(c-0.1) > 1e-12 {
+		t.Errorf("interp(0.2) = %v", c)
+	}
+	// Between points.
+	c, ok = interpCost(front, 0.4)
+	if !ok || math.Abs(c-0.3) > 1e-12 {
+		t.Errorf("interp(0.4) = %v", c)
+	}
+	// Beyond the boundary's reach.
+	if _, ok := interpCost(front, 0.7); ok {
+		t.Error("interp beyond reach returned ok")
+	}
+	if _, ok := interpCost(nil, 0.1); ok {
+		t.Error("interp on empty boundary returned ok")
+	}
+}
+
+func TestCrossoverDetection(t *testing.T) {
+	// Dimetrodon efficient at small r, VFS efficient at large r: the
+	// crossover is where VFS's interpolated cost dips below.
+	dim := []analysis.TradeoffPoint{
+		{TempReduction: 0.1, PerfReduction: 0.02},
+		{TempReduction: 0.5, PerfReduction: 0.45},
+		{TempReduction: 0.9, PerfReduction: 0.88},
+	}
+	vfs := []analysis.TradeoffPoint{
+		{TempReduction: 0.3, PerfReduction: 0.15},
+		{TempReduction: 0.7, PerfReduction: 0.35},
+	}
+	r := crossover(dim, vfs)
+	if r < 0.1 || r > 0.4 {
+		t.Errorf("crossover at %v, want in (0.1, 0.4)", r)
+	}
+	// VFS dominated everywhere: no crossover within range.
+	weakVFS := []analysis.TradeoffPoint{{TempReduction: 0.3, PerfReduction: 0.9}}
+	if r := crossover(dim, weakVFS); r < 0.9 {
+		t.Errorf("dominated VFS crossed at %v", r)
+	}
+	if crossover(nil, vfs) != 0 || crossover(dim, nil) != 0 {
+		t.Error("empty boundaries should yield 0")
+	}
+}
+
+func TestFig5ParetoAdapter(t *testing.T) {
+	pts := []Figure5Point{
+		{Label: "a", TempReduction: 0.2, CoolThroughput: 1.0},
+		{Label: "b", TempReduction: 0.1, CoolThroughput: 0.9}, // dominated
+		{Label: "c", TempReduction: 0.5, CoolThroughput: 0.8},
+	}
+	front := fig5Pareto(pts)
+	if len(front) != 2 {
+		t.Fatalf("frontier = %+v", front)
+	}
+	if front[0].Label != "a" || front[1].Label != "c" {
+		t.Errorf("frontier labels = %v, %v", front[0].Label, front[1].Label)
+	}
+}
+
+func TestFig6ParetoAdapter(t *testing.T) {
+	pts := []Figure6Point{
+		{Label: "a", TempReduction: 0.1, GoodQoS: 1.0, TolerableQoS: 1.0},
+		{Label: "b", TempReduction: 0.05, GoodQoS: 0.9, TolerableQoS: 0.95}, // dominated
+		{Label: "c", TempReduction: 0.3, GoodQoS: 0.5, TolerableQoS: 0.9},
+	}
+	good := fig6Pareto(pts, true)
+	if len(good) != 2 {
+		t.Fatalf("good frontier = %+v", good)
+	}
+	for i := 1; i < len(good); i++ {
+		if good[i].TempReduction < good[i-1].TempReduction {
+			t.Error("good frontier unsorted")
+		}
+	}
+	tol := fig6Pareto(pts, false)
+	found := false
+	for _, p := range tol {
+		if p.Label == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tolerable frontier missing point c")
+	}
+}
+
+func TestMinProb(t *testing.T) {
+	if minProb(0.5) != 0.5 {
+		t.Error("minProb altered a valid p")
+	}
+	if minProb(1.0) != 0.99 {
+		t.Error("minProb did not clamp p=1")
+	}
+}
+
+func TestStopFlagProgram(t *testing.T) {
+	s := &stopFlag{}
+	prog := s.program()
+	if a := prog.Next(0); a.Kind != 0 /* ActCompute */ || a.Work != 1 {
+		t.Errorf("running flag: %+v", a)
+	}
+	s.stop = true
+	if a := prog.Next(units.Second); a.Work != 0 {
+		t.Errorf("stopped flag still computing: %+v", a)
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dtm"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// TestPowerFactorScan prints the unconstrained rise (as % of cpuburn's) for a
+// range of workload power factors; used to calibrate workload.SpecSuite.
+// Run with: go test ./internal/experiments -run TestPowerFactorScan -v -scan
+func TestPowerFactorScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration scan")
+	}
+	settle := 270 * units.Second
+	window := 30 * units.Second
+	base := RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, SpawnBurnPerCore(1.0), settle, window)
+	baseRise := float64(base.MeanJunction - base.IdleTemp)
+	for pf := 1.00; pf >= 0.64; pf -= 0.02 {
+		r := RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, SpawnBurnPerCore(pf), settle, window)
+		rise := float64(r.MeanJunction - r.IdleTemp)
+		fmt.Printf("pf=%.2f rise=%5.2fC  ratio=%5.1f%%\n", pf, rise, 100*rise/baseRise)
+	}
+}

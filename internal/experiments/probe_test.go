@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dtm"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// TestTradeoffProbe prints the trade-off coordinates of representative
+// configurations from each technique family; it is the tuning loop for the
+// model constants. Run with -run TestTradeoffProbe -v.
+func TestTradeoffProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is slow")
+	}
+	cfg := machine.DefaultConfig()
+	settle := 270 * units.Second
+	window := 30 * units.Second
+	spawn := SpawnBurnPerCore(1.0)
+	base := RunSteady(cfg, dtm.RaceToIdle{}, spawn, settle, window)
+	fmt.Printf("baseline: T=%.2fC idle=%.2fC rise=%.2fC rate=%.3f power=%.1fW\n",
+		float64(base.MeanJunction), float64(base.IdleTemp),
+		float64(base.MeanJunction-base.IdleTemp), base.WorkRate, float64(base.MeanPower))
+
+	type tc struct {
+		name string
+		tech dtm.Technique
+	}
+	var cases []tc
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75} {
+		for _, l := range []float64{1, 10, 100} {
+			cases = append(cases, tc{
+				fmt.Sprintf("dim p=%.2f L=%3.0fms", p, l),
+				dtm.Dimetrodon{P: p, L: units.FromMilliseconds(l)},
+			})
+		}
+	}
+	for i := 1; i < 6; i++ {
+		cases = append(cases, tc{fmt.Sprintf("vfs idx=%d", i), dtm.VFS{PState: i}})
+	}
+	for _, d := range []float64{0.875, 0.5, 0.25, 0.125} {
+		cases = append(cases, tc{fmt.Sprintf("tcc duty=%.3f", d), dtm.P4TCC{Duty: d}})
+	}
+	for _, c := range cases {
+		res := RunSteady(cfg, c.tech, spawn, settle, window)
+		pt := Tradeoff(c.name, base, res)
+		eff := 0.0
+		if pt.PerfReduction > 0 {
+			eff = pt.TempReduction / pt.PerfReduction
+		}
+		fmt.Printf("%-20s r=%6.3f T=%6.3f eff=%6.2f  (junc %.2fC, rate %.3f)\n",
+			c.name, pt.TempReduction, pt.PerfReduction, eff,
+			float64(res.MeanJunction), res.WorkRate)
+	}
+}

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestCalibrationProbe prints the simulated operating points used to tune the
+// model constants against the paper's published observables. Run with
+// -run TestCalibrationProbe -v to inspect. Assertions are intentionally
+// broad; the tight shape checks live in the experiments package.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	cfg := DefaultConfig()
+	m := New(cfg)
+	idle := m.IdleJunctionTemp()
+	fmt.Printf("idle junction temp: %.2fC\n", float64(idle))
+
+	// Idle power.
+	m.RunFor(2 * units.Second)
+	fmt.Printf("idle power: %.2fW\n", float64(m.Energy.MeanPower()))
+
+	// cpuburn x4, 300 s.
+	m2 := New(cfg)
+	for i := 0; i < 4; i++ {
+		m2.Sched.Spawn(workload.Burn(), sched.SpawnConfig{
+			Name:        fmt.Sprintf("burn%d", i),
+			PowerFactor: 1.0,
+		})
+	}
+	m2.RunFor(270 * units.Second)
+	i0 := m2.MeanJunctionIntegral()
+	e0 := m2.Energy.Energy()
+	t0 := m2.Now()
+	m2.RunFor(30 * units.Second)
+	i1 := m2.MeanJunctionIntegral()
+	e1 := m2.Energy.Energy()
+	t1 := m2.Now()
+	meanT := (i1 - i0) / (t1 - t0).Seconds()
+	meanP := float64(e1-e0) / (t1 - t0).Seconds()
+	fmt.Printf("cpuburn steady junction: %.2fC (rise %.2fC over idle)\n", meanT, meanT-float64(idle))
+	fmt.Printf("cpuburn steady power: %.2fW\n", meanP)
+	if meanT-float64(idle) < 5 || meanT-float64(idle) > 60 {
+		t.Errorf("cpuburn rise %.1fC wildly out of range", meanT-float64(idle))
+	}
+}

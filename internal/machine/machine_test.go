@@ -1,0 +1,231 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestIdleEquilibrium(t *testing.T) {
+	m := New(DefaultConfig())
+	idle := float64(m.IdleJunctionTemp())
+	amb := float64(m.Config().Ambient)
+	if idle <= amb || idle > amb+15 {
+		t.Errorf("idle junction %v implausible vs ambient %v", idle, amb)
+	}
+	// A freshly built machine sits at the idle equilibrium: running it
+	// with no workload must not drift.
+	before := m.JunctionTemps()[0]
+	m.RunFor(5 * units.Second)
+	after := m.JunctionTemps()[0]
+	if math.Abs(float64(after-before)) > 0.05 {
+		t.Errorf("idle machine drifted %v → %v", before, after)
+	}
+}
+
+func TestIdlePowerBand(t *testing.T) {
+	m := New(DefaultConfig())
+	m.RunFor(2 * units.Second)
+	p := float64(m.Energy.MeanPower())
+	if p < 8 || p > 30 {
+		t.Errorf("idle power %vW outside the testbed's band", p)
+	}
+}
+
+func TestCPUBurnOperatingPoint(t *testing.T) {
+	m := New(DefaultConfig())
+	for i := 0; i < 4; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "burn", PowerFactor: 1})
+	}
+	m.RunFor(120 * units.Second)
+	e0 := m.Energy.Energy()
+	i0 := m.MeanJunctionIntegral()
+	t0 := m.Now()
+	m.RunFor(30 * units.Second)
+	secs := (m.Now() - t0).Seconds()
+	power := float64(m.Energy.Energy()-e0) / secs
+	temp := (m.MeanJunctionIntegral() - i0) / secs
+	idle := float64(m.IdleJunctionTemp())
+	rise := temp - idle
+	// The paper's testbed: 80 W TDP part, ~18-25 C rise over idle.
+	if power < 60 || power > 90 {
+		t.Errorf("cpuburn power %.1fW outside TDP band", power)
+	}
+	if rise < 12 || rise > 32 {
+		t.Errorf("cpuburn rise %.1fC outside calibration band", rise)
+	}
+}
+
+func TestListenerDrivesChipStates(t *testing.T) {
+	m := New(DefaultConfig())
+	done := false
+	th := m.Sched.Spawn(sched.ProgramFunc(func(units.Time) sched.Action {
+		if done {
+			return sched.Exit()
+		}
+		done = true
+		return sched.Compute(0.05)
+	}), sched.SpawnConfig{Name: "blip", PowerFactor: 0.7})
+	if m.Chip.State(0) != cpu.C0 {
+		t.Errorf("core 0 state = %v while thread running", m.Chip.State(0))
+	}
+	m.RunFor(units.Second)
+	if !th.Exited() {
+		t.Fatal("thread did not exit")
+	}
+	if m.Chip.State(0) != cpu.C1E {
+		t.Errorf("core 0 state = %v after exit, want C1E", m.Chip.State(0))
+	}
+}
+
+func TestInjectedIdleCStateConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InjectedIdle = cpu.C1Halt
+	m := New(cfg)
+	m.CoreIdle(1, true)
+	if m.Chip.State(1) != cpu.C1Halt {
+		t.Errorf("injected idle state = %v, want C1Halt", m.Chip.State(1))
+	}
+	m.CoreIdle(2, false)
+	if m.Chip.State(2) != cpu.C1E {
+		t.Errorf("natural idle state = %v, want C1E", m.Chip.State(2))
+	}
+}
+
+func TestEnergyMatchesMeanPowerIntegral(t *testing.T) {
+	m := New(DefaultConfig())
+	for i := 0; i < 2; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	}
+	m.RunFor(10 * units.Second)
+	e := float64(m.Energy.Energy())
+	p := float64(m.Energy.MeanPower())
+	if math.Abs(e-p*10) > 1e-6*e {
+		t.Errorf("energy %v inconsistent with mean power %v over 10s", e, p)
+	}
+	if m.Energy.Span() != 10*units.Second {
+		t.Errorf("energy span = %v", m.Energy.Span())
+	}
+}
+
+func TestTempIntegralMatchesSeries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TempSampleEvery = 100 * units.Millisecond
+	m := New(cfg)
+	for i := 0; i < 4; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	}
+	m.RunFor(20 * units.Second)
+	integralMean := m.MeanJunctionIntegral() / 20
+	s := m.Recorder.Lookup("core0.temp")
+	if s == nil || s.Len() == 0 {
+		t.Fatal("temperature series missing")
+	}
+	seriesMean, ok := s.MeanOver(0, 20*units.Second)
+	if !ok {
+		t.Fatal("series mean unavailable")
+	}
+	// Series is decimated; the means should still agree within a degree.
+	if math.Abs(integralMean-seriesMean) > 1.5 {
+		t.Errorf("integral mean %.2f vs series mean %.2f", integralMean, seriesMean)
+	}
+	// DTS series exists and is quantised.
+	d := m.Recorder.Lookup("core0.dts")
+	if d == nil || d.Len() == 0 {
+		t.Fatal("DTS series missing")
+	}
+	for i := 0; i < d.Len(); i++ {
+		v := d.At(i).Value
+		if v != math.Floor(v) && v != math.Ceil(v) {
+			t.Fatalf("DTS sample %v not whole-degree", v)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (float64, float64, units.Celsius) {
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		m := New(cfg)
+		for i := 0; i < 4; i++ {
+			m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+		}
+		m.RunFor(5 * units.Second)
+		return float64(m.Energy.Energy()), m.MeanJunctionIntegral(), m.JunctionTemps()[2]
+	}
+	e1, i1, t1 := run()
+	e2, i2, t2 := run()
+	if e1 != e2 || i1 != i2 || t1 != t2 {
+		t.Errorf("identical seeds diverged: (%v,%v,%v) vs (%v,%v,%v)", e1, i1, t1, e2, i2, t2)
+	}
+}
+
+func TestRunUntilBackwardsPanics(t *testing.T) {
+	m := New(DefaultConfig())
+	m.RunFor(units.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards RunUntil did not panic")
+		}
+	}()
+	m.RunUntil(500 * units.Millisecond)
+}
+
+func TestProcessWorkDone(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "p1", ProcessID: 1, PowerFactor: 1})
+	m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "p2", ProcessID: 2, PowerFactor: 1})
+	m.RunFor(2 * units.Second)
+	w1 := m.ProcessWorkDone(1)
+	w2 := m.ProcessWorkDone(2)
+	total := m.TotalWorkDone()
+	if math.Abs(w1-2) > 0.01 || math.Abs(w2-2) > 0.01 {
+		t.Errorf("per-process work = %v, %v", w1, w2)
+	}
+	if math.Abs(total-(w1+w2)) > 1e-9 {
+		t.Errorf("total %v != %v + %v", total, w1, w2)
+	}
+	if m.ProcessWorkDone(99) != 0 {
+		t.Error("unknown process has work")
+	}
+}
+
+func TestPowerTraceRecording(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordPower = true
+	m := New(cfg)
+	m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	m.RunFor(units.Second)
+	s := m.Recorder.Lookup("package.power")
+	if s == nil {
+		t.Fatal("power series missing")
+	}
+	// 3 samples/ms over 1 s.
+	if s.Len() < 2900 || s.Len() > 3100 {
+		t.Errorf("power samples = %d, want ≈3000", s.Len())
+	}
+	if s.Mean() < 20 || s.Mean() > 90 {
+		t.Errorf("power trace mean %v implausible", s.Mean())
+	}
+}
+
+func TestFanFactorRaisesTemperature(t *testing.T) {
+	hot := DefaultConfig()
+	hot.FanFactor = 2 // half the airflow
+	mHot := New(hot)
+	mRef := New(DefaultConfig())
+	for _, m := range []*Machine{mHot, mRef} {
+		for i := 0; i < 4; i++ {
+			m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+		}
+		m.RunFor(60 * units.Second)
+	}
+	if mHot.Net.MeanJunction() <= mRef.Net.MeanJunction() {
+		t.Errorf("reduced airflow did not raise temperature: %v vs %v",
+			mHot.Net.MeanJunction(), mRef.Net.MeanJunction())
+	}
+}

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func smtConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.SMTContexts = 2
+	return cfg
+}
+
+func TestSMTSchedulerSeesLogicalContexts(t *testing.T) {
+	m := New(smtConfig(1))
+	// 8 logical contexts: 8 burners all run concurrently.
+	var threads []*sched.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{
+			Name: "b", PowerFactor: 1,
+		}))
+	}
+	m.RunFor(units.Second)
+	m.Sched.ChargeAll()
+	for i, th := range threads {
+		// Each context progresses at the SMT yield.
+		if math.Abs(th.WorkDone-m.Config().SMTYield) > 0.01 {
+			t.Errorf("context %d work = %v, want %v", i, th.WorkDone, m.Config().SMTYield)
+		}
+	}
+}
+
+func TestSMTCoreC1EOnlyWhenBothContextsIdle(t *testing.T) {
+	m := New(smtConfig(2))
+	// Fresh machine: everything idle → C1E.
+	if m.Chip.State(0) != cpu.C1E {
+		t.Errorf("fresh SMT core state = %v", m.Chip.State(0))
+	}
+	// Activate context 1 (core 0's second context).
+	th := &sched.Thread{PowerFactor: 1}
+	m.CoreRunning(1, th)
+	if m.Chip.State(0) != cpu.C0 {
+		t.Errorf("one active context: core state = %v, want C0", m.Chip.State(0))
+	}
+	// Idle it again (natural) → back to C1E.
+	m.CoreIdle(1, false)
+	if m.Chip.State(0) != cpu.C1E {
+		t.Errorf("both idle: core state = %v, want C1E", m.Chip.State(0))
+	}
+}
+
+func TestSMTMixedIdleStatesHalt(t *testing.T) {
+	cfg := smtConfig(3)
+	cfg.InjectedIdle = cpu.C1Halt
+	m := New(cfg)
+	// Context 0 naturally idle (C1E), context 1 injected-idle (halt):
+	// the core can only halt.
+	m.CoreIdle(0, false)
+	m.CoreIdle(1, true)
+	if m.Chip.State(0) != cpu.C1Halt {
+		t.Errorf("mixed idle: core state = %v, want C1Halt", m.Chip.State(0))
+	}
+}
+
+func TestSMTSoloPowerFraction(t *testing.T) {
+	m := New(smtConfig(4))
+	th := &sched.Thread{PowerFactor: 1}
+	// Both contexts busy: full dynamic power.
+	m.CoreRunning(0, th)
+	m.CoreRunning(1, th)
+	full := float64(m.Chip.CorePower(0, 45))
+	// One context busy: the solo fraction.
+	m.CoreIdle(1, false)
+	solo := float64(m.Chip.CorePower(0, 45))
+	if solo >= full {
+		t.Fatal("solo context not cheaper than dual")
+	}
+	// Strip the common leakage (read it from a full-voltage halt) and
+	// compare the dynamic components.
+	m.Chip.SetIdle(0, cpu.C1Halt)
+	leakOnly := float64(m.Chip.CorePower(0, 45)) - float64(m.Chip.Model.C1EResidual)
+	gotRatio := (solo - leakOnly) / (full - leakOnly)
+	wantRatio := m.Config().SMTSoloDynFraction
+	if math.Abs(gotRatio-wantRatio) > 0.01 {
+		t.Errorf("solo dynamic fraction = %.3f, want %.3f", gotRatio, wantRatio)
+	}
+}
+
+func TestSMTDisabledUnchanged(t *testing.T) {
+	// SMTContexts=1 must behave identically to the default machine.
+	a := New(DefaultConfig())
+	cfgB := DefaultConfig()
+	cfgB.SMTContexts = 1
+	b := New(cfgB)
+	for _, m := range []*Machine{a, b} {
+		for i := 0; i < 4; i++ {
+			m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+		}
+		m.RunFor(5 * units.Second)
+	}
+	if a.Energy.Energy() != b.Energy.Energy() {
+		t.Errorf("explicit SMTContexts=1 diverged: %v vs %v", a.Energy.Energy(), b.Energy.Energy())
+	}
+}
+
+func TestHotspotTopology(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotspotFraction = 0.35
+	cfg.SenseHotspot = true
+	m := New(cfg)
+	if len(m.Net.Hotspot) != cfg.Model.NumCores {
+		t.Fatalf("hotspot nodes = %d", len(m.Net.Hotspot))
+	}
+	// Thermal step capped for the fast nodes.
+	if m.Config().ThermalStep > units.Millisecond {
+		t.Errorf("thermal step %v not capped with hotspots", m.Config().ThermalStep)
+	}
+	// Under load, the sensed (hotspot) temperature exceeds the junction
+	// block's.
+	m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	m.RunFor(10 * units.Second)
+	sensed := m.JunctionTemps()[0]
+	block := m.Net.Net.Temp(m.Net.Junction[0])
+	if sensed <= block {
+		t.Errorf("hotspot %v not above junction block %v under load", sensed, block)
+	}
+	// Without SenseHotspot the metrics read the block.
+	cfg2 := DefaultConfig()
+	cfg2.HotspotFraction = 0.35
+	m2 := New(cfg2)
+	m2.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "b", PowerFactor: 1})
+	m2.RunFor(10 * units.Second)
+	if got, want := m2.JunctionTemps()[0], m2.Net.Net.Temp(m2.Net.Junction[0]); got != want {
+		t.Errorf("metrics read %v, junction block is %v", got, want)
+	}
+}
+
+func TestSMTProgressRate(t *testing.T) {
+	m := New(smtConfig(5))
+	want := m.Config().SMTYield
+	if got := m.ProgressRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SMT rate = %v, want %v", got, want)
+	}
+	m.Chip.SetDuty(0.5)
+	if got := m.ProgressRate(); math.Abs(got-want*0.5) > 1e-12 {
+		t.Errorf("SMT rate under TCC = %v", got)
+	}
+	plain := New(DefaultConfig())
+	if plain.ProgressRate() != 1.0 {
+		t.Errorf("non-SMT rate = %v", plain.ProgressRate())
+	}
+}

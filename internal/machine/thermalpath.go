@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// ThermalPath is the testbed's concrete RC network: one junction node per
+// core (optionally with a fast hotspot sub-node), a shared package/spreader
+// node, a heatsink node, and the ambient boundary. Core power enters at the
+// junctions (split with the hotspots when enabled); uncore power at the
+// package.
+type ThermalPath struct {
+	Net       *thermal.Network
+	Junction  []thermal.NodeID
+	Hotspot   []thermal.NodeID // empty unless Config.HotspotFraction > 0
+	Package   thermal.NodeID
+	Sink      thermal.NodeID
+	AmbientID thermal.NodeID
+
+	hotFrac  float64
+	sense    []thermal.NodeID // nodes the sensors/metrics read
+	maxStep  units.Time
+	tempsBuf []units.Celsius
+	outBuf   []units.Celsius
+}
+
+// NewThermalPath builds the network described by cfg with every node at the
+// ambient temperature.
+func NewThermalPath(cfg Config) *ThermalPath {
+	p := &ThermalPath{Net: thermal.NewNetwork(), maxStep: cfg.ThermalStep}
+	amb := cfg.Ambient
+	p.AmbientID = p.Net.AddBoundary("ambient", amb)
+	p.Sink = p.Net.AddNode("heatsink", cfg.CSink, amb)
+	p.Package = p.Net.AddNode("package", cfg.CPackage, amb)
+	p.Net.Connect(p.Sink, p.AmbientID, cfg.RSinkAmbient*cfg.FanFactor)
+	p.Net.Connect(p.Package, p.Sink, cfg.RPackageSink)
+	n := cfg.Model.NumCores
+	for i := 0; i < n; i++ {
+		j := p.Net.AddNode("junction", cfg.CJunction, amb)
+		p.Net.Connect(j, p.Package, cfg.RJunctionPackage)
+		p.Junction = append(p.Junction, j)
+	}
+	if cfg.HotspotFraction > 0 {
+		p.hotFrac = cfg.HotspotFraction
+		rhj := cfg.RHotspotJunction
+		if rhj <= 0 {
+			rhj = 0.6 // a few degrees of local rise at a few watts
+		}
+		ch := cfg.CHotspot
+		if ch <= 0 {
+			ch = 0.0035 // τ ≈ 2 ms against the junction block
+		}
+		for i := 0; i < n; i++ {
+			h := p.Net.AddNode("hotspot", ch, amb)
+			p.Net.Connect(h, p.Junction[i], rhj)
+			p.Hotspot = append(p.Hotspot, h)
+		}
+	}
+	p.sense = p.Junction
+	if cfg.SenseHotspot && len(p.Hotspot) > 0 {
+		p.sense = p.Hotspot
+	}
+	return p
+}
+
+// powerFromChip fills `out` (indexed by thermal NodeID) with the chip's heat
+// inputs for the given node temperatures and returns the total package power.
+// Leakage is generated across the whole core area, so it is evaluated at the
+// junction block temperature regardless of where the sensor sits; the
+// hotspot, when present, is an observable plus a heat concentration point.
+func (p *ThermalPath) powerFromChip(chip *cpu.Chip, temps []float64, out []float64) units.Watts {
+	total := chip.UncorePower()
+	out[p.Package] += float64(total)
+	for i, j := range p.Junction {
+		cp := chip.CorePower(i, units.Celsius(temps[j]))
+		if p.hotFrac > 0 {
+			out[p.Hotspot[i]] += float64(cp) * p.hotFrac
+			out[j] += float64(cp) * (1 - p.hotFrac)
+		} else {
+			out[j] += float64(cp)
+		}
+		total += cp
+	}
+	return total
+}
+
+// StepWithChip advances the thermal state by dt with the chip's current
+// configuration as the heat source, returning the total package power at the
+// start of the step (the value integrated for energy accounting).
+func (p *ThermalPath) StepWithChip(dt units.Time, chip *cpu.Chip) units.Watts {
+	var total units.Watts
+	p.Net.Step(dt, func(temps []float64, out []float64) {
+		total = p.powerFromChip(chip, temps, out)
+	})
+	return total
+}
+
+// SolveSteadyState drives the network to equilibrium for the chip's current
+// configuration (temperature-dependent leakage included).
+func (p *ThermalPath) SolveSteadyState(chip *cpu.Chip) {
+	p.Net.SolveSteadyState(func(temps []float64, out []float64) {
+		p.powerFromChip(chip, temps, out)
+	}, 1e-7, 200000)
+}
+
+// Junctions returns the sensed per-core temperatures (junction block, or
+// hotspot when SenseHotspot is configured), reusing dst when possible.
+func (p *ThermalPath) Junctions(dst []units.Celsius) []units.Celsius {
+	if cap(dst) < len(p.sense) {
+		dst = make([]units.Celsius, len(p.sense))
+	}
+	dst = dst[:len(p.sense)]
+	for i, j := range p.sense {
+		dst[i] = p.Net.Temp(j)
+	}
+	return dst
+}
+
+// MeanJunction returns the across-core mean sensed temperature.
+func (p *ThermalPath) MeanJunction() units.Celsius {
+	var sum float64
+	for _, j := range p.sense {
+		sum += float64(p.Net.Temp(j))
+	}
+	return units.Celsius(sum / float64(len(p.sense)))
+}

@@ -1,0 +1,136 @@
+// Package power provides energy accounting and the measurement-instrument
+// emulation for the testbed: the paper measured processor power by clamping a
+// Fluke i410 current probe (≈3.5 % accuracy) around the CPU power leads and
+// sampling it three times per millisecond with a Keithley 2701 multimeter.
+//
+// Two views of the same signal are offered: an exact Accumulator integrating
+// ground-truth power (used for invariant tests and the energy model
+// validation), and a Meter producing the noisy, discretely sampled trace an
+// experimenter would actually record.
+package power
+
+import (
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Accumulator integrates power over virtual time exactly.
+type Accumulator struct {
+	total units.Joules
+	span  units.Time
+}
+
+// Add records that power p was drawn for duration dt.
+func (a *Accumulator) Add(p units.Watts, dt units.Time) {
+	if dt < 0 {
+		panic("power: negative duration")
+	}
+	a.total += units.Energy(p, dt)
+	a.span += dt
+}
+
+// Energy returns the integrated energy.
+func (a *Accumulator) Energy() units.Joules { return a.total }
+
+// Span returns the total integrated duration.
+func (a *Accumulator) Span() units.Time { return a.span }
+
+// MeanPower returns total energy divided by total time (0 for an empty
+// accumulator).
+func (a *Accumulator) MeanPower() units.Watts {
+	if a.span <= 0 {
+		return 0
+	}
+	return units.Watts(float64(a.total) / a.span.Seconds())
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { a.total, a.span = 0, 0 }
+
+// MeterConfig describes the instrument chain.
+type MeterConfig struct {
+	// SamplePeriod is the time between samples; the testbed recorded
+	// three samples per millisecond.
+	SamplePeriod units.Time
+	// GainError is the maximum relative calibration error of the clamp;
+	// a fixed gain is drawn uniformly from [1−GainError, 1+GainError] per
+	// meter instance, matching how a physical clamp is miscalibrated once
+	// rather than per reading.
+	GainError float64
+	// NoiseSD is the standard deviation of additive per-sample noise in
+	// watts (quantisation plus pickup).
+	NoiseSD float64
+}
+
+// DefaultMeterConfig mirrors the paper's instruments: 3 samples/ms and a
+// ±3.5 % clamp.
+func DefaultMeterConfig() MeterConfig {
+	return MeterConfig{
+		SamplePeriod: units.Millisecond / 3,
+		GainError:    0.035,
+		NoiseSD:      0.25,
+	}
+}
+
+// Meter emulates the clamp + multimeter chain. Feed it ground-truth power
+// over spans of virtual time with Observe; it produces discrete noisy samples
+// into a trace series and integrates measured energy.
+type Meter struct {
+	cfg    MeterConfig
+	gain   float64
+	rng    *rng.Source
+	series *trace.Series
+
+	nextSample units.Time
+	measured   units.Joules
+	nsamples   int
+}
+
+// NewMeter returns a meter writing samples into series (may be nil to only
+// integrate). The gain error is drawn from r at construction.
+func NewMeter(cfg MeterConfig, r *rng.Source, series *trace.Series) *Meter {
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = DefaultMeterConfig().SamplePeriod
+	}
+	gain := 1.0
+	if cfg.GainError > 0 {
+		gain = 1 + cfg.GainError*(2*r.Float64()-1)
+	}
+	return &Meter{cfg: cfg, gain: gain, rng: r, series: series}
+}
+
+// Gain returns the calibration gain drawn for this meter instance.
+func (m *Meter) Gain() float64 { return m.gain }
+
+// Observe tells the meter that the ground-truth power was p over [from, to).
+// The meter emits samples at its sampling grid points within the span; each
+// sample is gain·p plus noise. Spans may be of any length, including shorter
+// than the sampling period.
+func (m *Meter) Observe(from, to units.Time, p units.Watts) {
+	if to <= from {
+		return
+	}
+	if m.nextSample < from {
+		m.nextSample = from
+	}
+	for m.nextSample < to {
+		v := float64(p) * m.gain
+		if m.cfg.NoiseSD > 0 {
+			v += m.cfg.NoiseSD * m.rng.NormFloat64()
+		}
+		if m.series != nil {
+			m.series.Append(m.nextSample, v)
+		}
+		m.measured += units.Energy(units.Watts(v), m.cfg.SamplePeriod)
+		m.nsamples++
+		m.nextSample += m.cfg.SamplePeriod
+	}
+}
+
+// MeasuredEnergy returns the energy integral as the instrument would report
+// it: mean of samples times elapsed time (here: sample sum times period).
+func (m *Meter) MeasuredEnergy() units.Joules { return m.measured }
+
+// Samples returns the number of samples taken.
+func (m *Meter) Samples() int { return m.nsamples }

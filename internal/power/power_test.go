@@ -1,0 +1,128 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.Add(10, 2*units.Second)
+	a.Add(30, units.Second)
+	if got := float64(a.Energy()); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Energy = %v", got)
+	}
+	if a.Span() != 3*units.Second {
+		t.Errorf("Span = %v", a.Span())
+	}
+	if got := float64(a.MeanPower()); math.Abs(got-50.0/3) > 1e-9 {
+		t.Errorf("MeanPower = %v", got)
+	}
+	a.Reset()
+	if a.Energy() != 0 || a.Span() != 0 || a.MeanPower() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestAccumulatorNegativeDurationPanics(t *testing.T) {
+	var a Accumulator
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration did not panic")
+		}
+	}()
+	a.Add(10, -units.Second)
+}
+
+func TestMeterSampleCadence(t *testing.T) {
+	cfg := MeterConfig{SamplePeriod: units.Millisecond / 3}
+	s := trace.NewSeries("p", "W")
+	m := NewMeter(cfg, rng.New(1), s)
+	m.Observe(0, 10*units.Millisecond, 50)
+	// 3 samples per ms over 10 ms; the 1/3 ms period truncates to
+	// 333333 ns, so grid point 30 (9.99999 ms) still lands inside.
+	if got := m.Samples(); got != 31 {
+		t.Errorf("samples = %d, want 31", got)
+	}
+	if s.Len() != 31 {
+		t.Errorf("series samples = %d", s.Len())
+	}
+}
+
+func TestMeterNoiseFreeExactness(t *testing.T) {
+	cfg := MeterConfig{SamplePeriod: units.Millisecond, GainError: 0, NoiseSD: 0}
+	m := NewMeter(cfg, rng.New(1), nil)
+	m.Observe(0, units.Second, 60)
+	if g := m.Gain(); g != 1 {
+		t.Errorf("gain = %v", g)
+	}
+	got := float64(m.MeasuredEnergy())
+	if math.Abs(got-60) > 1e-9 {
+		t.Errorf("measured = %v, want 60 J", got)
+	}
+}
+
+func TestMeterGainWithinBounds(t *testing.T) {
+	cfg := DefaultMeterConfig()
+	for seed := uint64(0); seed < 50; seed++ {
+		m := NewMeter(cfg, rng.New(seed), nil)
+		if g := m.Gain(); g < 1-cfg.GainError || g > 1+cfg.GainError {
+			t.Fatalf("seed %d: gain %v outside ±%v", seed, g, cfg.GainError)
+		}
+	}
+}
+
+func TestMeterMeasuredTracksTruth(t *testing.T) {
+	cfg := DefaultMeterConfig()
+	m := NewMeter(cfg, rng.New(7), nil)
+	var truth Accumulator
+	at := units.Time(0)
+	for i := 0; i < 1000; i++ {
+		p := units.Watts(40 + float64(i%5)*10)
+		dt := 3 * units.Millisecond
+		m.Observe(at, at+dt, p)
+		truth.Add(p, dt)
+		at += dt
+	}
+	ratio := float64(m.MeasuredEnergy()) / float64(truth.Energy())
+	// Within gain error plus a little sampling noise.
+	if ratio < 1-cfg.GainError-0.01 || ratio > 1+cfg.GainError+0.01 {
+		t.Errorf("measured/true = %v", ratio)
+	}
+}
+
+func TestMeterSpansShorterThanPeriod(t *testing.T) {
+	cfg := MeterConfig{SamplePeriod: units.Millisecond}
+	m := NewMeter(cfg, rng.New(1), nil)
+	// Feed 10 spans of 200 µs each: exactly 2 samples expected (at 0 and 1 ms).
+	at := units.Time(0)
+	for i := 0; i < 10; i++ {
+		m.Observe(at, at+200*units.Microsecond, 10)
+		at += 200 * units.Microsecond
+	}
+	if got := m.Samples(); got != 2 {
+		t.Errorf("samples = %d, want 2", got)
+	}
+}
+
+func TestMeterEmptySpan(t *testing.T) {
+	m := NewMeter(DefaultMeterConfig(), rng.New(1), nil)
+	m.Observe(units.Second, units.Second, 10)
+	m.Observe(2*units.Second, units.Second, 10)
+	if m.Samples() != 0 {
+		t.Error("degenerate spans produced samples")
+	}
+}
+
+func TestMeterDefaultPeriodFallback(t *testing.T) {
+	m := NewMeter(MeterConfig{}, rng.New(1), nil)
+	m.Observe(0, units.Millisecond, 10)
+	// Grid points 0, 333333, 666666 and 999999 ns all fall within 1 ms.
+	if m.Samples() != 4 {
+		t.Errorf("default period samples = %d, want 4", m.Samples())
+	}
+}

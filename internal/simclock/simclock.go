@@ -1,0 +1,177 @@
+// Package simclock provides the virtual clock and event queue at the heart of
+// the discrete-event simulator.
+//
+// Simulated components never consult wall time: the clock only advances when
+// the event loop pops the next scheduled event. Events at equal timestamps
+// fire in the order they were scheduled (a stable tie-break on a sequence
+// number), which keeps runs deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a callback scheduled to fire at a point in virtual time. The
+// callback receives the firing time.
+type Event struct {
+	At     units.Time
+	Fire   func(now units.Time)
+	Label  string // for debugging and trace output
+	seq    uint64
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Clock is a virtual clock with a pending-event queue. The zero value is
+// ready to use and starts at time zero.
+type Clock struct {
+	now    units.Time
+	queue  eventHeap
+	nexts  uint64
+	fired  uint64
+	popped bool // guards against re-entrant Advance
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() units.Time { return c.now }
+
+// Fired returns the number of events that have fired so far (cancelled events
+// are not counted). Useful for loop bounds in tests.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Schedule enqueues fn to fire at absolute time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (c *Clock) Schedule(at units.Time, label string, fn func(now units.Time)) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule %q at %v before now %v", label, at, c.now))
+	}
+	e := &Event{At: at, Fire: fn, Label: label, seq: c.nexts}
+	c.nexts++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// ScheduleAfter enqueues fn to fire after delay dt from now.
+func (c *Clock) ScheduleAfter(dt units.Time, label string, fn func(now units.Time)) *Event {
+	if dt < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v for %q", dt, label))
+	}
+	return c.Schedule(c.now+dt, label, fn)
+}
+
+// Cancel marks the event so it will be discarded instead of fired. Cancelling
+// an already-fired or already-cancelled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		e.markCancelled()
+		return
+	}
+	e.cancel = true
+}
+
+func (e *Event) markCancelled() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// PeekTime returns the firing time of the earliest pending (non-cancelled)
+// event, and false if the queue is empty. Cancelled events at the head are
+// reaped as a side effect.
+func (c *Clock) PeekTime() (units.Time, bool) {
+	for len(c.queue) > 0 {
+		head := c.queue[0]
+		if head.cancel {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return head.At, true
+	}
+	return 0, false
+}
+
+// Step pops and fires the next event, advancing the clock to its timestamp.
+// It reports false when the queue is empty. A callback may schedule further
+// events, including at the current instant.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		c.now = e.At
+		c.fired++
+		e.Fire(c.now)
+		return true
+	}
+	return false
+}
+
+// AdvanceTo runs events up to and including time t, then sets the clock to t.
+// The hook, if non-nil, is invoked before each event fires with the span
+// (from, to) the clock is about to jump across; it is how the machine layer
+// integrates continuous state (thermal, energy) between discrete events.
+func (c *Clock) AdvanceTo(t units.Time, hook func(from, to units.Time)) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: AdvanceTo %v before now %v", t, c.now))
+	}
+	if c.popped {
+		panic("simclock: re-entrant AdvanceTo")
+	}
+	c.popped = true
+	defer func() { c.popped = false }()
+	for {
+		at, ok := c.PeekTime()
+		if !ok || at > t {
+			break
+		}
+		if hook != nil && at > c.now {
+			hook(c.now, at)
+		}
+		c.Step()
+	}
+	if hook != nil && t > c.now {
+		hook(c.now, t)
+	}
+	c.now = t
+}
+
+// eventHeap implements container/heap ordered by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

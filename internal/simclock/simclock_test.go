@@ -1,0 +1,176 @@
+package simclock
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestScheduleAndStep(t *testing.T) {
+	var c Clock
+	var fired []string
+	c.Schedule(2*units.Second, "b", func(now units.Time) {
+		if now != 2*units.Second {
+			t.Errorf("b fired at %v", now)
+		}
+		fired = append(fired, "b")
+	})
+	c.Schedule(units.Second, "a", func(units.Time) { fired = append(fired, "a") })
+	for c.Step() {
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Errorf("fired order = %v", fired)
+	}
+	if c.Now() != 2*units.Second {
+		t.Errorf("clock at %v after drain", c.Now())
+	}
+	if c.Fired() != 2 {
+		t.Errorf("Fired() = %d", c.Fired())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(units.Second, "e", func(units.Time) { order = append(order, i) })
+	}
+	for c.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var c Clock
+	fired := false
+	e := c.Schedule(units.Second, "x", func(units.Time) { fired = true })
+	c.Cancel(e)
+	for c.Step() {
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	c.Cancel(e) // idempotent
+	c.Cancel(nil)
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var c Clock
+	c.Schedule(units.Second, "a", func(units.Time) {})
+	c.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(500*units.Millisecond, "late", func(units.Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	c.ScheduleAfter(-units.Second, "neg", func(units.Time) {})
+}
+
+func TestEventsScheduledDuringFire(t *testing.T) {
+	var c Clock
+	var log []string
+	c.Schedule(units.Second, "outer", func(now units.Time) {
+		log = append(log, "outer")
+		c.Schedule(now, "inner-now", func(units.Time) { log = append(log, "inner") })
+		c.ScheduleAfter(units.Second, "later", func(units.Time) { log = append(log, "later") })
+	})
+	for c.Step() {
+	}
+	want := []string{"outer", "inner", "later"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestAdvanceToHookSpans(t *testing.T) {
+	var c Clock
+	c.Schedule(units.Second, "a", func(units.Time) {})
+	c.Schedule(3*units.Second, "b", func(units.Time) {})
+	var spans []units.Time
+	var total units.Time
+	c.AdvanceTo(5*units.Second, func(from, to units.Time) {
+		if to <= from {
+			t.Errorf("bad span %v..%v", from, to)
+		}
+		spans = append(spans, to-from)
+		total += to - from
+	})
+	if total != 5*units.Second {
+		t.Errorf("hook covered %v of 5s", total)
+	}
+	if c.Now() != 5*units.Second {
+		t.Errorf("clock at %v", c.Now())
+	}
+	if len(spans) != 3 { // 0→1, 1→3, 3→5
+		t.Errorf("spans = %v", spans)
+	}
+}
+
+func TestAdvanceToNoEvents(t *testing.T) {
+	var c Clock
+	called := false
+	c.AdvanceTo(units.Second, func(from, to units.Time) {
+		called = true
+		if from != 0 || to != units.Second {
+			t.Errorf("span %v..%v", from, to)
+		}
+	})
+	if !called {
+		t.Error("hook not called for event-free span")
+	}
+}
+
+func TestAdvanceToBackwardsPanics(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(units.Second, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards AdvanceTo did not panic")
+		}
+	}()
+	c.AdvanceTo(500*units.Millisecond, nil)
+}
+
+func TestPeekTimeReapsCancelled(t *testing.T) {
+	var c Clock
+	e := c.Schedule(units.Second, "x", func(units.Time) {})
+	c.Schedule(2*units.Second, "y", func(units.Time) {})
+	c.Cancel(e)
+	at, ok := c.PeekTime()
+	if !ok || at != 2*units.Second {
+		t.Errorf("PeekTime = %v, %v", at, ok)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var c Clock
+	if c.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if c.Pending() != 0 {
+		t.Error("Pending != 0 on empty clock")
+	}
+}

@@ -1,0 +1,74 @@
+// Package smt implements idle-quantum co-scheduling for simultaneous
+// multithreading — the extension the paper identifies but defers (§3.2: "In
+// order to cause the entire core to enter the C1E low power state we need to
+// halt all thread contexts on the core. This is feasible but requires
+// additional care in co-scheduling idle quanta").
+//
+// With SMT enabled, a naive per-context Dimetrodon policy almost never idles
+// both sibling contexts simultaneously: the core stays in C0 (or at best a
+// full-voltage halt) during injected quanta, the voltage never drops, and the
+// injection buys little cooling for its throughput cost. The CoScheduler
+// wraps any base injection policy and, whenever it fires on one context,
+// force-idles the sibling contexts of the same physical core for the same
+// window — ganging the idle quanta so the whole core reaches C1E.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// CoScheduler wraps a base injection policy with sibling gang-idling. It
+// implements sched.Injector.
+type CoScheduler struct {
+	// Inner is the underlying per-thread policy (typically a
+	// core.Controller).
+	Inner sched.Injector
+	// Sched is the scheduler whose contexts are being managed.
+	Sched *sched.Scheduler
+	// ContextsPerCore is the SMT width (machine.Config.SMTContexts).
+	ContextsPerCore int
+	// Enabled toggles co-scheduling; false degrades to the naive
+	// per-context policy (the comparison baseline).
+	Enabled bool
+
+	// ForcedIdles counts sibling contexts successfully gang-idled.
+	ForcedIdles int
+	// MissedSiblings counts injection decisions whose sibling could not
+	// be idled (kernel thread or already idle).
+	MissedSiblings int
+}
+
+// New returns a co-scheduler over the given scheduler and base policy.
+func New(s *sched.Scheduler, inner sched.Injector, contextsPerCore int) (*CoScheduler, error) {
+	if s == nil || inner == nil {
+		return nil, fmt.Errorf("smt: nil scheduler or policy")
+	}
+	if contextsPerCore < 2 {
+		return nil, fmt.Errorf("smt: co-scheduling needs >=2 contexts per core, got %d", contextsPerCore)
+	}
+	return &CoScheduler{Inner: inner, Sched: s, ContextsPerCore: contextsPerCore, Enabled: true}, nil
+}
+
+// Decide implements sched.Injector: delegate to the base policy and, on
+// injection, align every sibling context's idle window with this one.
+func (c *CoScheduler) Decide(t *sched.Thread, coreID int, now units.Time) (units.Time, bool) {
+	idle, ok := c.Inner.Decide(t, coreID, now)
+	if !ok || !c.Enabled {
+		return idle, ok
+	}
+	base := coreID - coreID%c.ContextsPerCore
+	for sib := base; sib < base+c.ContextsPerCore; sib++ {
+		if sib == coreID {
+			continue
+		}
+		if c.Sched.ForceIdle(sib, idle) {
+			c.ForcedIdles++
+		} else {
+			c.MissedSiblings++
+		}
+	}
+	return idle, ok
+}

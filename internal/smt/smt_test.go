@@ -1,0 +1,179 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// smtMachine builds a 2-context-per-core machine with eight burners and the
+// given injection setup.
+func smtMachine(seed uint64, p float64, l units.Time, cosched bool) (*machine.Machine, *CoScheduler) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	cfg.SMTContexts = 2
+	m := machine.New(cfg)
+	var co *CoScheduler
+	if p > 0 {
+		base := core.NewController(m.RNG.Split())
+		if err := base.SetGlobal(core.Params{P: p, L: l}); err != nil {
+			panic(err)
+		}
+		if cosched {
+			var err error
+			co, err = New(m.Sched, base, 2)
+			if err != nil {
+				panic(err)
+			}
+			m.Sched.SetInjector(co)
+		} else {
+			m.Sched.SetInjector(base)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "burn", PowerFactor: 1})
+	}
+	return m, co
+}
+
+func TestNewValidation(t *testing.T) {
+	m, _ := smtMachine(1, 0, 0, false)
+	inner := core.NewController(m.RNG.Split())
+	if _, err := New(nil, inner, 2); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := New(m.Sched, nil, 2); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(m.Sched, inner, 1); err == nil {
+		t.Error("single-context co-scheduling accepted")
+	}
+}
+
+func TestCoSchedulingGangsIdles(t *testing.T) {
+	m, co := smtMachine(2, 0.5, 50*units.Millisecond, true)
+	m.RunFor(30 * units.Second)
+	if co.ForcedIdles == 0 {
+		t.Fatal("no sibling gang idles")
+	}
+	// Most injection decisions should successfully idle the sibling (it
+	// is running a burner almost always).
+	total := co.ForcedIdles + co.MissedSiblings
+	if float64(co.ForcedIdles)/float64(total) < 0.5 {
+		t.Errorf("gang success %d/%d too low", co.ForcedIdles, total)
+	}
+}
+
+func TestNaiveC1EShareFarBelowCoScheduled(t *testing.T) {
+	// Naive injection only reaches C1E when both siblings' independent
+	// quanta happen to overlap; co-scheduling aligns them by design. The
+	// observed C1E share must differ accordingly.
+	share := func(cosched bool) float64 {
+		m, _ := smtMachine(3, 0.5, 50*units.Millisecond, cosched)
+		c1e, total := 0, 0
+		for i := 0; i < 3000; i++ {
+			m.RunFor(10 * units.Millisecond)
+			for c := 0; c < m.Chip.NumCores(); c++ {
+				total++
+				if m.Chip.State(c) == cpu.C1E {
+					c1e++
+				}
+			}
+		}
+		return float64(c1e) / float64(total)
+	}
+	naive := share(false)
+	co := share(true)
+	if co < 2*naive {
+		t.Errorf("C1E share: co-scheduled %.3f not far above naive %.3f", co, naive)
+	}
+	// At p=.5, L=q/2 each context idles ≈1/3 of the time: chance overlap
+	// ≈11 %, aligned ≈33 %.
+	if naive > 0.2 {
+		t.Errorf("naive C1E share %.3f implausibly high", naive)
+	}
+	if co < 0.2 {
+		t.Errorf("co-scheduled C1E share %.3f implausibly low", co)
+	}
+}
+
+func TestCoScheduledReachesC1E(t *testing.T) {
+	m, _ := smtMachine(4, 0.5, 50*units.Millisecond, true)
+	sawC1E := false
+	for i := 0; i < 3000 && !sawC1E; i++ {
+		m.RunFor(10 * units.Millisecond)
+		for c := 0; c < m.Chip.NumCores(); c++ {
+			if m.Chip.State(c) == cpu.C1E {
+				sawC1E = true
+			}
+		}
+	}
+	if !sawC1E {
+		t.Error("co-scheduled injection never reached C1E")
+	}
+}
+
+func TestCoSchedulingCoolsMoreThanNaive(t *testing.T) {
+	run := func(cosched bool) float64 {
+		m, _ := smtMachine(5, 0.5, 50*units.Millisecond, cosched)
+		m.RunFor(60 * units.Second)
+		i0 := m.MeanJunctionIntegral()
+		t0 := m.Now()
+		m.RunFor(20 * units.Second)
+		return (m.MeanJunctionIntegral() - i0) / (m.Now() - t0).Seconds()
+	}
+	naive := run(false)
+	co := run(true)
+	if co >= naive {
+		t.Errorf("co-scheduling (%.2fC) not cooler than naive (%.2fC)", co, naive)
+	}
+	// The gap should be substantial: C1E vs halt plus the gang factor.
+	if naive-co < 1.0 {
+		t.Errorf("co-scheduling benefit only %.2fC", naive-co)
+	}
+}
+
+func TestDisabledDegradesToNaive(t *testing.T) {
+	m, co := smtMachine(6, 0.5, 50*units.Millisecond, true)
+	// Spawn-time dispatches may have ganged a couple of idles already;
+	// after disabling, the count must freeze.
+	co.Enabled = false
+	before := co.ForcedIdles
+	m.RunFor(30 * units.Second)
+	if co.ForcedIdles != before {
+		t.Errorf("disabled co-scheduler forced %d more idles", co.ForcedIdles-before)
+	}
+}
+
+func TestKernelSiblingNotForced(t *testing.T) {
+	// A sibling running a kernel thread must not be force-idled.
+	cfg := machine.DefaultConfig()
+	cfg.Seed = 7
+	cfg.SMTContexts = 2
+	m := machine.New(cfg)
+	base := core.NewController(m.RNG.Split())
+	if err := base.SetGlobal(core.Params{P: 0.9, L: 50 * units.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(m.Sched, base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Sched.SetInjector(co)
+	// One user burner per context pair plus a kernel spinner.
+	kern := m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{
+		Name: "kburn", Kernel: true, Priority: sched.PriorityKernel,
+	})
+	for i := 0; i < 7; i++ {
+		m.Sched.Spawn(workload.Burn(), sched.SpawnConfig{Name: "burn", PowerFactor: 1})
+	}
+	m.RunFor(30 * units.Second)
+	if kern.Injections != 0 {
+		t.Errorf("kernel thread was force-idled %d times", kern.Injections)
+	}
+}

@@ -1,0 +1,262 @@
+// Package thermal models the processor's thermal path as a lumped RC
+// network: per-core junction nodes couple through a shared package/spreader
+// node and a heatsink node to the ambient boundary, whose convective
+// resistance is set by the (fixed, full-speed) case fans.
+//
+// The network reproduces the two properties the paper's results rest on:
+//
+//   - multiple, widely separated time constants — junctions respond in
+//     milliseconds ("each core was able to cool exponentially quickly within
+//     a short time window") while the heatsink takes tens of seconds ("core
+//     temperatures stabilized after approximately 300 seconds");
+//   - heat inputs may depend on the node temperature itself, which is how the
+//     exponential temperature dependence of leakage power enters and produces
+//     the nonlinear trade-off curves of Figures 3 and 4.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// NodeID identifies a node within a Network.
+type NodeID int
+
+// node is one lumped thermal mass (or the fixed-temperature ambient).
+type node struct {
+	name     string
+	capJ     float64 // thermal capacitance in J/K; <= 0 marks a boundary node
+	temp     float64 // current temperature, °C
+	boundary bool
+
+	// Adjacency: conductances in W/K to neighbouring nodes.
+	nbrs  []NodeID
+	conds []float64
+	gSum  float64 // cached Σ conductance
+}
+
+// Network is a set of thermal nodes connected by thermal resistances.
+// Construct with NewNetwork, AddNode/AddBoundary and Connect; the topology is
+// then fixed while temperatures evolve via Step/Advance.
+type Network struct {
+	nodes []node
+	// scratch buffers reused across steps to avoid per-step allocation.
+	eq  []float64
+	pow []float64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddNode adds a thermal mass with the given capacitance (J/K) starting at
+// the given temperature, and returns its ID. Capacitance must be positive.
+func (n *Network) AddNode(name string, capacitance float64, start units.Celsius) NodeID {
+	if capacitance <= 0 {
+		panic(fmt.Sprintf("thermal: node %q needs positive capacitance, got %v", name, capacitance))
+	}
+	n.nodes = append(n.nodes, node{name: name, capJ: capacitance, temp: float64(start)})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// AddBoundary adds a fixed-temperature node (e.g. ambient air held at the
+// thermostat setpoint). Its temperature never changes during integration.
+func (n *Network) AddBoundary(name string, temp units.Celsius) NodeID {
+	n.nodes = append(n.nodes, node{name: name, temp: float64(temp), boundary: true})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// Connect joins nodes a and b with thermal resistance r (K/W, positive).
+// Connecting the same pair twice adds a parallel path.
+func (n *Network) Connect(a, b NodeID, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("thermal: non-positive resistance %v between %d and %d", r, a, b))
+	}
+	if a == b {
+		panic("thermal: self connection")
+	}
+	g := 1 / r
+	n.nodes[a].nbrs = append(n.nodes[a].nbrs, b)
+	n.nodes[a].conds = append(n.nodes[a].conds, g)
+	n.nodes[a].gSum += g
+	n.nodes[b].nbrs = append(n.nodes[b].nbrs, a)
+	n.nodes[b].conds = append(n.nodes[b].conds, g)
+	n.nodes[b].gSum += g
+}
+
+// NumNodes returns the number of nodes (including boundaries).
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Name returns the node's name.
+func (n *Network) Name(id NodeID) string { return n.nodes[id].name }
+
+// Temp returns the node's current temperature.
+func (n *Network) Temp(id NodeID) units.Celsius { return units.Celsius(n.nodes[id].temp) }
+
+// SetTemp overrides a node's temperature (used to initialise or to reset a
+// boundary setpoint).
+func (n *Network) SetTemp(id NodeID, t units.Celsius) { n.nodes[id].temp = float64(t) }
+
+// Temps appends all node temperatures to dst (resized as needed) and returns
+// it; index corresponds to NodeID.
+func (n *Network) Temps(dst []units.Celsius) []units.Celsius {
+	if cap(dst) < len(n.nodes) {
+		dst = make([]units.Celsius, len(n.nodes))
+	}
+	dst = dst[:len(n.nodes)]
+	for i := range n.nodes {
+		dst[i] = units.Celsius(n.nodes[i].temp)
+	}
+	return dst
+}
+
+// MinTimeConstant returns the smallest C/ΣG over non-boundary nodes — the
+// fastest dynamics in the network, used to pick a safe integration step. It
+// returns +Inf when the network has no dynamic nodes.
+func (n *Network) MinTimeConstant() float64 {
+	tau := math.Inf(1)
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		if nd.boundary || nd.gSum == 0 {
+			continue
+		}
+		tau = math.Min(tau, nd.capJ/nd.gSum)
+	}
+	return tau
+}
+
+// PowerFunc computes the instantaneous heat input (W) of every node given the
+// current node temperatures. temps and out are indexed by NodeID; out is
+// pre-zeroed. Implementations must not retain either slice.
+type PowerFunc func(temps []float64, out []float64)
+
+// Step advances the network by dt with the given heat inputs, using a
+// per-node exact exponential update against a frozen snapshot of neighbour
+// temperatures:
+//
+//	T' = T_eq + (T − T_eq)·exp(−dt/τ),  T_eq = (P + Σ G·T_nbr)/ΣG,  τ = C/ΣG
+//
+// The update is unconditionally stable and, because neighbouring layers have
+// time constants orders of magnitude apart, accurate for steps up to roughly
+// the fastest τ in the network.
+func (n *Network) Step(dt units.Time, power PowerFunc) {
+	if dt <= 0 {
+		return
+	}
+	nn := len(n.nodes)
+	if cap(n.eq) < nn {
+		n.eq = make([]float64, nn)
+		n.pow = make([]float64, nn)
+	}
+	eq := n.eq[:nn]
+	pw := n.pow[:nn]
+	for i := range pw {
+		pw[i] = 0
+		eq[i] = n.nodes[i].temp // snapshot for Jacobi-style update
+	}
+	if power != nil {
+		power(eq, pw)
+	}
+	dts := dt.Seconds()
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		if nd.boundary {
+			continue
+		}
+		if nd.gSum == 0 {
+			// Isolated mass: pure integration of its heat input.
+			nd.temp += pw[i] * dts / nd.capJ
+			continue
+		}
+		var flux float64
+		for k, nb := range nd.nbrs {
+			flux += nd.conds[k] * eq[nb]
+		}
+		teq := (pw[i] + flux) / nd.gSum
+		tau := nd.capJ / nd.gSum
+		nd.temp = teq + (eq[i]-teq)*math.Exp(-dts/tau)
+	}
+}
+
+// Advance integrates the network across span, splitting it into steps no
+// longer than maxStep. A non-positive maxStep selects a default of a quarter
+// of the fastest time constant.
+func (n *Network) Advance(span, maxStep units.Time, power PowerFunc) {
+	if span <= 0 {
+		return
+	}
+	if maxStep <= 0 {
+		tau := n.MinTimeConstant()
+		if math.IsInf(tau, 1) {
+			maxStep = span
+		} else {
+			maxStep = units.FromSeconds(tau / 4)
+			if maxStep <= 0 {
+				maxStep = units.Microsecond
+			}
+		}
+	}
+	for span > 0 {
+		dt := span
+		if dt > maxStep {
+			dt = maxStep
+		}
+		n.Step(dt, power)
+		span -= dt
+	}
+}
+
+// SolveSteadyState iterates the network to its fixed point for the given
+// (possibly temperature-dependent) heat inputs, using damped fixed-point
+// iteration on the node balance equations. It is used to establish the idle
+// baseline temperature and to fast-forward long settling phases in tests.
+// It returns the number of sweeps performed and whether it converged to tol
+// (°C) within maxSweeps.
+func (n *Network) SolveSteadyState(power PowerFunc, tol float64, maxSweeps int) (int, bool) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 10000
+	}
+	nn := len(n.nodes)
+	if cap(n.eq) < nn {
+		n.eq = make([]float64, nn)
+		n.pow = make([]float64, nn)
+	}
+	pw := n.pow[:nn]
+	snap := n.eq[:nn]
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		for i := range pw {
+			pw[i] = 0
+			snap[i] = n.nodes[i].temp
+		}
+		if power != nil {
+			power(snap, pw)
+		}
+		var worst float64
+		// Gauss-Seidel: use freshly updated values within the sweep for
+		// faster convergence on the chain topology.
+		for i := range n.nodes {
+			nd := &n.nodes[i]
+			if nd.boundary || nd.gSum == 0 {
+				continue
+			}
+			var flux float64
+			for k, nb := range nd.nbrs {
+				flux += nd.conds[k] * n.nodes[nb].temp
+			}
+			teq := (pw[i] + flux) / nd.gSum
+			delta := teq - nd.temp
+			// Damping keeps the temperature-dependent leakage feedback
+			// loop from oscillating near its stability margin.
+			nd.temp += 0.5 * delta
+			worst = math.Max(worst, math.Abs(delta))
+		}
+		if worst < tol {
+			return sweep, true
+		}
+	}
+	return maxSweeps, false
+}

@@ -1,0 +1,256 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// chain builds ambient ← sink ← node with the given parameters.
+func chain(cap1, r1, cap2, r2 float64, ambient units.Celsius) (*Network, NodeID, NodeID, NodeID) {
+	n := NewNetwork()
+	amb := n.AddBoundary("ambient", ambient)
+	sink := n.AddNode("sink", cap1, ambient)
+	node := n.AddNode("node", cap2, ambient)
+	n.Connect(sink, amb, r1)
+	n.Connect(node, sink, r2)
+	return n, amb, sink, node
+}
+
+func constPower(target NodeID, watts float64) PowerFunc {
+	return func(temps []float64, out []float64) { out[target] += watts }
+}
+
+func TestSteadyStateLinear(t *testing.T) {
+	// A chain with constant power P: node sits at ambient + P·(R1+R2).
+	n, _, sink, node := chain(10, 0.5, 1, 0.25, 25)
+	n.SolveSteadyState(constPower(node, 20), 1e-9, 100000)
+	wantNode := 25 + 20*(0.5+0.25)
+	wantSink := 25 + 20*0.5
+	if got := float64(n.Temp(node)); math.Abs(got-wantNode) > 1e-6 {
+		t.Errorf("node steady = %v, want %v", got, wantNode)
+	}
+	if got := float64(n.Temp(sink)); math.Abs(got-wantSink) > 1e-6 {
+		t.Errorf("sink steady = %v, want %v", got, wantSink)
+	}
+}
+
+func TestAdvanceConvergesToSteadyState(t *testing.T) {
+	n1, _, _, node1 := chain(10, 0.5, 1, 0.25, 25)
+	n2, _, _, node2 := chain(10, 0.5, 1, 0.25, 25)
+	pw := 20.0
+	n1.SolveSteadyState(constPower(node1, pw), 1e-9, 100000)
+	// Integrate long enough: slowest τ ≈ 10·0.5 = 5 s → 80 s ≫ 5τ.
+	n2.Advance(80*units.Second, 50*units.Millisecond, constPower(node2, pw))
+	if diff := math.Abs(float64(n1.Temp(node1) - n2.Temp(node2))); diff > 0.01 {
+		t.Errorf("Advance and SolveSteadyState disagree by %v C", diff)
+	}
+}
+
+func TestExponentialRelaxation(t *testing.T) {
+	// A single node against a boundary relaxes exponentially with τ = RC.
+	n := NewNetwork()
+	amb := n.AddBoundary("amb", 0)
+	node := n.AddNode("n", 2, 100)
+	n.Connect(node, amb, 0.5) // τ = 2·0.5 = 1 s
+	n.Advance(units.Second, units.Millisecond, nil)
+	want := 100 * math.Exp(-1)
+	if got := float64(n.Temp(node)); math.Abs(got-want) > 0.1 {
+		t.Errorf("after 1τ: %v, want %v", got, want)
+	}
+	n.Advance(3*units.Second, units.Millisecond, nil)
+	if got := float64(n.Temp(node)); got > 2.0 {
+		t.Errorf("after 4τ: %v, want <2", got)
+	}
+}
+
+func TestCoolingNeverUndershootsAmbient(t *testing.T) {
+	f := func(startRaw, stepMsRaw uint8) bool {
+		start := units.Celsius(30 + float64(startRaw%70))
+		stepMs := float64(stepMsRaw%50) + 0.5
+		n := NewNetwork()
+		amb := n.AddBoundary("amb", 25)
+		node := n.AddNode("n", 0.05, start)
+		n.Connect(node, amb, 0.8)
+		for i := 0; i < 100; i++ {
+			n.Step(units.FromMilliseconds(stepMs), nil)
+			if float64(n.Temp(node)) < 25-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMorePowerMeansHotter(t *testing.T) {
+	f := func(p1Raw, p2Raw uint8) bool {
+		p1 := float64(p1Raw)
+		p2 := float64(p2Raw)
+		if p1 == p2 {
+			return true
+		}
+		n1, _, _, node1 := chain(10, 0.5, 1, 0.25, 25)
+		n2, _, _, node2 := chain(10, 0.5, 1, 0.25, 25)
+		n1.SolveSteadyState(constPower(node1, p1), 1e-9, 100000)
+		n2.SolveSteadyState(constPower(node2, p2), 1e-9, 100000)
+		if p1 < p2 {
+			return float64(n1.Temp(node1)) < float64(n2.Temp(node2))+1e-9
+		}
+		return float64(n2.Temp(node2)) < float64(n1.Temp(node1))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryFixed(t *testing.T) {
+	n, amb, _, node := chain(10, 0.5, 1, 0.25, 25)
+	n.Advance(10*units.Second, 10*units.Millisecond, constPower(node, 50))
+	if got := n.Temp(amb); got != 25 {
+		t.Errorf("ambient drifted to %v", got)
+	}
+}
+
+func TestStepStabilityLargeDt(t *testing.T) {
+	// The exponential update must remain bounded even for steps far beyond
+	// the fastest time constant.
+	n, _, _, node := chain(10, 0.5, 0.01, 0.25, 25)
+	for i := 0; i < 1000; i++ {
+		n.Step(units.Second, constPower(node, 20))
+		if v := float64(n.Temp(node)); math.IsNaN(v) || v < 0 || v > 500 {
+			t.Fatalf("unstable at step %d: %v", i, v)
+		}
+	}
+}
+
+func TestMinTimeConstant(t *testing.T) {
+	n, _, _, _ := chain(10, 0.5, 1, 0.25, 25)
+	// node: C=1, G=1/0.25=4 → τ=0.25; sink: C=10, G=2+4=6 → τ=1.67.
+	if got := n.MinTimeConstant(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("MinTimeConstant = %v", got)
+	}
+	empty := NewNetwork()
+	empty.AddBoundary("amb", 25)
+	if !math.IsInf(empty.MinTimeConstant(), 1) {
+		t.Error("boundary-only network should have infinite τ")
+	}
+}
+
+func TestTemperatureDependentPower(t *testing.T) {
+	// Power that grows with temperature (leakage): steady state must
+	// reflect the feedback, sitting above the feedback-free solution.
+	n, _, _, node := chain(10, 0.5, 1, 0.25, 25)
+	leaky := func(temps []float64, out []float64) {
+		out[node] += 10 + 0.2*(temps[node]-25)
+	}
+	_, converged := n.SolveSteadyState(leaky, 1e-9, 200000)
+	if !converged {
+		t.Fatal("no convergence with feedback")
+	}
+	got := float64(n.Temp(node))
+	// Solve analytically: T = 25 + (10 + 0.2(T−25))·0.75 → (T−25)(1−0.15)=7.5.
+	want := 25 + 7.5/0.85
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("feedback steady = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceDefaultStep(t *testing.T) {
+	n, _, _, node := chain(10, 0.5, 1, 0.25, 25)
+	n.Advance(units.Second, 0, constPower(node, 20)) // default maxStep
+	if float64(n.Temp(node)) <= 25 {
+		t.Error("no heating with default step")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero capacitance": func() { NewNetwork().AddNode("x", 0, 25) },
+		"zero resistance": func() {
+			n := NewNetwork()
+			a := n.AddNode("a", 1, 25)
+			b := n.AddNode("b", 1, 25)
+			n.Connect(a, b, 0)
+		},
+		"self connection": func() {
+			n := NewNetwork()
+			a := n.AddNode("a", 1, 25)
+			n.Connect(a, a, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := NewNetwork()
+	amb := n.AddBoundary("ambient", 25)
+	node := n.AddNode("core", 1, 30)
+	n.Connect(node, amb, 1)
+	if n.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", n.NumNodes())
+	}
+	if n.Name(node) != "core" || n.Name(amb) != "ambient" {
+		t.Error("names wrong")
+	}
+	n.SetTemp(node, 50)
+	if n.Temp(node) != 50 {
+		t.Error("SetTemp failed")
+	}
+	temps := n.Temps(nil)
+	if len(temps) != 2 || temps[node] != 50 {
+		t.Errorf("Temps = %v", temps)
+	}
+	// Buffer reuse.
+	buf := make([]units.Celsius, 0, 8)
+	temps2 := n.Temps(buf)
+	if len(temps2) != 2 {
+		t.Errorf("Temps reuse = %v", temps2)
+	}
+}
+
+func TestParallelResistance(t *testing.T) {
+	// Two parallel paths halve the effective resistance.
+	n := NewNetwork()
+	amb := n.AddBoundary("amb", 0)
+	node := n.AddNode("n", 1, 0)
+	n.Connect(node, amb, 2)
+	n.Connect(node, amb, 2)
+	n.SolveSteadyState(constPower(node, 10), 1e-9, 100000)
+	if got := float64(n.Temp(node)); math.Abs(got-10) > 1e-6 {
+		t.Errorf("parallel steady = %v, want 10", got)
+	}
+}
+
+func TestZeroAndNegativeSpans(t *testing.T) {
+	n, _, _, node := chain(10, 0.5, 1, 0.25, 25)
+	before := n.Temp(node)
+	n.Advance(0, units.Millisecond, constPower(node, 100))
+	n.Advance(-units.Second, units.Millisecond, constPower(node, 100))
+	n.Step(0, constPower(node, 100))
+	if n.Temp(node) != before {
+		t.Error("zero/negative spans mutated state")
+	}
+}
+
+func TestIsolatedNodeIntegratesPower(t *testing.T) {
+	n := NewNetwork()
+	node := n.AddNode("iso", 2, 25)
+	n.Step(units.Second, constPower(node, 4))
+	// dT = P·dt/C = 4·1/2 = 2.
+	if got := float64(n.Temp(node)); math.Abs(got-27) > 1e-9 {
+		t.Errorf("isolated node = %v, want 27", got)
+	}
+}

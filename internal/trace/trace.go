@@ -1,0 +1,264 @@
+// Package trace records time series produced by the simulator — power draw,
+// per-core temperatures, request latencies — and provides the windowed
+// statistics, downsampling, CSV export and quick ASCII rendering the
+// experiment harnesses and CLI need.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	At    units.Time
+	Value float64
+}
+
+// Series is an append-only time series. Samples must be appended in
+// non-decreasing time order; Append panics otherwise, because out-of-order
+// observations indicate an event-loop bug upstream.
+type Series struct {
+	Name    string
+	Unit    string
+	samples []Sample
+}
+
+// NewSeries returns an empty series with the given name and unit label.
+func NewSeries(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append records a sample at time t.
+func (s *Series) Append(t units.Time, v float64) {
+	if n := len(s.samples); n > 0 && t < s.samples[n-1].At {
+		panic(fmt.Sprintf("trace: out-of-order sample for %q: %v after %v", s.Name, t, s.samples[n-1].At))
+	}
+	s.samples = append(s.samples, Sample{At: t, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Samples returns the underlying samples. The slice must not be mutated.
+func (s *Series) Samples() []Sample { return s.samples }
+
+// Last returns the final sample, and false if the series is empty.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// MeanOver returns the time-weighted mean of the series over [from, to],
+// treating the value as piecewise-constant from each sample until the next
+// (zero-order hold, matching how the simulator emits state changes). Samples
+// before `from` contribute their held value from `from` onward. It returns
+// false when the window contains no information.
+func (s *Series) MeanOver(from, to units.Time) (float64, bool) {
+	if to <= from || len(s.samples) == 0 {
+		return 0, false
+	}
+	// Find the first sample at or after `from`; the sample before it (if
+	// any) holds the value entering the window.
+	idx := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= from })
+	cur := math.NaN()
+	if idx > 0 {
+		cur = s.samples[idx-1].Value
+	}
+	t := from
+	var integral float64
+	var covered units.Time
+	for i := idx; i < len(s.samples) && s.samples[i].At <= to; i++ {
+		smp := s.samples[i]
+		if !math.IsNaN(cur) && smp.At > t {
+			integral += cur * (smp.At - t).Seconds()
+			covered += smp.At - t
+		}
+		if smp.At >= t {
+			t = smp.At
+		}
+		cur = smp.Value
+	}
+	if !math.IsNaN(cur) && to > t {
+		integral += cur * (to - t).Seconds()
+		covered += to - t
+	}
+	if covered == 0 {
+		return 0, false
+	}
+	return integral / covered.Seconds(), true
+}
+
+// Mean returns the unweighted mean of all sample values (0 for empty series).
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, smp := range s.samples {
+		sum += smp.Value
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Min and Max return the extreme sample values; both return 0 for an empty
+// series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, smp := range s.samples {
+		m = math.Min(m, smp.Value)
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Max returns the maximum sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, smp := range s.samples {
+		m = math.Max(m, smp.Value)
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Downsample returns a new series with at most n points, each the
+// time-weighted mean of an equal-width bucket of the original span. Useful
+// for plotting 300 s traces sampled at kilohertz rates.
+func (s *Series) Downsample(n int) *Series {
+	out := NewSeries(s.Name, s.Unit)
+	if len(s.samples) == 0 || n <= 0 {
+		return out
+	}
+	start := s.samples[0].At
+	end := s.samples[len(s.samples)-1].At
+	if end <= start || n == 1 || len(s.samples) == 1 {
+		out.Append(start, s.Mean())
+		return out
+	}
+	width := (end - start) / units.Time(n)
+	if width <= 0 {
+		width = 1
+	}
+	for b := 0; b < n; b++ {
+		lo := start + units.Time(b)*width
+		hi := lo + width
+		if b == n-1 {
+			hi = end
+		}
+		if m, ok := s.MeanOver(lo, hi); ok {
+			out.Append(lo+(hi-lo)/2, m)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes "time_s,value" rows (with a header) to w.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time_s,%s_%s\n", sanitize(s.Name), sanitize(s.Unit)); err != nil {
+		return err
+	}
+	for _, smp := range s.samples {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6g\n", smp.At.Seconds(), smp.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// ASCII renders the series as a crude monospace chart of the given width and
+// height — enough to eyeball a Figure 1 or Figure 2 shape from the CLI.
+func (s *Series) ASCII(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 2 {
+		height = 2
+	}
+	ds := s.Downsample(width)
+	if ds.Len() == 0 {
+		return "(empty series)\n"
+	}
+	lo, hi := ds.Min(), ds.Max()
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", ds.Len()))
+	}
+	for i := 0; i < ds.Len(); i++ {
+		v := ds.At(i).Value
+		row := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+		grid[height-1-row][i] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)  min=%.3g max=%.3g\n", s.Name, s.Unit, lo, hi)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", ds.Len()) + "\n")
+	return b.String()
+}
+
+// Recorder bundles named series so simulator components can publish samples
+// without owning their storage.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns the series with the given name, creating it (with the given
+// unit) on first use.
+func (r *Recorder) Series(name, unit string) *Series {
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := NewSeries(name, unit)
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Lookup returns the named series, or nil if it was never created.
+func (r *Recorder) Lookup(name string) *Series { return r.series[name] }
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestAppendAndAccessors(t *testing.T) {
+	s := NewSeries("power", "W")
+	s.Append(0, 10)
+	s.Append(units.Second, 20)
+	s.Append(2*units.Second, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.At(1); got.At != units.Second || got.Value != 20 {
+		t.Errorf("At(1) = %+v", got)
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 30 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	if s.Mean() != 20 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 10 || s.Max() != 30 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("x", "u")
+	if _, ok := s.Last(); ok {
+		t.Error("Last ok on empty")
+	}
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty series stats not zero")
+	}
+	if _, ok := s.MeanOver(0, units.Second); ok {
+		t.Error("MeanOver ok on empty")
+	}
+}
+
+func TestOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("x", "u")
+	s.Append(units.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order append did not panic")
+		}
+	}()
+	s.Append(0, 2)
+}
+
+func TestMeanOverZeroOrderHold(t *testing.T) {
+	s := NewSeries("p", "W")
+	s.Append(0, 10)
+	s.Append(units.Second, 30)
+	// [0,2s]: 10 W for 1 s then 30 W for 1 s → 20.
+	if m, ok := s.MeanOver(0, 2*units.Second); !ok || math.Abs(m-20) > 1e-9 {
+		t.Errorf("MeanOver(0,2s) = %v, %v", m, ok)
+	}
+	// [0.5s,1s]: held at 10.
+	if m, ok := s.MeanOver(500*units.Millisecond, units.Second); !ok || math.Abs(m-10) > 1e-9 {
+		t.Errorf("MeanOver(.5,1) = %v", m)
+	}
+	// Window after the last sample: held at 30.
+	if m, ok := s.MeanOver(2*units.Second, 3*units.Second); !ok || math.Abs(m-30) > 1e-9 {
+		t.Errorf("MeanOver(2,3) = %v", m)
+	}
+	// Degenerate window.
+	if _, ok := s.MeanOver(units.Second, units.Second); ok {
+		t.Error("MeanOver of empty window returned ok")
+	}
+}
+
+func TestMeanOverBeforeFirstSample(t *testing.T) {
+	s := NewSeries("p", "W")
+	s.Append(units.Second, 50)
+	// [0,1s) has no information; [1s,2s] holds 50.
+	m, ok := s.MeanOver(0, 2*units.Second)
+	if !ok || math.Abs(m-50) > 1e-9 {
+		t.Errorf("MeanOver = %v, %v (should only cover known span)", m, ok)
+	}
+	if _, ok := s.MeanOver(0, 500*units.Millisecond); ok {
+		t.Error("MeanOver before any sample returned ok")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("v", "u")
+	for i := 0; i <= 1000; i++ {
+		s.Append(units.Time(i)*units.Millisecond, float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() == 0 || d.Len() > 10 {
+		t.Fatalf("Downsample len = %d", d.Len())
+	}
+	// Bucket means must ascend for a ramp.
+	for i := 1; i < d.Len(); i++ {
+		if d.At(i).Value <= d.At(i-1).Value {
+			t.Errorf("downsampled ramp not increasing at %d", i)
+		}
+	}
+	// Single point and empty cases.
+	one := NewSeries("o", "u")
+	one.Append(0, 5)
+	if d := one.Downsample(4); d.Len() != 1 || d.At(0).Value != 5 {
+		t.Errorf("single-point downsample = %v", d.Samples())
+	}
+	if d := NewSeries("e", "u").Downsample(4); d.Len() != 0 {
+		t.Error("empty downsample non-empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewSeries("Core Temp", "C")
+	s.Append(0, 40)
+	s.Append(units.Second, 41.5)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time_s,core_temp_c\n") {
+		t.Errorf("CSV header = %q", out)
+	}
+	if !strings.Contains(out, "1.000000,41.5") {
+		t.Errorf("CSV missing row: %q", out)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	s := NewSeries("p", "W")
+	for i := 0; i < 100; i++ {
+		s.Append(units.Time(i)*units.Second, float64(i%10))
+	}
+	out := s.ASCII(40, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("ASCII chart has no points")
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Error("ASCII chart too short")
+	}
+	if out := NewSeries("e", "u").ASCII(40, 5); !strings.Contains(out, "empty") {
+		t.Errorf("empty ASCII = %q", out)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("a", "W")
+	b := r.Series("b", "C")
+	if r.Series("a", "ignored") != a {
+		t.Error("Series did not return existing series")
+	}
+	if r.Lookup("b") != b || r.Lookup("zzz") != nil {
+		t.Error("Lookup wrong")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,100 @@
+// Package units defines the typed physical quantities used throughout the
+// simulator: virtual time, power, energy, temperature and frequency.
+//
+// Virtual time is an integer nanosecond count so that event ordering is exact
+// and deterministic; the continuous quantities are float64 with explicit
+// types to keep watts from leaking into joules and celsius into kelvin-like
+// deltas without a conversion the reader can see.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or span of) virtual time, counted in integer
+// nanoseconds since the start of the simulation. Using an integer makes the
+// event queue ordering exact and keeps runs bit-reproducible.
+type Time int64
+
+// Common time spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// FromMilliseconds converts floating-point milliseconds to a Time.
+func FromMilliseconds(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+// String formats the time with an adaptive unit, e.g. "1.5ms" or "300s".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%gs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%gms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Watts is instantaneous electrical power.
+type Watts float64
+
+// Joules is energy. Power integrated over Time yields Joules.
+type Joules float64
+
+// Energy returns the energy dissipated at power p over span dt.
+func Energy(p Watts, dt Time) Joules { return Joules(float64(p) * dt.Seconds()) }
+
+// Celsius is an absolute temperature on the Celsius scale. Temperature
+// differences are also carried as Celsius for simplicity; the thermal package
+// is explicit about which is which.
+type Celsius float64
+
+// Hertz is a frequency (clock rate).
+type Hertz float64
+
+// Frequency helpers.
+const (
+	MHz Hertz = 1e6
+	GHz Hertz = 1e9
+)
+
+// String formats power as e.g. "65.3W".
+func (w Watts) String() string { return fmt.Sprintf("%.3gW", float64(w)) }
+
+// String formats energy as e.g. "412J".
+func (j Joules) String() string { return fmt.Sprintf("%.4gJ", float64(j)) }
+
+// String formats temperature as e.g. "44.2C".
+func (c Celsius) String() string { return fmt.Sprintf("%.3gC", float64(c)) }
+
+// String formats frequency as e.g. "2.26GHz".
+func (h Hertz) String() string {
+	switch {
+	case h >= GHz:
+		return fmt.Sprintf("%.3gGHz", float64(h)/float64(GHz))
+	case h >= MHz:
+		return fmt.Sprintf("%.4gMHz", float64(h)/float64(MHz))
+	default:
+		return fmt.Sprintf("%gHz", float64(h))
+	}
+}

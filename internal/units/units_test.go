@@ -1,0 +1,115 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want float64
+	}{
+		{Second, 1},
+		{500 * Millisecond, 0.5},
+		{Millisecond, 0.001},
+		{Microsecond, 1e-6},
+		{0, 0},
+		{-2 * Second, -2},
+	}
+	for _, c := range cases {
+		if got := c.in.Seconds(); got != c.want {
+			t.Errorf("(%d).Seconds() = %v, want %v", int64(c.in), got, c.want)
+		}
+	}
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds() = %v, want 1.5", got)
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		d := float64(ms) / 1000
+		return FromSeconds(d) == Time(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMilliseconds(t *testing.T) {
+	if got := FromMilliseconds(2.5); got != 2500*Microsecond {
+		t.Errorf("FromMilliseconds(2.5) = %v", got)
+	}
+	if got := FromMilliseconds(0); got != 0 {
+		t.Errorf("FromMilliseconds(0) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{300 * Second, "300s"},
+		{1500 * Millisecond, "1.5s"},
+		{25 * Millisecond, "25ms"},
+		{100 * Microsecond, "100us"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%v ns).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if got := Energy(10, 2*Second); got != 20 {
+		t.Errorf("Energy(10W, 2s) = %v, want 20J", got)
+	}
+	if got := Energy(80, 500*Millisecond); got != 40 {
+		t.Errorf("Energy(80W, 0.5s) = %v, want 40J", got)
+	}
+	if got := Energy(0, Second); got != 0 {
+		t.Errorf("Energy(0, 1s) = %v, want 0", got)
+	}
+}
+
+func TestEnergyAdditivity(t *testing.T) {
+	f := func(p uint16, a, b uint32) bool {
+		w := Watts(float64(p) / 100)
+		ta := Time(a) * Microsecond
+		tb := Time(b) * Microsecond
+		lhs := float64(Energy(w, ta+tb))
+		rhs := float64(Energy(w, ta) + Energy(w, tb))
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantityStrings(t *testing.T) {
+	if got := Watts(65.3).String(); got != "65.3W" {
+		t.Errorf("Watts String = %q", got)
+	}
+	if got := Celsius(44.25).String(); got != "44.2C" && got != "44.3C" {
+		t.Errorf("Celsius String = %q", got)
+	}
+	if got := Hertz(2.26e9).String(); got != "2.26GHz" {
+		t.Errorf("Hertz String = %q", got)
+	}
+	if got := Hertz(133e6).String(); got != "133MHz" {
+		t.Errorf("Hertz String = %q", got)
+	}
+	if got := Hertz(50).String(); got != "50Hz" {
+		t.Errorf("Hertz String = %q", got)
+	}
+	if got := Joules(412.0).String(); got != "412J" {
+		t.Errorf("Joules String = %q", got)
+	}
+}

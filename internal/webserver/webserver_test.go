@@ -1,0 +1,183 @@
+package webserver
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dtm"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Connections = 60
+	cfg.Workers = 8
+	cfg.Warmup = 5 * units.Second
+	return cfg
+}
+
+func TestBaselineQoSIsPerfect(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	srv := New(m, smallConfig())
+	m.RunFor(60 * units.Second)
+	st := srv.Snapshot(m.Now())
+	if st.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if st.GoodFraction() < 0.999 || st.TolerableFraction() < 0.999 {
+		t.Errorf("unloaded QoS not perfect: %v", st)
+	}
+	if st.MeanLatency > 200*units.Millisecond {
+		t.Errorf("baseline mean latency %v too high", st.MeanLatency)
+	}
+	if st.Fail != 0 {
+		t.Errorf("failures on unloaded server: %d", st.Fail)
+	}
+}
+
+func TestClosedLoopRate(t *testing.T) {
+	cfg := smallConfig()
+	m := machine.New(machine.DefaultConfig())
+	srv := New(m, cfg)
+	m.RunFor(90 * units.Second)
+	st := srv.Snapshot(m.Now())
+	// Little's law for the closed loop: rate ≈ connections/(think+resp).
+	want := float64(cfg.Connections) / (cfg.ThinkTime.Seconds() + st.MeanLatency.Seconds())
+	if math.Abs(st.Throughput-want)/want > 0.15 {
+		t.Errorf("rate %v, closed-loop prediction %v", st.Throughput, want)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	cfg := smallConfig()
+	m := machine.New(machine.DefaultConfig())
+	srv := New(m, cfg)
+	m.RunFor(cfg.Warmup / 2)
+	st := srv.Snapshot(m.Now())
+	if st.Completed != 0 {
+		t.Errorf("requests counted during warmup: %d", st.Completed)
+	}
+}
+
+func TestInjectionDegradesLatency(t *testing.T) {
+	base := machine.New(machine.DefaultConfig())
+	bSrv := New(base, smallConfig())
+	base.RunFor(60 * units.Second)
+	bStats := bSrv.Snapshot(base.Now())
+
+	inj := machine.New(machine.DefaultConfig())
+	if err := (dtm.Dimetrodon{P: 0.9, L: 100 * units.Millisecond}).Apply(inj); err != nil {
+		t.Fatal(err)
+	}
+	iSrv := New(inj, smallConfig())
+	inj.RunFor(60 * units.Second)
+	iStats := iSrv.Snapshot(inj.Now())
+
+	if iStats.MeanLatency <= bStats.MeanLatency {
+		t.Errorf("injection did not increase latency: %v vs %v",
+			iStats.MeanLatency, bStats.MeanLatency)
+	}
+}
+
+func TestKernelThreadShieldedFromInjection(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	if err := (dtm.Dimetrodon{P: 0.95, L: 100 * units.Millisecond}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(m, smallConfig())
+	m.RunFor(30 * units.Second)
+	if srv.kthread.Injections != 0 {
+		t.Errorf("kernel network thread injected %d times", srv.kthread.Injections)
+	}
+	injected := 0
+	for _, w := range srv.Workers() {
+		injected += w.Injections
+	}
+	if injected == 0 {
+		t.Error("no worker injections at p=0.95")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	srv := New(m, smallConfig())
+	m.RunFor(60 * units.Second)
+	st := srv.Snapshot(m.Now())
+	if st.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Distribution ordering: mean ≤ p95 ≤ p99 ≤ max.
+	if st.MeanLatency > st.P95Latency {
+		t.Errorf("mean %v above p95 %v", st.MeanLatency, st.P95Latency)
+	}
+	if st.P95Latency > st.P99Latency {
+		t.Errorf("p95 %v above p99 %v", st.P95Latency, st.P99Latency)
+	}
+	if st.P99Latency > st.MaxLatency {
+		t.Errorf("p99 %v above max %v", st.P99Latency, st.MaxLatency)
+	}
+	if st.P95Latency <= 0 {
+		t.Error("p95 not populated")
+	}
+}
+
+func TestStatsMath(t *testing.T) {
+	st := Stats{Completed: 10, Good: 7, Tolerable: 9}
+	if st.GoodFraction() != 0.7 || st.TolerableFraction() != 0.9 {
+		t.Errorf("fractions = %v/%v", st.GoodFraction(), st.TolerableFraction())
+	}
+	empty := Stats{}
+	if empty.GoodFraction() != 1 || empty.TolerableFraction() != 1 {
+		t.Error("empty stats should score perfect")
+	}
+	if !strings.Contains(st.String(), "good=70.0%") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestQueueDepthAndSaturation(t *testing.T) {
+	// At an injection level past the capacity knee the queue must grow.
+	m := machine.New(machine.DefaultConfig())
+	if err := (dtm.Dimetrodon{P: 0.97, L: 100 * units.Millisecond}).Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig() // full 440 connections
+	cfg.Warmup = 5 * units.Second
+	srv := New(m, cfg)
+	m.RunFor(60 * units.Second)
+	if srv.QueueDepth() < 10 {
+		t.Errorf("queue depth %d at saturating injection", srv.QueueDepth())
+	}
+	st := srv.Snapshot(m.Now())
+	if st.GoodFraction() > 0.5 {
+		t.Errorf("good QoS %v at saturation", st.GoodFraction())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := machine.New(machine.DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("zero connections did not panic")
+		}
+	}()
+	New(m, Config{Connections: 0, Workers: 1})
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Stats {
+		cfg := machine.DefaultConfig()
+		cfg.Seed = 42
+		m := machine.New(cfg)
+		srv := New(m, smallConfig())
+		m.RunFor(40 * units.Second)
+		return srv.Snapshot(m.Now())
+	}
+	a := run()
+	b := run()
+	if a.Completed != b.Completed || a.MeanLatency != b.MeanLatency || a.Good != b.Good {
+		t.Errorf("replays diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,121 @@
+// Package workload provides the benchmark programs of the paper's
+// evaluation: the cpuburn worst-case thermal stressor, synthetic proxies for
+// the six SPEC CPU2006 benchmarks of Table 1, and the periodic "cool" process
+// of the per-thread control demonstration (Figure 5).
+//
+// SPEC CPU2006 binaries are proprietary and cannot ship with this
+// reproduction. The paper established that its selected benchmarks are
+// entirely CPU-bound with full scheduling quanta, and that what distinguishes
+// them thermally is the amount of heat they generate (Table 1's "Rise (%)"
+// column). The proxies therefore model each benchmark as a CPU-bound loop
+// with a calibrated activity (power) factor chosen so its unconstrained
+// temperature rise over idle reproduces the published percentage of
+// cpuburn's rise. DESIGN.md records this substitution.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// Burn returns a program that computes forever in fixed-size chunks — the
+// cpuburn infinite loop. The chunk size only controls internal bookkeeping
+// granularity (quantum rotation is driven by the scheduler's timeslice).
+func Burn() sched.Program {
+	return sched.ProgramFunc(func(units.Time) sched.Action {
+		return sched.Compute(1.0)
+	})
+}
+
+// FiniteBurn returns a program that computes for exactly work
+// reference-seconds and exits — the finite cpuburn loop of the §3.3 model
+// validation runs.
+func FiniteBurn(work float64) sched.Program {
+	remaining := work
+	return sched.ProgramFunc(func(units.Time) sched.Action {
+		if remaining <= 0 {
+			return sched.Exit()
+		}
+		chunk := remaining
+		if chunk > 1.0 {
+			chunk = 1.0
+		}
+		remaining -= chunk
+		return sched.Compute(chunk)
+	})
+}
+
+// PeriodicBurst returns the Figure 5 "cool" process: a loop that computes for
+// burst reference-seconds, sleeps for pause, and repeats.
+func PeriodicBurst(burst float64, pause units.Time) sched.Program {
+	computing := false
+	return sched.ProgramFunc(func(units.Time) sched.Action {
+		computing = !computing
+		if computing {
+			return sched.Compute(burst)
+		}
+		return sched.Sleep(pause)
+	})
+}
+
+// Spec describes one SPEC CPU2006 proxy benchmark.
+type Spec struct {
+	Name string
+	// PowerFactor is the calibrated activity factor reproducing the
+	// benchmark's published unconstrained rise over idle.
+	PowerFactor float64
+	// PaperRisePct is Table 1's "Rise (%)" column: the benchmark's
+	// temperature rise as a percentage of cpuburn's.
+	PaperRisePct float64
+	// PaperAlpha/PaperBeta are Table 1's published T(r)=α·r^β fits.
+	PaperAlpha, PaperBeta float64
+}
+
+// CPUBurnRef is cpuburn expressed in the same terms, for Table 1's first row.
+var CPUBurnRef = Spec{Name: "cpuburn", PowerFactor: 1.0, PaperRisePct: 100, PaperAlpha: 1.092, PaperBeta: 1.541}
+
+// SpecSuite lists the six benchmarks of Table 1 with calibrated power
+// factors. The factors exceed the target rise ratios slightly below the top
+// because the leakage-temperature feedback makes rise superlinear in heat
+// input; they were fitted against the simulator (see TestSpecRiseCalibration).
+var SpecSuite = []Spec{
+	{Name: "calculix", PowerFactor: 0.997, PaperRisePct: 99.3, PaperAlpha: 1.282, PaperBeta: 1.697},
+	{Name: "namd", PowerFactor: 0.944, PaperRisePct: 87.2, PaperAlpha: 1.248, PaperBeta: 1.546},
+	{Name: "dealII", PowerFactor: 0.927, PaperRisePct: 84.4, PaperAlpha: 1.324, PaperBeta: 1.688},
+	{Name: "bzip2", PowerFactor: 0.927, PaperRisePct: 84.4, PaperAlpha: 1.529, PaperBeta: 1.811},
+	{Name: "gcc", PowerFactor: 0.900, PaperRisePct: 80.3, PaperAlpha: 1.425, PaperBeta: 1.848},
+	{Name: "astar", PowerFactor: 0.831, PaperRisePct: 71.7, PaperAlpha: 1.351, PaperBeta: 1.416},
+}
+
+// FindSpec returns the suite entry with the given name.
+func FindSpec(name string) (Spec, error) {
+	if name == CPUBurnRef.Name {
+		return CPUBurnRef, nil
+	}
+	for _, s := range SpecSuite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Program returns the proxy's infinite CPU-bound loop. Spawn it with the
+// Spec's PowerFactor (SpawnSpec does both).
+func (s Spec) Program() sched.Program { return Burn() }
+
+// SpawnSpec starts n instances of the benchmark (one thread each, as the
+// paper ran one instance per core) under the given process ID.
+func SpawnSpec(sc *sched.Scheduler, s Spec, pid, n int) []*sched.Thread {
+	threads := make([]*sched.Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = sc.Spawn(s.Program(), sched.SpawnConfig{
+			Name:        fmt.Sprintf("%s-%d", s.Name, i),
+			ProcessID:   pid,
+			PowerFactor: s.PowerFactor,
+		})
+	}
+	return threads
+}

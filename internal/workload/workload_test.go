@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+func drive(prog sched.Program, cores int, until units.Time) (*sched.Scheduler, *sched.Thread) {
+	clock := &simclock.Clock{}
+	s := sched.New(clock, sched.Config{Cores: cores, Timeslice: 100 * units.Millisecond}, nil, nil)
+	th := s.Spawn(prog, sched.SpawnConfig{Name: "w"})
+	clock.AdvanceTo(until, nil)
+	return s, th
+}
+
+func TestBurnNeverExits(t *testing.T) {
+	s, th := drive(Burn(), 1, 5*units.Second)
+	s.ChargeAll()
+	if th.Exited() {
+		t.Fatal("cpuburn exited")
+	}
+	if math.Abs(th.WorkDone-5) > 0.001 {
+		t.Errorf("work = %v, want 5", th.WorkDone)
+	}
+}
+
+func TestFiniteBurnExactWork(t *testing.T) {
+	_, th := drive(FiniteBurn(2.5), 1, 10*units.Second)
+	if !th.Exited() {
+		t.Fatal("finite burn did not exit")
+	}
+	if math.Abs(th.WorkDone-2.5) > 1e-9 {
+		t.Errorf("work = %v, want 2.5", th.WorkDone)
+	}
+	if th.ExitedAt != units.FromSeconds(2.5) {
+		t.Errorf("exited at %v", th.ExitedAt)
+	}
+}
+
+func TestFiniteBurnFractionalChunk(t *testing.T) {
+	_, th := drive(FiniteBurn(0.35), 1, 5*units.Second)
+	if !th.Exited() || math.Abs(th.WorkDone-0.35) > 1e-9 {
+		t.Errorf("work = %v exited=%v", th.WorkDone, th.Exited())
+	}
+}
+
+func TestPeriodicBurstCycle(t *testing.T) {
+	// 1 s burn, 2 s sleep: over 9 s the thread completes three bursts.
+	s, th := drive(PeriodicBurst(1.0, 2*units.Second), 1, 9*units.Second)
+	s.ChargeAll()
+	if th.Exited() {
+		t.Fatal("periodic burst exited")
+	}
+	if math.Abs(th.WorkDone-3) > 0.01 {
+		t.Errorf("work = %v, want 3 (three bursts)", th.WorkDone)
+	}
+}
+
+func TestFindSpec(t *testing.T) {
+	for _, name := range []string{"cpuburn", "calculix", "namd", "dealII", "bzip2", "gcc", "astar"} {
+		s, err := FindSpec(name)
+		if err != nil {
+			t.Errorf("FindSpec(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("FindSpec(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, err := FindSpec("mcf"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSuiteOrderedLikeTable1(t *testing.T) {
+	// Table 1 lists workloads by descending rise; the calibrated power
+	// factors must respect that ordering.
+	last := 2.0
+	for _, s := range SpecSuite {
+		if s.PowerFactor > last {
+			t.Errorf("%s power factor %v out of order", s.Name, s.PowerFactor)
+		}
+		last = s.PowerFactor
+		if s.PowerFactor <= 0 || s.PowerFactor > 1 {
+			t.Errorf("%s power factor %v outside (0,1]", s.Name, s.PowerFactor)
+		}
+		if s.PaperRisePct <= 0 || s.PaperRisePct > 100 {
+			t.Errorf("%s paper rise %v implausible", s.Name, s.PaperRisePct)
+		}
+		if s.PaperAlpha <= 0 || s.PaperBeta < 1 {
+			t.Errorf("%s paper fit %v/%v implausible", s.Name, s.PaperAlpha, s.PaperBeta)
+		}
+	}
+	if CPUBurnRef.PowerFactor != 1.0 || CPUBurnRef.PaperRisePct != 100 {
+		t.Error("cpuburn reference wrong")
+	}
+}
+
+func TestSpawnSpec(t *testing.T) {
+	clock := &simclock.Clock{}
+	s := sched.New(clock, sched.Config{Cores: 4, Timeslice: 100 * units.Millisecond}, nil, nil)
+	spec, err := FindSpec("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := SpawnSpec(s, spec, 7, 4)
+	if len(threads) != 4 {
+		t.Fatalf("spawned %d", len(threads))
+	}
+	for _, th := range threads {
+		if th.ProcessID != 7 {
+			t.Errorf("pid = %d", th.ProcessID)
+		}
+		if th.PowerFactor != spec.PowerFactor {
+			t.Errorf("power factor = %v", th.PowerFactor)
+		}
+	}
+	clock.AdvanceTo(units.Second, nil)
+	s.ChargeAll()
+	var total float64
+	for _, th := range threads {
+		total += th.WorkDone
+	}
+	if math.Abs(total-4) > 0.01 {
+		t.Errorf("4 cores × 1 s = %v work", total)
+	}
+}
