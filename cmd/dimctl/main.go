@@ -19,9 +19,11 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-duration runs")
+	jobs := flag.Int("jobs", 0, "parallel trial workers; 0 = GOMAXPROCS (output is identical at any setting)")
 	outDir := flag.String("out", "results", "output directory for `export`")
 	flag.Usage = usage
 	flag.Parse()
+	dimetrodon.SetJobs(*jobs)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -93,9 +95,9 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `dimctl — Dimetrodon (DAC 2011) reproduction harness
 
 usage:
-  dimctl list                               list experiments
-  dimctl [-scale S] run <id>...             run experiments (or "all")
-  dimctl [-scale S] [-out DIR] export <id>  write plot-ready CSVs (or "all")
+  dimctl list                                         list experiments
+  dimctl [-scale S] [-jobs N] run <id>...             run experiments (or "all")
+  dimctl [-scale S] [-jobs N] [-out DIR] export <id>  write plot-ready CSVs (or "all")
 
 flags:
 `)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 // Scale controls experiment durations and trial counts; 1.0 reproduces the
@@ -18,6 +19,17 @@ const (
 	FullScale  = experiments.Full
 	QuickScale = experiments.Quick
 )
+
+// SetJobs sets the trial-level parallelism of every experiment harness: the
+// number of workers the sweep engine fans independent simulations across.
+// n <= 0 restores the default (GOMAXPROCS). Results are byte-identical at any
+// setting — trials derive their seeds from their position in the sweep, never
+// from a shared stream — so this is purely a wall-clock knob (cmd/dimctl
+// exposes it as -jobs).
+func SetJobs(n int) { runner.SetJobs(n) }
+
+// Jobs returns the effective trial-level parallelism.
+func Jobs() int { return runner.Jobs() }
 
 // Experiment is one reproducible artefact of the paper's evaluation.
 type Experiment struct {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/units"
 	"repro/internal/webserver"
 )
@@ -47,6 +48,7 @@ func RunAblationKernelThreads(scale Scale) KernelAblationResult {
 	}
 	run := func(p float64, l units.Time, injectKernel bool, seed uint64) outcome {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		m := machine.New(cfg)
 		if p > 0 {
@@ -77,15 +79,33 @@ func RunAblationKernelThreads(scale Scale) KernelAblationResult {
 			kernelInjs: kinjs,
 		}
 	}
-	base := run(0, 0, false, 955)
-	rise := float64(base.meanTemp - base.idleTemp)
-	var res KernelAblationResult
-	for _, g := range []struct {
+	grid := []struct {
 		p float64
 		l units.Time
-	}{{0.5, 50 * units.Millisecond}, {0.75, 50 * units.Millisecond}, {0.85, 50 * units.Millisecond}} {
-		shielded := run(g.p, g.l, false, 956)
-		injected := run(g.p, g.l, true, 957)
+	}{{0.5, 50 * units.Millisecond}, {0.75, 50 * units.Millisecond}, {0.85, 50 * units.Millisecond}}
+
+	// Baseline first, then a shielded/injectable pair per grid point.
+	type kaSpec struct {
+		p            float64
+		l            units.Time
+		injectKernel bool
+		seed         uint64
+	}
+	specs := []kaSpec{{0, 0, false, 955}}
+	for _, g := range grid {
+		specs = append(specs,
+			kaSpec{g.p, g.l, false, 956},
+			kaSpec{g.p, g.l, true, 957})
+	}
+	outs := runner.Map(specs, func(_ int, s kaSpec) outcome {
+		return run(s.p, s.l, s.injectKernel, s.seed)
+	})
+	base := outs[0]
+	rise := float64(base.meanTemp - base.idleTemp)
+	var res KernelAblationResult
+	for i, g := range grid {
+		shielded := outs[1+2*i]
+		injected := outs[2+2*i]
 		pt := KernelAblationPoint{
 			Label:         fmt.Sprintf("p=%g L=%v", g.p, g.l),
 			ShieldedMean:  shielded.stats.MeanLatency,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -42,6 +43,7 @@ func abSweep(name, desc string, scale Scale, mutate func(*machine.Machine), muta
 	measure := func(p float64, l units.Time, variant bool, seed uint64) Figure3Point {
 		mk := func(tech dtm.Technique, s uint64) SteadyResult {
 			cfg := machine.DefaultConfig()
+			cfg.Meter.Disabled = true
 			cfg.Seed = s
 			if variant && mutateCfg != nil {
 				mutateCfg(&cfg)
@@ -79,13 +81,30 @@ func abSweep(name, desc string, scale Scale, mutate func(*machine.Machine), muta
 		}
 		return Figure3Point{P: p, L: l, TempRed: pt.TempReduction, PerfRed: pt.PerfReduction, Efficiency: eff}
 	}
+	// Two measures per grid point (baseline model, ablated model), each a
+	// self-contained pair of simulations keyed by its own seeds.
+	type abSpec struct {
+		p       float64
+		l       units.Time
+		variant bool
+		seed    uint64
+	}
+	var specs []abSpec
 	seed := uint64(90000)
 	for _, g := range grid {
 		seed += 10
+		specs = append(specs,
+			abSpec{g.p, g.l, false, seed},
+			abSpec{g.p, g.l, true, seed + 5})
+	}
+	points := runner.Map(specs, func(_ int, s abSpec) Figure3Point {
+		return measure(s.p, s.l, s.variant, s.seed)
+	})
+	for i, g := range grid {
 		res.Points = append(res.Points, AblationPoint{
 			Label:    fmt.Sprintf("p=%g L=%v", g.p, g.l),
-			Baseline: measure(g.p, g.l, false, seed),
-			Variant:  measure(g.p, g.l, true, seed+5),
+			Baseline: points[2*i],
+			Variant:  points[2*i+1],
 		})
 	}
 	return res
@@ -143,26 +162,40 @@ func RunAblationDeterministic(scale Scale) AblationResult {
 		Name:        "deterministic",
 		Description: "probabilistic injection (baseline) vs deterministic accumulator (variant)",
 	}
-	base := RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, SpawnBurnPerCore(1.0), settle, window)
-	for _, g := range []struct {
+	grid := []struct {
 		p float64
 		l units.Time
-	}{{0.25, 100 * units.Millisecond}, {0.5, 100 * units.Millisecond}, {0.75, 100 * units.Millisecond}} {
-		measure := func(det bool, seed uint64) Figure3Point {
+	}{{0.25, 100 * units.Millisecond}, {0.5, 100 * units.Millisecond}, {0.75, 100 * units.Millisecond}}
+
+	// Trial 0 is the shared race-to-idle baseline; then a probabilistic and
+	// a deterministic run per grid point.
+	spawn := SpawnBurnPerCore(1.0)
+	trials := []SteadyTrial{{Cfg: machine.DefaultConfig(), Tech: dtm.RaceToIdle{}, Spawn: spawn, Settle: settle, Window: window}}
+	for _, g := range grid {
+		for di, det := range []bool{false, true} {
 			cfg := machine.DefaultConfig()
-			cfg.Seed = seed
-			r := RunSteady(cfg, dtm.Dimetrodon{P: g.p, L: g.l, Deterministic: det}, SpawnBurnPerCore(1.0), settle, window)
-			pt := Tradeoff("", base, r)
-			eff := 0.0
-			if pt.PerfReduction > 0 {
-				eff = pt.TempReduction / pt.PerfReduction
-			}
-			return Figure3Point{P: g.p, L: g.l, TempRed: pt.TempReduction, PerfRed: pt.PerfReduction, Efficiency: eff}
+			cfg.Seed = uint64(91000+1000*di) + uint64(g.p*100)
+			trials = append(trials, SteadyTrial{Cfg: cfg, Tech: dtm.Dimetrodon{P: g.p, L: g.l, Deterministic: det}, Spawn: spawn, Settle: settle, Window: window})
 		}
+	}
+	results := RunSteadyAll(trials)
+	base := results[0]
+	toPoint := func(g struct {
+		p float64
+		l units.Time
+	}, r SteadyResult) Figure3Point {
+		pt := Tradeoff("", base, r)
+		eff := 0.0
+		if pt.PerfReduction > 0 {
+			eff = pt.TempReduction / pt.PerfReduction
+		}
+		return Figure3Point{P: g.p, L: g.l, TempRed: pt.TempReduction, PerfRed: pt.PerfReduction, Efficiency: eff}
+	}
+	for i, g := range grid {
 		res.Points = append(res.Points, AblationPoint{
 			Label:    fmt.Sprintf("p=%g L=%v", g.p, g.l),
-			Baseline: measure(false, 91000+uint64(g.p*100)),
-			Variant:  measure(true, 92000+uint64(g.p*100)),
+			Baseline: toPoint(g, results[1+2*i]),
+			Variant:  toPoint(g, results[2+2*i]),
 		})
 	}
 	return res

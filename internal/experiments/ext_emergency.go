@@ -7,6 +7,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -41,6 +42,7 @@ func RunEmergencyScenario(scale Scale) EmergencyResult {
 
 	run := func(preventive bool, seed uint64) EmergencyArm {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		cfg.FanFactor = 2.4
 		m := machine.New(cfg)
@@ -87,8 +89,10 @@ func RunEmergencyScenario(scale Scale) EmergencyResult {
 	}
 
 	res := EmergencyResult{FanFactor: 2.4, Trip: tm1Cfg.Trip}
-	res.Arms = append(res.Arms, run(false, 900))
-	res.Arms = append(res.Arms, run(true, 901))
+	res.Arms = runner.Collect(
+		func() EmergencyArm { return run(false, 900) },
+		func() EmergencyArm { return run(true, 901) },
+	)
 	return res
 }
 

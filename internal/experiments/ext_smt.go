@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/smt"
 	"repro/internal/units"
@@ -46,6 +47,7 @@ func RunSMTCoScheduling(scale Scale) SMTResult {
 	}
 	run := func(p float64, l units.Time, cosched bool, seed uint64) outcome {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		cfg.SMTContexts = 2
 		m := machine.New(cfg)
@@ -94,7 +96,37 @@ func RunSMTCoScheduling(scale Scale) SMTResult {
 		}
 	}
 
-	base := run(0, 0, false, 800)
+	grid := []struct {
+		p float64
+		l units.Time
+	}{
+		{0.25, 10 * units.Millisecond},
+		{0.5, 10 * units.Millisecond},
+		{0.5, 50 * units.Millisecond},
+		{0.75, 50 * units.Millisecond},
+		{0.75, 100 * units.Millisecond},
+	}
+
+	// Baseline first, then a naive/co-scheduled pair per grid point.
+	type smtSpec struct {
+		p       float64
+		l       units.Time
+		cosched bool
+		seed    uint64
+	}
+	specs := []smtSpec{{0, 0, false, 800}}
+	seed := uint64(810)
+	for _, g := range grid {
+		seed += 2
+		specs = append(specs,
+			smtSpec{g.p, g.l, false, seed},
+			smtSpec{g.p, g.l, true, seed + 1})
+	}
+	outs := runner.Map(specs, func(_ int, s smtSpec) outcome {
+		return run(s.p, s.l, s.cosched, s.seed)
+	})
+	base := outs[0]
+
 	var res SMTResult
 	res.BaselineRate = base.res.WorkRate
 	toPoint := func(p float64, l units.Time, o outcome) Figure3Point {
@@ -105,20 +137,9 @@ func RunSMTCoScheduling(scale Scale) SMTResult {
 		}
 		return Figure3Point{P: p, L: l, TempRed: pt.TempReduction, PerfRed: pt.PerfReduction, Efficiency: eff}
 	}
-	seed := uint64(810)
-	for _, g := range []struct {
-		p float64
-		l units.Time
-	}{
-		{0.25, 10 * units.Millisecond},
-		{0.5, 10 * units.Millisecond},
-		{0.5, 50 * units.Millisecond},
-		{0.75, 50 * units.Millisecond},
-		{0.75, 100 * units.Millisecond},
-	} {
-		seed += 2
-		naive := run(g.p, g.l, false, seed)
-		co := run(g.p, g.l, true, seed+1)
+	for i, g := range grid {
+		naive := outs[1+2*i]
+		co := outs[2+2*i]
 		res.Points = append(res.Points, SMTPoint{
 			Label:       fmt.Sprintf("p=%g L=%v", g.p, g.l),
 			Naive:       toPoint(g.p, g.l, naive),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -35,6 +36,7 @@ func RunULEComparison(scale Scale) ULEResult {
 
 	run := func(p float64, l units.Time, perCPU bool, seed uint64) (SteadyResult, int) {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		cfg.Sched.PerCPUQueues = perCPU
 		m := machine.New(cfg)
@@ -62,10 +64,42 @@ func RunULEComparison(scale Scale) ULEResult {
 		}, m.Sched.Steals
 	}
 
-	var res ULEResult
+	grid := []struct {
+		p float64
+		l units.Time
+	}{
+		{0.25, 5 * units.Millisecond},
+		{0.5, 10 * units.Millisecond},
+		{0.5, 100 * units.Millisecond},
+		{0.75, 100 * units.Millisecond},
+	}
+
+	// Both baselines, then a BSD/ULE pair per grid point, as one list.
+	type uleSpec struct {
+		p      float64
+		l      units.Time
+		perCPU bool
+		seed   uint64
+	}
+	type uleOut struct {
+		res    SteadyResult
+		steals int
+	}
+	specs := []uleSpec{{0, 0, false, 860}, {0, 0, true, 861}}
 	seed := uint64(860)
-	baseBSD, _ := run(0, 0, false, seed)
-	baseULE, _ := run(0, 0, true, seed+1)
+	for _, g := range grid {
+		seed += 2
+		specs = append(specs,
+			uleSpec{g.p, g.l, false, seed},
+			uleSpec{g.p, g.l, true, seed + 1})
+	}
+	outs := runner.Map(specs, func(_ int, s uleSpec) uleOut {
+		r, steals := run(s.p, s.l, s.perCPU, s.seed)
+		return uleOut{r, steals}
+	})
+	baseBSD, baseULE := outs[0].res, outs[1].res
+
+	var res ULEResult
 	toPoint := func(p float64, l units.Time, base, pol SteadyResult) Figure3Point {
 		pt := Tradeoff("", base, pol)
 		eff := 0.0
@@ -74,23 +108,14 @@ func RunULEComparison(scale Scale) ULEResult {
 		}
 		return Figure3Point{P: p, L: l, TempRed: pt.TempReduction, PerfRed: pt.PerfReduction, Efficiency: eff}
 	}
-	for _, g := range []struct {
-		p float64
-		l units.Time
-	}{
-		{0.25, 5 * units.Millisecond},
-		{0.5, 10 * units.Millisecond},
-		{0.5, 100 * units.Millisecond},
-		{0.75, 100 * units.Millisecond},
-	} {
-		seed += 2
-		bsd, _ := run(g.p, g.l, false, seed)
-		ule, steals := run(g.p, g.l, true, seed+1)
+	for i, g := range grid {
+		bsd := outs[2+2*i]
+		ule := outs[3+2*i]
 		res.Points = append(res.Points, ULEPoint{
 			Label:  fmt.Sprintf("p=%g L=%v", g.p, g.l),
-			BSD:    toPoint(g.p, g.l, baseBSD, bsd),
-			ULE:    toPoint(g.p, g.l, baseULE, ule),
-			Steals: steals,
+			BSD:    toPoint(g.p, g.l, baseBSD, bsd.res),
+			ULE:    toPoint(g.p, g.l, baseULE, ule.res),
+			Steals: ule.steals,
 		})
 	}
 	return res

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -80,8 +81,19 @@ func RunFigure1(scale Scale) Figure1Result {
 		return series, units.Watts(mean)
 	}
 	horizon := units.FromSeconds(8*work + 2)
-	raceSeries, raceMean := run(dtm.RaceToIdle{}, horizon)
-	dimSeries, dimMean := run(dtm.Dimetrodon{P: 0.5, L: 100 * units.Millisecond}, horizon)
+	type armOut struct {
+		series *trace.Series
+		mean   units.Watts
+	}
+	arms := runner.Collect(
+		func() armOut { s, m := run(dtm.RaceToIdle{}, horizon); return armOut{s, m} },
+		func() armOut {
+			s, m := run(dtm.Dimetrodon{P: 0.5, L: 100 * units.Millisecond}, horizon)
+			return armOut{s, m}
+		},
+	)
+	raceSeries, raceMean := arms[0].series, arms[0].mean
+	dimSeries, dimMean := arms[1].series, arms[1].mean
 
 	// Annotate expected power levels for k idle cores at a representative
 	// warm junction temperature.

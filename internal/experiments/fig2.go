@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -34,8 +35,13 @@ type Figure2Result struct {
 func RunFigure2(scale Scale) Figure2Result {
 	dur := scale.seconds(300)
 	res := Figure2Result{Duration: dur}
-	for _, p := range []float64{0, 0.25, 0.5, 0.75} {
+	type curveOut struct {
+		curve Figure2Curve
+		idle  units.Celsius
+	}
+	curve := func(p float64) curveOut {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = uint64(100 + p*100)
 		m := machine.New(cfg)
 		tech := dtm.Technique(dtm.RaceToIdle{})
@@ -47,7 +53,6 @@ func RunFigure2(scale Scale) Figure2Result {
 		}
 		SpawnBurnPerCore(1.0)(m)
 		idle := m.IdleJunctionTemp()
-		res.IdleTemp = idle
 		rise := trace.NewSeries(fmt.Sprintf("rise p=%g", p), "C")
 		sampleEvery := units.Second
 		if dur < 60*units.Second {
@@ -64,7 +69,13 @@ func RunFigure2(scale Scale) Figure2Result {
 			prevI, prevT = i, t
 		}
 		final, _ := rise.MeanOver(dur-dur/10, dur)
-		res.Curves = append(res.Curves, Figure2Curve{P: p, Rise: rise, FinalRise: final})
+		return curveOut{Figure2Curve{P: p, Rise: rise, FinalRise: final}, idle}
+	}
+	ps := []float64{0, 0.25, 0.5, 0.75}
+	outs := runner.Map(ps, func(_ int, p float64) curveOut { return curve(p) })
+	for _, o := range outs {
+		res.Curves = append(res.Curves, o.curve)
+		res.IdleTemp = o.idle // shared config: identical across curves
 	}
 	return res
 }

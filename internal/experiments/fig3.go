@@ -44,15 +44,24 @@ func RunFigure3(scale Scale) Figure3Result {
 	for _, lms := range []float64{1, 2, 5, 10, 25, 50, 75, 100} {
 		res.Ls = append(res.Ls, units.FromMilliseconds(lms))
 	}
-	cfg := machine.DefaultConfig()
 	spawn := SpawnBurnPerCore(1.0)
-	base := RunSteady(cfg, dtm.RaceToIdle{}, spawn, settle, window)
+	// Trial 0 is the unconstrained baseline; the rest are the p×L grid in
+	// row-major order with seeds derived from the grid coordinates.
+	trials := []SteadyTrial{{Cfg: machine.DefaultConfig(), Tech: dtm.RaceToIdle{}, Spawn: spawn, Settle: settle, Window: window}}
 	for _, p := range res.Ps {
 		for _, l := range res.Ls {
 			cfg := machine.DefaultConfig()
 			cfg.Seed = uint64(p*1000) + uint64(l/units.Millisecond)
-			r := RunSteady(cfg, dtm.Dimetrodon{P: p, L: l}, spawn, settle, window)
-			pt := Tradeoff(fmt.Sprintf("p=%g L=%v", p, l), base, r)
+			trials = append(trials, SteadyTrial{Cfg: cfg, Tech: dtm.Dimetrodon{P: p, L: l}, Spawn: spawn, Settle: settle, Window: window})
+		}
+	}
+	results := RunSteadyAll(trials)
+	base := results[0]
+	i := 1
+	for _, p := range res.Ps {
+		for _, l := range res.Ls {
+			pt := Tradeoff(fmt.Sprintf("p=%g L=%v", p, l), base, results[i])
+			i++
 			eff := 0.0
 			if pt.PerfReduction > 0 {
 				eff = pt.TempReduction / pt.PerfReduction

@@ -59,31 +59,55 @@ func RunFigure4(scale Scale) Figure4Result {
 	window := scale.seconds(30)
 	grid := DefaultFigure4Grid()
 	spawn := SpawnBurnPerCore(1.0)
-	base := RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, spawn, settle, window)
 
-	measure := func(tech dtm.Technique, seed uint64) analysis.TradeoffPoint {
-		cfg := machine.DefaultConfig()
-		cfg.Seed = seed
-		r := RunSteady(cfg, tech, spawn, settle, window)
-		return Tradeoff(tech.Label(), base, r)
+	// Enumerate the sweep — Dimetrodon grid, then the VFS ladder, then the
+	// TCC duty levels — assigning seeds in that submission order, exactly
+	// as the sequential harness did.
+	type f4Spec struct {
+		tech dtm.Technique
+		seed uint64
 	}
-
-	var res Figure4Result
+	var specs []f4Spec
 	seed := uint64(40000)
 	for _, p := range grid.Ps {
 		for _, l := range grid.Ls {
 			seed++
-			res.Dimetrodon = append(res.Dimetrodon, measure(dtm.Dimetrodon{P: p, L: l}, seed))
+			specs = append(specs, f4Spec{dtm.Dimetrodon{P: p, L: l}, seed})
 		}
 	}
 	ladder := machine.New(machine.DefaultConfig()).Chip.PStateCount()
 	for i := 1; i < ladder; i++ {
 		seed++
-		res.VFS = append(res.VFS, measure(dtm.VFS{PState: i}, seed))
+		specs = append(specs, f4Spec{dtm.VFS{PState: i}, seed})
 	}
 	for _, d := range grid.TCC {
 		seed++
-		res.P4TCC = append(res.P4TCC, measure(dtm.P4TCC{Duty: d}, seed))
+		specs = append(specs, f4Spec{dtm.P4TCC{Duty: d}, seed})
+	}
+
+	trials := make([]SteadyTrial, 0, len(specs)+1)
+	trials = append(trials, SteadyTrial{Cfg: machine.DefaultConfig(), Tech: dtm.RaceToIdle{}, Spawn: spawn, Settle: settle, Window: window})
+	for _, s := range specs {
+		cfg := machine.DefaultConfig()
+		cfg.Seed = s.seed
+		trials = append(trials, SteadyTrial{Cfg: cfg, Tech: s.tech, Spawn: spawn, Settle: settle, Window: window})
+	}
+	results := RunSteadyAll(trials)
+	base := results[0]
+
+	var res Figure4Result
+	nDim := len(grid.Ps) * len(grid.Ls)
+	nVFS := ladder - 1
+	for i, s := range specs {
+		pt := Tradeoff(s.tech.Label(), base, results[i+1])
+		switch {
+		case i < nDim:
+			res.Dimetrodon = append(res.Dimetrodon, pt)
+		case i < nDim+nVFS:
+			res.VFS = append(res.VFS, pt)
+		default:
+			res.P4TCC = append(res.P4TCC, pt)
+		}
 	}
 
 	res.DimPareto = analysis.ParetoFrontier(res.Dimetrodon)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -58,6 +59,7 @@ func RunFigure5(scale Scale) Figure5Result {
 	}
 	run := func(params core.Params, perThread bool, seed uint64) outcome {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		m := machine.New(cfg)
 		if params.Enabled() {
@@ -95,29 +97,42 @@ func RunFigure5(scale Scale) Figure5Result {
 		}
 	}
 
-	base := run(core.Params{}, false, 500)
+	// The baseline plus the p×L×{global,per-thread} sweep as one trial
+	// list, seeds assigned in the sequential submission order.
+	type f5Spec struct {
+		params    core.Params
+		perThread bool
+		seed      uint64
+	}
+	specs := []f5Spec{{core.Params{}, false, 500}}
+	seed := uint64(50000)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		for _, l := range []units.Time{10 * units.Millisecond, 50 * units.Millisecond, 100 * units.Millisecond} {
+			for _, perThread := range []bool{false, true} {
+				seed++
+				specs = append(specs, f5Spec{core.Params{P: p, L: l}, perThread, seed})
+			}
+		}
+	}
+	outs := runner.Map(specs, func(_ int, s f5Spec) outcome {
+		return run(s.params, s.perThread, s.seed)
+	})
+	base := outs[0]
 	baseRise := float64(base.meanTemp - base.idleTemp)
 
 	var res Figure5Result
 	res.BaseCoolRate = base.coolRate
-	seed := uint64(50000)
-	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
-		for _, l := range []units.Time{10 * units.Millisecond, 50 * units.Millisecond, 100 * units.Millisecond} {
-			params := core.Params{P: p, L: l}
-			for _, perThread := range []bool{false, true} {
-				seed++
-				o := run(params, perThread, seed)
-				pt := Figure5Point{
-					Label:          params.String(),
-					TempReduction:  float64(base.meanTemp-o.meanTemp) / baseRise,
-					CoolThroughput: o.coolRate / base.coolRate,
-				}
-				if perThread {
-					res.PerThread = append(res.PerThread, pt)
-				} else {
-					res.Global = append(res.Global, pt)
-				}
-			}
+	for i, s := range specs[1:] {
+		o := outs[i+1]
+		pt := Figure5Point{
+			Label:          s.params.String(),
+			TempReduction:  float64(base.meanTemp-o.meanTemp) / baseRise,
+			CoolThroughput: o.coolRate / base.coolRate,
+		}
+		if s.perThread {
+			res.PerThread = append(res.PerThread, pt)
+		} else {
+			res.Global = append(res.Global, pt)
 		}
 	}
 	res.GlobalPareto = fig5Pareto(res.Global)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/units"
 	"repro/internal/webserver"
 )
@@ -50,6 +51,7 @@ func RunFigure6(scale Scale) Figure6Result {
 	}
 	run := func(tech dtm.Technique, seed uint64) outcome {
 		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
 		cfg.Seed = seed
 		m := machine.New(cfg)
 		if err := tech.Apply(m); err != nil {
@@ -69,29 +71,45 @@ func RunFigure6(scale Scale) Figure6Result {
 		}
 	}
 
-	base := run(dtm.RaceToIdle{}, 600)
-	rise := float64(base.meanTemp - base.idleTemp)
-	res := Figure6Result{BaselineRise: units.Celsius(rise), BaselineQoS: base.stats}
-
+	// Baseline first, then the p×L sweep, all as one trial list.
+	type f6Spec struct {
+		p    float64
+		l    units.Time
+		seed uint64
+	}
+	specs := []f6Spec{{0, 0, 600}}
 	seed := uint64(60000)
 	for _, p := range []float64{0.25, 0.5, 0.65, 0.75, 0.8, 0.85, 0.9, 0.93, 0.95} {
 		for _, l := range []units.Time{10 * units.Millisecond, 25 * units.Millisecond, 50 * units.Millisecond, 100 * units.Millisecond} {
 			seed++
-			o := run(dtm.Dimetrodon{P: minProb(p), L: l}, seed)
-			pt := Figure6Point{
-				Label:         fmt.Sprintf("p=%g L=%v", p, l),
-				TempReduction: float64(base.meanTemp-o.meanTemp) / rise,
-				Throughput:    o.stats.Throughput,
-				MeanLatency:   o.stats.MeanLatency,
-			}
-			if g := base.stats.GoodFraction(); g > 0 {
-				pt.GoodQoS = o.stats.GoodFraction() / g
-			}
-			if t := base.stats.TolerableFraction(); t > 0 {
-				pt.TolerableQoS = o.stats.TolerableFraction() / t
-			}
-			res.Points = append(res.Points, pt)
+			specs = append(specs, f6Spec{p, l, seed})
 		}
+	}
+	outs := runner.Map(specs, func(i int, s f6Spec) outcome {
+		if i == 0 {
+			return run(dtm.RaceToIdle{}, s.seed)
+		}
+		return run(dtm.Dimetrodon{P: minProb(s.p), L: s.l}, s.seed)
+	})
+	base := outs[0]
+	rise := float64(base.meanTemp - base.idleTemp)
+	res := Figure6Result{BaselineRise: units.Celsius(rise), BaselineQoS: base.stats}
+
+	for i, s := range specs[1:] {
+		o := outs[i+1]
+		pt := Figure6Point{
+			Label:         fmt.Sprintf("p=%g L=%v", s.p, s.l),
+			TempReduction: float64(base.meanTemp-o.meanTemp) / rise,
+			Throughput:    o.stats.Throughput,
+			MeanLatency:   o.stats.MeanLatency,
+		}
+		if g := base.stats.GoodFraction(); g > 0 {
+			pt.GoodQoS = o.stats.GoodFraction() / g
+		}
+		if t := base.stats.TolerableFraction(); t > 0 {
+			pt.TolerableQoS = o.stats.TolerableFraction() / t
+		}
+		res.Points = append(res.Points, pt)
 	}
 	res.GoodPareto = fig6Pareto(res.Points, true)
 	res.TolPareto = fig6Pareto(res.Points, false)

@@ -46,17 +46,35 @@ func RunTable1(scale Scale) Table1Result {
 	}
 
 	specs := append([]workload.Spec{workload.CPUBurnRef}, workload.SpecSuite...)
-	burnBase := RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, SpawnBurnPerCore(1.0), settle, window)
+
+	// One trial list covers the whole table: an unconstrained baseline per
+	// workload (cpuburn's doubles as the rise reference) followed by the
+	// workload-major p×L policy grid with the sequential seed assignment.
+	gridN := len(ps) * len(ls)
+	trials := make([]SteadyTrial, 0, len(specs)*(1+gridN))
+	for _, sp := range specs {
+		trials = append(trials, SteadyTrial{Cfg: machine.DefaultConfig(), Tech: dtm.RaceToIdle{}, Spawn: SpawnBurnPerCore(sp.PowerFactor), Settle: settle, Window: window})
+	}
+	seed := uint64(70000)
+	for _, sp := range specs {
+		for _, p := range ps {
+			for _, l := range ls {
+				seed++
+				cfg := machine.DefaultConfig()
+				cfg.Seed = seed
+				trials = append(trials, SteadyTrial{Cfg: cfg, Tech: dtm.Dimetrodon{P: p, L: l}, Spawn: SpawnBurnPerCore(sp.PowerFactor), Settle: settle, Window: window})
+			}
+		}
+	}
+	results := RunSteadyAll(trials)
+	bases := results[:len(specs)]
+	policies := results[len(specs):]
+	burnBase := bases[0]
 	burnRise := float64(burnBase.MeanJunction - burnBase.IdleTemp)
 
 	var res Table1Result
-	seed := uint64(70000)
-	for _, sp := range specs {
-		spawn := SpawnBurnPerCore(sp.PowerFactor)
-		base := burnBase
-		if sp.Name != workload.CPUBurnRef.Name {
-			base = RunSteady(machine.DefaultConfig(), dtm.RaceToIdle{}, spawn, settle, window)
-		}
+	for wi, sp := range specs {
+		base := bases[wi]
 		rise := float64(base.MeanJunction - base.IdleTemp)
 		row := Table1Row{
 			Workload:     sp.Name,
@@ -65,13 +83,11 @@ func RunTable1(scale Scale) Table1Result {
 			PaperAlpha:   sp.PaperAlpha,
 			PaperBeta:    sp.PaperBeta,
 		}
+		gi := wi * gridN
 		for _, p := range ps {
 			for _, l := range ls {
-				seed++
-				cfg := machine.DefaultConfig()
-				cfg.Seed = seed
-				r := RunSteady(cfg, dtm.Dimetrodon{P: p, L: l}, spawn, settle, window)
-				row.Points = append(row.Points, Tradeoff(fmt.Sprintf("p=%g L=%v", p, l), base, r))
+				row.Points = append(row.Points, Tradeoff(fmt.Sprintf("p=%g L=%v", p, l), base, policies[gi]))
+				gi++
 			}
 		}
 		pareto := analysis.ParetoFrontier(row.Points)

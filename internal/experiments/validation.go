@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -47,28 +48,49 @@ func RunValidationThroughput(scale Scale) ThroughputValidationResult {
 	res := ThroughputValidationResult{Work: work}
 	var devSum float64
 	q := machine.DefaultConfig().Sched.Timeslice
+
+	// Flatten the p×L×trial grid into one trial list; every entry's seed is
+	// a pure function of its coordinates, so the sweep parallelises without
+	// any shared randomness.
+	type vtSpec struct {
+		p, lms float64
+		trial  int
+	}
+	var specs []vtSpec
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		for _, lms := range []float64{25, 50, 75, 100} {
+			for trial := 0; trial < trials; trial++ {
+				specs = append(specs, vtSpec{p, lms, trial})
+			}
+		}
+	}
+	runtimes := runner.Map(specs, func(_ int, s vtSpec) float64 {
+		l := units.FromMilliseconds(s.lms)
+		cfg := machine.DefaultConfig()
+		cfg.Meter.Disabled = true
+		cfg.Seed = uint64(1000*s.p) + uint64(s.lms)*1000 + uint64(s.trial) + 7
+		m := machine.New(cfg)
+		if err := (dtm.Dimetrodon{P: s.p, L: l}).Apply(m); err != nil {
+			panic(err)
+		}
+		t := m.Sched.Spawn(workload.FiniteBurn(work), sched.SpawnConfig{
+			Name: "burnP6", PowerFactor: 1.0,
+		})
+		horizon := units.FromSeconds(work/(1-s.p)*3 + 5)
+		for !t.Exited() && m.Now() < horizon {
+			m.RunFor(250 * units.Millisecond)
+		}
+		return t.Runtime(m.Now()).Seconds()
+	})
+
+	i := 0
 	for _, p := range []float64{0.25, 0.5, 0.75} {
 		for _, lms := range []float64{25, 50, 75, 100} {
 			l := units.FromMilliseconds(lms)
 			model := analysis.ThroughputModel{P: p, L: l, Q: q}
 			predicted := model.PredictRuntime(units.FromSeconds(work))
-			var actuals []float64
-			for trial := 0; trial < trials; trial++ {
-				cfg := machine.DefaultConfig()
-				cfg.Seed = uint64(1000*p) + uint64(lms)*1000 + uint64(trial) + 7
-				m := machine.New(cfg)
-				if err := (dtm.Dimetrodon{P: p, L: l}).Apply(m); err != nil {
-					panic(err)
-				}
-				t := m.Sched.Spawn(workload.FiniteBurn(work), sched.SpawnConfig{
-					Name: "burnP6", PowerFactor: 1.0,
-				})
-				horizon := units.FromSeconds(work/(1-p)*3 + 5)
-				for !t.Exited() && m.Now() < horizon {
-					m.RunFor(250 * units.Millisecond)
-				}
-				actuals = append(actuals, t.Runtime(m.Now()).Seconds())
-			}
+			actuals := runtimes[i : i+trials]
+			i += trials
 			sum := analysis.Summarize(actuals)
 			// Throughput ∝ 1/runtime: deviation of measured
 			// throughput from predicted throughput.
@@ -134,16 +156,43 @@ func RunValidationEnergy(scale Scale) EnergyValidationResult {
 	trials := scale.trials(5)
 	res := EnergyValidationResult{MinRatioPct: 1e9, MaxRatioPct: -1e9}
 	var devSum, absSum float64
+
+	// Each grid entry is a Dimetrodon/race-to-idle pair; the race run must
+	// follow its partner (it reuses the Dimetrodon run's window), so the
+	// pair is the unit of parallelism.
+	type veSpec struct {
+		p, lms float64
+		trial  int
+	}
+	type veOut struct{ ratio, trueRatio float64 }
+	var specs []veSpec
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		for _, lms := range []float64{50, 100} {
+			for trial := 0; trial < trials; trial++ {
+				specs = append(specs, veSpec{p, lms, trial})
+			}
+		}
+	}
+	outs := runner.Map(specs, func(_ int, s veSpec) veOut {
+		l := units.FromMilliseconds(s.lms)
+		seed := uint64(s.trial)*97 + uint64(s.lms) + uint64(s.p*1000)
+		dimE, dimTrue, window := runEnergyTrial(dtm.Dimetrodon{P: s.p, L: l}, work, seed, 0)
+		raceE, raceTrue, _ := runEnergyTrial(dtm.RaceToIdle{}, work, seed+1, window)
+		return veOut{
+			ratio:     float64(dimE) / float64(raceE) * 100,
+			trueRatio: float64(dimTrue) / float64(raceTrue) * 100,
+		}
+	})
+
+	i := 0
 	for _, p := range []float64{0.25, 0.5, 0.75} {
 		for _, lms := range []float64{50, 100} {
 			l := units.FromMilliseconds(lms)
 			var ratios, trueRatios []float64
 			for trial := 0; trial < trials; trial++ {
-				seed := uint64(trial)*97 + uint64(lms) + uint64(p*1000)
-				dimE, dimTrue, window := runEnergyTrial(dtm.Dimetrodon{P: p, L: l}, work, seed, 0)
-				raceE, raceTrue, _ := runEnergyTrial(dtm.RaceToIdle{}, work, seed+1, window)
-				ratios = append(ratios, float64(dimE)/float64(raceE)*100)
-				trueRatios = append(trueRatios, float64(dimTrue)/float64(raceTrue)*100)
+				ratios = append(ratios, outs[i].ratio)
+				trueRatios = append(trueRatios, outs[i].trueRatio)
+				i++
 			}
 			mr := analysis.Summarize(ratios).Mean
 			tr := analysis.Summarize(trueRatios).Mean

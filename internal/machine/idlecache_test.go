@@ -1,0 +1,36 @@
+package machine
+
+import (
+	"testing"
+)
+
+// TestIdleFingerprintExactness pins the two properties the idle cache needs:
+// value-identical configs built from fresh Model allocations share a key
+// (otherwise the cache never hits), and thermally distinct configs never
+// share one — including values that collide under the unit newtypes' lossy
+// few-digit String() rendering (25.2 vs 25.16 both print "25.2").
+func TestIdleFingerprintExactness(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	if idleFingerprint(&a, 1) != idleFingerprint(&b, 1) {
+		t.Fatal("fresh value-identical configs must share a fingerprint")
+	}
+	if idleFingerprint(&a, 1) == idleFingerprint(&a, 0) {
+		t.Fatal("leakage coupling must be part of the key")
+	}
+
+	close := DefaultConfig()
+	close.Ambient = 25.16 // renders identically to 25.2 via Celsius.String
+	if idleFingerprint(&a, 1) == idleFingerprint(&close, 1) {
+		t.Fatal("Ambient 25.2 and 25.16 must not collide")
+	}
+	if got, want := New(close).IdleJunctionTemp(), New(a).IdleJunctionTemp(); got == want {
+		t.Fatalf("distinct ambients returned the same cached idle temp %v", got)
+	}
+
+	model := DefaultConfig()
+	model.Model.LeakNominal = 8.04 // renders identically to 8.0 via Watts.String
+	if idleFingerprint(&a, 1) == idleFingerprint(&model, 1) {
+		t.Fatal("LeakNominal 8.0 and 8.04 must not collide")
+	}
+}

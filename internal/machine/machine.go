@@ -15,6 +15,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sensor"
 	"repro/internal/simclock"
+	"repro/internal/thermal"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -202,8 +203,11 @@ func New(cfg Config) *Machine {
 	}
 	m.tempIntegral = make([]float64, n)
 	m.lastTemps = make([]units.Celsius, n)
-	// Start from the idle equilibrium.
-	m.Net.SolveSteadyState(m.Chip)
+	// Start from the idle equilibrium. A fresh chip idles every core in C1E
+	// with unit leakage coupling, which is exactly the memoised idle solve.
+	for i, t := range idleSolve(&m.cfg, 1).temps {
+		m.Net.Net.SetTemp(thermal.NodeID(i), t)
+	}
 	return m
 }
 
@@ -367,20 +371,10 @@ func (m *Machine) MeanJunctionIntegral() float64 {
 
 // IdleJunctionTemp returns the all-idle equilibrium junction temperature of
 // this machine configuration — the paper's "idle temperature" baseline.
-// It is computed on a scratch copy; the running state is not disturbed.
+// The solve is memoised per thermally-relevant configuration (see idleSolve);
+// the running state is not disturbed.
 func (m *Machine) IdleJunctionTemp() units.Celsius {
-	scratch := NewThermalPath(m.cfg)
-	idleChip := cpu.NewChip(m.cfg.Model)
-	if m.Chip.LeakageTempCoupling != 1 {
-		idleChip.LeakageTempCoupling = m.Chip.LeakageTempCoupling
-	}
-	scratch.SolveSteadyState(idleChip)
-	temps := scratch.Junctions(nil)
-	var sum float64
-	for _, t := range temps {
-		sum += float64(t)
-	}
-	return units.Celsius(sum / float64(len(temps)))
+	return idleSolve(&m.cfg, m.Chip.LeakageTempCoupling).mean
 }
 
 // TotalWorkDone returns the summed completed work (reference-seconds) across

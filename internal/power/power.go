@@ -61,6 +61,13 @@ type MeterConfig struct {
 	// NoiseSD is the standard deviation of additive per-sample noise in
 	// watts (quantisation plus pickup).
 	NoiseSD float64
+	// Disabled switches the instrument chain off entirely: Observe becomes
+	// a no-op and no samples are drawn. Experiment harnesses that never
+	// read the measured trace or energy set this to skip the 3 kHz noise
+	// draws, which otherwise dominate simulation cost. The meter's RNG is
+	// an independent substream, so disabling it cannot perturb any other
+	// stochastic component.
+	Disabled bool
 }
 
 // DefaultMeterConfig mirrors the paper's instruments: 3 samples/ms and a
@@ -108,7 +115,7 @@ func (m *Meter) Gain() float64 { return m.gain }
 // sample is gain·p plus noise. Spans may be of any length, including shorter
 // than the sampling period.
 func (m *Meter) Observe(from, to units.Time, p units.Watts) {
-	if to <= from {
+	if m.cfg.Disabled || to <= from {
 		return
 	}
 	if m.nextSample < from {

@@ -1,0 +1,133 @@
+// Package runner is the deterministic trial-sweep engine behind every
+// experiment harness: it fans a slice of independent trial specifications out
+// across a worker pool and returns the results in submission order.
+//
+// Determinism is the load-bearing property. The paper's evaluation is
+// reproduced by sweeps of self-contained simulations — each trial builds its
+// own machine from an explicit seed derived from the trial's identity (never
+// drawn from a shared RNG stream) — so executing them concurrently cannot
+// perturb any result, and collecting results by submission index makes the
+// rendered output byte-identical at any parallelism level. The regression
+// test in internal/experiments pins exactly that: -jobs 1 and -jobs 8 must
+// render the same bytes.
+//
+// The pool size defaults to GOMAXPROCS and is overridden globally via
+// SetJobs, which cmd/dimctl wires to its -jobs flag.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// jobs holds the configured pool size; 0 selects GOMAXPROCS.
+var jobs atomic.Int64
+
+// SetJobs sets the worker-pool size used by subsequent Map calls. n <= 0
+// restores the default (GOMAXPROCS at the time of the sweep).
+func SetJobs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	jobs.Store(int64(n))
+}
+
+// Jobs returns the effective worker-pool size.
+func Jobs() int {
+	if j := jobs.Load(); j > 0 {
+		return int(j)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TrialPanic carries a panic out of a worker so Map can re-raise it on the
+// calling goroutine with the trial index, the original panic value, and the
+// failing trial's stack trace attached.
+type TrialPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error formats the panic with the originating trial's stack, which would
+// otherwise be lost when the panic crosses the worker boundary.
+func (p *TrialPanic) Error() string {
+	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Map executes fn(i, specs[i]) for every spec across the worker pool and
+// returns the results indexed exactly like specs. fn must be self-contained:
+// it may read shared immutable data (the baseline result, the grid) but must
+// derive all stochastic state from the spec itself.
+//
+// If any trial panics, Map re-panics on the caller's goroutine after all
+// workers have drained, raising the panic of the lowest trial index so the
+// failure is independent of scheduling order.
+func Map[S, R any](specs []S, fn func(i int, spec S) R) []R {
+	n := len(specs)
+	res := make([]R, n)
+	workers := Jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range specs {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(&TrialPanic{Index: i, Value: r, Stack: debug.Stack()})
+					}
+				}()
+				res[i] = fn(i, specs[i])
+			}()
+		}
+		return res
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked *TrialPanic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							tp := &TrialPanic{Index: i, Value: r, Stack: debug.Stack()}
+							panicMu.Lock()
+							if panicked == nil || i < panicked.Index {
+								panicked = tp
+							}
+							panicMu.Unlock()
+						}
+					}()
+					res[i] = fn(i, specs[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return res
+}
+
+// Collect runs a fixed set of heterogeneous thunks concurrently and returns
+// their results in order — sugar over Map for the "baseline plus a couple of
+// arms" shape that several harnesses have.
+func Collect[R any](thunks ...func() R) []R {
+	return Map(thunks, func(_ int, f func() R) R { return f() })
+}

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	defer SetJobs(0)
+	specs := make([]int, 1000)
+	for i := range specs {
+		specs[i] = i * 3
+	}
+	for _, j := range []int{0, 1, 2, 7, 64} {
+		SetJobs(j)
+		got := Map(specs, func(i, s int) int { return s + i })
+		for i, v := range got {
+			if want := specs[i] + i; v != want {
+				t.Fatalf("jobs=%d: res[%d] = %d, want %d", j, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(nil, func(i int, s struct{}) int { return 0 }); len(got) != 0 {
+		t.Fatalf("empty Map returned %d results", len(got))
+	}
+}
+
+func TestMapRunsEachTrialExactlyOnce(t *testing.T) {
+	SetJobs(8)
+	defer SetJobs(0)
+	var calls [256]atomic.Int32
+	specs := make([]int, len(calls))
+	for i := range specs {
+		specs[i] = i
+	}
+	Map(specs, func(i, s int) int {
+		calls[i].Add(1)
+		return 0
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("trial %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestMapPanicSequentialWrapsToo(t *testing.T) {
+	SetJobs(1)
+	defer SetJobs(0)
+	defer func() {
+		tp, ok := recover().(*TrialPanic)
+		if !ok || tp.Index != 2 || tp.Value != "serial-boom" {
+			t.Fatalf("jobs=1 panic = %+v, want *TrialPanic for trial 2", tp)
+		}
+	}()
+	Map([]int{0, 1, 2}, func(i, s int) int {
+		if i == 2 {
+			panic("serial-boom")
+		}
+		return 0
+	})
+}
+
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	SetJobs(8)
+	defer SetJobs(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		tp, ok := r.(*TrialPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want *TrialPanic", r)
+		}
+		if tp.Index != 3 || tp.Value != "boom-3" {
+			t.Fatalf("panic = trial %d value %v, want lowest failing trial 3", tp.Index, tp.Value)
+		}
+		if !strings.Contains(tp.Error(), "trial 3 panicked: boom-3") || len(tp.Stack) == 0 {
+			t.Fatalf("TrialPanic.Error() = %q, want index, value and stack", tp.Error())
+		}
+	}()
+	specs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	Map(specs, func(i, s int) int {
+		if i >= 3 {
+			panic("boom-" + string(rune('0'+i)))
+		}
+		return 0
+	})
+}
+
+func TestCollect(t *testing.T) {
+	SetJobs(4)
+	defer SetJobs(0)
+	got := Collect(
+		func() string { return "a" },
+		func() string { return "b" },
+		func() string { return "c" },
+	)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Collect = %v", got)
+	}
+}
+
+func TestJobsDefaults(t *testing.T) {
+	SetJobs(0)
+	if Jobs() < 1 {
+		t.Fatalf("Jobs() = %d, want >= 1", Jobs())
+	}
+	SetJobs(-5)
+	if Jobs() < 1 {
+		t.Fatalf("Jobs() after negative = %d", Jobs())
+	}
+	SetJobs(3)
+	if Jobs() != 3 {
+		t.Fatalf("Jobs() = %d, want 3", Jobs())
+	}
+	SetJobs(0)
+}

@@ -12,6 +12,14 @@
 //   - heat inputs may depend on the node temperature itself, which is how the
 //     exponential temperature dependence of leakage power enters and produces
 //     the nonlinear trade-off curves of Figures 3 and 4.
+//
+// Step is the simulator's innermost kernel: every simulated second crosses it
+// hundreds of times. Its hot path therefore runs on a flattened CSR-style
+// adjacency (contiguous conductance/neighbour arrays instead of per-node
+// slices) and caches the per-node decay factors exp(−dt/τ), which depend only
+// on the step size and the (fixed) topology. The machine layer integrates
+// with a constant ThermalStep almost everywhere, so the cache hits on
+// virtually every step and the per-step math.Exp calls disappear.
 package thermal
 
 import (
@@ -28,13 +36,20 @@ type NodeID int
 type node struct {
 	name     string
 	capJ     float64 // thermal capacitance in J/K; <= 0 marks a boundary node
-	temp     float64 // current temperature, °C
 	boundary bool
 
-	// Adjacency: conductances in W/K to neighbouring nodes.
+	// Adjacency: conductances in W/K to neighbouring nodes. Kept as the
+	// construction-order source of truth; Step and SolveSteadyState run on
+	// the flattened copy built by flatten().
 	nbrs  []NodeID
 	conds []float64
 	gSum  float64 // cached Σ conductance
+}
+
+// decaySlot caches the per-node decay factors exp(−dt/τ) for one step size.
+type decaySlot struct {
+	dts   float64 // step size in seconds; 0 marks an empty slot
+	decay []float64
 }
 
 // Network is a set of thermal nodes connected by thermal resistances.
@@ -42,9 +57,25 @@ type node struct {
 // then fixed while temperatures evolve via Step/Advance.
 type Network struct {
 	nodes []node
+	temp  []float64 // current temperature by NodeID, °C
+
 	// scratch buffers reused across steps to avoid per-step allocation.
 	eq  []float64
 	pow []float64
+
+	// Flattened topology for the integration loops, rebuilt by flatten()
+	// after any AddNode/AddBoundary/Connect. rowStart[i]..rowStart[i+1]
+	// indexes node i's neighbours in adjIdx/adjG.
+	dirty    bool
+	rowStart []int32
+	adjIdx   []int32
+	adjG     []float64
+
+	// Two-entry decay cache, most recent first. The machine layer steps
+	// with a constant ThermalStep interrupted by occasional event-aligned
+	// remainders, so one slot pins the dominant step size while the other
+	// absorbs the one-off remainder without evicting it.
+	slots [2]decaySlot
 }
 
 // NewNetwork returns an empty network.
@@ -56,14 +87,18 @@ func (n *Network) AddNode(name string, capacitance float64, start units.Celsius)
 	if capacitance <= 0 {
 		panic(fmt.Sprintf("thermal: node %q needs positive capacitance, got %v", name, capacitance))
 	}
-	n.nodes = append(n.nodes, node{name: name, capJ: capacitance, temp: float64(start)})
+	n.nodes = append(n.nodes, node{name: name, capJ: capacitance})
+	n.temp = append(n.temp, float64(start))
+	n.dirty = true
 	return NodeID(len(n.nodes) - 1)
 }
 
 // AddBoundary adds a fixed-temperature node (e.g. ambient air held at the
 // thermostat setpoint). Its temperature never changes during integration.
 func (n *Network) AddBoundary(name string, temp units.Celsius) NodeID {
-	n.nodes = append(n.nodes, node{name: name, temp: float64(temp), boundary: true})
+	n.nodes = append(n.nodes, node{name: name, boundary: true})
+	n.temp = append(n.temp, float64(temp))
+	n.dirty = true
 	return NodeID(len(n.nodes) - 1)
 }
 
@@ -83,6 +118,7 @@ func (n *Network) Connect(a, b NodeID, r float64) {
 	n.nodes[b].nbrs = append(n.nodes[b].nbrs, a)
 	n.nodes[b].conds = append(n.nodes[b].conds, g)
 	n.nodes[b].gSum += g
+	n.dirty = true
 }
 
 // NumNodes returns the number of nodes (including boundaries).
@@ -92,11 +128,11 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 func (n *Network) Name(id NodeID) string { return n.nodes[id].name }
 
 // Temp returns the node's current temperature.
-func (n *Network) Temp(id NodeID) units.Celsius { return units.Celsius(n.nodes[id].temp) }
+func (n *Network) Temp(id NodeID) units.Celsius { return units.Celsius(n.temp[id]) }
 
 // SetTemp overrides a node's temperature (used to initialise or to reset a
 // boundary setpoint).
-func (n *Network) SetTemp(id NodeID, t units.Celsius) { n.nodes[id].temp = float64(t) }
+func (n *Network) SetTemp(id NodeID, t units.Celsius) { n.temp[id] = float64(t) }
 
 // Temps appends all node temperatures to dst (resized as needed) and returns
 // it; index corresponds to NodeID.
@@ -105,8 +141,8 @@ func (n *Network) Temps(dst []units.Celsius) []units.Celsius {
 		dst = make([]units.Celsius, len(n.nodes))
 	}
 	dst = dst[:len(n.nodes)]
-	for i := range n.nodes {
-		dst[i] = units.Celsius(n.nodes[i].temp)
+	for i := range n.temp {
+		dst[i] = units.Celsius(n.temp[i])
 	}
 	return dst
 }
@@ -131,6 +167,62 @@ func (n *Network) MinTimeConstant() float64 {
 // pre-zeroed. Implementations must not retain either slice.
 type PowerFunc func(temps []float64, out []float64)
 
+// flatten rebuilds the CSR adjacency and resizes the scratch buffers after a
+// topology change, and invalidates the decay cache (τ depends on ΣG).
+func (n *Network) flatten() {
+	nn := len(n.nodes)
+	n.rowStart = make([]int32, nn+1)
+	var edges int
+	for i := range n.nodes {
+		n.rowStart[i] = int32(edges)
+		edges += len(n.nodes[i].nbrs)
+	}
+	n.rowStart[nn] = int32(edges)
+	n.adjIdx = make([]int32, edges)
+	n.adjG = make([]float64, edges)
+	for i := range n.nodes {
+		base := int(n.rowStart[i])
+		for k, nb := range n.nodes[i].nbrs {
+			n.adjIdx[base+k] = int32(nb)
+			n.adjG[base+k] = n.nodes[i].conds[k]
+		}
+	}
+	n.eq = make([]float64, nn)
+	n.pow = make([]float64, nn)
+	for s := range n.slots {
+		n.slots[s] = decaySlot{decay: make([]float64, nn)}
+	}
+	n.dirty = false
+}
+
+// decayFor returns the per-node decay factors for step size dts, serving them
+// from the two-entry cache when possible. The factors are computed exactly as
+// the pre-cache kernel did — exp(−dts/τ) with τ = C/ΣG — so cached and fresh
+// steps are bit-identical.
+func (n *Network) decayFor(dts float64) []float64 {
+	if n.slots[0].dts == dts {
+		return n.slots[0].decay
+	}
+	if n.slots[1].dts == dts {
+		n.slots[0], n.slots[1] = n.slots[1], n.slots[0]
+		return n.slots[0].decay
+	}
+	// Miss: recompute into the older slot and promote it.
+	s := n.slots[1]
+	s.dts = dts
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		if nd.boundary || nd.gSum == 0 {
+			continue
+		}
+		tau := nd.capJ / nd.gSum
+		s.decay[i] = math.Exp(-dts / tau)
+	}
+	n.slots[1] = n.slots[0]
+	n.slots[0] = s
+	return s.decay
+}
+
 // Step advances the network by dt with the given heat inputs, using a
 // per-node exact exponential update against a frozen snapshot of neighbour
 // temperatures:
@@ -144,38 +236,38 @@ func (n *Network) Step(dt units.Time, power PowerFunc) {
 	if dt <= 0 {
 		return
 	}
-	nn := len(n.nodes)
-	if cap(n.eq) < nn {
-		n.eq = make([]float64, nn)
-		n.pow = make([]float64, nn)
+	if n.dirty {
+		n.flatten()
 	}
+	nn := len(n.nodes)
 	eq := n.eq[:nn]
 	pw := n.pow[:nn]
+	copy(eq, n.temp) // snapshot for Jacobi-style update
 	for i := range pw {
 		pw[i] = 0
-		eq[i] = n.nodes[i].temp // snapshot for Jacobi-style update
 	}
 	if power != nil {
 		power(eq, pw)
 	}
 	dts := dt.Seconds()
-	for i := range n.nodes {
+	decay := n.decayFor(dts)
+	rowStart, adjIdx, adjG := n.rowStart, n.adjIdx, n.adjG
+	for i := 0; i < nn; i++ {
 		nd := &n.nodes[i]
 		if nd.boundary {
 			continue
 		}
 		if nd.gSum == 0 {
 			// Isolated mass: pure integration of its heat input.
-			nd.temp += pw[i] * dts / nd.capJ
+			n.temp[i] += pw[i] * dts / nd.capJ
 			continue
 		}
 		var flux float64
-		for k, nb := range nd.nbrs {
-			flux += nd.conds[k] * eq[nb]
+		for k := rowStart[i]; k < rowStart[i+1]; k++ {
+			flux += adjG[k] * eq[adjIdx[k]]
 		}
 		teq := (pw[i] + flux) / nd.gSum
-		tau := nd.capJ / nd.gSum
-		nd.temp = teq + (eq[i]-teq)*math.Exp(-dts/tau)
+		n.temp[i] = teq + (eq[i]-teq)*decay[i]
 	}
 }
 
@@ -220,17 +312,17 @@ func (n *Network) SolveSteadyState(power PowerFunc, tol float64, maxSweeps int) 
 	if maxSweeps <= 0 {
 		maxSweeps = 10000
 	}
-	nn := len(n.nodes)
-	if cap(n.eq) < nn {
-		n.eq = make([]float64, nn)
-		n.pow = make([]float64, nn)
+	if n.dirty {
+		n.flatten()
 	}
+	nn := len(n.nodes)
 	pw := n.pow[:nn]
 	snap := n.eq[:nn]
+	rowStart, adjIdx, adjG := n.rowStart, n.adjIdx, n.adjG
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		copy(snap, n.temp)
 		for i := range pw {
 			pw[i] = 0
-			snap[i] = n.nodes[i].temp
 		}
 		if power != nil {
 			power(snap, pw)
@@ -238,20 +330,20 @@ func (n *Network) SolveSteadyState(power PowerFunc, tol float64, maxSweeps int) 
 		var worst float64
 		// Gauss-Seidel: use freshly updated values within the sweep for
 		// faster convergence on the chain topology.
-		for i := range n.nodes {
+		for i := 0; i < nn; i++ {
 			nd := &n.nodes[i]
 			if nd.boundary || nd.gSum == 0 {
 				continue
 			}
 			var flux float64
-			for k, nb := range nd.nbrs {
-				flux += nd.conds[k] * n.nodes[nb].temp
+			for k := rowStart[i]; k < rowStart[i+1]; k++ {
+				flux += adjG[k] * n.temp[adjIdx[k]]
 			}
 			teq := (pw[i] + flux) / nd.gSum
-			delta := teq - nd.temp
+			delta := teq - n.temp[i]
 			// Damping keeps the temperature-dependent leakage feedback
 			// loop from oscillating near its stability margin.
-			nd.temp += 0.5 * delta
+			n.temp[i] += 0.5 * delta
 			worst = math.Max(worst, math.Abs(delta))
 		}
 		if worst < tol {

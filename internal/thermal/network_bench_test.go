@@ -1,0 +1,77 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// benchNetwork builds the testbed's topology — ambient boundary, heatsink,
+// package, four junction nodes — with a representative heat input.
+func benchNetwork() (*Network, PowerFunc, []NodeID) {
+	n := NewNetwork()
+	amb := n.AddBoundary("ambient", 25.2)
+	sink := n.AddNode("heatsink", 170, 25.2)
+	pkg := n.AddNode("package", 45, 25.2)
+	n.Connect(sink, amb, 0.115)
+	n.Connect(pkg, sink, 0.045)
+	var junctions []NodeID
+	for i := 0; i < 4; i++ {
+		j := n.AddNode("junction", 0.0375, 25.2)
+		n.Connect(j, pkg, 0.80)
+		junctions = append(junctions, j)
+	}
+	power := func(temps []float64, out []float64) {
+		out[pkg] += 15
+		for _, j := range junctions {
+			// A crude temperature-coupled core draw, exercising the
+			// same read-temps/write-power shape as the chip model.
+			out[j] += 11 + 0.05*(temps[j]-25.2)
+		}
+	}
+	return n, power, junctions
+}
+
+// BenchmarkThermalStep measures the hot kernel at a constant step size — the
+// machine layer's dominant pattern, where the decay cache hits every step.
+func BenchmarkThermalStep(b *testing.B) {
+	n, power, _ := benchNetwork()
+	dt := 2 * units.Millisecond
+	n.Step(dt, power) // warm the decay cache and CSR layout
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(dt, power)
+	}
+}
+
+// BenchmarkThermalStepVariableDt interleaves the constant step with
+// event-aligned remainder steps of many distinct sizes — the worst realistic
+// cache pattern (the pinned slot still serves the constant step; every
+// remainder recomputes).
+func BenchmarkThermalStepVariableDt(b *testing.B) {
+	n, power, _ := benchNetwork()
+	base := 2 * units.Millisecond
+	rems := make([]units.Time, 64)
+	for i := range rems {
+		rems[i] = units.Time(i+1) * 17 * units.Microsecond
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			n.Step(base, power)
+		} else {
+			n.Step(rems[(i/2)%len(rems)], power)
+		}
+	}
+}
+
+// BenchmarkSolveSteadyState measures the idle-equilibrium solve that the
+// machine layer memoises per configuration.
+func BenchmarkSolveSteadyState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, power, _ := benchNetwork()
+		b.StartTimer()
+		n.SolveSteadyState(power, 1e-7, 200000)
+	}
+}

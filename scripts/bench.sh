@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's benchmark suite and record ns/op per
+# benchmark into BENCH_results.json, so the performance trajectory is
+# tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # harness + kernel benchmarks
+#   BENCH_PATTERN='Figure3' scripts/bench.sh
+#   HARNESS_BENCHTIME=3x scripts/bench.sh
+#
+# Environment:
+#   BENCH_PATTERN      override the benchmark regex entirely
+#   HARNESS_BENCHTIME  -benchtime for the full-harness benchmarks (default 1x:
+#                      each iteration is a complete scaled experiment run)
+#   MICRO_BENCHTIME    -benchtime for the kernel micro-benchmarks (default 1s)
+#   OUT                output path (default BENCH_results.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_results.json}"
+HARNESS_BENCHTIME="${HARNESS_BENCHTIME:-1x}"
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-1s}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+if [[ -n "${BENCH_PATTERN:-}" ]]; then
+    go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$HARNESS_BENCHTIME" ./... | tee "$raw"
+else
+    # Full-harness benchmarks: one iteration reproduces a whole (scaled)
+    # paper artefact, so a fixed iteration count keeps wall-clock sane.
+    go test -run '^$' -bench 'Figure|Table|Validation|Ablation|Extension|SimulatorSteadySecond' \
+        -benchtime "$HARNESS_BENCHTIME" . | tee "$raw"
+    # Kernel micro-benchmarks: cheap enough for time-based sampling.
+    go test -run '^$' -bench 'ThermalStep|SolveSteadyState|Runner' \
+        -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
+fi
+
+awk '
+    /^Benchmark/ && $NF == "ns/op" {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+        vals[name] = $(NF - 1)
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= n; i++) {
+            printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n ? "," : "")
+        }
+        printf "}\n"
+    }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c ':' "$OUT") benchmarks)"
