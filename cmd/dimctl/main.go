@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	dimetrodon "repro"
@@ -30,6 +31,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch args[0] {
+	case "scenario":
+		scenarioCmd(args[1:], dimetrodon.Scale(*scale), *outDir)
+		return
 	case "export":
 		targets := args[1:]
 		if len(targets) == 0 {
@@ -91,6 +95,103 @@ func main() {
 	}
 }
 
+// scenarioCmd implements the `dimctl scenario list|run|export` subcommands:
+// the fleet-scale scenario engine on top of the same -scale/-jobs/-out flags
+// the paper harnesses use. Flags are also accepted after the scenario names
+// (`dimctl scenario run fleet-diurnal -jobs 8`), where the top-level parse
+// has already stopped.
+func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string) {
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	names, rest := splitFlags(args[1:])
+	if len(rest) > 0 {
+		fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+		trailingScale := fs.Float64("scale", float64(scale), "experiment scale")
+		trailingJobs := fs.Int("jobs", 0, "parallel trial workers")
+		trailingOut := fs.String("out", outDir, "output directory for export")
+		if err := fs.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		scale = dimetrodon.Scale(*trailingScale)
+		outDir = *trailingOut
+		if *trailingJobs != 0 {
+			dimetrodon.SetJobs(*trailingJobs)
+		}
+	}
+	resolve := func(targets []string) []string {
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "dimctl: scenario "+args[0]+" requires scenario names or \"all\"")
+			os.Exit(2)
+		}
+		if len(targets) == 1 && targets[0] == "all" {
+			return dimetrodon.ScenarioNames()
+		}
+		for _, name := range targets {
+			if _, ok := dimetrodon.LookupScenario(name); !ok {
+				fmt.Fprintf(os.Stderr, "dimctl: unknown scenario %q (try: dimctl scenario list)\n", name)
+				os.Exit(2)
+			}
+		}
+		return targets
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range dimetrodon.ScenarioNames() {
+			s, _ := dimetrodon.LookupScenario(name)
+			fmt.Printf("%-18s %s\n", s.Name, s.Title)
+			fmt.Printf("%-18s   %s\n", "", s.Summary)
+		}
+	case "run":
+		for _, name := range resolve(names) {
+			start := time.Now()
+			res, err := dimetrodon.RunScenario(name, scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dimctl: scenario %s failed: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== scenario %s ====\n%s", name, res)
+			fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	case "export":
+		for _, name := range resolve(names) {
+			start := time.Now()
+			paths, err := dimetrodon.ExportScenario(name, scale, outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dimctl: exporting scenario %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s -> %d file(s) in %v\n", name, len(paths), time.Since(start).Round(time.Millisecond))
+			for _, p := range paths {
+				fmt.Printf("  %s\n", p)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// splitFlags partitions subcommand arguments into positional names and
+// trailing flag tokens (each flag here takes a value, passed either as
+// "-jobs=8" or "-jobs 8").
+func splitFlags(args []string) (names, rest []string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if strings.HasPrefix(a, "-") {
+			rest = append(rest, a)
+			if !strings.Contains(a, "=") && i+1 < len(args) {
+				i++
+				rest = append(rest, args[i])
+			}
+			continue
+		}
+		names = append(names, a)
+	}
+	return names, rest
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `dimctl — Dimetrodon (DAC 2011) reproduction harness
 
@@ -98,6 +199,10 @@ usage:
   dimctl list                                         list experiments
   dimctl [-scale S] [-jobs N] run <id>...             run experiments (or "all")
   dimctl [-scale S] [-jobs N] [-out DIR] export <id>  write plot-ready CSVs (or "all")
+  dimctl scenario list                                list fleet scenarios
+  dimctl [-scale S] [-jobs N] scenario run <name>...  run fleet scenarios (or "all")
+  dimctl [-scale S] [-jobs N] [-out DIR] scenario export <name>...
+                                                      write scenario CSVs (or "all")
 
 flags:
 `)

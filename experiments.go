@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // Scale controls experiment durations and trial counts; 1.0 reproduces the
@@ -204,4 +205,44 @@ func ExperimentIDs() []string {
 // exportable.
 func Export(id string, scale Scale, dir string) ([]string, error) {
 	return experiments.Export(id, scale, dir)
+}
+
+// --- Scenario engine (beyond the paper's fixed evaluation) ---
+
+// ScenarioSpec re-exports the scenario engine's declarative specification;
+// see internal/scenario for the field reference and DESIGN.md §7 for the
+// model.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioResult is one executed fleet scenario.
+type ScenarioResult = scenario.Result
+
+// ScenarioNames returns the registered scenario names in stable order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LookupScenario returns the named registered scenario spec.
+func LookupScenario(name string) (*ScenarioSpec, bool) { return scenario.Get(name) }
+
+// RegisterScenario validates and adds a scenario to the registry.
+func RegisterScenario(s *ScenarioSpec) error { return scenario.Register(s) }
+
+// DecodeScenario parses and validates a JSON scenario spec.
+func DecodeScenario(data []byte) (*ScenarioSpec, error) { return scenario.Decode(data) }
+
+// RunScenario executes the named registered scenario's fleet across the
+// worker pool (see SetJobs) and returns the aggregated result. Output is
+// byte-identical at any parallelism level.
+func RunScenario(name string, scale Scale) (*ScenarioResult, error) {
+	return scenario.RunByName(name, float64(scale))
+}
+
+// RunScenarioSpec executes an ad-hoc (possibly unregistered) scenario spec.
+func RunScenarioSpec(s *ScenarioSpec, scale Scale) (*ScenarioResult, error) {
+	return scenario.Run(s, float64(scale))
+}
+
+// ExportScenario runs the named scenario and writes its per-machine and
+// fleet-aggregate CSVs into dir.
+func ExportScenario(name string, scale Scale, dir string) ([]string, error) {
+	return scenario.Export(name, float64(scale), dir)
 }

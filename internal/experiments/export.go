@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/export"
 	"repro/internal/trace"
 )
 
@@ -15,9 +14,6 @@ import (
 // covers every figure and table of the paper plus the extension studies;
 // ablation results are table-shaped and exported as a single CSV each.
 func Export(id string, scale Scale, dir string) ([]string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("experiments: creating %s: %w", dir, err)
-	}
 	switch id {
 	case "fig1":
 		r := RunFigure1(scale)
@@ -40,7 +36,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 			fmt.Fprintf(&b, "%g,%g,%.6f,%.6f,%.4f\n",
 				pt.P, pt.L.Milliseconds(), pt.TempRed, pt.PerfRed, pt.Efficiency)
 		}
-		return writeAll(dir, namedCSV{"fig3_efficiency.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "fig3_efficiency.csv", Content: b.String()})
 	case "fig4":
 		r := RunFigure4(scale)
 		return writeAll(dir,
@@ -60,7 +56,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				row.Workload, row.RisePct, row.PaperRisePct,
 				row.Fit.Alpha, row.PaperAlpha, row.Fit.Beta, row.PaperBeta, row.Fit.R2)
 		}
-		return writeAll(dir, namedCSV{"table1_workloads.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "table1_workloads.csv", Content: b.String()})
 	case "fig5":
 		r := RunFigure5(scale)
 		return writeAll(dir,
@@ -76,7 +72,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Label, p.TempReduction, p.GoodQoS, p.TolerableQoS,
 				p.Throughput, p.MeanLatency.Seconds())
 		}
-		return writeAll(dir, namedCSV{"fig6_web_qos.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "fig6_web_qos.csv", Content: b.String()})
 	case "val-throughput":
 		r := RunValidationThroughput(scale)
 		var b strings.Builder
@@ -86,7 +82,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				row.P, row.L.Milliseconds(), row.Trials,
 				row.Predicted.Seconds(), row.MeanActual.Seconds(), row.DeviationPct)
 		}
-		return writeAll(dir, namedCSV{"val_throughput.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "val_throughput.csv", Content: b.String()})
 	case "val-energy":
 		r := RunValidationEnergy(scale)
 		var b strings.Builder
@@ -95,7 +91,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 			fmt.Fprintf(&b, "%g,%g,%d,%.4f,%.4f\n",
 				row.P, row.L.Milliseconds(), row.Trials, row.RatioPct, row.TrueRatioPct)
 		}
-		return writeAll(dir, namedCSV{"val_energy.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "val_energy.csv", Content: b.String()})
 	case "abl-leakage", "abl-cstate", "abl-deterministic", "abl-hotspot":
 		var r AblationResult
 		switch id {
@@ -115,7 +111,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Baseline.TempRed, p.Baseline.PerfRed, p.Baseline.Efficiency,
 				p.Variant.TempRed, p.Variant.PerfRed, p.Variant.Efficiency)
 		}
-		return writeAll(dir, namedCSV{fmt.Sprintf("%s.csv", strings.ReplaceAll(id, "-", "_")), b.String()})
+		return writeAll(dir, namedCSV{Name: fmt.Sprintf("%s.csv", strings.ReplaceAll(id, "-", "_")), Content: b.String()})
 	case "abl-kernel":
 		r := RunAblationKernelThreads(scale)
 		var b strings.Builder
@@ -125,7 +121,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.ShieldedGood, p.ShieldedRed, p.ShieldedMean.Seconds(),
 				p.InjectedGood, p.InjectedRed, p.InjectedMean.Seconds(), p.KernelInjects)
 		}
-		return writeAll(dir, namedCSV{"abl_kernel.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "abl_kernel.csv", Content: b.String()})
 	case "ext-adaptive":
 		r := RunAdaptiveControl(scale)
 		var b strings.Builder
@@ -133,7 +129,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 		for _, p := range r.Phases {
 			fmt.Fprintf(&b, "%q,%.4f,%.4f,%.4f\n", p.Name, p.MeanDTS, p.MeanP, p.TargetErr)
 		}
-		return writeAll(dir, namedCSV{"ext_adaptive.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "ext_adaptive.csv", Content: b.String()})
 	case "ext-ule":
 		r := RunULEComparison(scale)
 		var b strings.Builder
@@ -143,7 +139,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.BSD.TempRed, p.BSD.PerfRed, p.BSD.Efficiency,
 				p.ULE.TempRed, p.ULE.PerfRed, p.ULE.Efficiency, p.Steals)
 		}
-		return writeAll(dir, namedCSV{"ext_ule.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "ext_ule.csv", Content: b.String()})
 	case "ext-emergency":
 		r := RunEmergencyScenario(scale)
 		var b strings.Builder
@@ -153,7 +149,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				float64(a.PeakJunction), float64(a.MeanJunction),
 				a.WorkRate, a.Trips, a.Throttled.Seconds())
 		}
-		return writeAll(dir, namedCSV{"ext_emergency.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "ext_emergency.csv", Content: b.String()})
 	case "ext-smt":
 		r := RunSMTCoScheduling(scale)
 		var b strings.Builder
@@ -163,28 +159,18 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Naive.TempRed, p.Naive.PerfRed, p.Naive.Efficiency,
 				p.CoSch.TempRed, p.CoSch.PerfRed, p.CoSch.Efficiency, p.ForcedIdles)
 		}
-		return writeAll(dir, namedCSV{"ext_smt.csv", b.String()})
+		return writeAll(dir, namedCSV{Name: "ext_smt.csv", Content: b.String()})
 	default:
 		return nil, fmt.Errorf("experiments: no CSV export for %q", id)
 	}
 }
 
-// namedCSV couples a file name with rendered CSV content.
-type namedCSV struct {
-	name    string
-	content string
-}
+// namedCSV couples a file name with rendered CSV content; it is the shared
+// export package's File, kept under its historical local name.
+type namedCSV = export.File
 
 func writeAll(dir string, files ...namedCSV) ([]string, error) {
-	var paths []string
-	for _, f := range files {
-		p := filepath.Join(dir, f.name)
-		if err := os.WriteFile(p, []byte(f.content), 0o644); err != nil {
-			return paths, fmt.Errorf("experiments: writing %s: %w", p, err)
-		}
-		paths = append(paths, p)
-	}
-	return paths, nil
+	return export.Write(dir, files...)
 }
 
 func seriesCSV(name string, s *trace.Series) namedCSV {
@@ -193,7 +179,7 @@ func seriesCSV(name string, s *trace.Series) namedCSV {
 		// strings.Builder cannot fail; keep the error path honest.
 		panic(err)
 	}
-	return namedCSV{name, b.String()}
+	return namedCSV{Name: name, Content: b.String()}
 }
 
 func pointsCSV(name string, pts []analysis.TradeoffPoint) namedCSV {
@@ -206,7 +192,7 @@ func pointsCSV(name string, pts []analysis.TradeoffPoint) namedCSV {
 		}
 		fmt.Fprintf(&b, "%q,%.6f,%.6f,%.4f\n", p.Label, p.TempReduction, p.PerfReduction, eff)
 	}
-	return namedCSV{name, b.String()}
+	return namedCSV{Name: name, Content: b.String()}
 }
 
 func fig5CSV(name string, pts []Figure5Point) namedCSV {
@@ -215,5 +201,5 @@ func fig5CSV(name string, pts []Figure5Point) namedCSV {
 	for _, p := range pts {
 		fmt.Fprintf(&b, "%q,%.6f,%.6f\n", p.Label, p.TempReduction, p.CoolThroughput)
 	}
-	return namedCSV{name, b.String()}
+	return namedCSV{Name: name, Content: b.String()}
 }

@@ -1,0 +1,36 @@
+// Package export writes rendered experiment and scenario artefacts to disk.
+// It exists so the paper harnesses (internal/experiments) and the scenario
+// engine (internal/scenario) share one CSV-emission path: a File couples a
+// name with fully rendered content, and Write materialises a batch into a
+// directory, creating it as needed.
+package export
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File is one rendered artefact awaiting a directory.
+type File struct {
+	Name    string
+	Content string
+}
+
+// Write creates dir if needed and writes every file into it, returning the
+// paths written. On error the already-written paths are returned alongside
+// it, so callers can report partial progress.
+func Write(dir string, files ...File) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("export: creating %s: %w", dir, err)
+	}
+	var paths []string
+	for _, f := range files {
+		p := filepath.Join(dir, f.Name)
+		if err := os.WriteFile(p, []byte(f.Content), 0o644); err != nil {
+			return paths, fmt.Errorf("export: writing %s: %w", p, err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/rng"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Property-based invariants at the machine level, over randomised thermal
+// configurations far from the calibrated testbed: an all-idle machine stays
+// pinned at its equilibrium, perturbed temperatures decay monotonically back
+// (in sup-norm — individual nodes may transiently warm as heat flows
+// through them), nothing ever cools below ambient, and the memoised
+// idle-equilibrium cache returns bitwise-identical results to a fresh solve.
+
+// randomConfig perturbs the calibrated machine across wide but physical
+// ranges, deterministically from the trial seed.
+func randomConfig(r *rng.Source) Config {
+	cfg := DefaultConfig()
+	cfg.Meter.Disabled = true
+	cfg.Ambient = units.Celsius(15 + 30*r.Float64())
+	cfg.RJunctionPackage = 0.3 + 1.2*r.Float64()
+	cfg.RPackageSink = 0.02 + 0.08*r.Float64()
+	cfg.RSinkAmbient = 0.05 + 0.25*r.Float64()
+	cfg.CJunction = 0.01 + 0.07*r.Float64()
+	cfg.CPackage = 20 + 60*r.Float64()
+	cfg.CSink = 80 + 220*r.Float64()
+	cfg.FanFactor = 0.7 + 2.3*r.Float64()
+	if r.Bernoulli(0.4) {
+		cfg.HotspotFraction = 0.1 + 0.4*r.Float64()
+		cfg.SenseHotspot = r.Bernoulli(0.5)
+	}
+	return cfg
+}
+
+func TestPropertyAllIdleMachineHoldsEquilibrium(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		cfg := randomConfig(rng.New(uint64(8000 + trial)))
+		m := New(cfg)
+		before := m.JunctionTemps()
+		m.RunFor(5 * units.Second)
+		after := m.JunctionTemps()
+		for i := range before {
+			if math.Abs(float64(after[i]-before[i])) > 1e-3 {
+				t.Fatalf("trial %d: idle core %d drifted %v -> %v", trial, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+// dynamicNodes returns every non-boundary node of the machine's path.
+func dynamicNodes(m *Machine) []thermal.NodeID {
+	var ids []thermal.NodeID
+	ids = append(ids, m.Net.Junction...)
+	ids = append(ids, m.Net.Hotspot...)
+	ids = append(ids, m.Net.Package, m.Net.Sink)
+	return ids
+}
+
+// perturbSup heats every dynamic node delta above the given equilibrium and
+// returns a closure measuring the sup-norm distance back to it.
+func perturbSup(m *Machine, eq []units.Celsius, delta units.Celsius) func() float64 {
+	dyn := dynamicNodes(m)
+	for _, id := range dyn {
+		m.Net.Net.SetTemp(id, eq[id]+delta)
+	}
+	return func() float64 {
+		worst := 0.0
+		for _, id := range dyn {
+			if off := math.Abs(float64(m.Net.Net.Temp(id) - eq[id])); off > worst {
+				worst = off
+			}
+		}
+		return worst
+	}
+}
+
+func TestPropertyPerturbedIdleDecaysMonotonically(t *testing.T) {
+	// With the leakage-temperature coupling frozen the all-idle machine is
+	// a pure RC network under constant input, so the sup-norm distance to
+	// equilibrium must shrink at every tick (discrete maximum principle).
+	// The physical coupling adds a positive feedback that can transiently
+	// amplify a uniform perturbation; the convergence test below covers it.
+	for trial := 0; trial < 15; trial++ {
+		r := rng.New(uint64(9000 + trial))
+		cfg := randomConfig(r)
+		m := New(cfg)
+		m.Chip.LeakageTempCoupling = 0
+		eq := idleSolve(&m.cfg, 0).temps
+		delta := units.Celsius(1 + 7*r.Float64())
+		sup := perturbSup(m, eq, delta)
+		last := sup()
+		for i := 0; i < 50; i++ {
+			m.RunFor(200 * units.Millisecond)
+			for _, id := range dynamicNodes(m) {
+				if m.Net.Net.Temp(id) < cfg.Ambient-1e-9 {
+					t.Fatalf("trial %d: node %d below ambient", trial, id)
+				}
+			}
+			cur := sup()
+			if cur > last+1e-9 {
+				t.Fatalf("trial %d tick %d: distance to equilibrium rose %v -> %v", trial, i, last, cur)
+			}
+			last = cur
+		}
+	}
+}
+
+func TestPropertyPerturbedIdleReturnsToEquilibrium(t *testing.T) {
+	// Full physical leakage coupling: the transient may overshoot, but the
+	// equilibrium is locally stable — a small perturbation must decay back
+	// and nothing may cool below ambient on the way. (Large perturbations
+	// can legitimately cross the leakage-runaway threshold on badly cooled
+	// random configs and settle at the capped-leakage fixed point instead,
+	// so this property deliberately stays inside the stability margin.)
+	for trial := 0; trial < 10; trial++ {
+		r := rng.New(uint64(9500 + trial))
+		cfg := randomConfig(r)
+		m := New(cfg)
+		eq := idleSolve(&m.cfg, 1).temps
+		delta := units.Celsius(0.5 + 1.5*r.Float64())
+		sup := perturbSup(m, eq, delta)
+		// The slowest mode is the heatsink against ambient; give the
+		// transient a few of its time constants.
+		tau := cfg.CSink * cfg.RSinkAmbient * cfg.FanFactor
+		span := units.FromSeconds(6 * tau)
+		for i := 0; i < 30; i++ {
+			m.RunFor(span / 30)
+			for _, id := range dynamicNodes(m) {
+				if m.Net.Net.Temp(id) < cfg.Ambient-1e-9 {
+					t.Fatalf("trial %d: node %d below ambient", trial, id)
+				}
+			}
+		}
+		// Near the leakage stability margin the effective time constant
+		// stretches well past the RC estimate, so demand clear progress
+		// toward equilibrium rather than a fixed decay fraction.
+		if end := sup(); end > float64(delta)*0.9 {
+			t.Errorf("trial %d: perturbation %v only decayed to %v after %v", trial, delta, end, span)
+		}
+	}
+}
+
+// freshIdleSolve replicates idleSolve's computation without touching the
+// cache: the memoisation must be an invisible optimisation, bit for bit.
+func freshIdleSolve(cfg *Config, coupling float64) *idleSolution {
+	scratch := NewThermalPath(*cfg)
+	idleChip := cpu.NewChip(cfg.Model)
+	if coupling != 1 {
+		idleChip.LeakageTempCoupling = coupling
+	}
+	scratch.SolveSteadyState(idleChip)
+	sol := &idleSolution{temps: scratch.Net.Temps(nil)}
+	var sum float64
+	junctions := scratch.Junctions(nil)
+	for _, tj := range junctions {
+		sum += float64(tj)
+	}
+	sol.mean = units.Celsius(sum / float64(len(junctions)))
+	return sol
+}
+
+func TestPropertyIdleCacheBitwiseIdentical(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		r := rng.New(uint64(10000 + trial))
+		cfg := randomConfig(r)
+		coupling := 1.0
+		if r.Bernoulli(0.3) {
+			coupling = 0.5 + r.Float64()
+		}
+		m := New(cfg) // populates the cache for coupling=1 via construction
+		cached := idleSolve(&m.cfg, coupling)
+		again := idleSolve(&m.cfg, coupling) // must be the same entry
+		if cached != again {
+			t.Fatalf("trial %d: repeated idleSolve did not hit the cache", trial)
+		}
+		fresh := freshIdleSolve(&m.cfg, coupling)
+		if math.Float64bits(float64(cached.mean)) != math.Float64bits(float64(fresh.mean)) {
+			t.Fatalf("trial %d: cached mean %v != fresh mean %v (bitwise)", trial, cached.mean, fresh.mean)
+		}
+		if len(cached.temps) != len(fresh.temps) {
+			t.Fatalf("trial %d: node count mismatch %d vs %d", trial, len(cached.temps), len(fresh.temps))
+		}
+		for i := range cached.temps {
+			if math.Float64bits(float64(cached.temps[i])) != math.Float64bits(float64(fresh.temps[i])) {
+				t.Fatalf("trial %d: node %d cached %v != fresh %v (bitwise)", trial, i, cached.temps[i], fresh.temps[i])
+			}
+		}
+	}
+}

@@ -125,6 +125,31 @@ func Map[S, R any](specs []S, fn func(i int, spec S) R) []R {
 	return res
 }
 
+// MapErr is Map for fallible trials: fn may additionally return an error.
+// All trials still run to completion; the returned error is the one from the
+// lowest failing trial index (wrapped with that index), so the reported
+// failure is independent of scheduling order — mirroring Map's panic
+// contract. Results of error-free trials are filled regardless.
+func MapErr[S, R any](specs []S, fn func(i int, spec S) (R, error)) ([]R, error) {
+	type out struct {
+		r   R
+		err error
+	}
+	outs := Map(specs, func(i int, s S) out {
+		r, err := fn(i, s)
+		return out{r, err}
+	})
+	res := make([]R, len(outs))
+	var firstErr error
+	for i, o := range outs {
+		res[i] = o.r
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("runner: trial %d: %w", i, o.err)
+		}
+	}
+	return res, firstErr
+}
+
 // Collect runs a fixed set of heterogeneous thunks concurrently and returns
 // their results in order — sugar over Map for the "baseline plus a couple of
 // arms" shape that several harnesses have.

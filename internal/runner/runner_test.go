@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -120,4 +121,40 @@ func TestJobsDefaults(t *testing.T) {
 		t.Fatalf("Jobs() = %d, want 3", Jobs())
 	}
 	SetJobs(0)
+}
+
+func TestMapErrFillsResultsAndReportsLowestIndex(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(4)
+	specs := make([]int, 100)
+	for i := range specs {
+		specs[i] = i
+	}
+	res, err := MapErr(specs, func(i int, v int) (int, error) {
+		if v == 17 || v == 60 {
+			return 0, fmt.Errorf("boom at %d", v)
+		}
+		return v * 2, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "trial 17") {
+		t.Fatalf("err = %v, want lowest failing trial 17", err)
+	}
+	for i, v := range res {
+		if i == 17 || i == 60 {
+			continue
+		}
+		if v != i*2 {
+			t.Errorf("res[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestMapErrNoError(t *testing.T) {
+	res, err := MapErr([]int{1, 2, 3}, func(_ int, v int) (int, error) { return v + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0] != 2 || res[2] != 4 {
+		t.Errorf("res = %v", res)
+	}
 }

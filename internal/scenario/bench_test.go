@@ -1,0 +1,23 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetScenario measures the fleet engine end to end: one iteration
+// runs the 24-machine fleet-diurnal scenario at bench scale across the
+// runner pool. scripts/bench.sh records it in BENCH_results.json so the
+// scenario path's performance is tracked alongside the paper harnesses.
+func BenchmarkFleetScenario(b *testing.B) {
+	const benchScale = 0.15
+	for i := 0; i < b.N; i++ {
+		res, err := RunByName("fleet-diurnal", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			fmt.Printf("\n==== scenario fleet-diurnal @ scale %v ====\n%s", benchScale, res)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestFleetDeterministicAcrossJobs extends the runner's central contract to
+// fleet scenarios: the rendered fleet output and the exported CSV bytes are
+// identical at any parallelism level, because every machine derives its
+// entire stochastic state from its identity-derived seed. This mirrors the
+// Figure 3 regression test in internal/experiments, over the sharded-fleet
+// path instead of a trial sweep.
+func TestFleetDeterministicAcrossJobs(t *testing.T) {
+	defer runner.SetJobs(0)
+
+	render := func(jobs int) (string, string) {
+		runner.SetJobs(jobs)
+		res, err := RunByName("fleet-diurnal", 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		paths, err := ExportResult(res, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv string
+		for _, p := range paths {
+			csv += p[len(dir):] + "\n" + readFile(t, p)
+		}
+		return res.String(), csv
+	}
+
+	serialOut, serialCSV := render(1)
+	parallelOut, parallelCSV := render(8)
+	if serialOut != parallelOut {
+		t.Fatalf("fleet output differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serialOut, parallelOut)
+	}
+	if serialCSV != parallelCSV {
+		t.Fatal("exported fleet CSVs differ between -jobs 1 and -jobs 8")
+	}
+}
+
+// TestAdaptiveFleetDeterministicAcrossJobs covers the most stateful machine
+// path — adaptive closed-loop control plus the TM1 monitor — across jobs.
+func TestAdaptiveFleetDeterministicAcrossJobs(t *testing.T) {
+	defer runner.SetJobs(0)
+
+	runner.SetJobs(1)
+	serial, err := RunByName("thermal-trojan", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.SetJobs(6)
+	parallel, err := RunByName("thermal-trojan", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("thermal-trojan output differs between -jobs 1 and -jobs 6:\n--- jobs=1 ---\n%s\n--- jobs=6 ---\n%s", serial, parallel)
+	}
+}

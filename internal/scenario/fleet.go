@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/units"
+)
+
+// FleetAgg summarises a fleet run across machines: distribution statistics
+// of the per-machine temperatures, the totals the operator of a real fleet
+// would watch (work delivered, power, injection overhead), and the
+// thermal-violation and emergency-backstop tallies.
+type FleetAgg struct {
+	// Mean-junction distribution across machines (°C).
+	MeanJunctionP50 float64
+	MeanJunctionP90 float64
+	MeanJunctionMax float64
+	// Peak-junction distribution across machines (°C).
+	PeakJunctionP50 float64
+	PeakJunctionP99 float64
+	PeakJunctionMax float64
+
+	TotalWorkRate  float64 // fleet reference-seconds of work per second
+	TotalPower     float64 // summed mean package power, W
+	OverheadPct    float64 // fleet injected idle / occupied core time
+	TotalInjection int
+
+	ViolationS      float64 // summed seconds any junction sat above threshold
+	TotalViolations int     // summed excursion counts
+	MachinesViol    int     // machines with at least one violation
+
+	TM1Trips      int
+	TM1ThrottledS float64
+
+	// Web QoS across machines running the webserver component.
+	WebMachines  int
+	WebGoodMean  float64 // mean "good" fraction
+	WebGoodMin   float64
+	WebThroughput float64 // summed requests/s
+}
+
+// Result is one executed scenario: the resolved per-machine outcomes plus
+// the fleet aggregate.
+type Result struct {
+	Spec     *Spec
+	Scale    float64
+	Duration units.Time
+	Warmup   units.Time
+	Machines []MachineResult
+	Fleet    FleetAgg
+}
+
+// aggregate folds per-machine results into the fleet view.
+func aggregate(spec *Spec, machines []MachineResult) FleetAgg {
+	var agg FleetAgg
+	means := make([]float64, len(machines))
+	peaks := make([]float64, len(machines))
+	var occ, injected float64
+	agg.WebGoodMin = 1
+	for i, m := range machines {
+		means[i] = m.MeanJunction
+		peaks[i] = m.PeakJunction
+		agg.TotalWorkRate += m.WorkRate
+		agg.TotalPower += m.MeanPower
+		agg.TotalInjection += m.Injections
+		occ += m.BusyS + m.InjectedIdleS
+		injected += m.InjectedIdleS
+		agg.ViolationS += m.ViolationS
+		agg.TotalViolations += m.Violations
+		if m.Violations > 0 {
+			agg.MachinesViol++
+		}
+		agg.TM1Trips += m.TM1Trips
+		agg.TM1ThrottledS += m.TM1ThrottledS
+		if m.Web != nil {
+			agg.WebMachines++
+			g := m.Web.GoodFraction()
+			agg.WebGoodMean += g
+			if g < agg.WebGoodMin {
+				agg.WebGoodMin = g
+			}
+			agg.WebThroughput += m.Web.Throughput
+		}
+	}
+	agg.MeanJunctionP50 = analysis.Percentile(means, 50)
+	agg.MeanJunctionP90 = analysis.Percentile(means, 90)
+	agg.MeanJunctionMax = analysis.Percentile(means, 100)
+	agg.PeakJunctionP50 = analysis.Percentile(peaks, 50)
+	agg.PeakJunctionP99 = analysis.Percentile(peaks, 99)
+	agg.PeakJunctionMax = analysis.Percentile(peaks, 100)
+	if occ > 0 {
+		agg.OverheadPct = 100 * injected / occ
+	}
+	if agg.WebMachines > 0 {
+		agg.WebGoodMean /= float64(agg.WebMachines)
+	} else {
+		agg.WebGoodMin = 0
+	}
+	return agg
+}
+
+// String renders the fleet summary followed by the per-machine table —
+// fixed-width and fully deterministic, so golden-trace and cross-parallelism
+// tests can diff it byte-for-byte.
+func (r *Result) String() string {
+	var b strings.Builder
+	s := r.Spec
+	fmt.Fprintf(&b, "Scenario %s: %s\n", s.Name, s.Title)
+	fmt.Fprintf(&b, "fleet of %d machines, %v per machine (%v warmup), policy %s, violation >= %.1fC\n",
+		s.Fleet.Machines, r.Duration, r.Warmup, policyLabel(s.Policy), s.violationC())
+	a := r.Fleet
+	fmt.Fprintf(&b, "mean junction across fleet:  p50 %7.3fC  p90 %7.3fC  max %7.3fC\n",
+		a.MeanJunctionP50, a.MeanJunctionP90, a.MeanJunctionMax)
+	fmt.Fprintf(&b, "peak junction across fleet:  p50 %7.3fC  p99 %7.3fC  max %7.3fC\n",
+		a.PeakJunctionP50, a.PeakJunctionP99, a.PeakJunctionMax)
+	fmt.Fprintf(&b, "fleet work rate %.3f ref-s/s   total power %.1fW   injection overhead %.2f%% (%d quanta)\n",
+		a.TotalWorkRate, a.TotalPower, a.OverheadPct, a.TotalInjection)
+	fmt.Fprintf(&b, "thermal violations: %d excursions on %d/%d machines, %.1fs above threshold\n",
+		a.TotalViolations, a.MachinesViol, len(r.Machines), a.ViolationS)
+	if a.TM1Trips > 0 || a.TM1ThrottledS > 0 || s.Policy.TM1 {
+		fmt.Fprintf(&b, "TM1 backstop: %d trips, %.1fs throttled fleet-wide\n", a.TM1Trips, a.TM1ThrottledS)
+	}
+	if a.WebMachines > 0 {
+		fmt.Fprintf(&b, "web QoS: good %.1f%% mean / %.1f%% worst machine, %.1f req/s fleet throughput\n",
+			100*a.WebGoodMean, 100*a.WebGoodMin, a.WebThroughput)
+	}
+	b.WriteString("\n machine      mean      peak    work/s   power    inj%   viol    tm1\n")
+	for _, m := range r.Machines {
+		fmt.Fprintf(&b, " %4d     %7.3fC  %7.3fC  %7.3f  %6.1fW  %5.2f  %5d  %5d\n",
+			m.Index, m.MeanJunction, m.PeakJunction, m.WorkRate, m.MeanPower,
+			100*m.OverheadFraction(), m.Violations, m.TM1Trips)
+	}
+	return b.String()
+}
+
+// policyLabel renders the policy for headers.
+func policyLabel(p PolicySpec) string {
+	var label string
+	switch p.Kind {
+	case "", PolicyNone:
+		label = "race-to-idle"
+	case PolicyDimetrodon:
+		label = fmt.Sprintf("dimetrodon[p=%g L=%gms]", p.P, p.LMS)
+		if p.Deterministic {
+			label = "det-" + label
+		}
+	case PolicyVFS:
+		label = fmt.Sprintf("vfs[%d]", p.PState)
+	case PolicyP4TCC:
+		label = fmt.Sprintf("p4tcc[%.3f]", p.Duty)
+	case PolicyAdaptive:
+		if p.TargetC > 0 {
+			label = fmt.Sprintf("adaptive[%.0fC]", p.TargetC)
+		} else {
+			label = "adaptive[auto]"
+		}
+	default:
+		label = p.Kind
+	}
+	if p.TM1 {
+		label += "+tm1"
+	}
+	return label
+}

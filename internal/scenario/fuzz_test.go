@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioSpec pins the decoder/validator contract: arbitrary bytes must
+// either decode into a spec that validates and compiles, or return an error
+// — never panic and never produce an unbounded compilation. Run it as a
+// fuzzer with:
+//
+//	go test -fuzz FuzzScenarioSpec ./internal/scenario
+//
+// Under plain `go test` the seed corpus below runs as regression cases.
+func FuzzScenarioSpec(f *testing.F) {
+	// Valid minimal spec and one of each component/policy shape.
+	f.Add([]byte(`{"name":"a","fleet":{"machines":1},"workload":[{"kind":"burn"}],"duration_s":10}`))
+	f.Add([]byte(`{"name":"web-1","fleet":{"machines":2,"base_seed":9},"workload":[{"kind":"webserver","connections":10,"workers":2}],"policy":{"kind":"dimetrodon","p":0.5,"l_ms":10},"duration_s":30,"warmup_frac":0.1}`))
+	f.Add([]byte(`{"name":"t","fleet":{"machines":3,"fan_spread":0.2},"machine":{"cores":2,"fan_factor":2.4},"workload":[{"kind":"trojan","period_ms":60,"duty":0.5}],"policy":{"kind":"adaptive","tm1":true},"duration_s":20}`))
+	f.Add([]byte(`{"name":"d","fleet":{"machines":2},"workload":[{"kind":"spec","benchmark":"gcc","arrival":{"pattern":"diurnal","min_load":0.2}}],"policy":{"kind":"vfs","pstate":3},"duration_s":40}`))
+	f.Add([]byte(`{"name":"w","fleet":{"machines":2},"workload":[{"kind":"burn","arrival":{"pattern":"window","start_frac":0.2,"end_frac":0.6}},{"kind":"periodic","burst_s":0.5,"pause_s":1}],"policy":{"kind":"p4tcc","duty":0.5},"duration_s":40}`))
+	// Malformed shapes: bad JSON, wrong types, out-of-range values.
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`{"name":"X","fleet":{"machines":1},"workload":[{"kind":"burn"}],"duration_s":10}`))
+	f.Add([]byte(`{"name":"x","fleet":{"machines":1000000},"workload":[{"kind":"burn"}],"duration_s":10}`))
+	f.Add([]byte(`{"name":"x","fleet":{"machines":1},"workload":[{"kind":"spec","benchmark":"nope"}],"duration_s":10}`))
+	f.Add([]byte(`{"name":"x","fleet":{"machines":1},"workload":[{"kind":"burn"}],"duration_s":-5}`))
+	f.Add([]byte(`{"name":"x","fleet":{"machines":1},"workload":[{"kind":"trojan","period_ms":1e300,"duty":2}],"duration_s":10}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			if spec != nil {
+				t.Fatal("Decode returned a spec alongside an error")
+			}
+			return
+		}
+		// A decoded spec must re-validate and compile within bounds.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Decode accepted a spec that fails Validate: %v", err)
+		}
+		trials := spec.Compile(0.01)
+		if len(trials) != spec.Fleet.Machines || len(trials) > MaxMachines {
+			t.Fatalf("compiled %d trials for %d machines", len(trials), spec.Fleet.Machines)
+		}
+		for i, tr := range trials {
+			if tr.Seed != MachineSeed(spec.Fleet.BaseSeed, i) {
+				t.Fatalf("trial %d seed not derived from identity", i)
+			}
+			if tr.FanFactor <= 0 {
+				t.Fatalf("trial %d non-positive fan factor %v", i, tr.FanFactor)
+			}
+		}
+		// Round-tripping the spec through JSON must stay valid.
+		again, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encoding a valid spec failed: %v", err)
+		}
+		if _, err := Decode(again); err != nil {
+			t.Fatalf("round-tripped spec no longer decodes: %v", err)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden-trace regression fixtures for every starter scenario: the rendered
+// fleet output at a small fixed scale is committed under testdata/ and
+// diffed byte-for-byte. Regenerate after intentional model changes with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/scenario -run TestGoldenScenarios
+
+const goldenScale = 0.05
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s — regenerate with UPDATE_GOLDEN=1 go test ./... -run Golden", path)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n%s\n(if intentional: UPDATE_GOLDEN=1 go test ./... -run Golden)", path, firstDiff(string(want), got))
+	}
+}
+
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, w, g)
+		}
+	}
+	return "(lengths differ)"
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunByName(name, goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name, res.String())
+		})
+	}
+}
+
+// TestGoldenScenarioExports pins the CSV export shape alongside the rendered
+// output: every starter scenario must export a machines and a fleet file
+// whose bytes are golden too (the fleet file; the machines file is covered
+// by the per-machine rows already embedded in the rendered golden).
+func TestGoldenScenarioExports(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunByName(name, goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			paths, err := ExportResult(res, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != 2 {
+				t.Fatalf("exported %d files, want 2: %v", len(paths), paths)
+			}
+			fleet, err := os.ReadFile(paths[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name+"_fleet_csv", string(fleet))
+		})
+	}
+}

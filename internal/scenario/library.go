@@ -1,0 +1,109 @@
+package scenario
+
+// The starter library: five scenarios beyond the paper's fixed evaluation,
+// registered at init. Each is a plain value — `dimctl scenario list` shows
+// them, `dimctl scenario run <name>` executes them, and embedders can use
+// them as templates for their own Register calls.
+func init() {
+	// A compressed datacenter day: the fleet's load follows a sinusoidal
+	// envelope from a 15 % trough to full load and back, under the
+	// efficient short-quantum Dimetrodon regime (Figure 3's finding).
+	// Fan spread models rack-position airflow variance, so the fleet's
+	// temperature percentiles separate the way a real hall's do.
+	MustRegister(&Spec{
+		Name:    "fleet-diurnal",
+		Title:   "diurnal datacenter load across a 24-machine fleet",
+		Summary: "gcc-proxy load under a day/night envelope with Dimetrodon p=0.5 L=25ms; rack airflow variance via fan spread.",
+		Fleet:   FleetSpec{Machines: 24, BaseSeed: 7100, FanSpread: 0.15},
+		Workload: []ComponentSpec{
+			{Kind: KindSpec, Benchmark: "gcc",
+				Arrival: ArrivalSpec{Pattern: ArrivalDiurnal, MinLoad: 0.15}},
+		},
+		Policy:     PolicySpec{Kind: PolicyDimetrodon, P: 0.5, LMS: 25},
+		DurationS:  600,
+		WarmupFrac: 0.1,
+		ViolationC: 45,
+	})
+
+	// A webserver flash crowd: the §3.7 closed-loop web workload runs
+	// steadily while a surge of CPU-bound work lands mid-run (a crowd
+	// spike monopolising the cores), exercising how injection-throttled
+	// machines absorb a transient without QoS collapse.
+	MustRegister(&Spec{
+		Name:    "flash-crowd",
+		Title:   "webserver flash crowd under injection",
+		Summary: "440-connection web workload plus a mid-run CPU surge window, Dimetrodon p=0.65 L=50ms.",
+		Fleet:   FleetSpec{Machines: 12, BaseSeed: 7200},
+		Workload: []ComponentSpec{
+			{Kind: KindWebserver},
+			{Kind: KindBurn, Threads: 2, PowerFactor: 0.95,
+				Arrival: ArrivalSpec{Pattern: ArrivalWindow, StartFrac: 0.45, EndFrac: 0.7}},
+		},
+		Policy:     PolicySpec{Kind: PolicyDimetrodon, P: 0.65, LMS: 50},
+		DurationS:  240,
+		WarmupFrac: 0.1,
+		ViolationC: 44,
+	})
+
+	// A MATTER-style thermal trojan: full-power bursts with a period near
+	// the junction's ≈30 ms thermal time constant, maximising peak
+	// temperature per unit of average utilisation — the adversarial shape
+	// a preventive DTM system must hold. The adaptive controller defends
+	// a 40 °C setpoint with the TM1 backstop armed behind it.
+	MustRegister(&Spec{
+		Name:    "thermal-trojan",
+		Title:   "adversarial thermal-trojan bursts vs adaptive control",
+		Summary: "60ms-period 70%-duty full-power bursts (MATTER-style) against the adaptive setpoint controller, TM1 armed.",
+		Fleet:   FleetSpec{Machines: 16, BaseSeed: 7300, FanSpread: 0.1},
+		Workload: []ComponentSpec{
+			{Kind: KindTrojan, PeriodMS: 60, Duty: 0.7},
+		},
+		Policy:     PolicySpec{Kind: PolicyAdaptive, TargetC: 40, TM1: true},
+		DurationS:  300,
+		WarmupFrac: 0.1,
+		ViolationC: 42,
+	})
+
+	// Multi-tenant colocation: four SPEC-proxy tenants of very different
+	// thermal intensity share the four cores with a latency-ish periodic
+	// task, under global injection — the mixed-rise regime Table 1's
+	// calibration spans, now on one package at once.
+	MustRegister(&Spec{
+		Name:    "multi-tenant",
+		Title:   "mixed SPEC-proxy colocation under global injection",
+		Summary: "calculix+bzip2+gcc+astar colocated with a periodic cool task, Dimetrodon p=0.4 L=10ms.",
+		Fleet:   FleetSpec{Machines: 16, BaseSeed: 7400},
+		Workload: []ComponentSpec{
+			{Kind: KindSpec, Benchmark: "calculix", Threads: 1},
+			{Kind: KindSpec, Benchmark: "bzip2", Threads: 1},
+			{Kind: KindSpec, Benchmark: "gcc", Threads: 1},
+			{Kind: KindSpec, Benchmark: "astar", Threads: 1},
+			{Kind: KindPeriodic, Threads: 1, BurstS: 0.5, PauseS: 2, PowerFactor: 0.6},
+		},
+		Policy:     PolicySpec{Kind: PolicyDimetrodon, P: 0.4, LMS: 10},
+		DurationS:  300,
+		WarmupFrac: 0.1,
+		ViolationC: 46,
+	})
+
+	// An emergency-throttle storm: a fleet-wide cooling degradation (a
+	// failed CRAC unit — every fan path at 2.4× resistance, unevenly)
+	// under full load with no preventive policy, only the reactive TM1
+	// backstop. The fleet rides the trip point in duty-cycle oscillation:
+	// the storm of trips and throttled seconds is the §1 motivation for
+	// preventive management, measured at fleet scale.
+	MustRegister(&Spec{
+		Name:    "throttle-storm",
+		Title:   "fleet-wide cooling failure riding the TM1 backstop",
+		Summary: "cpuburn fleet with degraded cooling (2.4x, uneven) and no preventive policy; TM1 trips absorb the heat.",
+		Fleet:   FleetSpec{Machines: 20, BaseSeed: 7500, FanSpread: 0.5},
+		Machine: MachineSpec{FanFactor: 2.4},
+		Workload: []ComponentSpec{
+			{Kind: KindBurn},
+		},
+		Policy:     PolicySpec{Kind: PolicyNone, TM1: true},
+		DurationS:  300,
+		WarmupFrac: 0.1,
+		ViolationC: 80,
+	})
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to their specs. The starter library
+// registers itself in init; embedders add their own via Register.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register validates the spec and adds it to the registry. Registering a
+// name twice is an error — scenarios are identities, not configuration
+// overlays.
+func Register(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	// Store a copy so later caller-side mutation cannot bypass Validate.
+	registry[s.Name] = s.Clone()
+	return nil
+}
+
+// MustRegister is Register for static library entries.
+func MustRegister(s *Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a copy of the named scenario. Callers may freely mutate the
+// copy (the fleet_diurnal example strips the policy off a library spec);
+// the validated registry entry stays untouched.
+func Get(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// Names returns the registered scenario names in stable order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/runner"
+	"repro/internal/units"
+	"repro/internal/webserver"
+)
+
+// MachineResult is one fleet member's measured outcome over the post-warmup
+// window. Temperatures are °C; rates are per second of window.
+type MachineResult struct {
+	Index     int
+	Seed      uint64
+	FanFactor float64
+
+	MeanJunction float64
+	PeakJunction float64
+	IdleTemp     float64
+	WorkRate     float64
+	MeanPower    float64
+
+	// Injection overhead: injected idle quanta and seconds, against the
+	// busy seconds, summed across scheduler cores over the window.
+	Injections    int
+	InjectedIdleS float64
+	BusyS         float64
+
+	// Thermal violations: time any junction sat above the threshold, and
+	// the number of distinct excursions (rising edges), both sampled at
+	// the metric tick.
+	ViolationS float64
+	Violations int
+
+	// TM1 backstop activity when armed.
+	TM1Trips      int
+	TM1ThrottledS float64
+
+	// Web carries the closed-loop QoS stats when the mix includes the
+	// webserver component.
+	Web *webserver.Stats
+}
+
+// OverheadFraction returns injected idle time as a fraction of occupied
+// (busy + injected) core time — the per-machine idle-injection overhead.
+func (r MachineResult) OverheadFraction() float64 {
+	occ := r.BusyS + r.InjectedIdleS
+	if occ <= 0 {
+		return 0
+	}
+	return r.InjectedIdleS / occ
+}
+
+// runMachine executes one fleet member's simulation: build, apply policy,
+// spawn the mix, warm up, then measure the window at the metric tick.
+func runMachine(t MachineTrial) (MachineResult, error) {
+	m := machine.New(t.machineConfig())
+	tm1, err := t.applyPolicy(m)
+	if err != nil {
+		return MachineResult{}, err
+	}
+	srv, err := t.spawn(m)
+	if err != nil {
+		return MachineResult{}, err
+	}
+
+	m.RunFor(t.Warmup)
+	cores := m.Config().Model.NumCores * m.Config().SMTContexts
+	var busy0, inj0 units.Time
+	for c := 0; c < cores; c++ {
+		b, inj := m.Sched.Core(c)
+		busy0 += b
+		inj0 += inj
+	}
+	injN0 := m.Sched.TotalInjections
+	i0 := m.MeanJunctionIntegral()
+	w0 := m.TotalWorkDone()
+	e0 := m.Energy.Energy()
+	t0 := m.Now()
+	var tm1Trips0 int
+	var tm1Throttled0 units.Time
+	if tm1 != nil {
+		tm1Trips0 = tm1.Engagements
+		tm1Throttled0 = tm1.Throttled(t0)
+	}
+
+	violC := units.Celsius(t.Spec.violationC())
+	res := MachineResult{Index: t.Index, Seed: t.Seed, FanFactor: t.FanFactor}
+	over := false
+	var temps []units.Celsius
+	for m.Now() < t.Duration {
+		step := t.Tick
+		if rem := t.Duration - m.Now(); rem < step {
+			step = rem
+		}
+		m.RunFor(step)
+		temps = m.Net.Junctions(temps)
+		hot := false
+		for _, tj := range temps {
+			if float64(tj) > res.PeakJunction {
+				res.PeakJunction = float64(tj)
+			}
+			if tj >= violC {
+				hot = true
+			}
+		}
+		if hot {
+			res.ViolationS += step.Seconds()
+			if !over {
+				res.Violations++
+			}
+		}
+		over = hot
+	}
+
+	secs := (m.Now() - t0).Seconds()
+	res.MeanJunction = (m.MeanJunctionIntegral() - i0) / secs
+	res.IdleTemp = float64(m.IdleJunctionTemp())
+	res.WorkRate = (m.TotalWorkDone() - w0) / secs
+	res.MeanPower = float64(m.Energy.Energy()-e0) / secs
+	var busy1, inj1 units.Time
+	for c := 0; c < cores; c++ {
+		b, inj := m.Sched.Core(c)
+		busy1 += b
+		inj1 += inj
+	}
+	res.BusyS = (busy1 - busy0).Seconds()
+	res.InjectedIdleS = (inj1 - inj0).Seconds()
+	res.Injections = m.Sched.TotalInjections - injN0
+	if tm1 != nil {
+		res.TM1Trips = tm1.Engagements - tm1Trips0
+		res.TM1ThrottledS = (tm1.Throttled(m.Now()) - tm1Throttled0).Seconds()
+	}
+	if srv != nil {
+		stats := srv.Snapshot(m.Now())
+		res.Web = &stats
+	}
+	return res, nil
+}
+
+// Run executes the scenario's whole fleet across the runner pool and
+// aggregates the per-machine results. Output is byte-identical at any -jobs
+// setting: each machine is a deterministic function of its trial alone.
+func Run(spec *Spec, scale float64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	trials := spec.Compile(scale)
+	machines, err := runner.MapErr(trials, func(_ int, t MachineTrial) (MachineResult, error) {
+		return runMachine(t)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	res := &Result{
+		Spec:     spec,
+		Scale:    scale,
+		Duration: trials[0].Duration,
+		Warmup:   trials[0].Warmup,
+		Machines: machines,
+	}
+	res.Fleet = aggregate(spec, machines)
+	return res, nil
+}
+
+// RunByName looks the scenario up in the registry and runs it.
+func RunByName(name string, scale float64) (*Result, error) {
+	spec, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+	}
+	return Run(spec, scale)
+}

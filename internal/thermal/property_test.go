@@ -1,0 +1,139 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Property-based invariants of the RC integrator. The exact-exponential
+// update is a convex combination of the node's own temperature and its
+// neighbourhood equilibrium, so with non-negative heat input and a fixed
+// ambient boundary it must obey a discrete maximum principle: nothing ever
+// cools below ambient, and with zero input the hottest offset over ambient
+// can only shrink. Randomised topologies (seeded, deterministic) probe this
+// far outside the calibrated testbed's corner of parameter space.
+
+// randomNetwork builds a random tree-ish network rooted at an ambient
+// boundary: every node connects to a random earlier node, occasionally with
+// a second cross link (parallel paths).
+func randomNetwork(r *rng.Source, ambient units.Celsius) (*Network, []NodeID) {
+	n := NewNetwork()
+	amb := n.AddBoundary("ambient", ambient)
+	ids := []NodeID{amb}
+	nodes := 2 + int(r.Uint64()%10)
+	var dyn []NodeID
+	for i := 0; i < nodes; i++ {
+		capJ := 0.01 + 100*r.Float64()
+		start := ambient + units.Celsius(20*r.Float64())
+		id := n.AddNode("node", capJ, start)
+		n.Connect(id, ids[int(r.Uint64()%uint64(len(ids)))], 0.05+2*r.Float64())
+		if len(ids) > 2 && r.Bernoulli(0.3) {
+			other := ids[1+int(r.Uint64()%uint64(len(ids)-1))]
+			if other != id {
+				n.Connect(id, other, 0.05+2*r.Float64())
+			}
+		}
+		ids = append(ids, id)
+		dyn = append(dyn, id)
+	}
+	return n, dyn
+}
+
+// supOffset returns the hottest offset over ambient across dynamic nodes.
+func supOffset(n *Network, dyn []NodeID, ambient units.Celsius) float64 {
+	worst := 0.0
+	for _, id := range dyn {
+		if off := float64(n.Temp(id) - ambient); off > worst {
+			worst = off
+		}
+	}
+	return worst
+}
+
+func TestPropertyIdleDecayMonotoneTowardAmbient(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(5000 + trial))
+		ambient := units.Celsius(10 + 30*r.Float64())
+		n, dyn := randomNetwork(r, ambient)
+		step := units.FromSeconds(0.0005 + 0.01*r.Float64())
+		last := supOffset(n, dyn, ambient)
+		initial := last
+		for i := 0; i < 400; i++ {
+			n.Step(step, nil)
+			for _, id := range dyn {
+				if n.Temp(id) < ambient-1e-9 {
+					t.Fatalf("trial %d: node %d fell below ambient: %v < %v", trial, id, n.Temp(id), ambient)
+				}
+			}
+			cur := supOffset(n, dyn, ambient)
+			if cur > last+1e-9 {
+				t.Fatalf("trial %d step %d: sup offset rose %v -> %v under all-idle input", trial, i, last, cur)
+			}
+			last = cur
+		}
+		// Random capacitances reach τ of minutes, so only demand strict
+		// progress, not a fixed fraction, over the simulated window.
+		if initial > 0.5 && last > initial-1e-6 {
+			t.Errorf("trial %d: no decay at all: %v -> %v over %v", trial, initial, last, 400*step)
+		}
+	}
+}
+
+func TestPropertyNeverBelowAmbientUnderHeating(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(6000 + trial))
+		ambient := units.Celsius(10 + 30*r.Float64())
+		n, dyn := randomNetwork(r, ambient)
+		// Start everything at ambient and heat a random subset.
+		watts := make([]float64, n.NumNodes())
+		for _, id := range dyn {
+			n.SetTemp(id, ambient)
+			if r.Bernoulli(0.5) {
+				watts[id] = 30 * r.Float64()
+			}
+		}
+		power := func(_ []float64, out []float64) {
+			copy(out, watts)
+		}
+		step := units.FromSeconds(0.0005 + 0.01*r.Float64())
+		for i := 0; i < 300; i++ {
+			n.Step(step, power)
+			for _, id := range dyn {
+				if n.Temp(id) < ambient-1e-9 {
+					t.Fatalf("trial %d: node %d below ambient (%v < %v) despite non-negative input", trial, id, n.Temp(id), ambient)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertySteadyStateIsStepFixedPoint(t *testing.T) {
+	// The solver's fixed point must also be (nearly) a fixed point of the
+	// integrator: advancing from equilibrium moves nothing.
+	for trial := 0; trial < 20; trial++ {
+		r := rng.New(uint64(7000 + trial))
+		ambient := units.Celsius(10 + 30*r.Float64())
+		n, dyn := randomNetwork(r, ambient)
+		watts := make([]float64, n.NumNodes())
+		for _, id := range dyn {
+			if r.Bernoulli(0.7) {
+				watts[id] = 20 * r.Float64()
+			}
+		}
+		power := func(_ []float64, out []float64) { copy(out, watts) }
+		if _, ok := n.SolveSteadyState(power, 1e-10, 200000); !ok {
+			t.Fatalf("trial %d: steady-state solve did not converge", trial)
+		}
+		before := n.Temps(nil)
+		n.Advance(units.Second, 0, power)
+		after := n.Temps(nil)
+		for i := range before {
+			if math.Abs(float64(after[i]-before[i])) > 1e-6 {
+				t.Fatalf("trial %d: node %d drifted %v -> %v after solve", trial, i, before[i], after[i])
+			}
+		}
+	}
+}

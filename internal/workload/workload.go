@@ -47,6 +47,64 @@ func FiniteBurn(work float64) sched.Program {
 	})
 }
 
+// Modulated returns a program whose CPU duty cycle tracks an arbitrary load
+// envelope — the building block of the scenario engine's arrival patterns
+// (diurnal datacenter load, flash-crowd surges). Time is sliced into frames
+// anchored at absolute multiples of frame, so every Modulated thread in a
+// fleet samples the envelope at the same instants; at each frame boundary the
+// program samples envelope(frameStart), clamps it to [0, 1], computes that
+// fraction of the frame as work, and sleeps out the remainder. Contention or
+// idle injection may stretch a burst past its frame; the program then starts
+// the next frame immediately (backlogged load, as a real generator behaves).
+func Modulated(envelope func(units.Time) float64, frame units.Time) sched.Program {
+	if frame <= 0 {
+		panic("workload: Modulated needs a positive frame")
+	}
+	computing := false
+	var frameEnd units.Time
+	return sched.ProgramFunc(func(now units.Time) sched.Action {
+		if computing {
+			computing = false
+			if now < frameEnd {
+				return sched.Sleep(frameEnd - now)
+			}
+		}
+		start := (now / frame) * frame
+		frameEnd = start + frame
+		level := envelope(start)
+		if level <= 0 {
+			return sched.Sleep(frameEnd - now)
+		}
+		if level > 1 {
+			level = 1
+		}
+		computing = true
+		return sched.Compute(level * frame.Seconds())
+	})
+}
+
+// Trojan returns a MATTER-style adversarial thermal workload: a full-power
+// square wave whose period is chosen near the junction block's thermal time
+// constant, so the junction rides the top of its exponential response —
+// maximising peak temperature per unit of average utilisation, which is how a
+// thermal trojan hides from utilisation-based monitoring while stressing a
+// preventive DTM system. duty is the on-fraction in (0, 1]; threads spawned
+// together burst in phase, the fleet-wide worst case.
+func Trojan(period units.Time, duty float64) sched.Program {
+	if period <= 0 {
+		panic("workload: Trojan needs a positive period")
+	}
+	if duty <= 0 || duty > 1 {
+		panic(fmt.Sprintf("workload: Trojan duty %v outside (0,1]", duty))
+	}
+	if duty == 1 {
+		return Burn()
+	}
+	on := period.Seconds() * duty
+	pause := units.FromSeconds(period.Seconds() * (1 - duty))
+	return PeriodicBurst(on, pause)
+}
+
 // PeriodicBurst returns the Figure 5 "cool" process: a loop that computes for
 // burst reference-seconds, sleeps for pause, and repeats.
 func PeriodicBurst(burst float64, pause units.Time) sched.Program {

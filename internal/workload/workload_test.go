@@ -128,3 +128,66 @@ func TestSpawnSpec(t *testing.T) {
 		t.Errorf("4 cores × 1 s = %v work", total)
 	}
 }
+
+func TestModulatedConstantEnvelope(t *testing.T) {
+	// A flat 0.5 envelope with 1 s frames is a 50 % duty cycle: 5 ref-s of
+	// work over 10 s on an uncontended core.
+	s, th := drive(Modulated(func(units.Time) float64 { return 0.5 }, units.Second), 1, 10*units.Second)
+	s.ChargeAll()
+	if th.Exited() {
+		t.Fatal("modulated program exited")
+	}
+	if math.Abs(th.WorkDone-5) > 0.01 {
+		t.Errorf("work = %v, want 5", th.WorkDone)
+	}
+}
+
+func TestModulatedStepEnvelope(t *testing.T) {
+	// Full load for the first 5 s, zero afterwards.
+	env := func(now units.Time) float64 {
+		if now < 5*units.Second {
+			return 1
+		}
+		return 0
+	}
+	s, th := drive(Modulated(env, units.Second), 1, 12*units.Second)
+	s.ChargeAll()
+	if math.Abs(th.WorkDone-5) > 0.01 {
+		t.Errorf("work = %v, want 5 (surge window only)", th.WorkDone)
+	}
+}
+
+func TestModulatedClampsEnvelope(t *testing.T) {
+	// Envelope excursions outside [0,1] clamp rather than panic or overrun.
+	env := func(now units.Time) float64 {
+		if now < 2*units.Second {
+			return 7.5
+		}
+		return -3
+	}
+	s, th := drive(Modulated(env, units.Second), 1, 6*units.Second)
+	s.ChargeAll()
+	if math.Abs(th.WorkDone-2) > 0.01 {
+		t.Errorf("work = %v, want 2 (clamped to full duty for 2 s)", th.WorkDone)
+	}
+}
+
+func TestTrojanDutyCycle(t *testing.T) {
+	// 100 ms period at 50 % duty: half the core's time is full-power bursts.
+	s, th := drive(Trojan(100*units.Millisecond, 0.5), 1, 10*units.Second)
+	s.ChargeAll()
+	if th.Exited() {
+		t.Fatal("trojan exited")
+	}
+	if math.Abs(th.WorkDone-5) > 0.01 {
+		t.Errorf("work = %v, want 5", th.WorkDone)
+	}
+}
+
+func TestTrojanFullDutyIsBurn(t *testing.T) {
+	s, th := drive(Trojan(50*units.Millisecond, 1.0), 1, 3*units.Second)
+	s.ChargeAll()
+	if math.Abs(th.WorkDone-3) > 0.001 {
+		t.Errorf("work = %v, want 3 (duty 1 degenerates to cpuburn)", th.WorkDone)
+	}
+}

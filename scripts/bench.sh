@@ -31,6 +31,9 @@ else
     # paper artefact, so a fixed iteration count keeps wall-clock sane.
     go test -run '^$' -bench 'Figure|Table|Validation|Ablation|Extension|SimulatorSteadySecond' \
         -benchtime "$HARNESS_BENCHTIME" . | tee "$raw"
+    # Fleet scenario engine: one iteration runs a whole scaled fleet.
+    go test -run '^$' -bench 'FleetScenario' \
+        -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
     # Kernel micro-benchmarks: cheap enough for time-based sampling.
     go test -run '^$' -bench 'ThermalStep|SolveSteadyState|Runner' \
         -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
