@@ -1,16 +1,21 @@
-// Command dimctl runs the Dimetrodon reproduction's experiment harnesses and
-// prints the tables and series corresponding to the paper's figures.
+// Command dimctl runs the Dimetrodon reproduction's experiment harnesses,
+// the fleet-scale scenario engine, and the thermal-aware fleet scheduler.
 //
 // Usage:
 //
-//	dimctl list                 list available experiments
-//	dimctl run <id> [...]       run experiments by ID (or "all")
-//	dimctl -scale 0.25 run all  run everything at quarter scale
+//	dimctl list                             list available experiments
+//	dimctl run <id> [...]                   run experiments by ID (or "all")
+//	dimctl -scale 0.25 run all              run everything at quarter scale
+//	dimctl scenario list                    list fleet scenarios
+//	dimctl scenario run <name>...           run fleet scenarios
+//	dimctl sched policies                   list placement policies
+//	dimctl sched compare -scenario <name>   sweep all placement policies
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,58 +24,44 @@ import (
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-duration runs")
-	jobs := flag.Int("jobs", 0, "parallel trial workers; 0 = GOMAXPROCS (output is identical at any setting)")
-	outDir := flag.String("out", "results", "output directory for `export`")
-	flag.Usage = usage
-	flag.Parse()
-	dimetrodon.SetJobs(*jobs)
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes one command and
+// returns the process exit code, writing only to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dimctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "experiment scale: 1.0 = paper-duration runs")
+	jobs := fs.Int("jobs", 0, "parallel trial workers; 0 = GOMAXPROCS (output is identical at any setting)")
+	outDir := fs.String("out", "results", "output directory for `export`")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	switch args[0] {
+	dimetrodon.SetJobs(*jobs)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(fs, stderr)
+		return 2
+	}
+	switch rest[0] {
 	case "scenario":
-		scenarioCmd(args[1:], dimetrodon.Scale(*scale), *outDir)
-		return
-	case "export":
-		targets := args[1:]
-		if len(targets) == 0 {
-			fmt.Fprintln(os.Stderr, "dimctl: export requires experiment IDs or \"all\"")
-			os.Exit(2)
-		}
-		if len(targets) == 1 && targets[0] == "all" {
-			targets = dimetrodon.ExperimentIDs()
-		}
-		for _, id := range targets {
-			if _, ok := dimetrodon.Experiments[id]; !ok {
-				fmt.Fprintf(os.Stderr, "dimctl: unknown experiment %q (try: dimctl list)\n", id)
-				os.Exit(2)
-			}
-			start := time.Now()
-			paths, err := dimetrodon.Export(id, dimetrodon.Scale(*scale), *outDir)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dimctl: exporting %s: %v\n", id, err)
-				os.Exit(1)
-			}
-			fmt.Printf("%-16s -> %d file(s) in %v\n", id, len(paths), time.Since(start).Round(time.Millisecond))
-			for _, p := range paths {
-				fmt.Printf("  %s\n", p)
-			}
-		}
-		return
+		return scenarioCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
+	case "sched":
+		return schedCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
 	case "list":
 		for _, id := range dimetrodon.ExperimentIDs() {
 			e := dimetrodon.Experiments[id]
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
-			fmt.Printf("%-18s   %s\n", "", e.Summary)
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s   %s\n", "", e.Summary)
 		}
+		return 0
 	case "run":
-		targets := args[1:]
+		targets := rest[1:]
 		if len(targets) == 0 {
-			fmt.Fprintln(os.Stderr, "dimctl: run requires experiment IDs or \"all\"")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dimctl: run requires experiment IDs or \"all\"")
+			return 2
 		}
 		if len(targets) == 1 && targets[0] == "all" {
 			targets = dimetrodon.ExperimentIDs()
@@ -78,41 +69,82 @@ func main() {
 		for _, id := range targets {
 			e, ok := dimetrodon.Experiments[id]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "dimctl: unknown experiment %q (try: dimctl list)\n", id)
-				os.Exit(2)
+				unknownName(stderr, "experiment", id, dimetrodon.ExperimentIDs())
+				return 2
 			}
-			fmt.Printf("==== %s (%s) ====\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "==== %s (%s) ====\n", e.ID, e.Title)
 			start := time.Now()
-			if err := e.Run(os.Stdout, dimetrodon.Scale(*scale)); err != nil {
-				fmt.Fprintf(os.Stderr, "dimctl: %s failed: %v\n", id, err)
-				os.Exit(1)
+			if err := e.Run(stdout, dimetrodon.Scale(*scale)); err != nil {
+				fmt.Fprintf(stderr, "dimctl: %s failed: %v\n", id, err)
+				return 1
 			}
-			fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+		return 0
+	case "export":
+		targets := rest[1:]
+		if len(targets) == 0 {
+			fmt.Fprintln(stderr, "dimctl: export requires experiment IDs or \"all\"")
+			return 2
+		}
+		if len(targets) == 1 && targets[0] == "all" {
+			targets = dimetrodon.ExperimentIDs()
+		}
+		for _, id := range targets {
+			if _, ok := dimetrodon.Experiments[id]; !ok {
+				unknownName(stderr, "experiment", id, dimetrodon.ExperimentIDs())
+				return 2
+			}
+			start := time.Now()
+			paths, err := dimetrodon.Export(id, dimetrodon.Scale(*scale), *outDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: exporting %s: %v\n", id, err)
+				return 1
+			}
+			printPaths(stdout, id, paths, start)
+		}
+		return 0
 	default:
-		usage()
-		os.Exit(2)
+		usage(fs, stderr)
+		return 2
 	}
 }
 
-// scenarioCmd implements the `dimctl scenario list|run|export` subcommands:
-// the fleet-scale scenario engine on top of the same -scale/-jobs/-out flags
-// the paper harnesses use. Flags are also accepted after the scenario names
-// (`dimctl scenario run fleet-diurnal -jobs 8`), where the top-level parse
-// has already stopped.
-func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string) {
+// unknownName reports an unrecognised experiment/scenario/policy name and
+// prints the valid set, so the caller can fix the invocation without a
+// second round-trip through a list command.
+func unknownName(w io.Writer, kind, name string, valid []string) {
+	fmt.Fprintf(w, "dimctl: unknown %s %q; valid %ss:\n", kind, name, kind)
+	for _, v := range valid {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+}
+
+func printPaths(w io.Writer, label string, paths []string, start time.Time) {
+	fmt.Fprintf(w, "%-16s -> %d file(s) in %v\n", label, len(paths), time.Since(start).Round(time.Millisecond))
+	for _, p := range paths {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+}
+
+// scenarioCmd implements `dimctl scenario list|run|export`. Scenarios with a
+// scheduler block route through the fleetsched cross-machine engine (their
+// default placement policy); plain fleets use the independent per-machine
+// path. Flags are also accepted after the scenario names.
+func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dimctl: scenario requires a subcommand: list, run or export")
+		return 2
 	}
 	names, rest := splitFlags(args[1:])
+	trailing := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	trailingScale := trailing.Float64("scale", float64(scale), "experiment scale")
+	trailingJobs := trailing.Int("jobs", 0, "parallel trial workers")
+	trailingOut := trailing.String("out", outDir, "output directory for export")
 	if len(rest) > 0 {
-		fs := flag.NewFlagSet("scenario", flag.ExitOnError)
-		trailingScale := fs.Float64("scale", float64(scale), "experiment scale")
-		trailingJobs := fs.Int("jobs", 0, "parallel trial workers")
-		trailingOut := fs.String("out", outDir, "output directory for export")
-		if err := fs.Parse(rest); err != nil {
-			os.Exit(2)
+		if err := trailing.Parse(rest); err != nil {
+			return 2
 		}
 		scale = dimetrodon.Scale(*trailingScale)
 		outDir = *trailingOut
@@ -120,56 +152,211 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string) {
 			dimetrodon.SetJobs(*trailingJobs)
 		}
 	}
-	resolve := func(targets []string) []string {
-		if len(targets) == 0 {
-			fmt.Fprintln(os.Stderr, "dimctl: scenario "+args[0]+" requires scenario names or \"all\"")
-			os.Exit(2)
+	resolve := func() ([]string, int) {
+		if len(names) == 0 {
+			fmt.Fprintln(stderr, "dimctl: scenario "+args[0]+" requires scenario names or \"all\"")
+			return nil, 2
 		}
-		if len(targets) == 1 && targets[0] == "all" {
-			return dimetrodon.ScenarioNames()
+		if len(names) == 1 && names[0] == "all" {
+			return dimetrodon.ScenarioNames(), 0
 		}
-		for _, name := range targets {
+		for _, name := range names {
 			if _, ok := dimetrodon.LookupScenario(name); !ok {
-				fmt.Fprintf(os.Stderr, "dimctl: unknown scenario %q (try: dimctl scenario list)\n", name)
-				os.Exit(2)
+				unknownName(stderr, "scenario", name, dimetrodon.ScenarioNames())
+				return nil, 2
 			}
 		}
-		return targets
+		return names, 0
 	}
 	switch args[0] {
 	case "list":
 		for _, name := range dimetrodon.ScenarioNames() {
 			s, _ := dimetrodon.LookupScenario(name)
-			fmt.Printf("%-18s %s\n", s.Name, s.Title)
-			fmt.Printf("%-18s   %s\n", "", s.Summary)
-		}
-	case "run":
-		for _, name := range resolve(names) {
-			start := time.Now()
-			res, err := dimetrodon.RunScenario(name, scale)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dimctl: scenario %s failed: %v\n", name, err)
-				os.Exit(1)
+			tag := ""
+			if s.Scheduler != nil {
+				tag = " [sched]"
 			}
-			fmt.Printf("==== scenario %s ====\n%s", name, res)
-			fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "%-18s %s%s\n", s.Name, s.Title, tag)
+			fmt.Fprintf(stdout, "%-18s   %s\n", "", s.Summary)
 		}
+		return 0
+	case "run":
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
+			start := time.Now()
+			var rendered fmt.Stringer
+			var err error
+			if s, _ := dimetrodon.LookupScenario(name); s != nil && s.Scheduler != nil {
+				rendered, err = dimetrodon.RunSchedScenario(name, "", scale)
+			} else {
+				rendered, err = dimetrodon.RunScenario(name, scale)
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: scenario %s failed: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "==== scenario %s ====\n%s", name, rendered)
+			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return 0
 	case "export":
-		for _, name := range resolve(names) {
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
 			start := time.Now()
 			paths, err := dimetrodon.ExportScenario(name, scale, outDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dimctl: exporting scenario %s: %v\n", name, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "dimctl: exporting scenario %s: %v\n", name, err)
+				return 1
 			}
-			fmt.Printf("%-16s -> %d file(s) in %v\n", name, len(paths), time.Since(start).Round(time.Millisecond))
-			for _, p := range paths {
-				fmt.Printf("  %s\n", p)
+			printPaths(stdout, name, paths, start)
+		}
+		return 0
+	default:
+		fmt.Fprintf(stderr, "dimctl: unknown scenario subcommand %q (list, run, export)\n", args[0])
+		return 2
+	}
+}
+
+// schedCmd implements the fleet-scheduler subcommands:
+//
+//	dimctl sched policies                            list placement policies
+//	dimctl sched run <scenario>... [-policy P]       one policy, full output
+//	dimctl sched compare <scenario>...               sweep all policies, table
+//	dimctl sched export <scenario>...                per-run + comparison CSVs
+//
+// Scenario names may also be passed via -scenario; only scenarios with a
+// scheduler block qualify.
+func schedCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "dimctl: sched requires a subcommand: policies, run, compare or export")
+		return 2
+	}
+	names, rest := splitFlags(args[1:])
+	trailing := flag.NewFlagSet("sched", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	trailingScale := trailing.Float64("scale", float64(scale), "experiment scale")
+	trailingJobs := trailing.Int("jobs", 0, "parallel trial workers")
+	trailingOut := trailing.String("out", outDir, "output directory for export")
+	policy := trailing.String("policy", "", "placement policy for `sched run` (default: the scenario's)")
+	scenarioFlag := trailing.String("scenario", "", "scheduled scenario name (alternative to a positional name)")
+	if len(rest) > 0 {
+		if err := trailing.Parse(rest); err != nil {
+			return 2
+		}
+		scale = dimetrodon.Scale(*trailingScale)
+		outDir = *trailingOut
+		if *trailingJobs != 0 {
+			dimetrodon.SetJobs(*trailingJobs)
+		}
+		if *scenarioFlag != "" {
+			names = append(names, *scenarioFlag)
+		}
+	}
+	schedNames := func() []string {
+		var out []string
+		for _, name := range dimetrodon.ScenarioNames() {
+			if s, _ := dimetrodon.LookupScenario(name); s != nil && s.Scheduler != nil {
+				out = append(out, name)
 			}
 		}
+		return out
+	}
+	resolve := func() ([]string, int) {
+		valid := schedNames()
+		if len(names) == 0 {
+			fmt.Fprintln(stderr, "dimctl: sched "+args[0]+" requires a scheduled scenario name (or \"all\"); try -scenario <name>")
+			return nil, 2
+		}
+		if len(names) == 1 && names[0] == "all" {
+			return valid, 0
+		}
+		for _, name := range names {
+			s, ok := dimetrodon.LookupScenario(name)
+			if !ok || s.Scheduler == nil {
+				unknownName(stderr, "scheduled scenario", name, valid)
+				return nil, 2
+			}
+		}
+		return names, 0
+	}
+	switch args[0] {
+	case "policies":
+		for _, p := range dimetrodon.SchedPolicyNames() {
+			fmt.Fprintln(stdout, p)
+		}
+		return 0
+	case "run":
+		if *policy != "" && !dimetrodon.ValidSchedPolicy(*policy) {
+			unknownName(stderr, "placement policy", *policy, dimetrodon.SchedPolicyNames())
+			return 2
+		}
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
+			start := time.Now()
+			res, err := dimetrodon.RunSchedScenario(name, *policy, scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: sched run %s failed: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "==== sched %s ====\n%s", name, res)
+			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return 0
+	case "compare":
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
+			start := time.Now()
+			c, err := dimetrodon.CompareSchedScenario(name, scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: sched compare %s failed: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprint(stdout, c)
+			fmt.Fprintf(stdout, "---- %s compared in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return 0
+	case "export":
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
+			start := time.Now()
+			// One sweep serves both artefacts: the default-policy run's
+			// CSVs come from the comparison's own results, not a re-run.
+			c, err := dimetrodon.CompareSchedScenario(name, scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: sched export %s: %v\n", name, err)
+				return 1
+			}
+			paths, err := dimetrodon.ExportSchedResult(c.DefaultResult(), outDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: sched export %s: %v\n", name, err)
+				return 1
+			}
+			cmpPaths, err := dimetrodon.ExportSchedComparison(c, outDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: sched export %s: %v\n", name, err)
+				return 1
+			}
+			printPaths(stdout, name, append(paths, cmpPaths...), start)
+		}
+		return 0
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dimctl: unknown sched subcommand %q (policies, run, compare, export)\n", args[0])
+		return 2
 	}
 }
 
@@ -192,8 +379,8 @@ func splitFlags(args []string) (names, rest []string) {
 	return names, rest
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `dimctl — Dimetrodon (DAC 2011) reproduction harness
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, `dimctl — Dimetrodon (DAC 2011) reproduction harness
 
 usage:
   dimctl list                                         list experiments
@@ -203,8 +390,15 @@ usage:
   dimctl [-scale S] [-jobs N] scenario run <name>...  run fleet scenarios (or "all")
   dimctl [-scale S] [-jobs N] [-out DIR] scenario export <name>...
                                                       write scenario CSVs (or "all")
+  dimctl sched policies                               list placement policies
+  dimctl [-scale S] [-jobs N] sched run <name> [-policy P]
+                                                      run a scheduled scenario
+  dimctl [-scale S] [-jobs N] sched compare -scenario <name>
+                                                      sweep all placement policies
+  dimctl [-scale S] [-jobs N] [-out DIR] sched export <name>...
+                                                      write sched CSVs + comparison
 
 flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bytes"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUnknownExperimentListsValidIDs(t *testing.T) {
+	code, _, stderr := runCLI(t, "run", "fig99")
+	if code == 0 {
+		t.Fatal("unknown experiment exited zero")
+	}
+	if !strings.Contains(stderr, `unknown experiment "fig99"`) {
+		t.Fatalf("stderr = %q, want unknown-experiment report", stderr)
+	}
+	for _, id := range []string{"fig1", "table1"} {
+		if !strings.Contains(stderr, id) {
+			t.Fatalf("stderr does not list valid experiment %q:\n%s", id, stderr)
+		}
+	}
+}
+
+func TestUnknownScenarioListsValidNames(t *testing.T) {
+	code, _, stderr := runCLI(t, "scenario", "run", "no-such-fleet")
+	if code == 0 {
+		t.Fatal("unknown scenario exited zero")
+	}
+	for _, name := range []string{"fleet-diurnal", "sched-shootout"} {
+		if !strings.Contains(stderr, name) {
+			t.Fatalf("stderr does not list valid scenario %q:\n%s", name, stderr)
+		}
+	}
+}
+
+func TestUnknownPolicyListsValidNames(t *testing.T) {
+	code, _, stderr := runCLI(t, "sched", "run", "sched-shootout", "-policy", "warmest-first")
+	if code == 0 {
+		t.Fatal("unknown policy exited zero")
+	}
+	for _, p := range []string{"random", "round-robin", "least-loaded", "coolest-first", "headroom", "injection-aware"} {
+		if !strings.Contains(stderr, p) {
+			t.Fatalf("stderr does not list valid policy %q:\n%s", p, stderr)
+		}
+	}
+}
+
+func TestSchedRejectsUnscheduledScenario(t *testing.T) {
+	code, _, stderr := runCLI(t, "sched", "compare", "-scenario", "fleet-diurnal")
+	if code == 0 {
+		t.Fatal("sched compare on an unscheduled scenario exited zero")
+	}
+	if !strings.Contains(stderr, "sched-shootout") {
+		t.Fatalf("stderr does not list the scheduled scenarios:\n%s", stderr)
+	}
+}
+
+func TestSchedPolicies(t *testing.T) {
+	code, stdout, _ := runCLI(t, "sched", "policies")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "coolest-first") || !strings.Contains(stdout, "injection-aware") {
+		t.Fatalf("policies output incomplete:\n%s", stdout)
+	}
+}
+
+func TestSchedCompareRunsAllPolicies(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-scale", "0.02", "sched", "compare", "-scenario", "sched-shootout")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, p := range []string{"random", "round-robin", "least-loaded", "coolest-first", "headroom", "injection-aware"} {
+		if !strings.Contains(stdout, p) {
+			t.Fatalf("comparison output missing policy %q:\n%s", p, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "qos_delta") {
+		t.Fatalf("comparison output missing columns:\n%s", stdout)
+	}
+}
+
+func TestSchedExportWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-scale", "0.02", "-out", dir, "sched", "export", "sched-shootout")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"sched_sched_shootout_machines.csv",
+		"sched_sched_shootout_fleet.csv",
+		"sched_sched_shootout_jobs.csv",
+		"sched_sched_shootout_policies.csv",
+	} {
+		if !strings.Contains(stdout, filepath.Join(dir, want)) {
+			t.Fatalf("export output missing %s:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestScenarioRunRoutesSchedSpecs(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-scale", "0.02", "scenario", "run", "sched-shootout")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Sched scenario sched-shootout") {
+		t.Fatalf("scenario run did not route through fleetsched:\n%s", stdout)
+	}
+}
+
+func TestScenarioListTagsSchedScenarios(t *testing.T) {
+	code, stdout, _ := runCLI(t, "scenario", "list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "[sched]") {
+		t.Fatalf("scenario list does not tag scheduled scenarios:\n%s", stdout)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/experiments"
+	"repro/internal/fleetsched"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
@@ -242,7 +243,57 @@ func RunScenarioSpec(s *ScenarioSpec, scale Scale) (*ScenarioResult, error) {
 }
 
 // ExportScenario runs the named scenario and writes its per-machine and
-// fleet-aggregate CSVs into dir.
+// fleet-aggregate CSVs into dir. Scheduled scenarios route through the
+// fleetsched engine and additionally export the per-job ledger.
 func ExportScenario(name string, scale Scale, dir string) ([]string, error) {
+	if s, ok := scenario.Get(name); ok && s.Scheduler != nil {
+		return fleetsched.Export(name, float64(scale), dir)
+	}
 	return scenario.Export(name, float64(scale), dir)
+}
+
+// --- Fleet scheduler (thermal-aware placement across the fleet) ---
+
+// SchedResult is one scheduled scenario executed under one placement policy
+// by the fleetsched cross-machine engine.
+type SchedResult = fleetsched.Result
+
+// SchedComparison is one scheduled scenario swept over every placement
+// policy against identical arrival streams.
+type SchedComparison = fleetsched.Comparison
+
+// SchedPolicyNames returns the placement policies in canonical order.
+func SchedPolicyNames() []string { return fleetsched.Names() }
+
+// ValidSchedPolicy reports whether name is a known placement policy.
+func ValidSchedPolicy(name string) bool { return scenario.ValidPlacementPolicy(name) }
+
+// RunSchedScenario executes the named scheduled scenario under the given
+// placement policy (empty selects the spec's default). Output is
+// byte-identical at any -jobs setting.
+func RunSchedScenario(name, policy string, scale Scale) (*SchedResult, error) {
+	return fleetsched.RunByName(name, policy, float64(scale))
+}
+
+// CompareSchedScenario sweeps the named scheduled scenario over every
+// placement policy.
+func CompareSchedScenario(name string, scale Scale) (*SchedComparison, error) {
+	return fleetsched.CompareByName(name, float64(scale))
+}
+
+// ExportSchedComparison writes the policy-comparison CSV into dir.
+func ExportSchedComparison(c *SchedComparison, dir string) ([]string, error) {
+	return fleetsched.ExportComparison(c, dir)
+}
+
+// ExportSchedResult writes one scheduled run's per-machine, fleet and
+// per-job CSVs into dir.
+func ExportSchedResult(r *SchedResult, dir string) ([]string, error) {
+	return fleetsched.ExportResult(r, dir)
+}
+
+// ExportSchedScenario runs the named scheduled scenario under its default
+// policy and writes its per-machine, fleet and per-job CSVs into dir.
+func ExportSchedScenario(name string, scale Scale, dir string) ([]string, error) {
+	return fleetsched.Export(name, float64(scale), dir)
 }

@@ -1,0 +1,47 @@
+package export
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders a header and rows as RFC 4180 CSV content: fields containing a
+// comma, a double quote, or a line break are wrapped in double quotes with
+// embedded quotes doubled; everything else is written verbatim so the numeric
+// tables the harnesses emit stay byte-stable. Header ordering is preserved
+// exactly as given. Every row must match the header's width — a mismatch is
+// a programming error in the caller's table assembly and is reported rather
+// than silently padded.
+func CSV(header []string, rows [][]string) (string, error) {
+	if len(header) == 0 {
+		return "", fmt.Errorf("export: CSV needs a non-empty header")
+	}
+	var b strings.Builder
+	writeRow(&b, header)
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return "", fmt.Errorf("export: CSV row %d has %d fields, header has %d", i, len(row), len(header))
+		}
+		writeRow(&b, row)
+	}
+	return b.String(), nil
+}
+
+func writeRow(b *strings.Builder, fields []string) {
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(Quote(f))
+	}
+	b.WriteByte('\n')
+}
+
+// Quote returns the RFC 4180 encoding of one CSV field: quoted (with inner
+// quotes doubled) only when the field contains a comma, quote, CR or LF.
+func Quote(field string) string {
+	if !strings.ContainsAny(field, ",\"\r\n") {
+		return field
+	}
+	return `"` + strings.ReplaceAll(field, `"`, `""`) + `"`
+}

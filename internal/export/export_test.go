@@ -1,0 +1,122 @@
+package export
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVHeaderOrderingPreserved(t *testing.T) {
+	got, err := CSV(
+		[]string{"zeta", "alpha", "mid"},
+		[][]string{{"1", "2", "3"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "zeta,alpha,mid\n1,2,3\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q (header order must be preserved, never sorted)", got, want)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"plain", "plain"},
+		{"", ""},
+		{"3.14", "3.14"},
+		{"a,b", `"a,b"`},
+		{`say "hi"`, `"say ""hi"""`},
+		{"line\nbreak", "\"line\nbreak\""},
+		{"cr\rhere", "\"cr\rhere\""},
+		{`both,"q"`, `"both,""q"""`},
+	}
+	for _, c := range cases {
+		if got := Quote(c.in); got != c.want {
+			t.Errorf("Quote(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+
+	got, err := CSV([]string{"name", "note"}, [][]string{{"p=0.5, L=25ms", `the "hot" one`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\n\"p=0.5, L=25ms\",\"the \"\"hot\"\" one\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVErrorPaths(t *testing.T) {
+	if _, err := CSV(nil, nil); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	_, err := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"only-one"}})
+	if err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Fatalf("width mismatch err = %v, want row index", err)
+	}
+}
+
+func TestWriteCreatesDirAndReportsPaths(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	paths, err := Write(dir,
+		File{Name: "a.csv", Content: "x,y\n1,2\n"},
+		File{Name: "b.csv", Content: "k,v\n"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2 entries", paths)
+	}
+	for i, want := range []string{"a.csv", "b.csv"} {
+		if filepath.Base(paths[i]) != want {
+			t.Errorf("paths[%d] = %s, want base %s", i, paths[i], want)
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s written empty", paths[i])
+		}
+	}
+}
+
+func TestWriteDirCreationFailure(t *testing.T) {
+	// A regular file where the directory should go makes MkdirAll fail.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Write(blocker, File{Name: "a.csv", Content: "h\n"})
+	if err == nil {
+		t.Fatal("Write into a path blocked by a file succeeded")
+	}
+	if len(paths) != 0 {
+		t.Fatalf("paths = %v, want none on dir-creation failure", paths)
+	}
+}
+
+func TestWritePartialProgressOnFileError(t *testing.T) {
+	dir := t.TempDir()
+	// Second file's name collides with a pre-made subdirectory, so its
+	// WriteFile fails after the first file landed.
+	if err := os.Mkdir(filepath.Join(dir, "taken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := Write(dir,
+		File{Name: "ok.csv", Content: "h\n"},
+		File{Name: "taken", Content: "h\n"},
+	)
+	if err == nil {
+		t.Fatal("Write over a directory succeeded")
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "ok.csv" {
+		t.Fatalf("paths = %v, want the one file written before the failure", paths)
+	}
+}

@@ -1,0 +1,25 @@
+package fleetsched
+
+import "testing"
+
+// BenchmarkFleetSched measures one whole scheduled-scenario run (the
+// acceptance scenario at golden scale, default policy): the round-loop
+// barrier overhead plus the fleet simulation. scripts/bench.sh records it in
+// BENCH_results.json.
+func BenchmarkFleetSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunByName("sched-shootout", "", 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetSchedCompare measures the full six-policy sweep — what
+// `dimctl sched compare` costs.
+func BenchmarkFleetSchedCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareByName("sched-shootout", 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package fleetsched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// Golden-trace regression fixtures for the scheduled-scenario library: each
+// sched scenario's rendered run under its default policy, plus the full
+// policy-comparison table and CSV for the acceptance scenario, committed
+// under testdata/ and diffed byte-for-byte. Regenerate after intentional
+// model changes with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/fleetsched -run Golden
+
+const goldenScale = 0.05
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s — regenerate with UPDATE_GOLDEN=1 go test ./internal/fleetsched -run Golden", path)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n%s\n(if intentional: UPDATE_GOLDEN=1 go test ./internal/fleetsched -run Golden)", path, firstDiff(string(want), got))
+	}
+}
+
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, w, g)
+		}
+	}
+	return "(lengths differ)"
+}
+
+// schedScenarioNames returns the registered scenarios carrying a scheduler
+// block (this package registers them in init).
+func schedScenarioNames() []string {
+	var names []string
+	for _, name := range scenario.Names() {
+		if s, ok := scenario.Get(name); ok && s.Scheduler != nil {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+func TestGoldenSchedScenarios(t *testing.T) {
+	names := schedScenarioNames()
+	if len(names) < 3 {
+		t.Fatalf("only %d sched scenarios registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunByName(name, "", goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "sched-"+name, res.String())
+		})
+	}
+}
+
+func TestGoldenPolicyComparison(t *testing.T) {
+	c, err := CompareByName("sched-shootout", goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sched-shootout_compare", c.String())
+	csv, err := c.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sched-shootout_compare_csv", csv)
+}

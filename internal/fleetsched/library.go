@@ -1,0 +1,88 @@
+package fleetsched
+
+import "repro/internal/scenario"
+
+// The scheduled-scenario library. Registered from this package (not
+// internal/scenario) so the registry only carries them when the fleetsched
+// engine that can run them is linked in — exactly the pattern of a scheduler
+// shipping its own default workloads.
+func init() {
+	// The policy shootout: a heterogeneous fleet (rack-position airflow
+	// variance means some machines simply run hotter) absorbing a steady
+	// stream of two-thread batch jobs at ~30 % average utilisation — enough
+	// slack that placement has real freedom, enough heat that placing into
+	// the wrong machine costs violations. Thermally-blind policies stack
+	// work onto poorly-cooled machines; coolest-first and headroom route
+	// around them. This is the acceptance scenario for `dimctl sched
+	// compare`.
+	scenario.MustRegister(&scenario.Spec{
+		Name:    "sched-shootout",
+		Title:   "placement-policy shootout on a heterogeneous fleet",
+		Summary: "steady batch arrivals over 12 machines with 0.6 fan spread, Dimetrodon p=0.35 L=25ms; compare all placement policies.",
+		Fleet:   scenario.FleetSpec{Machines: 12, BaseSeed: 8100, FanSpread: 0.4, AmbientSpreadC: 9},
+		Policy:  scenario.PolicySpec{Kind: scenario.PolicyDimetrodon, P: 0.35, LMS: 25},
+		Scheduler: &scenario.SchedulerSpec{
+			Policy: scenario.PlaceCoolestFirst,
+			RoundS: 2,
+			Jobs: []scenario.JobClassSpec{
+				{Name: "batch", Rate: 0.55, Threads: 2, WorkS: 14, WorkSpread: 0.5},
+			},
+		},
+		DurationS:  400,
+		WarmupFrac: 0.1,
+		ViolationC: 47,
+	})
+
+	// A herd of hot jobs arriving in a mid-run window (a training sweep, a
+	// quarterly batch close) on top of steady background load, with the
+	// migration loop armed: machines driven into violation shed their
+	// largest job to cooler neighbours instead of riding the TM1 backstop.
+	scenario.MustRegister(&scenario.Spec{
+		Name:    "hotspot-herd",
+		Title:   "hot-job herd with thermal-violation migration",
+		Summary: "windowed burst of hot 2-thread jobs over background load; headroom placement with migration, Dimetrodon p=0.25 L=25ms, TM1 armed.",
+		Fleet:   scenario.FleetSpec{Machines: 10, BaseSeed: 8200, FanSpread: 0.3, AmbientSpreadC: 8},
+		Workload: []scenario.ComponentSpec{
+			{Kind: scenario.KindPeriodic, Threads: 2, BurstS: 0.5, PauseS: 2, PowerFactor: 0.7},
+		},
+		Policy: scenario.PolicySpec{Kind: scenario.PolicyDimetrodon, P: 0.25, LMS: 25, TM1: true},
+		Scheduler: &scenario.SchedulerSpec{
+			Policy: scenario.PlaceHeadroom,
+			RoundS: 2,
+			Jobs: []scenario.JobClassSpec{
+				{Name: "herd", Rate: 1.2, Threads: 2, WorkS: 15,
+					Arrival: scenario.ArrivalSpec{Pattern: scenario.ArrivalWindow, StartFrac: 0.3, EndFrac: 0.6}},
+			},
+			Migration: scenario.MigrationSpec{Enabled: true, MaxMovesPerRound: 2},
+		},
+		DurationS:  300,
+		WarmupFrac: 0.1,
+		ViolationC: 46,
+	})
+
+	// Web-serving machines under adaptive thermal control absorbing spill
+	// batch work: the adaptive controllers inject hardest exactly where
+	// heat is already a problem, so the injection-aware policy reads their
+	// effort as a congestion signal and spills batch work elsewhere,
+	// defending web QoS and thermals at once.
+	scenario.MustRegister(&scenario.Spec{
+		Name:    "colo-spill",
+		Title:   "batch spill-over onto adaptive web-serving machines",
+		Summary: "webserver fleet under adaptive control (42C target) taking batch spill; injection-aware placement reads controller effort.",
+		Fleet:   scenario.FleetSpec{Machines: 8, BaseSeed: 8300, FanSpread: 0.3, AmbientSpreadC: 7},
+		Workload: []scenario.ComponentSpec{
+			{Kind: scenario.KindWebserver},
+		},
+		Policy: scenario.PolicySpec{Kind: scenario.PolicyAdaptive, TargetC: 42},
+		Scheduler: &scenario.SchedulerSpec{
+			Policy: scenario.PlaceInjectionAware,
+			RoundS: 2,
+			Jobs: []scenario.JobClassSpec{
+				{Name: "spill", Rate: 0.5, Threads: 2, WorkS: 10, WorkSpread: 0.2},
+			},
+		},
+		DurationS:  300,
+		WarmupFrac: 0.1,
+		ViolationC: 45,
+	})
+}

@@ -1,0 +1,197 @@
+// Package fleetsched is the thermal-aware fleet scheduler: it turns a
+// scenario's fleet of independently-simulated machines into a coordinated
+// cluster. A deterministic dispatcher consumes the scenario's job arrival
+// streams and routes each arriving job to a machine through a pluggable
+// placement Policy; an optional migration loop evacuates work off machines in
+// thermal violation. Dimetrodon manages heat *within* one processor via idle
+// cycle injection — this layer decides *which machine gets the work in the
+// first place*, so preventive injection and placement cooperate
+// (temperature-aware task scheduling in the sense of Chrobak et al.; see
+// PAPERS.md).
+//
+// Determinism is structured exactly like the rest of the repository: time is
+// divided into dispatch rounds; all cross-machine decisions (placement,
+// migration) happen single-threaded at round boundaries against the telemetry
+// gathered at the previous barrier, and machines advance between boundaries
+// in parallel across the runner pool, each mutating only its own state. Every
+// stochastic stream (per-machine simulation, arrival processes, the random
+// placement policy) is derived from the scenario's base seed by identity,
+// never shared — so fleet output is byte-identical at any -jobs level.
+package fleetsched
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// MachineView is one machine's dispatcher-facing state at a round boundary —
+// what placement policies rank machines by. Temperatures are the true model
+// junctions (a fleet controller owns its machines); load counters come from
+// the scheduler telemetry snapshot, and the pending/EWMA fields are
+// maintained by the engine across rounds.
+type MachineView struct {
+	// Index is the machine's fleet index (stable identity); policies return
+	// positions into FleetView.Machines, which may be a filtered subset.
+	Index int
+	// Cores is the machine's scheduler capacity (cores × SMT contexts).
+	Cores int
+	// Load is live threads per core (running + runnable + pinned).
+	Load float64
+	// ResidentJobs is the number of incomplete scheduled jobs on the machine.
+	ResidentJobs int
+	// PendingWorkS is the remaining reference-seconds of scheduled-job work.
+	PendingWorkS float64
+	// MaxJunctionC is the hottest junction at the last barrier.
+	MaxJunctionC float64
+	// EWMAJunctionC is the exponentially-weighted moving average of
+	// MaxJunctionC across rounds — the headroom policy's trend estimate.
+	EWMAJunctionC float64
+	// InjectionFrac is the last round's injected-idle fraction of occupied
+	// core time: how hard the machine's Dimetrodon controller is already
+	// working to stay cool.
+	InjectionFrac float64
+	// ViolationC is the scenario's thermal-violation threshold.
+	ViolationC float64
+}
+
+// FleetView is the candidate set a placement decision chooses from, plus the
+// dispatcher-owned RNG stream stochastic policies draw on.
+type FleetView struct {
+	Machines []MachineView
+	RNG      *rng.Source
+}
+
+// Policy routes one arriving (or migrating) job to a machine. Place returns
+// an index into view.Machines; implementations must be deterministic given
+// (their own state, job, view) — ties broken by the lowest machine index —
+// and must not retain view across calls.
+type Policy interface {
+	Name() string
+	Place(job *Job, view *FleetView) int
+}
+
+// Names returns every placement policy name in canonical comparison order.
+func Names() []string {
+	return append([]string(nil), scenario.PlacementPolicies...)
+}
+
+// New returns a fresh instance of the named placement policy. Policy
+// instances carry per-run state (round-robin position) and must not be shared
+// between runs. An empty name selects coolest-first. Unknown names report the
+// valid set.
+func New(name string) (Policy, error) {
+	switch name {
+	case scenario.PlaceRandom:
+		return &randomPolicy{}, nil
+	case scenario.PlaceRoundRobin:
+		return &roundRobinPolicy{}, nil
+	case scenario.PlaceLeastLoaded:
+		return leastLoadedPolicy{}, nil
+	case "", scenario.PlaceCoolestFirst:
+		return coolestFirstPolicy{}, nil
+	case scenario.PlaceHeadroom:
+		return headroomPolicy{}, nil
+	case scenario.PlaceInjectionAware:
+		return injectionAwarePolicy{}, nil
+	default:
+		return nil, fmt.Errorf("fleetsched: unknown placement policy %q (valid: %v)", name, Names())
+	}
+}
+
+// randomPolicy places uniformly at random — the naive baseline every
+// placement study compares against.
+type randomPolicy struct{}
+
+func (*randomPolicy) Name() string { return scenario.PlaceRandom }
+func (*randomPolicy) Place(_ *Job, view *FleetView) int {
+	return view.RNG.Intn(len(view.Machines))
+}
+
+// roundRobinPolicy cycles through candidate positions — fair in job count,
+// blind to both load and heat.
+type roundRobinPolicy struct{ next int }
+
+func (*roundRobinPolicy) Name() string { return scenario.PlaceRoundRobin }
+func (p *roundRobinPolicy) Place(_ *Job, view *FleetView) int {
+	i := p.next % len(view.Machines)
+	p.next++
+	return i
+}
+
+// leastLoadedPolicy picks the machine with the fewest live threads per core —
+// classic load balancing, thermally blind.
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return scenario.PlaceLeastLoaded }
+func (leastLoadedPolicy) Place(_ *Job, view *FleetView) int {
+	return argBest(view, func(m *MachineView) float64 { return m.Load })
+}
+
+// coolestFirstPolicy picks the machine with the lowest current hottest
+// junction — the greedy temperature-aware rule ("assign to the coolest
+// processor") that Chrobak et al. analyse.
+type coolestFirstPolicy struct{}
+
+func (coolestFirstPolicy) Name() string { return scenario.PlaceCoolestFirst }
+func (coolestFirstPolicy) Place(_ *Job, view *FleetView) int {
+	return argBest(view, func(m *MachineView) float64 { return m.MaxJunctionC })
+}
+
+// headroomDegPerRefSec converts pending per-core work into predicted
+// temperature rise: a machine already holding a backlog will heat past its
+// current reading once that work runs. The coefficient is deliberately
+// coarse — it ranks machines, it does not forecast degrees.
+const headroomDegPerRefSec = 0.5
+
+// headroomPolicy maximises predicted thermal headroom: the violation
+// threshold minus an EWMA of recent hottest-junction readings minus a
+// pending-load term. Against coolest-first it is robust to the sawtooth a
+// just-idled hot machine shows at a single instant, and it refuses to stack
+// work on a machine whose queue already commits it to heating.
+type headroomPolicy struct{}
+
+func (headroomPolicy) Name() string { return scenario.PlaceHeadroom }
+func (headroomPolicy) Place(_ *Job, view *FleetView) int {
+	return argBest(view, func(m *MachineView) float64 {
+		predicted := m.EWMAJunctionC + headroomDegPerRefSec*m.PendingWorkS/float64(m.Cores)
+		return -(m.ViolationC - predicted) // argBest minimises; headroom is maximised
+	})
+}
+
+// injectionPenaltyLoad is how many units of per-core load one unit of
+// injection fraction costs in the injection-aware ranking: a machine
+// injecting 25 % of its occupied time ranks like one carrying an extra
+// core's worth of queue.
+const injectionPenaltyLoad = 4.0
+
+// injectionAwarePolicy is least-loaded with a penalty for machines whose
+// Dimetrodon controllers are already injecting heavily. Injection fraction is
+// the preventive layer's own confession that it is fighting heat — routing
+// more work there both heats the machine and runs slower (the injected idle
+// cycles are exactly the throughput the new job would lose).
+type injectionAwarePolicy struct{}
+
+func (injectionAwarePolicy) Name() string { return scenario.PlaceInjectionAware }
+func (injectionAwarePolicy) Place(_ *Job, view *FleetView) int {
+	return argBest(view, func(m *MachineView) float64 {
+		return m.Load + injectionPenaltyLoad*m.InjectionFrac
+	})
+}
+
+// argBest returns the position of the candidate minimising score, breaking
+// ties by the lowest fleet index so rankings are deterministic.
+func argBest(view *FleetView, score func(*MachineView) float64) int {
+	best := 0
+	bestScore := score(&view.Machines[0])
+	for i := 1; i < len(view.Machines); i++ {
+		s := score(&view.Machines[i])
+		m := &view.Machines[i]
+		b := &view.Machines[best]
+		if s < bestScore || (s == bestScore && m.Index < b.Index) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package fleetsched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// TestPolicyRegistryMatchesSpecVocabulary pins the 1:1 correspondence
+// between the scenario package's placement-policy names (the spec language)
+// and the implementations here.
+func TestPolicyRegistryMatchesSpecVocabulary(t *testing.T) {
+	names := Names()
+	if len(names) != len(scenario.PlacementPolicies) {
+		t.Fatalf("Names() = %v, want %v", names, scenario.PlacementPolicies)
+	}
+	for i, n := range scenario.PlacementPolicies {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+		p, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Fatalf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+}
+
+func TestNewUnknownPolicyListsValidNames(t *testing.T) {
+	_, err := New("hottest-first")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, n := range scenario.PlacementPolicies {
+		if !strings.Contains(err.Error(), n) {
+			t.Fatalf("error %q does not list valid policy %q", err, n)
+		}
+	}
+}
+
+func TestNewEmptyDefaultsToCoolestFirst(t *testing.T) {
+	p, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != scenario.PlaceCoolestFirst {
+		t.Fatalf("default policy = %q, want coolest-first", p.Name())
+	}
+}
+
+// testView builds a 4-machine view with machine 2 the coolest, machine 1 the
+// least loaded, machine 3 the heaviest injector, and machine 0 the best
+// predicted headroom (cool EWMA and empty backlog).
+func testView() *FleetView {
+	return &FleetView{
+		RNG: rng.New(42),
+		Machines: []MachineView{
+			{Index: 0, Cores: 4, Load: 0.75, MaxJunctionC: 46, EWMAJunctionC: 40, PendingWorkS: 0, InjectionFrac: 0.10, ViolationC: 60},
+			{Index: 1, Cores: 4, Load: 0.25, MaxJunctionC: 52, EWMAJunctionC: 52, PendingWorkS: 8, InjectionFrac: 0.05, ViolationC: 60},
+			{Index: 2, Cores: 4, Load: 1.00, MaxJunctionC: 41, EWMAJunctionC: 47, PendingWorkS: 60, InjectionFrac: 0.02, ViolationC: 60},
+			{Index: 3, Cores: 4, Load: 0.50, MaxJunctionC: 50, EWMAJunctionC: 50, PendingWorkS: 4, InjectionFrac: 0.40, ViolationC: 60},
+		},
+	}
+}
+
+func place(t *testing.T, name string, view *FleetView) int {
+	t.Helper()
+	p, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return place2(p, view)
+}
+
+func place2(p Policy, view *FleetView) int {
+	return p.Place(&Job{Threads: 1, WorkS: 1}, view)
+}
+
+func TestLeastLoadedPicksLightestMachine(t *testing.T) {
+	if got := place(t, scenario.PlaceLeastLoaded, testView()); got != 1 {
+		t.Fatalf("least-loaded picked %d, want 1", got)
+	}
+}
+
+func TestCoolestFirstPicksLowestJunction(t *testing.T) {
+	if got := place(t, scenario.PlaceCoolestFirst, testView()); got != 2 {
+		t.Fatalf("coolest-first picked %d, want 2", got)
+	}
+}
+
+func TestHeadroomAccountsForPendingBacklog(t *testing.T) {
+	// Machine 2 is the coolest right now but carries a 60 ref-s backlog
+	// (15 ref-s per core -> +7.5C predicted); machine 0's EWMA of 40 with
+	// no backlog gives the most predicted headroom.
+	if got := place(t, scenario.PlaceHeadroom, testView()); got != 0 {
+		t.Fatalf("headroom picked %d, want 0", got)
+	}
+}
+
+func TestInjectionAwarePenalisesHeavyInjectors(t *testing.T) {
+	// Machine 1 is lightest (0.25 + 4*0.05 = 0.45); machine 3's moderate
+	// load is outweighed by its 40% injection fraction (0.5 + 1.6 = 2.1).
+	if got := place(t, scenario.PlaceInjectionAware, testView()); got != 1 {
+		t.Fatalf("injection-aware picked %d, want 1", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p, err := New(scenario.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := testView()
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, place2(p, view))
+	}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRandomIsDeterministicPerStream(t *testing.T) {
+	a, _ := New(scenario.PlaceRandom)
+	b, _ := New(scenario.PlaceRandom)
+	va, vb := testView(), testView()
+	for i := 0; i < 32; i++ {
+		pa, pb := place2(a, va), place2(b, vb)
+		if pa != pb {
+			t.Fatalf("random placement diverged at draw %d: %d vs %d", i, pa, pb)
+		}
+		if pa < 0 || pa >= len(va.Machines) {
+			t.Fatalf("random placement out of range: %d", pa)
+		}
+	}
+}
+
+func TestArgBestTieBreaksByLowestIndex(t *testing.T) {
+	view := &FleetView{Machines: []MachineView{
+		{Index: 7, MaxJunctionC: 40},
+		{Index: 3, MaxJunctionC: 40},
+		{Index: 5, MaxJunctionC: 41},
+	}}
+	got := argBest(view, func(m *MachineView) float64 { return m.MaxJunctionC })
+	if view.Machines[got].Index != 3 {
+		t.Fatalf("tie broke to index %d, want 3", view.Machines[got].Index)
+	}
+}

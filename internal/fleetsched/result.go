@@ -1,0 +1,154 @@
+package fleetsched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// MachineStats is one fleet member's outcome: the same measurement-window
+// result the unscheduled path produces, plus the placement ledger.
+type MachineStats struct {
+	scenario.MachineResult
+	JobsPlaced    int
+	JobsCompleted int
+	MigratedIn    int
+	MigratedOut   int
+}
+
+// PlacementAgg summarises placement quality across the fleet — the columns a
+// policy comparison ranks by.
+type PlacementAgg struct {
+	JobsArrived    int
+	JobsDispatched int
+	JobsCompleted  int
+	Migrations     int
+
+	// Slowdown distribution over completed jobs (observed makespan over
+	// ideal duration; 1.0 is perfect).
+	SlowdownMean float64
+	SlowdownP95  float64
+	// WaitMeanS is the mean dispatch-queue latency (arrival to placement).
+	WaitMeanS float64
+
+	// TempStddevC is the standard deviation of per-machine mean junction
+	// temperatures — low values mean the policy spread heat evenly.
+	TempStddevC float64
+	// PeakSpreadC is the hottest machine's peak minus the coolest's.
+	PeakSpreadC float64
+}
+
+// Result is one executed scheduled scenario under one placement policy.
+type Result struct {
+	Spec     *scenario.Spec
+	Policy   string
+	Scale    float64
+	Duration units.Time
+	Warmup   units.Time
+	Round    units.Time
+
+	Machines  []MachineStats
+	Fleet     scenario.FleetAgg
+	Placement PlacementAgg
+	Jobs      []*Job
+}
+
+// aggregatePlacement folds the job ledger and per-machine stats into the
+// placement-quality aggregate.
+func aggregatePlacement(machines []MachineStats, jobs []*Job, dispatched, migrations int) PlacementAgg {
+	agg := PlacementAgg{
+		JobsArrived:    len(jobs),
+		JobsDispatched: dispatched,
+		Migrations:     migrations,
+	}
+	var slowdowns []float64
+	var waitSum float64
+	for _, j := range jobs {
+		if j.done {
+			agg.JobsCompleted++
+			slowdowns = append(slowdowns, j.Slowdown())
+		}
+		if j.Machine >= 0 {
+			waitSum += (j.DispatchAt - j.ArriveAt).Seconds()
+		}
+	}
+	if len(slowdowns) > 0 {
+		var sum float64
+		for _, s := range slowdowns {
+			sum += s
+		}
+		agg.SlowdownMean = sum / float64(len(slowdowns))
+		agg.SlowdownP95 = analysis.Percentile(slowdowns, 95)
+	}
+	if dispatched > 0 {
+		agg.WaitMeanS = waitSum / float64(dispatched)
+	}
+
+	if len(machines) > 0 {
+		var mean float64
+		minPeak, maxPeak := math.Inf(1), math.Inf(-1)
+		for _, m := range machines {
+			mean += m.MeanJunction
+			if m.PeakJunction < minPeak {
+				minPeak = m.PeakJunction
+			}
+			if m.PeakJunction > maxPeak {
+				maxPeak = m.PeakJunction
+			}
+		}
+		mean /= float64(len(machines))
+		var ss float64
+		for _, m := range machines {
+			d := m.MeanJunction - mean
+			ss += d * d
+		}
+		agg.TempStddevC = math.Sqrt(ss / float64(len(machines)))
+		agg.PeakSpreadC = maxPeak - minPeak
+	}
+	return agg
+}
+
+// String renders the scheduled run — fixed-width and fully deterministic so
+// golden traces and the jobs-1-vs-8 diff can compare byte-for-byte.
+func (r *Result) String() string {
+	var b strings.Builder
+	s := r.Spec
+	fmt.Fprintf(&b, "Sched scenario %s: %s\n", s.Name, s.Title)
+	fmt.Fprintf(&b, "fleet of %d machines, %v per machine (%v warmup), round %v, placement %s, dtm %s, violation >= %.1fC\n",
+		s.Fleet.Machines, r.Duration, r.Warmup, r.Round, r.Policy, s.Policy.Label(), s.ViolationThreshold())
+	p := r.Placement
+	fmt.Fprintf(&b, "jobs: %d arrived, %d dispatched, %d completed, %d migrations\n",
+		p.JobsArrived, p.JobsDispatched, p.JobsCompleted, p.Migrations)
+	fmt.Fprintf(&b, "qos: slowdown mean %.3f / p95 %.3f, dispatch wait mean %.3fs\n",
+		p.SlowdownMean, p.SlowdownP95, p.WaitMeanS)
+	fmt.Fprintf(&b, "balance: mean-junction stddev %.3fC, peak spread %.3fC\n",
+		p.TempStddevC, p.PeakSpreadC)
+	a := r.Fleet
+	fmt.Fprintf(&b, "mean junction across fleet:  p50 %7.3fC  p90 %7.3fC  max %7.3fC\n",
+		a.MeanJunctionP50, a.MeanJunctionP90, a.MeanJunctionMax)
+	fmt.Fprintf(&b, "peak junction across fleet:  p50 %7.3fC  p99 %7.3fC  max %7.3fC\n",
+		a.PeakJunctionP50, a.PeakJunctionP99, a.PeakJunctionMax)
+	fmt.Fprintf(&b, "fleet work rate %.3f ref-s/s   total power %.1fW   injection overhead %.2f%% (%d quanta)\n",
+		a.TotalWorkRate, a.TotalPower, a.OverheadPct, a.TotalInjection)
+	fmt.Fprintf(&b, "thermal violations: %d excursions on %d/%d machines, %.1fs above threshold\n",
+		a.TotalViolations, a.MachinesViol, len(r.Machines), a.ViolationS)
+	if a.TM1Trips > 0 || a.TM1ThrottledS > 0 || s.Policy.TM1 {
+		fmt.Fprintf(&b, "TM1 backstop: %d trips, %.1fs throttled fleet-wide\n", a.TM1Trips, a.TM1ThrottledS)
+	}
+	if a.WebMachines > 0 {
+		fmt.Fprintf(&b, "web QoS: good %.1f%% mean / %.1f%% worst machine, %.1f req/s fleet throughput\n",
+			100*a.WebGoodMean, 100*a.WebGoodMin, a.WebThroughput)
+	}
+	b.WriteString("\n machine      mean      peak    work/s   power    inj%   viol    tm1   jobs   done     in    out\n")
+	for _, m := range r.Machines {
+		fmt.Fprintf(&b, " %4d     %7.3fC  %7.3fC  %7.3f  %6.1fW  %5.2f  %5d  %5d  %5d  %5d  %5d  %5d\n",
+			m.Index, m.MeanJunction, m.PeakJunction, m.WorkRate, m.MeanPower,
+			100*m.OverheadFraction(), m.Violations, m.TM1Trips,
+			m.JobsPlaced, m.JobsCompleted, m.MigratedIn, m.MigratedOut)
+	}
+	return b.String()
+}

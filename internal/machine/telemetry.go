@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// Telemetry is the point-in-time snapshot a fleet dispatcher reads from a
+// machine at a round boundary: the thermal observables and the scheduler
+// occupancy counters that placement policies rank machines by. All cumulative
+// fields count from t=0; dispatchers difference successive snapshots to get
+// per-round rates.
+type Telemetry struct {
+	Now units.Time
+
+	// True junction temperatures (not the quantised DTS view — a fleet
+	// controller owns its machines and reads the model directly, the way
+	// a rack-level BMC aggregates inlet and component sensors).
+	MaxJunctionC  float64
+	MeanJunctionC float64
+
+	// RunnableThreads is the number of runnable-but-waiting threads.
+	RunnableThreads int
+	// LiveThreads counts spawned threads that have not exited.
+	LiveThreads int
+
+	// Cumulative core occupancy summed across scheduler cores.
+	BusyS         float64
+	InjectedIdleS float64
+	// Injections is the cumulative count of injected idle quanta.
+	Injections int
+}
+
+// Telemetry returns the machine's current dispatcher-facing snapshot. It
+// flushes in-progress occupancy accounting first, so two machines at the same
+// virtual time report comparable counters regardless of where their pending
+// timers sit.
+func (m *Machine) Telemetry() Telemetry {
+	m.Sched.ChargeAll()
+	tel := Telemetry{
+		Now:             m.Now(),
+		RunnableThreads: m.Sched.QueueLen(),
+		Injections:      m.Sched.TotalInjections,
+	}
+	temps := m.Net.Junctions(m.lastTemps)
+	var sum float64
+	for _, tj := range temps {
+		v := float64(tj)
+		sum += v
+		if v > tel.MaxJunctionC {
+			tel.MaxJunctionC = v
+		}
+	}
+	tel.MeanJunctionC = sum / float64(len(temps))
+	cores := m.cfg.Model.NumCores * m.cfg.SMTContexts
+	var busy, injected units.Time
+	for c := 0; c < cores; c++ {
+		b, inj := m.Sched.Core(c)
+		busy += b
+		injected += inj
+	}
+	tel.BusyS = busy.Seconds()
+	tel.InjectedIdleS = injected.Seconds()
+	for _, th := range m.Sched.Threads() {
+		if !th.Exited() {
+			tel.LiveThreads++
+		}
+	}
+	return tel
+}
+
+// SchedCores returns the number of scheduler contexts (physical cores ×
+// SMT contexts) — the capacity unit placement policies normalise load by.
+func (m *Machine) SchedCores() int {
+	return m.cfg.Model.NumCores * m.cfg.SMTContexts
+}
+
+// Admit is the fleet dispatcher's admission hook: it spawns a routed
+// workload's thread on this machine, to start at the current virtual time.
+// It is a named seam rather than a raw scheduler call so the admission point
+// stays stable if admission control (queueing, rejection) grows here later.
+func (m *Machine) Admit(prog sched.Program, cfg sched.SpawnConfig) *sched.Thread {
+	return m.Sched.Spawn(prog, cfg)
+}
+
+// Evict kills one of this machine's threads, reporting whether it was alive.
+// Together with Admit it forms the migration primitive: the dispatcher evicts
+// a job's threads here and re-admits their remaining work elsewhere.
+func (m *Machine) Evict(t *sched.Thread) bool {
+	return m.Sched.Kill(t)
+}

@@ -16,6 +16,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -58,96 +59,155 @@ func (p *TrialPanic) Error() string {
 	return fmt.Sprintf("runner: trial %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
 }
 
-// Map executes fn(i, specs[i]) for every spec across the worker pool and
-// returns the results indexed exactly like specs. fn must be self-contained:
-// it may read shared immutable data (the baseline result, the grid) but must
-// derive all stochastic state from the spec itself.
+// mapCore is the shared fan-out engine behind Map, MapCtx, MapErr and
+// MapErrCtx. It executes fn(i, specs[i]) across the worker pool with
+// early-abort semantics: the first trial error, trial panic, or context
+// cancellation stops workers from claiming further trials (trials already in
+// flight run to completion — a simulation mid-step has no safe interruption
+// point). Results of completed error-free trials are always filled.
 //
-// If any trial panics, Map re-panics on the caller's goroutine after all
-// workers have drained, raising the panic of the lowest trial index so the
-// failure is independent of scheduling order.
-func Map[S, R any](specs []S, fn func(i int, spec S) R) []R {
+// Failure reporting is deterministic where it can be: among the trials that
+// actually ran, the lowest-index panic wins over any error, and the
+// lowest-index error is the one returned. (Which trials run after an abort
+// depends on scheduling; on the success path, output remains byte-identical
+// at any parallelism level.) Context cancellation surfaces as ctx.Err().
+func mapCore[S, R any](ctx context.Context, specs []S, fn func(i int, spec S) (R, error)) ([]R, error) {
 	n := len(specs)
 	res := make([]R, n)
 	workers := Jobs()
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := range specs {
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						panic(&TrialPanic{Index: i, Value: r, Stack: debug.Stack()})
-					}
-				}()
-				res[i] = fn(i, specs[i])
-			}()
-		}
-		return res
-	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
+		aborted  atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		errIdx   int
 		panicked *TrialPanic
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	recordErr := func(i int, err error) {
+		errMu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				tp := &TrialPanic{Index: i, Value: r, Stack: debug.Stack()}
+				errMu.Lock()
+				if panicked == nil || i < panicked.Index {
+					panicked = tp
 				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							tp := &TrialPanic{Index: i, Value: r, Stack: debug.Stack()}
-							panicMu.Lock()
-							if panicked == nil || i < panicked.Index {
-								panicked = tp
-							}
-							panicMu.Unlock()
-						}
-					}()
-					res[i] = fn(i, specs[i])
-				}()
+				errMu.Unlock()
+				aborted.Store(true)
 			}
 		}()
+		r, err := fn(i, specs[i])
+		if err != nil {
+			recordErr(i, fmt.Errorf("runner: trial %d: %w", i, err))
+			return
+		}
+		res[i] = r
 	}
-	wg.Wait()
+	claimable := func() bool {
+		if aborted.Load() {
+			return false
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return false
+			default:
+			}
+		}
+		return true
+	}
+
+	if workers <= 1 {
+		for i := range specs {
+			if !claimable() {
+				break
+			}
+			runOne(i)
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for claimable() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	if panicked != nil {
 		panic(panicked)
 	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("runner: sweep cancelled: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Map executes fn(i, specs[i]) for every spec across the worker pool and
+// returns the results indexed exactly like specs. fn must be self-contained:
+// it may read shared immutable data (the baseline result, the grid) but must
+// derive all stochastic state from the spec itself.
+//
+// If any trial panics, workers stop claiming further trials and Map re-panics
+// on the caller's goroutine after all in-flight trials have drained, raising
+// the panic of the lowest trial index that ran.
+func Map[S, R any](specs []S, fn func(i int, spec S) R) []R {
+	res, _ := mapCore(nil, specs, func(i int, s S) (R, error) {
+		return fn(i, s), nil
+	})
 	return res
 }
 
-// MapErr is Map for fallible trials: fn may additionally return an error.
-// All trials still run to completion; the returned error is the one from the
-// lowest failing trial index (wrapped with that index), so the reported
-// failure is independent of scheduling order — mirroring Map's panic
-// contract. Results of error-free trials are filled regardless.
-func MapErr[S, R any](specs []S, fn func(i int, spec S) (R, error)) ([]R, error) {
-	type out struct {
-		r   R
-		err error
-	}
-	outs := Map(specs, func(i int, s S) out {
-		r, err := fn(i, s)
-		return out{r, err}
+// MapCtx is Map under a context: cancellation stops workers from claiming
+// further trials and surfaces as a non-nil error. Trials already in flight
+// run to completion (a trial is a pure simulation with no blocking points to
+// interrupt); results of trials completed before the cancellation are filled.
+func MapCtx[S, R any](ctx context.Context, specs []S, fn func(i int, spec S) R) ([]R, error) {
+	return mapCore(ctx, specs, func(i int, s S) (R, error) {
+		return fn(i, s), nil
 	})
-	res := make([]R, len(outs))
-	var firstErr error
-	for i, o := range outs {
-		res[i] = o.r
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("runner: trial %d: %w", i, o.err)
-		}
-	}
-	return res, firstErr
+}
+
+// MapErr is Map for fallible trials: fn may additionally return an error. The
+// first failure aborts the remaining fan-out promptly — trials not yet
+// started are skipped — and the returned error is the lowest-index error
+// among the trials that ran (wrapped with that index). Results of completed
+// error-free trials are filled regardless.
+func MapErr[S, R any](specs []S, fn func(i int, spec S) (R, error)) ([]R, error) {
+	return mapCore(nil, specs, fn)
+}
+
+// MapErrCtx is MapErr under a context: a failing trial or a cancelled context
+// aborts the remaining fan-out promptly. A trial error takes precedence over
+// the cancellation error when both occur.
+func MapErrCtx[S, R any](ctx context.Context, specs []S, fn func(i int, spec S) (R, error)) ([]R, error) {
+	return mapCore(ctx, specs, fn)
 }
 
 // Collect runs a fixed set of heterogeneous thunks concurrently and returns

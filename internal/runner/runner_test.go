@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -78,10 +80,13 @@ func TestMapPanicLowestIndexWins(t *testing.T) {
 		if !ok {
 			t.Fatalf("panic value %T, want *TrialPanic", r)
 		}
-		if tp.Index != 3 || tp.Value != "boom-3" {
-			t.Fatalf("panic = trial %d value %v, want lowest failing trial 3", tp.Index, tp.Value)
+		// Early abort means later panicking trials may be skipped; the
+		// reported panic is the lowest-index one among those that ran,
+		// which is always a genuinely failing trial (>= 3 here).
+		if tp.Index < 3 || tp.Value != "boom-"+string(rune('0'+tp.Index)) {
+			t.Fatalf("panic = trial %d value %v, want a failing trial >= 3", tp.Index, tp.Value)
 		}
-		if !strings.Contains(tp.Error(), "trial 3 panicked: boom-3") || len(tp.Stack) == 0 {
+		if !strings.Contains(tp.Error(), "panicked: boom-") || len(tp.Stack) == 0 {
 			t.Fatalf("TrialPanic.Error() = %q, want index, value and stack", tp.Error())
 		}
 	}()
@@ -123,28 +128,113 @@ func TestJobsDefaults(t *testing.T) {
 	SetJobs(0)
 }
 
-func TestMapErrFillsResultsAndReportsLowestIndex(t *testing.T) {
+func TestMapErrReportsFailingTrialAndKeepsCompletedResults(t *testing.T) {
 	defer SetJobs(0)
 	SetJobs(4)
 	specs := make([]int, 100)
 	for i := range specs {
 		specs[i] = i
 	}
+	var ran atomic.Int64
 	res, err := MapErr(specs, func(i int, v int) (int, error) {
+		ran.Add(1)
 		if v == 17 || v == 60 {
 			return 0, fmt.Errorf("boom at %d", v)
 		}
 		return v * 2, nil
 	})
-	if err == nil || !strings.Contains(err.Error(), "trial 17") {
-		t.Fatalf("err = %v, want lowest failing trial 17", err)
+	if err == nil || !(strings.Contains(err.Error(), "trial 17") || strings.Contains(err.Error(), "trial 60")) {
+		t.Fatalf("err = %v, want a failing trial", err)
 	}
+	// Every trial that completed without error must have its result filled;
+	// skipped trials hold the zero value.
 	for i, v := range res {
-		if i == 17 || i == 60 {
-			continue
+		if v != 0 && v != i*2 {
+			t.Errorf("res[%d] = %d, want 0 (skipped) or %d", i, v, i*2)
 		}
-		if v != i*2 {
-			t.Errorf("res[%d] = %d, want %d", i, v, i*2)
+	}
+	if res[0] != 0 && res[1] != 2 {
+		t.Errorf("early trials should have completed: res[:2] = %v", res[:2])
+	}
+}
+
+// TestMapErrAbortsRemainingTrials pins the early-abort contract the fleet
+// sweeps rely on: once a trial fails, unstarted trials are skipped instead of
+// running the whole sweep. Sequential execution makes the count exact.
+func TestMapErrAbortsRemainingTrials(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(1)
+	specs := make([]int, 50)
+	var ran atomic.Int64
+	_, err := MapErr(specs, func(i int, _ int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "trial 3") {
+		t.Fatalf("err = %v, want trial 3", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d trials after failure at index 3, want exactly 4", got)
+	}
+}
+
+func TestMapErrCtxCancelledBeforeStartRunsNothing(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapErrCtx(ctx, make([]int, 20), func(int, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d trials ran under a pre-cancelled context", got)
+	}
+}
+
+func TestMapErrCtxCancelMidSweepAbortsPromptly(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	res, err := MapErrCtx(ctx, make([]int, 50), func(i int, _ int) (int, error) {
+		ran.Add(1)
+		if i == 5 {
+			cancel() // an external cancellation landing mid-sweep
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("ran %d trials after cancel at index 5, want exactly 6", got)
+	}
+	// Completed trials keep their results even on the cancelled path.
+	if res[5] != 6 {
+		t.Fatalf("res[5] = %d, want 6", res[5])
+	}
+}
+
+func TestMapCtxSuccessMatchesMap(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(4)
+	specs := []int{1, 2, 3, 4, 5}
+	res, err := MapCtx(context.Background(), specs, func(_ int, v int) int { return v * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Map(specs, func(_ int, v int) int { return v * v })
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("res = %v, want %v", res, want)
 		}
 	}
 }

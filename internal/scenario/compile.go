@@ -22,6 +22,9 @@ type MachineTrial struct {
 	Index     int
 	Seed      uint64
 	FanFactor float64
+	// AmbientC is this machine's resolved ambient (aisle position applied);
+	// 0 keeps the testbed default.
+	AmbientC float64
 
 	Duration units.Time
 	Warmup   units.Time
@@ -47,10 +50,12 @@ func scaleSeconds(scale, d float64) units.Time {
 	return units.FromSeconds(v)
 }
 
-// metricTick is the fleet engine's polling period for peak-temperature and
+// MetricTick is the fleet engine's polling period for peak-temperature and
 // violation accounting. 100 ms resolves junction excursions (τ ≈ 30 ms at
-// the junction, seconds at the package) without dominating run time.
-const metricTick = 100 * units.Millisecond
+// the junction, seconds at the package) without dominating run time. The
+// fleetsched engine samples at the same tick so its per-machine metrics are
+// directly comparable with unscheduled scenario runs.
+const MetricTick = 100 * units.Millisecond
 
 // Compile resolves the spec into the fleet's trial list at the given scale.
 // The spec must have been validated.
@@ -64,15 +69,27 @@ func (s *Spec) Compile(scale float64) []MachineTrial {
 		if ff <= 0 {
 			ff = 1
 		}
+		// Identity draws come from the machine's own seed; the machine RNG
+		// is seeded with the same value but the streams never interact (the
+		// machine splits substreams off it). Draw order is fixed — fan
+		// first, then aisle — so enabling one spread never re-deals the
+		// other.
+		idDraws := rng.New(seed)
 		if s.Fleet.FanSpread > 0 {
-			// Independent draw from the machine's own seed; the machine
-			// RNG itself is seeded with the same value but the streams
-			// never interact (the machine splits substreams off it).
-			ff *= 1 + s.Fleet.FanSpread*rng.New(seed).Float64()
+			ff *= 1 + s.Fleet.FanSpread*idDraws.Float64()
+		} else {
+			idDraws.Float64()
+		}
+		amb := s.Machine.AmbientC
+		if s.Fleet.AmbientSpreadC > 0 {
+			if amb <= 0 {
+				amb = float64(machine.DefaultConfig().Ambient)
+			}
+			amb += s.Fleet.AmbientSpreadC * idDraws.Float64()
 		}
 		trials[i] = MachineTrial{
-			Spec: s, Index: i, Seed: seed, FanFactor: ff,
-			Duration: duration, Warmup: warmup, Tick: metricTick,
+			Spec: s, Index: i, Seed: seed, FanFactor: ff, AmbientC: amb,
+			Duration: duration, Warmup: warmup, Tick: MetricTick,
 		}
 	}
 	return trials
@@ -84,6 +101,28 @@ func (s *Spec) violationC() float64 {
 		return s.ViolationC
 	}
 	return DefaultViolationC
+}
+
+// ViolationThreshold returns the effective thermal-violation threshold in °C
+// (the configured value, or the default when left zero).
+func (s *Spec) ViolationThreshold() float64 { return s.violationC() }
+
+// Build materialises the trial's machine: configuration, DTM policy (with
+// the TM1 monitor when armed) and the static workload mix, leaving the
+// machine at t=0 ready to run. It is the construction seam shared by the
+// independent per-machine path (runMachine) and the fleetsched cross-machine
+// engine, which must build identical fleet members before coordinating them.
+func (t *MachineTrial) Build() (*machine.Machine, *dtm.TM1, *webserver.Server, error) {
+	m := machine.New(t.machineConfig())
+	tm1, err := t.applyPolicy(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv, err := t.spawn(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, tm1, srv, nil
 }
 
 // machineConfig builds the testbed configuration for one trial.
@@ -99,7 +138,9 @@ func (t *MachineTrial) machineConfig() machine.Config {
 		model.Name = fmt.Sprintf("%s ×%d-core", model.Name, ms.Cores)
 		cfg.Model = &model
 	}
-	if ms.AmbientC > 0 {
+	if t.AmbientC > 0 {
+		cfg.Ambient = units.Celsius(t.AmbientC)
+	} else if ms.AmbientC > 0 {
 		cfg.Ambient = units.Celsius(ms.AmbientC)
 	}
 	if ms.SMTContexts > 1 {

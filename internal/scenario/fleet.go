@@ -52,6 +52,13 @@ type Result struct {
 	Fleet    FleetAgg
 }
 
+// Aggregate folds per-machine results into the fleet view. Exported for the
+// fleetsched engine, whose per-machine results share this shape and must
+// aggregate identically for cross-path comparability.
+func Aggregate(spec *Spec, machines []MachineResult) FleetAgg {
+	return aggregate(spec, machines)
+}
+
 // aggregate folds per-machine results into the fleet view.
 func aggregate(spec *Spec, machines []MachineResult) FleetAgg {
 	var agg FleetAgg
@@ -134,6 +141,11 @@ func (r *Result) String() string {
 	}
 	return b.String()
 }
+
+// Label renders the DTM policy for output headers ("dimetrodon[p=0.5
+// L=25ms]+tm1"); the fleetsched engine reuses it so scheduled and
+// unscheduled headers read alike.
+func (p PolicySpec) Label() string { return policyLabel(p) }
 
 // policyLabel renders the policy for headers.
 func policyLabel(p PolicySpec) string {

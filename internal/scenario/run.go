@@ -3,7 +3,6 @@ package scenario
 import (
 	"fmt"
 
-	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/units"
 	"repro/internal/webserver"
@@ -56,12 +55,7 @@ func (r MachineResult) OverheadFraction() float64 {
 // runMachine executes one fleet member's simulation: build, apply policy,
 // spawn the mix, warm up, then measure the window at the metric tick.
 func runMachine(t MachineTrial) (MachineResult, error) {
-	m := machine.New(t.machineConfig())
-	tm1, err := t.applyPolicy(m)
-	if err != nil {
-		return MachineResult{}, err
-	}
-	srv, err := t.spawn(m)
+	m, tm1, srv, err := t.Build()
 	if err != nil {
 		return MachineResult{}, err
 	}
@@ -146,6 +140,13 @@ func runMachine(t MachineTrial) (MachineResult, error) {
 func Run(spec *Spec, scale float64) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Scheduler != nil {
+		// A scheduler block makes machines interact (routed jobs,
+		// migration); the independent per-machine sharding here would
+		// silently drop that coupling. The cross-machine engine lives in
+		// internal/fleetsched; dimctl and the top-level API route there.
+		return nil, fmt.Errorf("scenario %q: has a scheduler block; run it through the fleetsched engine (dimctl sched run %s)", spec.Name, spec.Name)
 	}
 	trials := spec.Compile(scale)
 	machines, err := runner.MapErr(trials, func(_ int, t MachineTrial) (MachineResult, error) {

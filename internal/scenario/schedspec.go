@@ -1,0 +1,175 @@
+package scenario
+
+import "fmt"
+
+// Placement policy names — the vocabulary of the scheduler block's "policy"
+// field. The implementations live in internal/fleetsched (which registers
+// the sched-* scenario library); the names live here because the scenario
+// package owns the declarative spec language, exactly as it owns the DTM
+// policy kinds above. fleetsched's registry test pins the 1:1 correspondence.
+const (
+	PlaceRandom         = "random"          // uniform over machines
+	PlaceRoundRobin     = "round-robin"     // cycle through machines
+	PlaceLeastLoaded    = "least-loaded"    // fewest runnable threads per core
+	PlaceCoolestFirst   = "coolest-first"   // lowest current max junction temp
+	PlaceHeadroom       = "headroom"        // best predicted thermal headroom (EWMA + pending load)
+	PlaceInjectionAware = "injection-aware" // penalises machines already injecting heavily
+)
+
+// PlacementPolicies lists every placement policy name in canonical
+// comparison order (the naive baselines first, the thermal-aware policies
+// after, so comparison tables read as an escalation).
+var PlacementPolicies = []string{
+	PlaceRandom,
+	PlaceRoundRobin,
+	PlaceLeastLoaded,
+	PlaceCoolestFirst,
+	PlaceHeadroom,
+	PlaceInjectionAware,
+}
+
+// ValidPlacementPolicy reports whether name is a known placement policy.
+func ValidPlacementPolicy(name string) bool {
+	for _, p := range PlacementPolicies {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SchedulerSpec turns a scenario from a fleet of independent machines into a
+// coordinated cluster: a deterministic dispatcher consumes the job arrival
+// streams declared here and routes every arriving job to a machine through
+// the named placement policy, in fixed dispatch rounds. Static Workload
+// components still spawn on every machine (background load); scheduled jobs
+// arrive on top of them.
+type SchedulerSpec struct {
+	// Policy is the placement policy for single runs; `dimctl sched
+	// compare` sweeps all of PlacementPolicies regardless. Empty selects
+	// coolest-first.
+	Policy string `json:"policy"`
+
+	// RoundS is the dispatch round length in virtual seconds at scale 1.0:
+	// arrivals are routed and migrations decided at round boundaries, and
+	// machines advance in lockstep between them. It scales with the run the
+	// way diurnal periods do, so the number of dispatch decisions is
+	// scale-invariant. Zero selects 2 s.
+	RoundS float64 `json:"round_s"`
+
+	Jobs []JobClassSpec `json:"jobs"`
+
+	Migration MigrationSpec `json:"migration"`
+}
+
+// DefaultRoundS is the dispatch round used when a spec leaves RoundS zero.
+const DefaultRoundS = 2.0
+
+// JobClassSpec is one class of arriving jobs: a Poisson stream (optionally
+// modulated by an arrival envelope) of finite CPU-bound jobs.
+type JobClassSpec struct {
+	Name string `json:"name"`
+	// Rate is the class's mean arrival rate in jobs per virtual second at
+	// scale 1.0. Like RoundS it is scale-invariant in expectation: the
+	// engine rescales it so the total number of jobs per run stays constant
+	// as durations compress.
+	Rate float64 `json:"rate"`
+	// Threads is the job's thread count; 0 means 1.
+	Threads int `json:"threads"`
+	// WorkS is the mean per-thread work in reference-seconds at scale 1.0.
+	WorkS float64 `json:"work_s"`
+	// WorkSpread draws each job's work uniformly from
+	// WorkS · [1-WorkSpread, 1+WorkSpread). Zero gives fixed-size jobs.
+	WorkSpread float64 `json:"work_spread"`
+	// PowerFactor is the job's thermal intensity; 0 means 1.0 (cpuburn).
+	PowerFactor float64 `json:"power_factor"`
+	// Arrival shapes the class's rate over time (steady, diurnal, window).
+	Arrival ArrivalSpec `json:"arrival"`
+}
+
+// MigrationSpec enables the evacuation loop: at each round boundary, jobs are
+// moved off machines whose hottest junction sits at or above the trigger.
+type MigrationSpec struct {
+	Enabled bool `json:"enabled"`
+	// TriggerC is the evacuation threshold; 0 selects the scenario's
+	// violation threshold.
+	TriggerC float64 `json:"trigger_c"`
+	// MaxMovesPerRound bounds evacuations per round across the fleet
+	// (thrash control); 0 selects 1.
+	MaxMovesPerRound int `json:"max_moves_per_round"`
+}
+
+// MaxJobRate bounds a single class's arrival rate (jobs per virtual second).
+const MaxJobRate = 100.0
+
+func (s *SchedulerSpec) validate() error {
+	if s.Policy != "" && !ValidPlacementPolicy(s.Policy) {
+		return fmt.Errorf("unknown placement policy %q (valid: %v)", s.Policy, PlacementPolicies)
+	}
+	if s.RoundS < 0 || s.RoundS > MaxDurationS {
+		return fmt.Errorf("round %vs outside [0,%d]", s.RoundS, MaxDurationS)
+	}
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("scheduler needs at least one job class")
+	}
+	if len(s.Jobs) > MaxComponents {
+		return fmt.Errorf("%d job classes exceeds %d", len(s.Jobs), MaxComponents)
+	}
+	for i := range s.Jobs {
+		if err := s.Jobs[i].validate(); err != nil {
+			return fmt.Errorf("job class %d: %w", i, err)
+		}
+	}
+	m := &s.Migration
+	if m.TriggerC < 0 || m.TriggerC > 150 {
+		return fmt.Errorf("migration trigger %v°C outside [0,150]", m.TriggerC)
+	}
+	if m.MaxMovesPerRound < 0 || m.MaxMovesPerRound > 64 {
+		return fmt.Errorf("migration max moves %d outside [0,64]", m.MaxMovesPerRound)
+	}
+	return nil
+}
+
+func (j *JobClassSpec) validate() error {
+	if !(j.Rate > 0) || j.Rate > MaxJobRate {
+		return fmt.Errorf("rate %v outside (0,%v]", j.Rate, MaxJobRate)
+	}
+	if j.Threads < 0 || j.Threads > MaxThreads {
+		return fmt.Errorf("threads %d outside [0,%d]", j.Threads, MaxThreads)
+	}
+	if !(j.WorkS > 0) || j.WorkS > 3600 {
+		return fmt.Errorf("work %vs outside (0,3600]", j.WorkS)
+	}
+	if j.WorkSpread < 0 || j.WorkSpread >= 1 {
+		return fmt.Errorf("work spread %v outside [0,1)", j.WorkSpread)
+	}
+	if j.PowerFactor < 0 || j.PowerFactor > 1.5 {
+		return fmt.Errorf("power factor %v outside [0,1.5]", j.PowerFactor)
+	}
+	return j.Arrival.validateShape()
+}
+
+// validateShape checks an arrival envelope's parameters without the
+// component-kind restriction — job-class envelopes modulate an arrival rate,
+// not a thread's duty cycle, so any pattern applies.
+func (a *ArrivalSpec) validateShape() error {
+	switch a.Pattern {
+	case "", ArrivalSteady:
+		return nil
+	case ArrivalDiurnal:
+		if a.MinLoad < 0 || a.MinLoad > 1 {
+			return fmt.Errorf("diurnal min load %v outside [0,1]", a.MinLoad)
+		}
+		if a.PeriodS < 0 || a.PeriodS > MaxDurationS {
+			return fmt.Errorf("diurnal period %vs outside [0,%d]", a.PeriodS, MaxDurationS)
+		}
+		return nil
+	case ArrivalWindow:
+		if a.StartFrac < 0 || a.EndFrac > 1 || !(a.StartFrac < a.EndFrac) {
+			return fmt.Errorf("window [%v,%v) outside 0 <= start < end <= 1", a.StartFrac, a.EndFrac)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown arrival pattern %q", a.Pattern)
+	}
+}

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func schedSpec() *Spec {
+	return &Spec{
+		Name:  "sched-unit",
+		Title: "t", Summary: "s",
+		Fleet:     FleetSpec{Machines: 4, BaseSeed: 1},
+		DurationS: 100,
+		Scheduler: &SchedulerSpec{
+			Policy: PlaceCoolestFirst,
+			Jobs: []JobClassSpec{
+				{Name: "batch", Rate: 0.5, Threads: 2, WorkS: 10},
+			},
+		},
+	}
+}
+
+func TestSchedulerSpecValid(t *testing.T) {
+	if err := schedSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A scheduler block stands in for the workload requirement.
+	s := schedSpec()
+	s.Workload = nil
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scheduler-only spec rejected: %v", err)
+	}
+}
+
+func TestSchedulerSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown policy", func(s *Spec) { s.Scheduler.Policy = "hottest-first" }, "unknown placement policy"},
+		{"no job classes", func(s *Spec) { s.Scheduler.Jobs = nil }, "at least one job class"},
+		{"zero rate", func(s *Spec) { s.Scheduler.Jobs[0].Rate = 0 }, "rate"},
+		{"huge rate", func(s *Spec) { s.Scheduler.Jobs[0].Rate = 1e6 }, "rate"},
+		{"zero work", func(s *Spec) { s.Scheduler.Jobs[0].WorkS = 0 }, "work"},
+		{"spread >= 1", func(s *Spec) { s.Scheduler.Jobs[0].WorkSpread = 1 }, "spread"},
+		{"negative round", func(s *Spec) { s.Scheduler.RoundS = -1 }, "round"},
+		{"bad migration trigger", func(s *Spec) { s.Scheduler.Migration.TriggerC = 200 }, "trigger"},
+		{"bad max moves", func(s *Spec) { s.Scheduler.Migration.MaxMovesPerRound = 100 }, "max moves"},
+		{"bad arrival", func(s *Spec) { s.Scheduler.Jobs[0].Arrival.Pattern = "lumpy" }, "arrival pattern"},
+		{"bad window", func(s *Spec) {
+			s.Scheduler.Jobs[0].Arrival = ArrivalSpec{Pattern: ArrivalWindow, StartFrac: 0.9, EndFrac: 0.1}
+		}, "window"},
+	}
+	for _, c := range cases {
+		s := schedSpec()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSchedulerSpecJobEnvelopesAllowAnyPattern(t *testing.T) {
+	// Component envelopes are restricted to burn/spec kinds; job-class rate
+	// envelopes are not kind-bound, so diurnal and window both validate.
+	s := schedSpec()
+	s.Scheduler.Jobs[0].Arrival = ArrivalSpec{Pattern: ArrivalDiurnal, MinLoad: 0.2}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("diurnal job envelope rejected: %v", err)
+	}
+	s.Scheduler.Jobs[0].Arrival = ArrivalSpec{Pattern: ArrivalWindow, StartFrac: 0.2, EndFrac: 0.6}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("window job envelope rejected: %v", err)
+	}
+}
+
+func TestCloneDeepCopiesSchedulerBlock(t *testing.T) {
+	s := schedSpec()
+	c := s.Clone()
+	c.Scheduler.Jobs[0].Rate = 99
+	c.Scheduler.Policy = PlaceRandom
+	if s.Scheduler.Jobs[0].Rate == 99 || s.Scheduler.Policy == PlaceRandom {
+		t.Fatal("Clone shares the scheduler block with the original")
+	}
+}
+
+func TestRunRejectsSchedulerSpecs(t *testing.T) {
+	_, err := Run(schedSpec(), 0.05)
+	if err == nil || !strings.Contains(err.Error(), "fleetsched") {
+		t.Fatalf("Run on a scheduler spec: err = %v, want routing guidance", err)
+	}
+}
+
+func TestDecodeSchedulerBlock(t *testing.T) {
+	spec, err := Decode([]byte(`{
+		"name": "json-sched", "title": "t", "summary": "s",
+		"fleet": {"machines": 2, "base_seed": 5},
+		"duration_s": 60,
+		"scheduler": {
+			"policy": "headroom",
+			"round_s": 1,
+			"jobs": [{"name": "web", "rate": 0.2, "work_s": 5, "threads": 1}],
+			"migration": {"enabled": true, "trigger_c": 50}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scheduler == nil || spec.Scheduler.Policy != PlaceHeadroom ||
+		!spec.Scheduler.Migration.Enabled || spec.Scheduler.Migration.TriggerC != 50 {
+		t.Fatalf("decoded scheduler block = %+v", spec.Scheduler)
+	}
+}

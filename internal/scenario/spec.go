@@ -40,6 +40,13 @@ type Spec struct {
 	Workload []ComponentSpec `json:"workload"`
 	Policy   PolicySpec      `json:"policy"`
 
+	// Scheduler, when present, turns the fleet into a coordinated cluster:
+	// job arrival streams routed across machines by a placement policy (see
+	// SchedulerSpec). Such scenarios run through internal/fleetsched's
+	// cross-machine engine instead of the independent per-machine path, and
+	// the Workload components (if any) become per-machine background load.
+	Scheduler *SchedulerSpec `json:"scheduler,omitempty"`
+
 	// DurationS is the per-machine run length in virtual seconds at scale
 	// 1.0; WarmupFrac is the leading fraction excluded from every metric.
 	DurationS  float64 `json:"duration_s"`
@@ -67,6 +74,13 @@ type FleetSpec struct {
 	// deterministic uniform draw from the machine's seed. Zero gives a
 	// homogeneous fleet.
 	FanSpread float64 `json:"fan_spread"`
+	// AmbientSpreadC models hot-aisle/cold-aisle placement: machine i's
+	// ambient is raised by AmbientSpreadC·v_i °C with v_i a deterministic
+	// uniform draw from the machine's seed. Unlike fan spread (which acts
+	// through the slow heatsink node), aisle position shifts the whole
+	// thermal stack immediately — the heterogeneity a temperature-aware
+	// placement policy exploits. Zero gives a uniform room.
+	AmbientSpreadC float64 `json:"ambient_spread_c"`
 }
 
 // MachineSpec overrides testbed parameters; zero fields keep the calibrated
@@ -169,11 +183,16 @@ type PolicySpec struct {
 	TM1 bool `json:"tm1"`
 }
 
-// Clone returns an independent copy of the spec (the Workload slice is the
-// only reference field).
+// Clone returns an independent copy of the spec (the Workload slice and the
+// optional Scheduler block are the reference fields).
 func (s *Spec) Clone() *Spec {
 	c := *s
 	c.Workload = append([]ComponentSpec(nil), s.Workload...)
+	if s.Scheduler != nil {
+		sc := *s.Scheduler
+		sc.Jobs = append([]JobClassSpec(nil), s.Scheduler.Jobs...)
+		c.Scheduler = &sc
+	}
 	return &c
 }
 
@@ -217,6 +236,9 @@ func (s *Spec) Validate() error {
 	if s.Fleet.FanSpread < 0 || s.Fleet.FanSpread > 4 {
 		return fmt.Errorf("scenario %q: fan spread %v outside [0,4]", s.Name, s.Fleet.FanSpread)
 	}
+	if s.Fleet.AmbientSpreadC < 0 || s.Fleet.AmbientSpreadC > 20 {
+		return fmt.Errorf("scenario %q: ambient spread %v°C outside [0,20]", s.Name, s.Fleet.AmbientSpreadC)
+	}
 	if s.Machine.Cores < 0 || s.Machine.Cores > MaxCores {
 		return fmt.Errorf("scenario %q: %d cores outside [0,%d]", s.Name, s.Machine.Cores, MaxCores)
 	}
@@ -238,7 +260,7 @@ func (s *Spec) Validate() error {
 	if s.ViolationC < 0 || s.ViolationC > 150 {
 		return fmt.Errorf("scenario %q: violation threshold %v°C outside [0,150]", s.Name, s.ViolationC)
 	}
-	if len(s.Workload) == 0 {
+	if len(s.Workload) == 0 && s.Scheduler == nil {
 		return fmt.Errorf("scenario %q: needs at least one workload component", s.Name)
 	}
 	if len(s.Workload) > MaxComponents {
@@ -258,6 +280,11 @@ func (s *Spec) Validate() error {
 	}
 	if err := s.Policy.validate(); err != nil {
 		return fmt.Errorf("scenario %q policy: %w", s.Name, err)
+	}
+	if s.Scheduler != nil {
+		if err := s.Scheduler.validate(); err != nil {
+			return fmt.Errorf("scenario %q scheduler: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -303,31 +330,11 @@ func (c *ComponentSpec) validate() error {
 }
 
 func (a *ArrivalSpec) validate(kind string) error {
-	switch a.Pattern {
-	case "", ArrivalSteady:
-		return nil
-	case ArrivalDiurnal:
-		if kind != KindBurn && kind != KindSpec {
-			return fmt.Errorf("diurnal arrival only applies to burn/spec components, not %q", kind)
-		}
-		if a.MinLoad < 0 || a.MinLoad > 1 {
-			return fmt.Errorf("diurnal min load %v outside [0,1]", a.MinLoad)
-		}
-		if a.PeriodS < 0 || a.PeriodS > MaxDurationS {
-			return fmt.Errorf("diurnal period %vs outside [0,%d]", a.PeriodS, MaxDurationS)
-		}
-		return nil
-	case ArrivalWindow:
-		if kind != KindBurn && kind != KindSpec {
-			return fmt.Errorf("window arrival only applies to burn/spec components, not %q", kind)
-		}
-		if a.StartFrac < 0 || a.EndFrac > 1 || !(a.StartFrac < a.EndFrac) {
-			return fmt.Errorf("window [%v,%v) outside 0 <= start < end <= 1", a.StartFrac, a.EndFrac)
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown arrival pattern %q", a.Pattern)
+	if (a.Pattern == ArrivalDiurnal || a.Pattern == ArrivalWindow) &&
+		kind != KindBurn && kind != KindSpec {
+		return fmt.Errorf("%s arrival only applies to burn/spec components, not %q", a.Pattern, kind)
 	}
+	return a.validateShape()
 }
 
 func (p *PolicySpec) validate() error {

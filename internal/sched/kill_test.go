@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+// killRig builds a 1-core scheduler with a controllable injector.
+type stubInjector struct {
+	idle units.Time
+	arm  bool
+}
+
+func (s *stubInjector) Decide(t *Thread, core int, now units.Time) (units.Time, bool) {
+	if !s.arm {
+		return 0, false
+	}
+	s.arm = false
+	return s.idle, true
+}
+
+func killRig(t *testing.T, cores int) (*simclock.Clock, *Scheduler) {
+	t.Helper()
+	clock := &simclock.Clock{}
+	cfg := Config{Cores: cores, Timeslice: 100 * units.Millisecond}
+	return clock, New(clock, cfg, nil, nil)
+}
+
+func burnProg() Program {
+	return ProgramFunc(func(units.Time) Action { return Compute(1.0) })
+}
+
+func TestKillRunningFreesCoreForQueued(t *testing.T) {
+	clock, s := killRig(t, 1)
+	a := s.Spawn(burnProg(), SpawnConfig{Name: "a"})
+	b := s.Spawn(burnProg(), SpawnConfig{Name: "b"})
+	clock.AdvanceTo(50*units.Millisecond, nil)
+	if a.State() != StateRunning || b.State() != StateRunnable {
+		t.Fatalf("setup: a=%v b=%v", a.State(), b.State())
+	}
+	if !s.Kill(a) {
+		t.Fatal("Kill(a) reported dead")
+	}
+	if a.State() != StateExited {
+		t.Fatalf("a not exited: %v", a.State())
+	}
+	if a.WorkDone <= 0 {
+		t.Fatalf("killed mid-run but no work charged: %v", a.WorkDone)
+	}
+	// The freed core must immediately dispatch b.
+	if b.State() != StateRunning {
+		t.Fatalf("b not dispatched after kill: %v", b.State())
+	}
+	if s.Kill(a) {
+		t.Fatal("double Kill reported alive")
+	}
+}
+
+func TestKillRunnableRemovesFromQueue(t *testing.T) {
+	clock, s := killRig(t, 1)
+	s.Spawn(burnProg(), SpawnConfig{Name: "a"})
+	b := s.Spawn(burnProg(), SpawnConfig{Name: "b"})
+	clock.AdvanceTo(10*units.Millisecond, nil)
+	if b.State() != StateRunnable {
+		t.Fatalf("setup: b=%v", b.State())
+	}
+	if !s.Kill(b) {
+		t.Fatal("Kill(b) reported dead")
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("queue still holds %d threads after kill", got)
+	}
+	// b must never run again.
+	clock.AdvanceTo(500*units.Millisecond, nil)
+	if b.Dispatches != 0 {
+		t.Fatalf("killed queued thread was dispatched %d times", b.Dispatches)
+	}
+}
+
+func TestKillSleepingCancelsWake(t *testing.T) {
+	clock, s := killRig(t, 1)
+	woke := false
+	prog := ProgramFunc(func(now units.Time) Action {
+		if now == 0 {
+			return Sleep(20 * units.Millisecond)
+		}
+		woke = true
+		return Exit()
+	})
+	th := s.Spawn(prog, SpawnConfig{Name: "sleeper"})
+	if th.State() != StateSleeping {
+		t.Fatalf("setup: %v", th.State())
+	}
+	if !s.Kill(th) {
+		t.Fatal("Kill reported dead")
+	}
+	clock.AdvanceTo(100*units.Millisecond, nil)
+	if woke {
+		t.Fatal("killed sleeper still woke")
+	}
+}
+
+func TestKillPinnedVictimDetachesFromInjection(t *testing.T) {
+	clock, s := killRig(t, 1)
+	inj := &stubInjector{idle: 30 * units.Millisecond}
+	s.SetInjector(inj)
+	a := s.Spawn(burnProg(), SpawnConfig{Name: "a"})
+	clock.AdvanceTo(50*units.Millisecond, nil)
+	// Arm the injector so the next dispatch (at the 100 ms quantum
+	// boundary) displaces a with an idle quantum.
+	inj.arm = true
+	clock.AdvanceTo(110*units.Millisecond, nil)
+	if a.State() != StatePinned {
+		t.Fatalf("setup: a=%v (want pinned)", a.State())
+	}
+	if !s.Kill(a) {
+		t.Fatal("Kill(pinned) reported dead")
+	}
+	// The committed idle quantum completes; the core must then be free to
+	// run a newcomer rather than panic on a missing victim.
+	b := s.Spawn(burnProg(), SpawnConfig{Name: "b"})
+	clock.AdvanceTo(400*units.Millisecond, nil)
+	if b.State() != StateRunning {
+		t.Fatalf("core never recovered after killed victim: b=%v", b.State())
+	}
+	if a.Dispatches != 1 {
+		t.Fatalf("killed victim re-dispatched: %d", a.Dispatches)
+	}
+	busy, injected := s.Core(0)
+	if injected < 30*units.Millisecond {
+		t.Fatalf("injected idle not accounted: %v", injected)
+	}
+	_ = busy
+}
+
+func TestKillRunnableULEQueues(t *testing.T) {
+	clock := &simclock.Clock{}
+	s := New(clock, Config{Cores: 2, Timeslice: 100 * units.Millisecond, PerCPUQueues: true}, nil, nil)
+	var threads []*Thread
+	for i := 0; i < 4; i++ {
+		threads = append(threads, s.Spawn(burnProg(), SpawnConfig{}))
+	}
+	clock.AdvanceTo(10*units.Millisecond, nil)
+	killed := 0
+	for _, th := range threads {
+		if th.State() == StateRunnable {
+			if !s.Kill(th) {
+				t.Fatal("Kill runnable reported dead")
+			}
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Fatal("setup: no runnable threads to kill")
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("ULE queues still hold %d threads", got)
+	}
+}

@@ -308,6 +308,7 @@ func (s *Scheduler) applyAction(t *Thread, a Action) {
 
 func (s *Scheduler) exitThread(t *Thread) {
 	t.state = StateExited
+	t.onCore = -1
 	t.ExitedAt = s.clock.Now()
 	if s.listener != nil {
 		s.listener.ThreadExited(t)
@@ -426,6 +427,52 @@ func (s *Scheduler) ForceIdle(coreID int, dur units.Time) bool {
 	c.current = nil
 	s.inject(c, t, dur)
 	return true
+}
+
+// Kill terminates a thread immediately, whatever its state: a running thread
+// is charged for its progress and its core re-dispatched, a queued thread is
+// removed from its run queue, a sleeper's wake timer is cancelled, and the
+// pinned victim of an in-flight injected idle quantum is detached (the core
+// finishes its committed quantum — the paper's mechanism never cuts one
+// short — but nothing is re-enqueued when it ends). It reports whether the
+// thread was alive. Kill is the fleet dispatcher's eviction primitive: a
+// migrated job's threads are killed here and respawned, with their remaining
+// work, on the destination machine.
+func (s *Scheduler) Kill(t *Thread) bool {
+	switch t.state {
+	case StateExited:
+		return false
+	case StateRunning:
+		c := &s.cores[t.onCore]
+		s.chargeRun(c, t)
+		s.cancelTimer(c)
+		c.current = nil
+		s.exitThread(t)
+		s.dispatch(c)
+		return true
+	case StatePinned:
+		c := &s.cores[t.onCore]
+		c.victim = nil
+		s.exitThread(t)
+		return true
+	case StateRunnable:
+		for i := range s.queues {
+			if s.queues[i].remove(t) {
+				break
+			}
+		}
+		s.exitThread(t)
+		return true
+	case StateSleeping:
+		if t.wakeEvent != nil {
+			s.clock.Cancel(t.wakeEvent)
+			t.wakeEvent = nil
+		}
+		s.exitThread(t)
+		return true
+	default:
+		panic(fmt.Sprintf("sched: Kill in unknown state %v", t.state))
+	}
 }
 
 // inject pins t and idles the core for the given quantum (§3.1: "we pin the
@@ -569,9 +616,11 @@ func (s *Scheduler) onTimer(c *coreRun) {
 		c.victim = nil
 		c.injected = false
 		c.InjectIdleTime += s.clock.Now() - c.injectStart
-		t.state = StateRunnable
-		t.onCore = -1
-		s.enqueue(t)
+		if t != nil { // a killed victim leaves nothing to resume
+			t.state = StateRunnable
+			t.onCore = -1
+			s.enqueue(t)
+		}
 		s.dispatch(c)
 	default:
 		panic("sched: stray timer")
