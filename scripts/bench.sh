@@ -34,6 +34,10 @@ else
     # Fleet scenario engine: one iteration runs a whole scaled fleet.
     go test -run '^$' -bench 'FleetScenario' \
         -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
+    # Fleet scheduler: one iteration is a whole scheduled run (and the
+    # six-policy comparison sweep).
+    go test -run '^$' -bench 'FleetSched' \
+        -benchtime "$HARNESS_BENCHTIME" ./internal/fleetsched/ | tee -a "$raw"
     # Kernel micro-benchmarks: cheap enough for time-based sampling.
     go test -run '^$' -bench 'ThermalStep|SolveSteadyState|Runner' \
         -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
