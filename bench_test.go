@@ -72,6 +72,18 @@ func BenchmarkFigure4TechniqueComparison(b *testing.B) { benchRun(b, "fig4") }
 // rises and trade-off fits for the SPEC CPU2006 proxies.
 func BenchmarkTable1SPECWorkloads(b *testing.B) { benchRun(b, "table1") }
 
+// BenchmarkTable1SPECWorkloadsLeap is Table 1 with the process-wide
+// -integrator=leap override: the experiment harnesses' steady windows are
+// long quiescent spans, so this tracks the leap speedup on the paper
+// workloads next to the exact-mode baseline above.
+func BenchmarkTable1SPECWorkloadsLeap(b *testing.B) {
+	if err := SetIntegrator(IntegratorLeap); err != nil {
+		b.Fatal(err)
+	}
+	defer SetIntegrator("")
+	benchRun(b, "table1")
+}
+
 // BenchmarkFigure5PerThreadControl regenerates Figure 5: global versus
 // thread-specific control of a hot/cool workload mix.
 func BenchmarkFigure5PerThreadControl(b *testing.B) { benchRun(b, "fig5") }

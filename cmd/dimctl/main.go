@@ -34,18 +34,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 1.0, "experiment scale: 1.0 = paper-duration runs")
 	jobs := fs.Int("jobs", 0, "parallel trial workers; 0 = GOMAXPROCS (output is identical at any setting)")
+	integrator := fs.String("integrator", "", "thermal integrator override: exact (byte-identical) or leap (quiescence-leaping fast path); default: experiments exact, scenario/sched leap")
 	outDir := fs.String("out", "results", "output directory for `export`")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	dimetrodon.SetJobs(*jobs)
+	if err := dimetrodon.SetIntegrator(*integrator); err != nil {
+		fmt.Fprintf(stderr, "dimctl: %v\n", err)
+		return 2
+	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		usage(fs, stderr)
 		return 2
 	}
 	switch rest[0] {
+	case "bench":
+		return benchCmd(rest[1:], stdout, stderr)
 	case "scenario":
 		return scenarioCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
 	case "sched":
@@ -110,6 +117,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// benchCmd implements `dimctl bench [-iters N] [name...]`: run the kernel
+// micro-benchmarks from the non-test registry in smoke mode. One iteration
+// per micro (the default) is the bit-rot guard tier-1 tests also exercise;
+// larger -iters give a quick wall-clock impression without the full
+// scripts/bench.sh suite.
+func benchCmd(args []string, stdout, stderr io.Writer) int {
+	names, rest := splitFlags(args)
+	trailing := flag.NewFlagSet("bench", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	iters := trailing.Int("iters", 1, "iterations per micro-benchmark (1 = smoke)")
+	if len(rest) > 0 {
+		if err := trailing.Parse(rest); err != nil {
+			return 2
+		}
+	}
+	if *iters < 1 {
+		fmt.Fprintln(stderr, "dimctl: bench -iters must be >= 1")
+		return 2
+	}
+	micros := dimetrodon.MicroBenches()
+	valid := make([]string, len(micros))
+	byName := make(map[string]dimetrodon.MicroBench, len(micros))
+	for i, m := range micros {
+		valid[i] = m.Name
+		byName[m.Name] = m
+	}
+	run := micros
+	if len(names) > 0 {
+		run = run[:0:0]
+		for _, name := range names {
+			m, ok := byName[name]
+			if !ok {
+				unknownName(stderr, "micro-benchmark", name, valid)
+				return 2
+			}
+			run = append(run, m)
+		}
+	}
+	for _, m := range run {
+		d, err := dimetrodon.RunMicroBench(m, *iters)
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: bench %s failed: %v\n", m.Name, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-20s %4d iter(s) in %-12v %s\n", m.Name, *iters, d.Round(time.Microsecond), m.Doc)
+	}
+	return 0
+}
+
 // unknownName reports an unrecognised experiment/scenario/policy name and
 // prints the valid set, so the caller can fix the invocation without a
 // second round-trip through a list command.
@@ -142,6 +198,7 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 	trailingScale := trailing.Float64("scale", float64(scale), "experiment scale")
 	trailingJobs := trailing.Int("jobs", 0, "parallel trial workers")
 	trailingOut := trailing.String("out", outDir, "output directory for export")
+	trailingInteg := trailing.String("integrator", "", "thermal integrator override (exact|leap)")
 	if len(rest) > 0 {
 		if err := trailing.Parse(rest); err != nil {
 			return 2
@@ -150,6 +207,12 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 		outDir = *trailingOut
 		if *trailingJobs != 0 {
 			dimetrodon.SetJobs(*trailingJobs)
+		}
+		if *trailingInteg != "" {
+			if err := dimetrodon.SetIntegrator(*trailingInteg); err != nil {
+				fmt.Fprintf(stderr, "dimctl: %v\n", err)
+				return 2
+			}
 		}
 	}
 	resolve := func() ([]string, int) {
@@ -245,6 +308,7 @@ func schedCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stde
 	trailingOut := trailing.String("out", outDir, "output directory for export")
 	policy := trailing.String("policy", "", "placement policy for `sched run` (default: the scenario's)")
 	scenarioFlag := trailing.String("scenario", "", "scheduled scenario name (alternative to a positional name)")
+	trailingInteg := trailing.String("integrator", "", "thermal integrator override (exact|leap)")
 	if len(rest) > 0 {
 		if err := trailing.Parse(rest); err != nil {
 			return 2
@@ -253,6 +317,12 @@ func schedCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stde
 		outDir = *trailingOut
 		if *trailingJobs != 0 {
 			dimetrodon.SetJobs(*trailingJobs)
+		}
+		if *trailingInteg != "" {
+			if err := dimetrodon.SetIntegrator(*trailingInteg); err != nil {
+				fmt.Fprintf(stderr, "dimctl: %v\n", err)
+				return 2
+			}
 		}
 		if *scenarioFlag != "" {
 			names = append(names, *scenarioFlag)
@@ -384,6 +454,7 @@ func usage(fs *flag.FlagSet, w io.Writer) {
 
 usage:
   dimctl list                                         list experiments
+  dimctl bench [name...] [-iters N]                   smoke-run kernel micro-benchmarks
   dimctl [-scale S] [-jobs N] run <id>...             run experiments (or "all")
   dimctl [-scale S] [-jobs N] [-out DIR] export <id>  write plot-ready CSVs (or "all")
   dimctl scenario list                                list fleet scenarios

@@ -126,3 +126,57 @@ func TestScenarioListTagsSchedScenarios(t *testing.T) {
 		t.Fatalf("scenario list does not tag scheduled scenarios:\n%s", stdout)
 	}
 }
+
+func TestBenchSmoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "bench")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"thermal-step", "thermal-leap", "fleet-scenario", "fleet-sched"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("bench output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestBenchByNameAndUnknown(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "bench", "thermal-step", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "3 iter(s)") {
+		t.Fatalf("bench ignored -iters:\n%s", stdout)
+	}
+	code, _, stderr = runCLI(t, "bench", "no-such-micro")
+	if code != 2 {
+		t.Fatalf("unknown micro exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "thermal-leap") {
+		t.Fatalf("unknown-micro error does not list valid names:\n%s", stderr)
+	}
+}
+
+func TestIntegratorFlagValidation(t *testing.T) {
+	code, _, stderr := runCLI(t, "-integrator", "warp", "list")
+	if code != 2 {
+		t.Fatalf("bad integrator exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown integrator") {
+		t.Fatalf("missing integrator error:\n%s", stderr)
+	}
+	code, _, stderr = runCLI(t, "-integrator", "leap", "bench", "thermal-step")
+	if code != 0 {
+		t.Fatalf("leap integrator rejected: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+func TestSchedAcceptsTrailingIntegrator(t *testing.T) {
+	code, _, stderr := runCLI(t, "-scale", "0.02", "sched", "run", "sched-shootout", "-integrator", "exact")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	code, _, _ = runCLI(t, "sched", "run", "sched-shootout", "-integrator", "warp")
+	if code != 2 {
+		t.Fatalf("bad trailing integrator exit %d, want 2", code)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/fleetsched"
+	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 )
@@ -32,6 +35,37 @@ func SetJobs(n int) { runner.SetJobs(n) }
 
 // Jobs returns the effective trial-level parallelism.
 func Jobs() int { return runner.Jobs() }
+
+// Integrator mode names, re-exported for CLI validation.
+const (
+	IntegratorExact = machine.IntegratorExact
+	IntegratorLeap  = machine.IntegratorLeap
+)
+
+// SetIntegrator installs the process-wide thermal-integrator override:
+// "exact" forces byte-identical step-by-step integration everywhere, "leap"
+// opts every harness into the quiescence-leaping fast path, and "" restores
+// the defaults (experiments exact, scenario and sched runs leap). cmd/dimctl
+// exposes it as -integrator. Unknown modes return an error.
+func SetIntegrator(mode string) error { return machine.SetIntegratorOverride(mode) }
+
+// Integrator returns the current process-wide override ("" when unset).
+func Integrator() string { return machine.IntegratorOverride() }
+
+// MicroBench is one kernel micro-benchmark `dimctl bench` can run in smoke
+// mode.
+type MicroBench = bench.Micro
+
+// MicroBenches returns the registered kernel micro-benchmarks.
+func MicroBenches() []MicroBench { return bench.Micros() }
+
+// RunMicroBench executes one registered micro-benchmark for iters
+// iterations, returning its wall-clock duration.
+func RunMicroBench(m MicroBench, iters int) (time.Duration, error) {
+	start := time.Now()
+	err := m.Run(iters)
+	return time.Since(start), err
+}
 
 // Experiment is one reproducible artefact of the paper's evaluation.
 type Experiment struct {

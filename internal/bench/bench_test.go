@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestMicrosSmoke runs every registered micro-benchmark body for one
+// iteration — the tier-1 guard against bench-harness bit-rot that
+// `dimctl bench` exposes to operators.
+func TestMicrosSmoke(t *testing.T) {
+	micros := Micros()
+	if len(micros) < 5 {
+		t.Fatalf("only %d micro-benchmarks registered", len(micros))
+	}
+	seen := map[string]bool{}
+	for _, m := range micros {
+		if m.Name == "" || m.Doc == "" || m.Run == nil {
+			t.Fatalf("incomplete micro registration: %+v", m)
+		}
+		if seen[m.Name] {
+			t.Fatalf("duplicate micro name %q", m.Name)
+		}
+		seen[m.Name] = true
+		t.Run(m.Name, func(t *testing.T) {
+			if err := m.Run(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -215,6 +215,16 @@ type Chip struct {
 	pstate int     // index into Model.PStates
 	duty   float64 // TCC duty cycle in (0, 1]; 1 = no modulation
 
+	// Epoch counters for power-model memoisation: stateEpoch[i] advances
+	// whenever core i's C-state or activity factor actually changes,
+	// cfgEpoch whenever a chip-wide knob (P-state, TCC duty) does. A
+	// consumer that stashed a linearisation of core i's power can keep
+	// using it exactly as long as CoreEpoch(i) is unchanged — scheduler
+	// events that re-dispatch the same thread bump nothing.
+	stateEpoch []uint32
+	cfgEpoch   uint32
+	totalEpoch uint64
+
 	// LeakageTempCoupling scales the temperature exponent; 1 is the
 	// physical model and 0 freezes leakage at its reference value. It
 	// exists for the leakage ablation study (BenchmarkAblationLeakage).
@@ -229,6 +239,7 @@ func NewChip(m *Model) *Chip {
 	}
 	c := &Chip{Model: m, duty: 1, LeakageTempCoupling: 1}
 	c.cores = make([]coreState, m.NumCores)
+	c.stateEpoch = make([]uint32, m.NumCores)
 	for i := range c.cores {
 		c.cores[i] = coreState{cstate: C1E, powerFactor: 0}
 	}
@@ -244,7 +255,28 @@ func (c *Chip) SetActive(id int, powerFactor float64) {
 	if powerFactor < 0 {
 		powerFactor = 0
 	}
-	c.cores[id] = coreState{cstate: C0, powerFactor: powerFactor}
+	next := coreState{cstate: C0, powerFactor: powerFactor}
+	if c.cores[id] != next {
+		c.cores[id] = next
+		c.stateEpoch[id]++
+		c.totalEpoch++
+	}
+}
+
+// ActiveChanges reports whether SetActive(id, powerFactor) would change the
+// chip's power model — the machine layer's lazy-integration seam asks before
+// mutating, because a pending thermal window must be settled under the
+// pre-change configuration.
+func (c *Chip) ActiveChanges(id int, powerFactor float64) bool {
+	if powerFactor < 0 {
+		powerFactor = 0
+	}
+	return c.cores[id] != coreState{cstate: C0, powerFactor: powerFactor}
+}
+
+// IdleChanges is ActiveChanges' counterpart for SetIdle.
+func (c *Chip) IdleChanges(id int, s CState) bool {
+	return c.cores[id] != coreState{cstate: s}
 }
 
 // SetIdle parks core id in the given idle state (C1Halt or C1E).
@@ -252,7 +284,24 @@ func (c *Chip) SetIdle(id int, s CState) {
 	if s == C0 {
 		panic("cpu: SetIdle with C0; use SetActive")
 	}
-	c.cores[id] = coreState{cstate: s}
+	next := coreState{cstate: s}
+	if c.cores[id] != next {
+		c.cores[id] = next
+		c.stateEpoch[id]++
+		c.totalEpoch++
+	}
+}
+
+// TotalEpoch returns a token advancing on every power-model change anywhere
+// on the chip; equal tokens guarantee the whole power vector (as a function
+// of temperatures) is unchanged.
+func (c *Chip) TotalEpoch() uint64 { return c.totalEpoch }
+
+// CoreEpoch returns a token identifying core id's current power-model
+// configuration: equal tokens guarantee the core's power as a function of
+// temperature is unchanged.
+func (c *Chip) CoreEpoch(id int) uint64 {
+	return uint64(c.cfgEpoch)<<32 | uint64(c.stateEpoch[id])
 }
 
 // State returns core id's current C-state.
@@ -267,7 +316,11 @@ func (c *Chip) SetPState(idx int) {
 	if idx >= len(c.Model.PStates) {
 		idx = len(c.Model.PStates) - 1
 	}
-	c.pstate = idx
+	if c.pstate != idx {
+		c.pstate = idx
+		c.cfgEpoch++
+		c.totalEpoch++
+	}
 }
 
 // PState returns the current ladder index.
@@ -285,7 +338,11 @@ func (c *Chip) SetDuty(d float64) {
 	if d > 1 {
 		d = 1
 	}
-	c.duty = d
+	if c.duty != d {
+		c.duty = d
+		c.cfgEpoch++
+		c.totalEpoch++
+	}
 }
 
 // Duty returns the current TCC duty cycle.
@@ -317,6 +374,63 @@ func (c *Chip) leakage(t units.Celsius) units.Watts {
 		l = cap
 	}
 	return units.Watts(l * vr * vr)
+}
+
+// fastExp computes e^x by range reduction and a degree-6 Taylor polynomial
+// (relative error < 5e-8 — sub-microwatt on any leakage value). It serves
+// only the tolerance-mode leap evaluations in CorePowerAndSlope; exact-mode
+// entry points keep math.Exp so their outputs stay byte-identical to the
+// historical kernel. Pure float arithmetic: deterministic everywhere.
+func fastExp(x float64) float64 {
+	const (
+		log2e = 1.44269504088896338700
+		ln2Hi = 6.93147180369123816490e-01
+		ln2Lo = 1.90821492927058770002e-10
+	)
+	k := math.Round(x * log2e)
+	r := (x - k*ln2Hi) - k*ln2Lo
+	p := 1 + r*(1+r*(1.0/2+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720))))))
+	return math.Float64frombits(uint64(1023+int64(k))<<52) * p
+}
+
+// CorePowerAndSlope returns CorePower alongside its temperature derivative
+// ∂P/∂T (W/°C), sharing the single leakage exponential of the evaluation —
+// the only temperature dependence in the power model is leakage, scaled by
+// the C-state's leakage factor and zeroed where the LeakCapFactor
+// saturation clamps it. The thermal quiescence-leap integrator uses the
+// slope to linearise heat-input drift across a leap chunk without a second
+// model evaluation. The power value follows CorePower's operations with the
+// leakage exponential served by fastExp, so the two entry points agree to
+// better than 5e-8 relative — far inside the leap tolerance band.
+func (c *Chip) CorePowerAndSlope(id int, t units.Celsius) (units.Watts, float64) {
+	m := c.Model
+	vr := c.Voltage() / m.PStates[0].Voltage
+	exp := c.LeakageTempCoupling * float64(t-m.LeakRefTemp) / float64(m.LeakSlope)
+	l := float64(m.LeakNominal) * fastExp(exp)
+	capped := false
+	if cap := float64(m.LeakNominal) * m.LeakCapFactor; m.LeakCapFactor > 0 && l > cap {
+		l = cap
+		capped = true
+	}
+	leak := units.Watts(l * vr * vr)
+	var slope float64
+	if !capped {
+		slope = float64(leak) * c.LeakageTempCoupling / float64(m.LeakSlope)
+	}
+	cs := c.cores[id]
+	switch cs.cstate {
+	case C0:
+		fr := float64(c.Freq()) / float64(m.MaxFreq())
+		effDuty := c.duty + m.TCCResidualDyn*(1-c.duty)
+		dyn := float64(m.CoreDynamicMax) * cs.powerFactor * effDuty * fr * vr * vr
+		return units.Watts(dyn) + leak, slope
+	case C1Halt:
+		return leak + m.C1EResidual, slope
+	case C1E:
+		return units.Watts(float64(leak)*m.C1ELeakFactor) + m.C1EResidual, slope * m.C1ELeakFactor
+	default:
+		panic("cpu: unknown C-state")
+	}
 }
 
 // CorePower returns the instantaneous power of core id at junction

@@ -288,6 +288,11 @@ func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error)
 	dispatched := 0
 	migrations := 0
 	measuring := false
+	// Round-barrier scratch, reused across rounds so the dispatch loop
+	// allocates nothing per barrier: the candidate views and the migrate
+	// loop's below-trigger subset.
+	views := make([]MachineView, len(nodes))
+	migScratch := make([]MachineView, 0, len(nodes))
 	for now := units.Time(0); now < duration; {
 		next := now + round
 		if next > duration {
@@ -300,12 +305,11 @@ func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error)
 			measuring = true
 		}
 
-		views := make([]MachineView, len(nodes))
 		for i, n := range nodes {
 			views[i] = n.view(violC)
 		}
 		if ss.Migration.Enabled && now > 0 {
-			migrations += migrate(nodes, views, policy, placeRNG, triggerC, maxMoves)
+			migrations += migrate(nodes, views, migScratch, policy, placeRNG, triggerC, maxMoves)
 		}
 		// Within a round, views are the single source of in-round truth:
 		// each placement (and each migration above) feeds back into them
@@ -365,7 +369,7 @@ func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error)
 // nowhere to put work and skips the round. Every move feeds back into views,
 // so later moves this round — and the arrival placements that follow — see
 // the post-migration load.
-func migrate(nodes []*node, views []MachineView, policy Policy, placeRNG *rng.Source, triggerC float64, maxMoves int) int {
+func migrate(nodes []*node, views []MachineView, sub []MachineView, policy Policy, placeRNG *rng.Source, triggerC float64, maxMoves int) int {
 	var hot, coolPos []int // positions into views
 	for i := range views {
 		if views[i].MaxJunctionC >= triggerC {
@@ -414,9 +418,9 @@ func migrate(nodes []*node, views []MachineView, policy Policy, placeRNG *rng.So
 		}
 		removeJob(src, j)
 
-		sub := make([]MachineView, len(coolPos))
-		for i, p := range coolPos {
-			sub[i] = views[p]
+		sub = sub[:0]
+		for _, p := range coolPos {
+			sub = append(sub, views[p])
 		}
 		vp := coolPos[policy.Place(j, &FleetView{Machines: sub, RNG: placeRNG})]
 		dst := nodes[views[vp].Index]

@@ -12,9 +12,15 @@ import (
 
 // Golden-trace regression fixtures for the scheduled-scenario library: each
 // sched scenario's rendered run under its default policy, plus the full
-// policy-comparison table and CSV for the acceptance scenario, committed
-// under testdata/ and diffed byte-for-byte. Regenerate after intentional
-// model changes with:
+// policy-comparison table and CSV for the acceptance scenario. Both
+// integrators are byte-deterministic, and both are pinned: exact fixtures
+// under sched-<name>.golden, leap fixtures (the engine default) under
+// sched-<name>-leap.golden. Scheduled fleets route jobs by temperature, so
+// the leap integrator's sub-0.05 °C differences can legitimately flip a
+// knife-edge placement and reroute whole jobs — the thermal tolerance
+// contract holds per machine (see the LeapVsExact tests), while the routed
+// outputs are pinned mode-for-mode here. Regenerate after intentional model
+// changes with:
 //
 //	UPDATE_GOLDEN=1 go test ./internal/fleetsched -run Golden
 
@@ -71,6 +77,23 @@ func schedScenarioNames() []string {
 	return names
 }
 
+// runSchedPinned runs a scheduled scenario under its default policy with the
+// integrator pinned.
+func runSchedPinned(t *testing.T, name, integrator string) *Result {
+	t.Helper()
+	spec, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q missing from the library", name)
+	}
+	pinned := *spec
+	pinned.Machine.Integrator = integrator
+	res, err := Run(&pinned, "", goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestGoldenSchedScenarios(t *testing.T) {
 	names := schedScenarioNames()
 	if len(names) < 3 {
@@ -79,17 +102,23 @@ func TestGoldenSchedScenarios(t *testing.T) {
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			res, err := RunByName(name, "", goldenScale)
-			if err != nil {
-				t.Fatal(err)
-			}
-			checkGolden(t, "sched-"+name, res.String())
+			checkGolden(t, "sched-"+name, runSchedPinned(t, name, "exact").String())
+		})
+		t.Run(name+"/leap", func(t *testing.T) {
+			t.Parallel()
+			checkGolden(t, "sched-"+name+"-leap", runSchedPinned(t, name, "leap").String())
 		})
 	}
 }
 
 func TestGoldenPolicyComparison(t *testing.T) {
-	c, err := CompareByName("sched-shootout", goldenScale)
+	spec, ok := scenario.Get("sched-shootout")
+	if !ok {
+		t.Fatal("sched-shootout missing from the library")
+	}
+	pinned := *spec
+	pinned.Machine.Integrator = "exact"
+	c, err := Compare(&pinned, goldenScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,4 +128,11 @@ func TestGoldenPolicyComparison(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "sched-shootout_compare_csv", csv)
+
+	pinned.Machine.Integrator = "leap"
+	cl, err := Compare(&pinned, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sched-shootout_compare-leap", cl.String())
 }

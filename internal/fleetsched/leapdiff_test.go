@@ -1,0 +1,37 @@
+package fleetsched
+
+import (
+	"math"
+	"testing"
+)
+
+// fleetAggTolC bounds integrator-induced drift in the fleet-level thermal
+// aggregates of scheduled scenarios. Per-machine trajectories are not
+// comparable across integrators here — temperature-fed placement reroutes
+// whole jobs on sub-tolerance differences — but the fleet's thermal
+// envelope must stay put: a well-behaved integrator swaps which machine
+// runs a job, not how hot the fleet runs.
+const fleetAggTolC = 0.5
+
+// TestLeapVsExactFleetAggregates runs every scheduled scenario under both
+// integrators and checks the fleet thermal aggregates against each other
+// (the per-machine contract is covered by the unscheduled library's
+// divergence gate and the machine-level property tests).
+func TestLeapVsExactFleetAggregates(t *testing.T) {
+	for _, name := range schedScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exact := runSchedPinned(t, name, "exact").Fleet
+			leap := runSchedPinned(t, name, "leap").Fleet
+			check := func(field string, e, l float64) {
+				if d := math.Abs(e - l); d >= fleetAggTolC {
+					t.Errorf("%s diverged by %.3f C (exact %.3f, leap %.3f)", field, d, e, l)
+				}
+			}
+			check("mean junction p50", exact.MeanJunctionP50, leap.MeanJunctionP50)
+			check("mean junction p90", exact.MeanJunctionP90, leap.MeanJunctionP90)
+			check("peak junction p50", exact.PeakJunctionP50, leap.PeakJunctionP50)
+			check("peak junction max", exact.PeakJunctionMax, leap.PeakJunctionMax)
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// These tests exercise the fleet-dispatcher hooks — Telemetry, Admit, Evict
+// — interleaved with RunUntil the way the fleetsched engine drives them:
+// machines advance to a round barrier, the dispatcher reads telemetry,
+// admits routed jobs and evicts migrating ones, and the machine advances
+// again. The hooks previously had no direct unit test across barriers.
+
+const round = 100 * units.Millisecond
+
+func newFleetMachine(t *testing.T, integrator string) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Meter.Disabled = true
+	cfg.Integrator = integrator
+	return New(cfg)
+}
+
+// TestAdmitEvictAcrossRounds admits jobs at successive round barriers,
+// evicts one mid-run in every scheduler state it can occupy, and checks the
+// work ledger the migration protocol depends on: an evicted thread's
+// WorkDone plus the work it carries away never exceeds what was assigned,
+// and telemetry stays consistent around each hook call.
+func TestAdmitEvictAcrossRounds(t *testing.T) {
+	for _, integ := range []string{IntegratorExact, IntegratorLeap} {
+		t.Run(integ, func(t *testing.T) {
+			m := newFleetMachine(t, integ)
+
+			// Round 1: admit a full complement plus one queued extra.
+			const workS = 1.0
+			var threads []*sched.Thread
+			for i := 0; i < 5; i++ {
+				th := m.Admit(workload.FiniteBurn(workS), sched.SpawnConfig{
+					ProcessID:   1000,
+					PowerFactor: 1,
+				})
+				threads = append(threads, th)
+			}
+			tel0 := m.Telemetry()
+			if tel0.LiveThreads != 5 {
+				t.Fatalf("live threads after admit = %d, want 5", tel0.LiveThreads)
+			}
+			if tel0.RunnableThreads != 1 {
+				t.Fatalf("runnable (queued) threads = %d, want 1 (4 cores occupied)", tel0.RunnableThreads)
+			}
+
+			m.RunUntil(round)
+			tel1 := m.Telemetry()
+			if tel1.Now != round {
+				t.Fatalf("telemetry timestamp %v, want %v", tel1.Now, round)
+			}
+			if tel1.BusyS <= 0 {
+				t.Fatal("no busy time accumulated over a loaded round")
+			}
+			if tel1.MaxJunctionC <= tel0.MaxJunctionC {
+				t.Fatalf("junctions did not heat under load: %v -> %v", tel0.MaxJunctionC, tel1.MaxJunctionC)
+			}
+
+			// Round 2 barrier: evict a running thread and a queued thread,
+			// carrying their remaining work the way migrate() does.
+			running, queued := -1, -1
+			for i, th := range threads {
+				switch th.State() {
+				case sched.StateRunning:
+					if running < 0 {
+						running = i
+					}
+				case sched.StateRunnable:
+					if queued < 0 {
+						queued = i
+					}
+				}
+			}
+			if running < 0 || queued < 0 {
+				t.Fatalf("expected both running and queued threads at the barrier (states: %v)", threads)
+			}
+			for _, idx := range []int{running, queued} {
+				th := threads[idx]
+				done := th.WorkDone
+				carry := workS - done
+				if carry < 0 {
+					t.Fatalf("thread %d overran its assignment: done %v > %v", idx, done, workS)
+				}
+				if !m.Evict(th) {
+					t.Fatalf("evicting live thread %d reported dead", idx)
+				}
+				if m.Evict(th) {
+					t.Fatal("second eviction of the same thread reported alive")
+				}
+				if th.WorkDone != done {
+					t.Fatalf("eviction changed the work ledger: %v -> %v", done, th.WorkDone)
+				}
+			}
+			telE := m.Telemetry()
+			if telE.LiveThreads != 3 {
+				t.Fatalf("live threads after two evictions = %d, want 3", telE.LiveThreads)
+			}
+
+			// Re-admit the carried work (the migration destination's half)
+			// and run to completion.
+			carry := workS - threads[running].WorkDone
+			migrated := m.Admit(workload.FiniteBurn(carry), sched.SpawnConfig{
+				ProcessID:   1000,
+				PowerFactor: 1,
+			})
+			m.RunUntil(5 * units.Second)
+			if !migrated.Exited() {
+				t.Fatal("re-admitted carried work never completed")
+			}
+			total := m.TotalWorkDone()
+			// 4 surviving assignments of workS minus the evicted queued
+			// thread's remainder (not re-admitted here), plus the carried
+			// re-admission: 3·workS + done(running) + carry + done(queued).
+			want := 3*workS + workS + threads[queued].WorkDone
+			if math.Abs(total-want) > 1e-6 {
+				t.Fatalf("work not conserved across evict/admit: total %v, want %v", total, want)
+			}
+		})
+	}
+}
+
+// TestEvictPinnedVictimMidInjection pins a thread under an injected idle
+// quantum via ForceIdle and evicts it mid-quantum: the core must finish its
+// committed idle window, nothing may resume the dead thread, and telemetry
+// keeps counting the injected idle time.
+func TestEvictPinnedVictimMidInjection(t *testing.T) {
+	m := newFleetMachine(t, IntegratorLeap)
+	th := m.Admit(workload.Burn(), sched.SpawnConfig{PowerFactor: 1})
+	m.RunUntil(10 * units.Millisecond)
+	if th.State() != sched.StateRunning {
+		t.Fatalf("thread state %v, want running", th.State())
+	}
+	if !m.Sched.ForceIdle(0, 50*units.Millisecond) {
+		t.Fatal("ForceIdle refused an occupied core")
+	}
+	if th.State() != sched.StatePinned {
+		t.Fatalf("thread state %v, want pinned", th.State())
+	}
+	if !m.Evict(th) {
+		t.Fatal("evicting a pinned victim reported dead")
+	}
+	m.RunUntil(200 * units.Millisecond)
+	tel := m.Telemetry()
+	if tel.LiveThreads != 0 {
+		t.Fatalf("live threads = %d after evicting the only thread", tel.LiveThreads)
+	}
+	if tel.InjectedIdleS <= 0 {
+		t.Fatal("injected idle quantum vanished from telemetry")
+	}
+	if th.WorkDone <= 0 {
+		t.Fatal("pre-pin progress lost from the evicted thread's ledger")
+	}
+}
+
+// TestTelemetryMidIntegrationConsistency reads telemetry at irregular,
+// sub-tick offsets (forcing flushes inside otherwise-quiescent leap windows)
+// and checks the cumulative counters are monotone and the temperature
+// observables stay physical — the dispatcher must be able to poll at any
+// barrier cadence without disturbing the run.
+func TestTelemetryMidIntegrationConsistency(t *testing.T) {
+	exact := newFleetMachine(t, IntegratorExact)
+	leap := newFleetMachine(t, IntegratorLeap)
+	for _, m := range []*Machine{exact, leap} {
+		for i := 0; i < 4; i++ {
+			m.Admit(workload.PeriodicBurst(0.2, 300*units.Millisecond), sched.SpawnConfig{PowerFactor: 1})
+		}
+	}
+	offsets := []units.Time{
+		73 * units.Millisecond, 100 * units.Millisecond, 31 * units.Millisecond,
+		250 * units.Millisecond, units.Millisecond, 545 * units.Millisecond,
+	}
+	var prevE, prevL Telemetry
+	now := units.Time(0)
+	var worst float64
+	for i := 0; i < 12; i++ {
+		now += offsets[i%len(offsets)]
+		exact.RunUntil(now)
+		leap.RunUntil(now)
+		te, tl := exact.Telemetry(), leap.Telemetry()
+		for name, pair := range map[string][2]float64{
+			"busy":     {te.BusyS, prevE.BusyS},
+			"injected": {te.InjectedIdleS, prevE.InjectedIdleS},
+		} {
+			if pair[0] < pair[1] {
+				t.Fatalf("exact telemetry %s went backwards: %v -> %v", name, pair[1], pair[0])
+			}
+		}
+		if tl.BusyS < prevL.BusyS {
+			t.Fatalf("leap telemetry busy went backwards: %v -> %v", prevL.BusyS, tl.BusyS)
+		}
+		if te.BusyS != tl.BusyS {
+			t.Fatalf("scheduling diverged between integrators: busy %v vs %v", te.BusyS, tl.BusyS)
+		}
+		if d := math.Abs(te.MaxJunctionC - tl.MaxJunctionC); d > worst {
+			worst = d
+		}
+		prevE, prevL = te, tl
+	}
+	if worst >= 0.05 {
+		t.Fatalf("mid-integration telemetry temps diverged by %.4f C", worst)
+	}
+}

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/power"
@@ -60,6 +61,19 @@ type Config struct {
 	// ThermalStep caps the integration step.
 	ThermalStep units.Time
 
+	// Integrator selects how event-free spans are integrated:
+	// IntegratorExact (the default) steps every ThermalStep and is
+	// byte-identical to the historical kernel; IntegratorLeap detects that
+	// the chip configuration is frozen across each span — the scheduler's
+	// quiescence certificate — and replaces the k identical steps with the
+	// O(log k) repeated-squaring propagator (tolerance-mode; see DESIGN.md
+	// §10). An empty value resolves through the process-wide override
+	// (SetIntegratorOverride) and then to exact. Leap engages only when
+	// nothing observes intra-span state: the meter chain must be disabled
+	// and per-step temperature tracing off, otherwise the machine falls
+	// back to exact stepping.
+	Integrator string
+
 	// Idle C-states: what a core enters when it has nothing to run and
 	// when Dimetrodon injects an idle quantum. Both default to C1E; the
 	// C-state ablation sets InjectedIdle to C1Halt (a nop-loop idle on
@@ -96,6 +110,60 @@ type Config struct {
 	TempSampleEvery units.Time
 
 	Seed uint64
+}
+
+// leapShortSpan is the longest quiescent window (in whole ThermalSteps)
+// integrated by plain polynomial-decay steps on the linearisation memo
+// instead of the propagator: below it the leap machinery's fixed per-window
+// cost outweighs the matrix savings.
+const leapShortSpan = 4
+
+// Integrator modes.
+const (
+	// IntegratorExact integrates every event-free span step by step —
+	// byte-identical to the historical kernel and to the committed
+	// golden fixtures.
+	IntegratorExact = "exact"
+	// IntegratorLeap replaces provably power-quiescent step runs with the
+	// repeated-squaring propagator; outputs track exact within the
+	// controller tolerance (≪ the 0.05 °C harness band).
+	IntegratorLeap = "leap"
+)
+
+// ValidIntegrator reports whether mode names an integrator ("" selects the
+// default resolution).
+func ValidIntegrator(mode string) bool {
+	return mode == "" || mode == IntegratorExact || mode == IntegratorLeap
+}
+
+// integratorOverride is the process-wide default applied when a Config
+// leaves Integrator empty — how `dimctl -integrator` reaches every machine
+// built by the experiment harnesses without threading a parameter through
+// each of them. Guarded for the concurrent trial builders.
+var (
+	integratorMu       sync.Mutex
+	integratorOverride string
+)
+
+// SetIntegratorOverride installs the process-wide integrator default for
+// configs that leave Integrator empty; "" restores the built-in default
+// (exact). It returns an error for unknown modes.
+func SetIntegratorOverride(mode string) error {
+	if !ValidIntegrator(mode) {
+		return fmt.Errorf("machine: unknown integrator %q (want %q or %q)", mode, IntegratorExact, IntegratorLeap)
+	}
+	integratorMu.Lock()
+	integratorOverride = mode
+	integratorMu.Unlock()
+	return nil
+}
+
+// IntegratorOverride returns the current process-wide override ("" when
+// unset).
+func IntegratorOverride() string {
+	integratorMu.Lock()
+	defer integratorMu.Unlock()
+	return integratorOverride
 }
 
 // DefaultConfig returns the calibrated testbed (see DESIGN.md §5).
@@ -148,6 +216,24 @@ type Machine struct {
 	// injected-idle integral bookkeeping behind the experiment metrics.
 	tempIntegral []float64
 	nextTempSamp units.Time
+
+	// leap is set when the resolved integrator is IntegratorLeap and no
+	// intra-span observer (meter chain, temperature tracing) requires
+	// step-by-step integration; leapSum is the per-core scratch the leap
+	// window's discrete temperature sums land in.
+	leap    bool
+	leapSum []float64
+
+	// Lazy thermal integration (leap mode): intFrom is the time up to
+	// which the thermal state is settled; the event-free spans past it
+	// stay pending while the chip's power model is provably unchanged
+	// (Chip.TotalEpoch), so quantum expiries that re-dispatch the same
+	// thread no longer cut quiescent windows. Pending spans settle at the
+	// flush seams: a listener callback about to change the chip, a
+	// temperature accessor, and RunUntil's exit.
+	lazy     bool
+	intFrom  units.Time
+	intEpoch uint64
 }
 
 // New builds a machine from cfg. The thermal state starts at the all-idle
@@ -166,6 +252,15 @@ func New(cfg Config) *Machine {
 		// Hotspot nodes have millisecond time constants; cap the
 		// integration step accordingly.
 		cfg.ThermalStep = units.Millisecond
+	}
+	if cfg.Integrator == "" {
+		cfg.Integrator = IntegratorOverride()
+	}
+	if cfg.Integrator == "" {
+		cfg.Integrator = IntegratorExact
+	}
+	if !ValidIntegrator(cfg.Integrator) {
+		panic(fmt.Sprintf("machine: unknown integrator %q", cfg.Integrator))
 	}
 	m := &Machine{
 		Clock:    &simclock.Clock{},
@@ -203,6 +298,20 @@ func New(cfg Config) *Machine {
 	}
 	m.tempIntegral = make([]float64, n)
 	m.lastTemps = make([]units.Celsius, n)
+	// Leap integration requires that nothing observes the state between
+	// the steps a window replaces: the 3 kHz meter chain and the decimated
+	// temperature traces both sample inside spans, so either forces the
+	// exact step loop.
+	m.leap = m.cfg.Integrator == IntegratorLeap &&
+		m.cfg.Meter.Disabled && !m.cfg.RecordPower && m.cfg.TempSampleEvery <= 0
+	if m.leap {
+		m.leapSum = make([]float64, len(m.Net.sense))
+		// Lazy window merging relies on the listener seams owning every
+		// chip mutation; the SMT context-derivation path mutates from
+		// updatePhysical with interleaved state, so it settles per span.
+		m.lazy = m.cfg.SMTContexts <= 1
+		m.intEpoch = m.Chip.TotalEpoch()
+	}
 	// Start from the idle equilibrium. A fresh chip idles every core in C1E
 	// with unit leakage coupling, which is exactly the memoised idle solve.
 	for i, t := range idleSolve(&m.cfg, 1).temps {
@@ -214,6 +323,11 @@ func New(cfg Config) *Machine {
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// LeapActive reports whether event-free spans integrate through the
+// quiescence-leaping propagator (the resolved integrator is leap and no
+// intra-span observer forced the exact loop).
+func (m *Machine) LeapActive() bool { return m.leap }
+
 // --- sched.Listener / sched.RateProvider ---
 
 // CoreRunning implements sched.Listener: drive the chip's C-states from
@@ -221,6 +335,9 @@ func (m *Machine) Config() Config { return m.cfg }
 // context; the physical core's state is derived from both siblings.
 func (m *Machine) CoreRunning(core int, t *sched.Thread) {
 	if m.cfg.SMTContexts <= 1 {
+		if m.lazy && m.Chip.ActiveChanges(core, t.PowerFactor) {
+			m.flushThermal(m.Clock.Now())
+		}
 		m.Chip.SetActive(core, t.PowerFactor)
 		return
 	}
@@ -236,6 +353,9 @@ func (m *Machine) CoreIdle(core int, injected bool) {
 		state = m.cfg.InjectedIdle
 	}
 	if m.cfg.SMTContexts <= 1 {
+		if m.lazy && m.Chip.IdleChanges(core, state) {
+			m.flushThermal(m.Clock.Now())
+		}
 		m.Chip.SetIdle(core, state)
 		return
 	}
@@ -310,14 +430,43 @@ func (m *Machine) RunUntil(t units.Time) {
 		panic(fmt.Sprintf("machine: RunUntil(%v) before now (%v)", t, m.Clock.Now()))
 	}
 	m.Clock.AdvanceTo(t, m.integrate)
+	if m.lazy {
+		// Settle the pending window so callers observe fully integrated
+		// state between runs.
+		m.flushThermal(t)
+	}
 }
 
 // RunFor advances the simulation by span dt.
 func (m *Machine) RunFor(dt units.Time) { m.RunUntil(m.Clock.Now() + dt) }
 
 // integrate advances the continuous state (temperatures, energy, meters)
-// across an event-free span.
+// across an event-free span. The span is the machine's quiescence window:
+// the clock only invokes the hook between discrete events, and every chip
+// reconfiguration (C-states, activity factors, DVFS, TCC) happens inside an
+// event callback, so the power model is provably frozen from `from` to `to`.
+// (Sched.NextEventHorizon states the scheduler's share of that invariant as
+// a queryable, unit-tested certificate; the hot path needs no call — the
+// guarantee is structural.) The leap integrator exploits exactly that
+// window.
 func (m *Machine) integrate(from, to units.Time) {
+	if m.lazy {
+		// The span joins the pending quiescent window. While the chip's
+		// power model is unchanged (same TotalEpoch), settling can wait:
+		// the window keeps growing across events that altered nothing —
+		// quantum expiries re-dispatching the same thread chief among
+		// them. A changed epoch means some writer bypassed the flush
+		// seams (no in-tree writer does); settle conservatively under
+		// the current configuration rather than lose the span.
+		if m.Chip.TotalEpoch() != m.intEpoch {
+			m.flushThermal(from)
+		}
+		return
+	}
+	if m.leap {
+		m.settleSpan(from, to)
+		return
+	}
 	span := to - from
 	t := from
 	for span > 0 {
@@ -338,6 +487,58 @@ func (m *Machine) integrate(from, to units.Time) {
 	}
 }
 
+// settleSpan integrates a power-quiescent span through the leap machinery:
+// whole ThermalStep multiples leap in O(log k) propagator chunks; the
+// event-aligned sub-step remainder then advances on the window's linearised
+// heat inputs — no further model evaluation.
+func (m *Machine) settleSpan(from, to units.Time) {
+	span := to - from
+	step := m.cfg.ThermalStep
+	if k := int(span / step); k > leapShortSpan {
+		for i := range m.leapSum {
+			m.leapSum[i] = 0
+		}
+		powSum := m.Net.LeapWithChip(k, step, m.Chip, m.leapSum)
+		window := units.Time(k) * step
+		m.Energy.Add(units.Watts(powSum/float64(k)), window)
+		dts := step.Seconds()
+		for i, s := range m.leapSum {
+			m.tempIntegral[i] += s * dts
+		}
+		span -= window
+	}
+	// Short windows and the event-aligned remainder: polynomial-decay
+	// steps on the per-core linearisation memo — no exponentials, no
+	// decay-cache traffic, no matrices. Step sizes here are essentially
+	// unique (event times are nanosecond-grained), which is exactly the
+	// pattern the exact kernel's caches cannot serve.
+	for span > 0 {
+		dt := span
+		if dt > step {
+			dt = step
+		}
+		total := m.Net.StepPolyMemo(dt, m.Chip)
+		m.Energy.Add(total, dt)
+		temps := m.Net.Junctions(m.lastTemps)
+		for i, tj := range temps {
+			m.tempIntegral[i] += float64(tj) * dt.Seconds()
+		}
+		span -= dt
+	}
+}
+
+// flushThermal settles the pending quiescent window up to now. It is called
+// from the seams where staleness would become observable or incorrect: a
+// listener callback about to change the chip's power model, the temperature
+// accessors, and RunUntil's exit.
+func (m *Machine) flushThermal(now units.Time) {
+	if now > m.intFrom {
+		m.settleSpan(m.intFrom, now)
+	}
+	m.intFrom = now
+	m.intEpoch = m.Chip.TotalEpoch()
+}
+
 func (m *Machine) sampleTemps(now units.Time, temps []units.Celsius) {
 	if m.cfg.TempSampleEvery <= 0 || now < m.nextTempSamp {
 		return
@@ -355,6 +556,9 @@ func (m *Machine) sampleTemps(now units.Time, temps []units.Celsius) {
 
 // JunctionTemps returns the current true junction temperatures.
 func (m *Machine) JunctionTemps() []units.Celsius {
+	if m.lazy {
+		m.flushThermal(m.Clock.Now())
+	}
 	return m.Net.Junctions(nil)
 }
 
@@ -362,6 +566,9 @@ func (m *Machine) JunctionTemps() []units.Celsius {
 // temperature integrals (°C·s since t=0). Experiments snapshot it at window
 // boundaries to compute exact time-weighted mean temperatures.
 func (m *Machine) MeanJunctionIntegral() float64 {
+	if m.lazy {
+		m.flushThermal(m.Clock.Now())
+	}
 	var sum float64
 	for _, v := range m.tempIntegral {
 		sum += v

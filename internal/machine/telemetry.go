@@ -36,6 +36,9 @@ type Telemetry struct {
 // virtual time report comparable counters regardless of where their pending
 // timers sit.
 func (m *Machine) Telemetry() Telemetry {
+	if m.lazy {
+		m.flushThermal(m.Now())
+	}
 	m.Sched.ChargeAll()
 	tel := Telemetry{
 		Now:             m.Now(),

@@ -24,7 +24,37 @@ type ThermalPath struct {
 	maxStep  units.Time
 	tempsBuf []units.Celsius
 	outBuf   []units.Celsius
+
+	// Step/leap scratch: the chip and total for the in-flight HeatInput
+	// call, and the per-node temperature-sum buffer leap windows
+	// accumulate into. Pre-sized so steady-state stepping allocates
+	// nothing (the path itself is the thermal.HeatSource, not a closure).
+	chip    *cpu.Chip
+	total   units.Watts
+	nodeSum []float64
+
+	// Leap linearisation stash: per-core ∂P/∂T, power and junction
+	// temperature captured during the last qualifying HeatInput
+	// evaluation (wantSlope is set only on the leap path, so exact
+	// stepping keeps calling the historical CorePower entry point). The
+	// stash is keyed by the chip's per-core power-model epochs: as long
+	// as a core's epoch and its junction temperature stay close, its
+	// power is served by the stashed affine model instead of a fresh
+	// leakage exponential.
+	wantSlope bool
+	slopes    []float64
+	evalCP    []float64
+	evalTj    []float64
+	evalEpoch []uint64
+	evalCoupl float64
 }
+
+// relinRadiusC is the per-core temperature drift (°C) within which a
+// stashed power linearisation stays valid across spans — the same radius
+// the leap controller uses for its own window-level relinearisation, so
+// the two layers share one error budget. The leakage curvature residual at
+// this radius is ~0.1 W, far below the controller's drift bound.
+const relinRadiusC = thermal.RelinRadiusC
 
 // NewThermalPath builds the network described by cfg with every node at the
 // ambient temperature.
@@ -62,6 +92,15 @@ func NewThermalPath(cfg Config) *ThermalPath {
 	if cfg.SenseHotspot && len(p.Hotspot) > 0 {
 		p.sense = p.Hotspot
 	}
+	p.nodeSum = make([]float64, p.Net.NumNodes())
+	p.Net.SetLeapSumRows(p.sense)
+	p.slopes = make([]float64, n)
+	p.evalCP = make([]float64, n)
+	p.evalTj = make([]float64, n)
+	p.evalEpoch = make([]uint64, n)
+	for i := range p.evalEpoch {
+		p.evalEpoch[i] = ^uint64(0) // no stash yet
+	}
 	return p
 }
 
@@ -73,8 +112,37 @@ func NewThermalPath(cfg Config) *ThermalPath {
 func (p *ThermalPath) powerFromChip(chip *cpu.Chip, temps []float64, out []float64) units.Watts {
 	total := chip.UncorePower()
 	out[p.Package] += float64(total)
+	if p.wantSlope {
+		if p.evalCoupl != chip.LeakageTempCoupling {
+			// Coupling is a raw field (the leakage ablation): a change
+			// invalidates every stash.
+			p.evalCoupl = chip.LeakageTempCoupling
+			for i := range p.evalEpoch {
+				p.evalEpoch[i] = ^uint64(0)
+			}
+		}
+	}
 	for i, j := range p.Junction {
-		cp := chip.CorePower(i, units.Celsius(temps[j]))
+		var cp units.Watts
+		if p.wantSlope {
+			// Per-core linearisation memo: while the core's power-model
+			// epoch is unchanged and its junction has drifted less than
+			// relinRadiusC from the stash point, the stashed affine
+			// model replaces the leakage exponential — events that
+			// toggle one core leave the other stashes live.
+			tj := temps[j]
+			if d := tj - p.evalTj[i]; p.evalEpoch[i] == chip.CoreEpoch(i) &&
+				d <= relinRadiusC && d >= -relinRadiusC {
+				cp = units.Watts(p.evalCP[i] + p.slopes[i]*d)
+			} else {
+				cp, p.slopes[i] = chip.CorePowerAndSlope(i, units.Celsius(tj))
+				p.evalCP[i] = float64(cp)
+				p.evalTj[i] = tj
+				p.evalEpoch[i] = chip.CoreEpoch(i)
+			}
+		} else {
+			cp = chip.CorePower(i, units.Celsius(temps[j]))
+		}
 		if p.hotFrac > 0 {
 			out[p.Hotspot[i]] += float64(cp) * p.hotFrac
 			out[j] += float64(cp) * (1 - p.hotFrac)
@@ -86,15 +154,73 @@ func (p *ThermalPath) powerFromChip(chip *cpu.Chip, temps []float64, out []float
 	return total
 }
 
+// HeatInput implements thermal.HeatSource against the chip installed by
+// StepWithChip/LeapWithChip, recording the total package power of the
+// evaluation. Implementing the interface on the path itself (rather than a
+// per-step closure) keeps the hot loop allocation-free.
+func (p *ThermalPath) HeatInput(temps []float64, out []float64) {
+	p.total = p.powerFromChip(p.chip, temps, out)
+}
+
+// StepPolyMemo advances one step (up to ThermalStep) with the
+// polynomial-decay kernel, evaluating power through the per-core
+// linearisation memo — the leap path's short-window and remainder case,
+// whose essentially unique step sizes would otherwise recompute the decay
+// exponentials on every call. Returns the total package power used.
+func (p *ThermalPath) StepPolyMemo(dt units.Time, chip *cpu.Chip) units.Watts {
+	p.chip = chip
+	p.wantSlope = true
+	p.Net.StepPolyFrom(dt, p)
+	p.wantSlope = false
+	return p.total
+}
+
+// HeatLinear implements thermal.QuiescentSource: the first-order change of
+// the heat inputs under a temperature perturbation dT around the most
+// recent HeatInput evaluation, using the per-core slopes stashed by that
+// evaluation — no second leakage exponential. Only leakage tracks
+// temperature, evaluated at the junction block and deposited wherever the
+// core's power goes (split with the hotspot node when one is configured),
+// so the linearisation mirrors powerFromChip's routing exactly.
+func (p *ThermalPath) HeatLinear(temps, dT, dp []float64) {
+	_ = temps // linearisation point is pinned by the last HeatInput call
+	for i, j := range p.Junction {
+		d := p.slopes[i] * dT[j]
+		if p.hotFrac > 0 {
+			dp[p.Hotspot[i]] += d * p.hotFrac
+			dp[j] += d * (1 - p.hotFrac)
+		} else {
+			dp[j] += d
+		}
+	}
+}
+
 // StepWithChip advances the thermal state by dt with the chip's current
 // configuration as the heat source, returning the total package power at the
 // start of the step (the value integrated for energy accounting).
 func (p *ThermalPath) StepWithChip(dt units.Time, chip *cpu.Chip) units.Watts {
-	var total units.Watts
-	p.Net.Step(dt, func(temps []float64, out []float64) {
-		total = p.powerFromChip(chip, temps, out)
-	})
-	return total
+	p.chip = chip
+	p.Net.StepFrom(dt, p)
+	return p.total
+}
+
+// LeapWithChip advances the thermal state across k equal steps of dt under a
+// frozen chip configuration via the quiescence-leaping integrator, adding
+// each sensed core's discrete post-step temperature sum (°C·steps) into
+// senseSum and returning the summed total package power across the window
+// (W·steps). senseSum must have one entry per sensed core.
+func (p *ThermalPath) LeapWithChip(k int, dt units.Time, chip *cpu.Chip, senseSum []float64) float64 {
+	p.chip = chip
+	p.wantSlope = true
+	for i := range p.nodeSum {
+		p.nodeSum[i] = 0
+	}
+	powSum := p.Net.LeapSteps(k, dt, p, p.nodeSum)
+	p.wantSlope = false
+	for i, id := range p.sense {
+		senseSum[i] += p.nodeSum[id]
+	}
+	return powSum
 }
 
 // SolveSteadyState drives the network to equilibrium for the chip's current

@@ -5,19 +5,36 @@ import (
 	"testing"
 )
 
-// BenchmarkFleetScenario measures the fleet engine end to end: one iteration
-// runs the 24-machine fleet-diurnal scenario at bench scale across the
-// runner pool. scripts/bench.sh records it in BENCH_results.json so the
-// scenario path's performance is tracked alongside the paper harnesses.
-func BenchmarkFleetScenario(b *testing.B) {
+// benchScenario runs the 24-machine fleet-diurnal scenario end to end under
+// the given integrator; one iteration is a whole fleet run across the
+// runner pool.
+func benchScenario(b *testing.B, integrator string) {
+	b.Helper()
 	const benchScale = 0.15
+	spec, ok := Get("fleet-diurnal")
+	if !ok {
+		b.Fatal("fleet-diurnal missing from the library")
+	}
+	pinned := *spec
+	pinned.Machine.Integrator = integrator
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := RunByName("fleet-diurnal", benchScale)
+		res, err := Run(&pinned, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == b.N-1 {
-			fmt.Printf("\n==== scenario fleet-diurnal @ scale %v ====\n%s", benchScale, res)
+		if i == b.N-1 && testing.Verbose() {
+			fmt.Printf("\n==== scenario fleet-diurnal [%s] @ scale %v ====\n%s", integrator, benchScale, res)
 		}
 	}
+}
+
+// BenchmarkFleetScenario measures the fleet engine under both integrators:
+// "leap" is the engine default (the quiescence-leaping propagator), "exact"
+// the byte-identical step-by-step kernel kept for comparison.
+// scripts/bench.sh records both in BENCH_results.json so the leap speedup is
+// tracked alongside the exact baseline.
+func BenchmarkFleetScenario(b *testing.B) {
+	b.Run("integrator=leap", func(b *testing.B) { benchScenario(b, "leap") })
+	b.Run("integrator=exact", func(b *testing.B) { benchScenario(b, "exact") })
 }

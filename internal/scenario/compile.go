@@ -146,6 +146,19 @@ func (t *MachineTrial) machineConfig() machine.Config {
 	if ms.SMTContexts > 1 {
 		cfg.SMTContexts = ms.SMTContexts
 	}
+	// Integrator resolution: an explicit spec field wins, then the
+	// process-wide -integrator override, then the engine default of leap —
+	// scenario and sched runs read only tick-sampled aggregates, never
+	// intra-span state, so the leap tolerance (validated against exact by
+	// the golden harness and the leap-vs-exact divergence job) applies.
+	switch {
+	case ms.Integrator != "":
+		cfg.Integrator = ms.Integrator
+	case machine.IntegratorOverride() != "":
+		cfg.Integrator = "" // resolves through the override in machine.New
+	default:
+		cfg.Integrator = machine.IntegratorLeap
+	}
 	return cfg
 }
 

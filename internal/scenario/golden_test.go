@@ -8,9 +8,13 @@ import (
 	"testing"
 )
 
-// Golden-trace regression fixtures for every starter scenario: the rendered
-// fleet output at a small fixed scale is committed under testdata/ and
-// diffed byte-for-byte. Regenerate after intentional model changes with:
+// Golden-trace regression fixtures for every starter scenario. The fixtures
+// are committed from the exact integrator, which is byte-stable: exact runs
+// diff byte-for-byte. Leap runs — the engine default — are tolerance-mode by
+// design, so they compare against the same fixtures numerically, every
+// numeric token within the golden tolerance bands (see tolerant.go).
+// Regenerate after intentional model
+// changes with:
 //
 //	UPDATE_GOLDEN=1 go test ./internal/scenario -run TestGoldenScenarios
 
@@ -38,6 +42,23 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
+// checkGoldenTolerant diffs got against the committed fixture with numeric
+// tolerance: the line structure and every non-numeric token must match
+// exactly, numeric tokens within GoldenAbsTol absolute or GoldenRelTol
+// relative. This is how leap-mode output is validated against exact-mode
+// fixtures.
+func checkGoldenTolerant(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s — regenerate with UPDATE_GOLDEN=1 go test ./... -run Golden", path)
+	}
+	if msg := TolerantDiff(string(want), got); msg != "" {
+		t.Errorf("leap output outside tolerance of %s:\n%s", path, msg)
+	}
+}
+
 func firstDiff(want, got string) string {
 	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
 	for i := 0; i < len(wl) || i < len(gl); i++ {
@@ -55,15 +76,37 @@ func firstDiff(want, got string) string {
 	return "(lengths differ)"
 }
 
+// runPinned runs a library scenario with the integrator pinned.
+func runPinned(t *testing.T, name, integrator string) *Result {
+	t.Helper()
+	spec, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q missing from the library", name)
+	}
+	pinned := *spec
+	pinned.Machine.Integrator = integrator
+	res, err := Run(&pinned, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenScenarios pins every starter scenario's rendered output: the
+// exact integrator byte-for-byte against the committed fixture, the leap
+// integrator (the engine default) within the numeric tolerance band.
 func TestGoldenScenarios(t *testing.T) {
 	for _, name := range Names() {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			res, err := RunByName(name, goldenScale)
-			if err != nil {
-				t.Fatal(err)
+			checkGolden(t, name, runPinned(t, name, "exact").String())
+		})
+		t.Run(name+"/leap", func(t *testing.T) {
+			t.Parallel()
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				t.Skip("fixtures regenerate from the exact integrator")
 			}
-			checkGolden(t, name, res.String())
+			checkGoldenTolerant(t, name, runPinned(t, name, "leap").String())
 		})
 	}
 }
@@ -76,10 +119,7 @@ func TestGoldenScenarioExports(t *testing.T) {
 	for _, name := range Names() {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			res, err := RunByName(name, goldenScale)
-			if err != nil {
-				t.Fatal(err)
-			}
+			res := runPinned(t, name, "exact")
 			dir := t.TempDir()
 			paths, err := ExportResult(res, dir)
 			if err != nil {

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLeapVsExactDivergence is the library-wide integrator acceptance gate
+// (mirrored by the leap-vs-exact CI job): every unscheduled scenario runs
+// under both integrators and each machine's thermal observables — windowed
+// mean junction, tick-sampled peak junction — must agree within the 0.05 °C
+// band the quiescence-leap controller guarantees. Scenarios with a scheduler
+// block are validated by their own pinned fixtures instead: temperature-fed
+// placement feedback legitimately reroutes jobs on sub-tolerance
+// differences, so per-machine trajectories are not comparable there.
+func TestLeapVsExactDivergence(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		if spec.Scheduler != nil {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exact := runPinned(t, name, "exact")
+			leap := runPinned(t, name, "leap")
+			if len(exact.Machines) != len(leap.Machines) {
+				t.Fatalf("machine count differs: %d vs %d", len(exact.Machines), len(leap.Machines))
+			}
+			var worstMean, worstPeak float64
+			for i := range exact.Machines {
+				e, l := exact.Machines[i], leap.Machines[i]
+				if d := math.Abs(e.MeanJunction - l.MeanJunction); d > worstMean {
+					worstMean = d
+				}
+				if d := math.Abs(e.PeakJunction - l.PeakJunction); d > worstPeak {
+					worstPeak = d
+				}
+				if e.IdleTemp != l.IdleTemp {
+					t.Errorf("machine %d: idle temp differs (%v vs %v) — the idle solve is integrator-independent", i, e.IdleTemp, l.IdleTemp)
+				}
+			}
+			if worstMean >= GoldenAbsTol {
+				t.Errorf("mean junction diverged by %.4f C (>= %.2f C)", worstMean, GoldenAbsTol)
+			}
+			if worstPeak >= GoldenAbsTol {
+				t.Errorf("peak junction diverged by %.4f C (>= %.2f C)", worstPeak, GoldenAbsTol)
+			}
+			t.Logf("max divergence: mean %.4f C, peak %.4f C across %d machines", worstMean, worstPeak, len(exact.Machines))
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/machine"
 	"repro/internal/workload"
 )
 
@@ -90,6 +91,13 @@ type MachineSpec struct {
 	FanFactor   float64 `json:"fan_factor"`
 	AmbientC    float64 `json:"ambient_c"`
 	SMTContexts int     `json:"smt_contexts"`
+	// Integrator pins the thermal integrator for this scenario: "exact"
+	// (byte-identical step-by-step kernel) or "leap" (the
+	// quiescence-leaping propagator, tolerance-mode). Empty defers to the
+	// process-wide -integrator override and then to the engine default of
+	// leap — scenario metrics are tick-sampled aggregates, exactly the
+	// shape the leap tolerance is calibrated for.
+	Integrator string `json:"integrator,omitempty"`
 }
 
 // Component kinds.
@@ -250,6 +258,10 @@ func (s *Spec) Validate() error {
 	}
 	if s.Machine.SMTContexts < 0 || s.Machine.SMTContexts > 2 {
 		return fmt.Errorf("scenario %q: SMT contexts %d outside [0,2]", s.Name, s.Machine.SMTContexts)
+	}
+	if !machine.ValidIntegrator(s.Machine.Integrator) {
+		return fmt.Errorf("scenario %q: unknown integrator %q (want %q or %q)",
+			s.Name, s.Machine.Integrator, machine.IntegratorExact, machine.IntegratorLeap)
 	}
 	if !(s.DurationS > 0) || s.DurationS > MaxDurationS {
 		return fmt.Errorf("scenario %q: duration %vs outside (0,%d]", s.Name, s.DurationS, MaxDurationS)

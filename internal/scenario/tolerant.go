@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tolerance bands for comparing tolerance-mode (leap-integrator) rendered
+// output against exact-mode golden fixtures: a numeric token passes within
+// GoldenAbsTol absolute — the thermal band the leap integrator guarantees —
+// or GoldenRelTol relative (work, power and count totals, which scale with
+// the run). The golden harnesses here and in fleetsched, and the
+// leap-vs-exact CI job, all compare through TolerantDiff so the acceptance
+// band is defined once.
+const (
+	GoldenAbsTol = 0.05
+	GoldenRelTol = 0.01
+)
+
+// TolerantDiff compares two rendered outputs with numeric tolerance: the
+// line structure and every non-numeric token must match exactly, numeric
+// tokens within the golden tolerance bands. It returns a description of the
+// first out-of-tolerance difference, or "" when the outputs match.
+func TolerantDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	if len(wl) != len(gl) {
+		return fmt.Sprintf("line count differs: want %d, got %d", len(wl), len(gl))
+	}
+	for i := range wl {
+		wf, gf := strings.Fields(wl[i]), strings.Fields(gl[i])
+		if len(wf) != len(gf) {
+			return fmt.Sprintf("line %d: token count differs\n-%s\n+%s", i+1, wl[i], gl[i])
+		}
+		for j := range wf {
+			if wf[j] == gf[j] {
+				continue
+			}
+			wv, wok := parseNumericToken(wf[j])
+			gv, gok := parseNumericToken(gf[j])
+			if !wok || !gok || !withinTolerance(wv, gv) ||
+				stripNumeric(wf[j]) != stripNumeric(gf[j]) {
+				return fmt.Sprintf("line %d: token %q vs %q\n-%s\n+%s", i+1, wf[j], gf[j], wl[i], gl[i])
+			}
+		}
+	}
+	return ""
+}
+
+func withinTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d <= GoldenAbsTol {
+		return true
+	}
+	ref := a
+	if ref < 0 {
+		ref = -ref
+	}
+	return d <= GoldenRelTol*ref
+}
+
+// parseNumericToken extracts the numeric value from tokens like "35.556C",
+// "42.3W", "20.62%", "(15710" or "+0.000".
+func parseNumericToken(tok string) (float64, bool) {
+	trimmed := strings.TrimFunc(tok, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r == '.' || r == '-' || r == '+')
+	})
+	if trimmed == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(trimmed, 64)
+	return v, err == nil
+}
+
+// stripNumeric removes the numeric core of a token, leaving its decoration
+// ("C", "W", "%", parentheses) for exact comparison.
+func stripNumeric(tok string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' || r == '.' || r == '-' || r == '+' {
+			return -1
+		}
+		return r
+	}, tok)
+}

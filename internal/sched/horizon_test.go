@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/units"
+)
+
+// The next-event horizon is the scheduler's quiescence certificate: until it,
+// no armed timer or wake event can change core occupancy, so the machine
+// layer's leap integrator may treat the power configuration as frozen.
+
+func horizonHarness() (*simclock.Clock, *Scheduler) {
+	clock := &simclock.Clock{}
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	return clock, New(clock, cfg, nil, nil)
+}
+
+func TestNextEventHorizonIdle(t *testing.T) {
+	_, s := horizonHarness()
+	if at, ok := s.NextEventHorizon(); ok {
+		t.Fatalf("idle scheduler reports a horizon at %v", at)
+	}
+	if !s.Quiescent(3600 * units.Second) {
+		t.Fatal("idle scheduler not quiescent forever")
+	}
+}
+
+func TestNextEventHorizonRunning(t *testing.T) {
+	clock, s := horizonHarness()
+	// A long computation occupies core 0: the horizon is its quantum
+	// expiry (dispatch pad included).
+	s.Spawn(ProgramFunc(func(units.Time) Action { return Compute(1000) }), SpawnConfig{Name: "burn"})
+	at, ok := s.NextEventHorizon()
+	if !ok {
+		t.Fatal("running scheduler reports no horizon")
+	}
+	if want := s.cfg.Timeslice; at != want {
+		t.Fatalf("horizon %v, want quantum expiry at %v", at, want)
+	}
+	if s.Quiescent(at + 1) {
+		t.Fatal("quiescent past the armed quantum timer")
+	}
+	if !s.Quiescent(at) {
+		t.Fatal("not quiescent up to the armed quantum timer")
+	}
+
+	// A short computation finishes before the quantum: the horizon must
+	// move to the earlier work-done timer.
+	s.Spawn(ProgramFunc(func(units.Time) Action { return Compute(0.001) }), SpawnConfig{Name: "quick"})
+	at, ok = s.NextEventHorizon()
+	if !ok || at >= s.cfg.Timeslice {
+		t.Fatalf("horizon %v (ok=%v), want the work-done timer before %v", at, ok, s.cfg.Timeslice)
+	}
+	_ = clock
+}
+
+func TestNextEventHorizonSleepAndWake(t *testing.T) {
+	clock, s := horizonHarness()
+	s.Spawn(ProgramFunc(func(now units.Time) Action {
+		if now == 0 {
+			return Sleep(30 * units.Millisecond)
+		}
+		return Exit()
+	}), SpawnConfig{Name: "sleeper"})
+	at, ok := s.NextEventHorizon()
+	if !ok || at != 30*units.Millisecond {
+		t.Fatalf("horizon %v (ok=%v), want the wake at 30ms", at, ok)
+	}
+	clock.AdvanceTo(30*units.Millisecond, nil)
+	if at, ok := s.NextEventHorizon(); ok {
+		t.Fatalf("horizon %v after the only sleeper exited", at)
+	}
+}
+
+func TestNextEventHorizonInjection(t *testing.T) {
+	_, s := horizonHarness()
+	s.Spawn(ProgramFunc(func(units.Time) Action { return Compute(1000) }), SpawnConfig{Name: "burn"})
+	if !s.ForceIdle(0, 10*units.Millisecond) {
+		t.Fatal("ForceIdle refused")
+	}
+	at, ok := s.NextEventHorizon()
+	want := 10*units.Millisecond + s.cfg.InjectOverhead
+	if !ok || at != want {
+		t.Fatalf("horizon %v (ok=%v), want inject-end at %v", at, ok, want)
+	}
+}
+
+func TestNextEventHorizonKillClears(t *testing.T) {
+	_, s := horizonHarness()
+	th := s.Spawn(ProgramFunc(func(units.Time) Action { return Compute(1000) }), SpawnConfig{Name: "burn"})
+	if _, ok := s.NextEventHorizon(); !ok {
+		t.Fatal("no horizon while running")
+	}
+	if !s.Kill(th) {
+		t.Fatal("kill failed")
+	}
+	if at, ok := s.NextEventHorizon(); ok {
+		t.Fatalf("horizon %v survives the kill of the only thread", at)
+	}
+}

@@ -93,6 +93,9 @@ type coreRun struct {
 	quantumEnd units.Time
 	timer      *simclock.Event
 	kind       timerKind
+	// fire is the core's pre-bound timer callback — timer arming is the
+	// scheduler's hottest allocation site without it.
+	fire func(now units.Time)
 
 	// Occupancy accounting for invariant checks and Figure 1.
 	BusyTime       units.Time
@@ -135,6 +138,8 @@ func New(clock *simclock.Clock, cfg Config, listener Listener, rate RateProvider
 	s.cores = make([]coreRun, cfg.Cores)
 	for i := range s.cores {
 		s.cores[i] = coreRun{id: i}
+		c := &s.cores[i]
+		c.fire = func(units.Time) { s.onTimer(c) }
 	}
 	nq := 1
 	if cfg.PerCPUQueues {
@@ -220,6 +225,46 @@ func (s *Scheduler) Core(i int) (busy, injectedIdle units.Time) {
 	return s.cores[i].BusyTime, s.cores[i].InjectIdleTime
 }
 
+// NextEventHorizon returns the earliest virtual time at which the scheduler
+// itself will next act — the soonest armed core timer (work completion,
+// quantum expiry, injected-quantum end) or sleeping thread's wake event —
+// and false when nothing is armed (every core naturally idle, no sleeper
+// waiting). Until the horizon the scheduler cannot change any core's
+// occupancy, so the chip's power configuration is frozen from its side:
+// this is the quiescence certificate the machine layer's leap integrator
+// rests on. The certificate is one-sided — external components (workload
+// arrivals, DTM controllers) schedule their own clock events — but the
+// clock's event loop already bounds integration spans by those, so a span
+// handed to the integrator never crosses either horizon.
+func (s *Scheduler) NextEventHorizon() (units.Time, bool) {
+	var at units.Time
+	found := false
+	consider := func(e *simclock.Event) {
+		if e == nil || e.Cancelled() {
+			return
+		}
+		if !found || e.At < at {
+			at, found = e.At, true
+		}
+	}
+	for i := range s.cores {
+		consider(s.cores[i].timer)
+	}
+	for _, t := range s.threads {
+		consider(t.wakeEvent)
+	}
+	return at, found
+}
+
+// Quiescent reports whether the scheduler is guaranteed not to act strictly
+// before `until`: no armed timer or wake event fires earlier. During a
+// quiescent window core occupancy — and therefore the scheduler's
+// contribution to the power vector — is provably constant.
+func (s *Scheduler) Quiescent(until units.Time) bool {
+	at, ok := s.NextEventHorizon()
+	return !ok || at >= until
+}
+
 // QueueLen returns the number of runnable-but-waiting threads across all
 // queues.
 func (s *Scheduler) QueueLen() int {
@@ -266,6 +311,13 @@ func (s *Scheduler) Spawn(prog Program, cfg SpawnConfig) *Thread {
 	if t.PowerFactor == 0 {
 		t.PowerFactor = 1
 	}
+	t.workLabel = "work-done:" + t.Name
+	t.quantLabel = "quantum:" + t.Name
+	t.wakeLabel = "wake:" + t.Name
+	t.wakeFn = func(units.Time) {
+		t.wakeEvent = nil
+		s.applyAction(t, t.prog.Next(s.clock.Now()))
+	}
 	s.nextTID++
 	s.threads = append(s.threads, t)
 	s.applyAction(t, t.prog.Next(s.clock.Now()))
@@ -292,10 +344,7 @@ func (s *Scheduler) applyAction(t *Thread, a Action) {
 		if d < 0 {
 			d = 0
 		}
-		t.wakeEvent = s.clock.ScheduleAfter(d, "wake:"+t.Name, func(units.Time) {
-			t.wakeEvent = nil
-			s.applyAction(t, t.prog.Next(s.clock.Now()))
-		})
+		t.wakeEvent = s.clock.ScheduleAfter(d, t.wakeLabel, t.wakeFn)
 	case ActBlock:
 		t.state = StateSleeping
 	case ActExit:
@@ -492,7 +541,7 @@ func (s *Scheduler) inject(c *coreRun, t *Thread, idle units.Time) {
 	}
 	dur := idle + s.cfg.InjectOverhead
 	c.kind = timerInjectEnd
-	c.timer = s.clock.ScheduleAfter(dur, "inject-end", func(units.Time) { s.onTimer(c) })
+	c.timer = s.clock.ScheduleAfter(dur, "inject-end", c.fire)
 }
 
 // run places t on the core for up to one timeslice.
@@ -531,10 +580,10 @@ func (s *Scheduler) armRunTimer(c *coreRun, t *Thread) {
 	}
 	if done <= c.quantumEnd {
 		c.kind = timerWorkDone
-		c.timer = s.clock.Schedule(done, "work-done:"+t.Name, func(units.Time) { s.onTimer(c) })
+		c.timer = s.clock.Schedule(done, t.workLabel, c.fire)
 	} else {
 		c.kind = timerQuantum
-		c.timer = s.clock.Schedule(c.quantumEnd, "quantum:"+t.Name, func(units.Time) { s.onTimer(c) })
+		c.timer = s.clock.Schedule(c.quantumEnd, t.quantLabel, c.fire)
 	}
 }
 

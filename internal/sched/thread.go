@@ -134,9 +134,16 @@ type Thread struct {
 	affinity  int // ULE-style home queue; -1 until first placement
 	enqSeq    uint64
 	wakeEvent *simclock.Event
-	runStart  units.Time // when the current occupancy began
-	runRate   float64    // progress rate captured at dispatch
-	switchPad units.Time // leading context-switch cost of this occupancy
+	// Pre-built event labels and wake callback: timer arming sits on the
+	// dispatch hot path, so the per-arm string concatenation and closure
+	// capture are paid once per thread instead of once per event.
+	workLabel  string
+	quantLabel string
+	wakeLabel  string
+	wakeFn     func(now units.Time)
+	runStart   units.Time // when the current occupancy began
+	runRate    float64    // progress rate captured at dispatch
+	switchPad  units.Time // leading context-switch cost of this occupancy
 }
 
 // Default priorities; lower runs first.

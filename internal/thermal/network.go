@@ -47,10 +47,20 @@ type node struct {
 }
 
 // decaySlot caches the per-node decay factors exp(−dt/τ) for one step size.
+// Step sizes are keyed by their exact bit pattern: a few-digit String()
+// rounding must never let two distinct sizes share a slot.
 type decaySlot struct {
-	dts   float64 // step size in seconds; 0 marks an empty slot
+	bits  uint64 // math.Float64bits of the step size in seconds; 0 marks empty
+	used  uint64 // recency stamp for LRU eviction
 	decay []float64
 }
+
+// decaySlots is the decay-cache capacity. The machine layer steps with one
+// dominant ThermalStep, but event-aligned remainders, hotspot-capped steps
+// and interleaved machines of different configurations produce a handful of
+// recurring sizes; eight slots cover every observed working set while a
+// linear scan stays cheaper than one math.Exp.
+const decaySlots = 8
 
 // Network is a set of thermal nodes connected by thermal resistances.
 // Construct with NewNetwork, AddNode/AddBoundary and Connect; the topology is
@@ -71,11 +81,34 @@ type Network struct {
 	adjIdx   []int32
 	adjG     []float64
 
-	// Two-entry decay cache, most recent first. The machine layer steps
-	// with a constant ThermalStep interrupted by occasional event-aligned
-	// remainders, so one slot pins the dominant step size while the other
-	// absorbs the one-off remainder without evicting it.
-	slots [2]decaySlot
+	// Bit-keyed LRU decay cache. The machine layer steps with a constant
+	// ThermalStep interrupted by event-aligned remainders; recency
+	// eviction pins the dominant size while a small working set of
+	// remainder sizes (alternating event cadences, hotspot-capped steps)
+	// hits instead of thrashing the way a two-slot cache did.
+	slots     [decaySlots]decaySlot
+	decayTick uint64
+
+	// Quiescence-leap state: per-step-size propagator ladders plus the
+	// chunk controller's scratch and memory (see leap.go).
+	ladders   [2]propLadder
+	leapLevel int
+	leapPow   []float64
+	leapPow2  []float64
+	leapTemp  []float64
+	leapDiff  []float64
+	leapEvalT []float64 // temperatures at the window's last model evaluation
+	leapXY    []float64 // packed [T; p] operand for the fused applies
+	compA     propLevel // ping-pong scratch for composed-propagator builds
+	compB     propLevel
+	leapRows  []NodeID // rows whose per-step sums LeapSteps accumulates
+	allRows   []NodeID
+
+	// Leap instrumentation: cumulative chunks accepted and steps covered
+	// by LeapSteps, for tests and benchmarks.
+	leapChunks  uint64
+	leapSteps   uint64
+	leapRejects uint64
 }
 
 // NewNetwork returns an empty network.
@@ -167,6 +200,23 @@ func (n *Network) MinTimeConstant() float64 {
 // pre-zeroed. Implementations must not retain either slice.
 type PowerFunc func(temps []float64, out []float64)
 
+// HeatSource is the allocation-free counterpart of PowerFunc: a value
+// (typically a pointer to the caller's own state) whose HeatInput method
+// fills the per-node heat inputs. Passing a pointer through StepFrom or
+// LeapSteps avoids the per-step closure capture a PowerFunc costs, which is
+// what keeps the machine layer's steady-state stepping at zero heap
+// allocations. The same slice contract as PowerFunc applies.
+type HeatSource interface {
+	HeatInput(temps []float64, out []float64)
+}
+
+// powerFuncSource adapts a PowerFunc to HeatSource for the convenience
+// entry points; the adapter allocates, so hot paths implement HeatSource
+// directly.
+type powerFuncSource struct{ f PowerFunc }
+
+func (s powerFuncSource) HeatInput(temps, out []float64) { s.f(temps, out) }
+
 // flatten rebuilds the CSR adjacency and resizes the scratch buffers after a
 // topology change, and invalidates the decay cache (τ depends on ΣG).
 func (n *Network) flatten() {
@@ -192,24 +242,45 @@ func (n *Network) flatten() {
 	for s := range n.slots {
 		n.slots[s] = decaySlot{decay: make([]float64, nn)}
 	}
+	n.decayTick = 0
+	for l := range n.ladders {
+		n.ladders[l] = propLadder{}
+	}
+	n.leapLevel = 0
+	n.leapPow = make([]float64, nn)
+	n.leapPow2 = make([]float64, nn)
+	n.leapTemp = make([]float64, nn)
+	n.leapDiff = make([]float64, nn)
+	n.leapEvalT = make([]float64, nn)
+	n.leapXY = make([]float64, 2*nn)
+	n.compA, n.compB = propLevel{}, propLevel{}
+	n.allRows = n.allRows[:0]
 	n.dirty = false
 }
 
 // decayFor returns the per-node decay factors for step size dts, serving them
-// from the two-entry cache when possible. The factors are computed exactly as
-// the pre-cache kernel did — exp(−dts/τ) with τ = C/ΣG — so cached and fresh
-// steps are bit-identical.
+// from the bit-keyed LRU cache when possible. The factors are computed
+// exactly as the pre-cache kernel did — exp(−dts/τ) with τ = C/ΣG — so
+// cached and fresh steps are bit-identical, and the cache policy can only
+// change cost, never output.
 func (n *Network) decayFor(dts float64) []float64 {
-	if n.slots[0].dts == dts {
-		return n.slots[0].decay
+	bits := math.Float64bits(dts)
+	n.decayTick++
+	victim := 0
+	for i := range n.slots {
+		s := &n.slots[i]
+		if s.bits == bits {
+			s.used = n.decayTick
+			return s.decay
+		}
+		if s.used < n.slots[victim].used {
+			victim = i
+		}
 	}
-	if n.slots[1].dts == dts {
-		n.slots[0], n.slots[1] = n.slots[1], n.slots[0]
-		return n.slots[0].decay
-	}
-	// Miss: recompute into the older slot and promote it.
-	s := n.slots[1]
-	s.dts = dts
+	// Miss: recompute into the least-recently-used slot.
+	s := &n.slots[victim]
+	s.bits = bits
+	s.used = n.decayTick
 	for i := range n.nodes {
 		nd := &n.nodes[i]
 		if nd.boundary || nd.gSum == 0 {
@@ -218,8 +289,6 @@ func (n *Network) decayFor(dts float64) []float64 {
 		tau := nd.capJ / nd.gSum
 		s.decay[i] = math.Exp(-dts / tau)
 	}
-	n.slots[1] = n.slots[0]
-	n.slots[0] = s
 	return s.decay
 }
 
@@ -233,6 +302,17 @@ func (n *Network) decayFor(dts float64) []float64 {
 // time constants orders of magnitude apart, accurate for steps up to roughly
 // the fastest τ in the network.
 func (n *Network) Step(dt units.Time, power PowerFunc) {
+	if power == nil {
+		n.StepFrom(dt, nil)
+		return
+	}
+	n.StepFrom(dt, powerFuncSource{power})
+}
+
+// StepFrom is Step with an allocation-free HeatSource instead of a PowerFunc
+// closure; the two produce bit-identical temperatures for the same heat
+// inputs. src may be nil for an unpowered network.
+func (n *Network) StepFrom(dt units.Time, src HeatSource) {
 	if dt <= 0 {
 		return
 	}
@@ -246,8 +326,8 @@ func (n *Network) Step(dt units.Time, power PowerFunc) {
 	for i := range pw {
 		pw[i] = 0
 	}
-	if power != nil {
-		power(eq, pw)
+	if src != nil {
+		src.HeatInput(eq, pw)
 	}
 	dts := dt.Seconds()
 	decay := n.decayFor(dts)
@@ -268,6 +348,53 @@ func (n *Network) Step(dt units.Time, power PowerFunc) {
 		}
 		teq := (pw[i] + flux) / nd.gSum
 		n.temp[i] = teq + (eq[i]-teq)*decay[i]
+	}
+}
+
+// StepPolyFrom is StepFrom with the per-node decay factor exp(−dt/τ)
+// replaced by its cubic Taylor polynomial — no exponentials and no decay
+// cache traffic. It exists for the leap integrator's event-aligned
+// remainder and sub-step spans, whose step sizes are essentially unique
+// (event times are nanosecond-grained) and would otherwise miss the decay
+// cache on every call. The polynomial's relative error is (dt/τ)⁴/24 —
+// sub-millikelvin for any dt at or below the machine layer's ThermalStep —
+// so it is tolerance-mode only; exact integration always uses StepFrom.
+func (n *Network) StepPolyFrom(dt units.Time, src HeatSource) {
+	if dt <= 0 {
+		return
+	}
+	if n.dirty {
+		n.flatten()
+	}
+	nn := len(n.nodes)
+	eq := n.eq[:nn]
+	pw := n.pow[:nn]
+	copy(eq, n.temp)
+	for i := range pw {
+		pw[i] = 0
+	}
+	if src != nil {
+		src.HeatInput(eq, pw)
+	}
+	dts := dt.Seconds()
+	rowStart, adjIdx, adjG := n.rowStart, n.adjIdx, n.adjG
+	for i := 0; i < nn; i++ {
+		nd := &n.nodes[i]
+		if nd.boundary {
+			continue
+		}
+		if nd.gSum == 0 {
+			n.temp[i] += pw[i] * dts / nd.capJ
+			continue
+		}
+		var flux float64
+		for k := rowStart[i]; k < rowStart[i+1]; k++ {
+			flux += adjG[k] * eq[adjIdx[k]]
+		}
+		teq := (pw[i] + flux) / nd.gSum
+		x := dts * nd.gSum / nd.capJ
+		decay := 1 + x*(-1+x*(0.5-x/6))
+		n.temp[i] = teq + (eq[i]-teq)*decay
 	}
 }
 

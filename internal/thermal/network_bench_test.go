@@ -1,43 +1,26 @@
-package thermal
+package thermal_test
 
 import (
 	"testing"
 
+	"repro/internal/bench"
+	"repro/internal/thermal"
 	"repro/internal/units"
 )
 
-// benchNetwork builds the testbed's topology — ambient boundary, heatsink,
-// package, four junction nodes — with a representative heat input.
-func benchNetwork() (*Network, PowerFunc, []NodeID) {
-	n := NewNetwork()
-	amb := n.AddBoundary("ambient", 25.2)
-	sink := n.AddNode("heatsink", 170, 25.2)
-	pkg := n.AddNode("package", 45, 25.2)
-	n.Connect(sink, amb, 0.115)
-	n.Connect(pkg, sink, 0.045)
-	var junctions []NodeID
-	for i := 0; i < 4; i++ {
-		j := n.AddNode("junction", 0.0375, 25.2)
-		n.Connect(j, pkg, 0.80)
-		junctions = append(junctions, j)
-	}
-	power := func(temps []float64, out []float64) {
-		out[pkg] += 15
-		for _, j := range junctions {
-			// A crude temperature-coupled core draw, exercising the
-			// same read-temps/write-power shape as the chip model.
-			out[j] += 11 + 0.05*(temps[j]-25.2)
-		}
-	}
-	return n, power, junctions
-}
+// The benchmark fixtures — the testbed topology and the linearising heat
+// source — live in internal/bench (KernelNetwork/LeapSource) so that these
+// testing-package benchmarks and `dimctl bench` always measure the same
+// kernel; this file is an external test package so it can import them
+// without a cycle.
 
 // BenchmarkThermalStep measures the hot kernel at a constant step size — the
 // machine layer's dominant pattern, where the decay cache hits every step.
 func BenchmarkThermalStep(b *testing.B) {
-	n, power, _ := benchNetwork()
+	n, power, _, _ := bench.KernelNetwork()
 	dt := 2 * units.Millisecond
 	n.Step(dt, power) // warm the decay cache and CSR layout
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step(dt, power)
@@ -46,15 +29,16 @@ func BenchmarkThermalStep(b *testing.B) {
 
 // BenchmarkThermalStepVariableDt interleaves the constant step with
 // event-aligned remainder steps of many distinct sizes — the worst realistic
-// cache pattern (the pinned slot still serves the constant step; every
-// remainder recomputes).
+// cache pattern (the dominant size stays pinned by recency; every remainder
+// recomputes).
 func BenchmarkThermalStepVariableDt(b *testing.B) {
-	n, power, _ := benchNetwork()
+	n, power, _, _ := bench.KernelNetwork()
 	base := 2 * units.Millisecond
 	rems := make([]units.Time, 64)
 	for i := range rems {
 		rems[i] = units.Time(i+1) * 17 * units.Microsecond
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
@@ -65,13 +49,55 @@ func BenchmarkThermalStepVariableDt(b *testing.B) {
 	}
 }
 
+// BenchmarkThermalStepFewDt cycles a handful of recurring step sizes — two
+// interleaved event cadences plus the dominant step. The two-slot cache this
+// bench was added against thrashed here (every third size recomputed the
+// exponentials); the bit-keyed LRU holds the whole working set.
+func BenchmarkThermalStepFewDt(b *testing.B) {
+	n, power, _, _ := bench.KernelNetwork()
+	sizes := []units.Time{
+		2 * units.Millisecond, 311 * units.Microsecond,
+		2 * units.Millisecond, 97 * units.Microsecond,
+		2 * units.Millisecond, 733 * units.Microsecond,
+	}
+	for _, dt := range sizes {
+		n.Step(dt, power) // warm every slot
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(sizes[i%len(sizes)], power)
+	}
+}
+
+// BenchmarkThermalLeap measures the quiescence-leap integrator across a
+// 50-step window (one scenario metric tick) with a linearising source —
+// ns/op is per window, not per step; divide by 50 to compare with
+// BenchmarkThermalStep.
+func BenchmarkThermalLeap(b *testing.B) {
+	n, _, pkg, junctions := bench.KernelNetwork()
+	src := &bench.LeapSource{Pkg: pkg, Junctions: junctions}
+	sums := make([]float64, n.NumNodes())
+	dt := 2 * units.Millisecond
+	for i := 0; i < 4; i++ {
+		n.LeapSteps(50, dt, src, sums) // warm the ladder and memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.LeapSteps(50, dt, src, sums)
+	}
+}
+
 // BenchmarkSolveSteadyState measures the idle-equilibrium solve that the
 // machine layer memoises per configuration.
 func BenchmarkSolveSteadyState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		n, power, _ := benchNetwork()
+		n, power, _, _ := bench.KernelNetwork()
 		b.StartTimer()
 		n.SolveSteadyState(power, 1e-7, 200000)
 	}
 }
+
+var _ thermal.QuiescentSource = (*bench.LeapSource)(nil)

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh — run the repository's benchmark suite and record ns/op per
-# benchmark into BENCH_results.json, so the performance trajectory is
-# tracked across PRs.
+# bench.sh — run the repository's benchmark suite and record ns/op and
+# allocs/op per benchmark into BENCH_results.json, so the performance
+# trajectory is tracked across PRs.
 #
 # Usage:
 #   scripts/bench.sh                 # harness + kernel benchmarks
@@ -25,38 +25,47 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 if [[ -n "${BENCH_PATTERN:-}" ]]; then
-    go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$HARNESS_BENCHTIME" ./... | tee "$raw"
+    go test -run '^$' -bench "$BENCH_PATTERN" -benchmem -benchtime "$HARNESS_BENCHTIME" ./... | tee "$raw"
 else
     # Full-harness benchmarks: one iteration reproduces a whole (scaled)
     # paper artefact, so a fixed iteration count keeps wall-clock sane.
     go test -run '^$' -bench 'Figure|Table|Validation|Ablation|Extension|SimulatorSteadySecond' \
-        -benchtime "$HARNESS_BENCHTIME" . | tee "$raw"
-    # Fleet scenario engine: one iteration runs a whole scaled fleet.
+        -benchmem -benchtime "$HARNESS_BENCHTIME" . | tee "$raw"
+    # Fleet scenario engine: one iteration runs a whole scaled fleet, under
+    # both the leap (default) and exact integrators.
     go test -run '^$' -bench 'FleetScenario' \
-        -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
-    # Fleet scheduler: one iteration is a whole scheduled run (and the
-    # six-policy comparison sweep).
+        -benchmem -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
+    # Fleet scheduler: one iteration is a whole scheduled run under both
+    # integrators (and the six-policy comparison sweep).
     go test -run '^$' -bench 'FleetSched' \
-        -benchtime "$HARNESS_BENCHTIME" ./internal/fleetsched/ | tee -a "$raw"
+        -benchmem -benchtime "$HARNESS_BENCHTIME" ./internal/fleetsched/ | tee -a "$raw"
     # Kernel micro-benchmarks: cheap enough for time-based sampling.
-    go test -run '^$' -bench 'ThermalStep|SolveSteadyState|Runner' \
-        -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
+    go test -run '^$' -bench 'ThermalStep|ThermalLeap|SolveSteadyState|Runner' \
+        -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
 fi
 
 awk '
-    /^Benchmark/ && $NF == "ns/op" {
+    /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-        vals[name] = $(NF - 1)
+        found = 0
+        for (i = 3; i <= NF; i++) {
+            if ($i == "ns/op") { ns[name] = $(i - 1); found = 1 }
+            if ($i == "allocs/op") { allocs[name] = $(i - 1) }
+        }
+        if (!found) next
+        if (!(name in allocs)) allocs[name] = "null"
         if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
     }
     END {
         printf "{\n"
         for (i = 1; i <= n; i++) {
-            printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n ? "," : "")
+            key = order[i]
+            printf "  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", \
+                key, ns[key], allocs[key], (i < n ? "," : "")
         }
         printf "}\n"
     }
 ' "$raw" > "$OUT"
 
-echo "wrote $OUT ($(grep -c ':' "$OUT") benchmarks)"
+echo "wrote $OUT ($(grep -c 'ns_op' "$OUT") benchmarks)"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench_compare.sh — run a fresh benchmark pass and diff it against the
+# committed BENCH_results.json, failing when any kernel benchmark regresses
+# by more than the threshold. CI runs it as a non-blocking job: shared
+# runners are noisy, so a failure is a flag for a human, not a gate.
+#
+# Usage:
+#   scripts/bench_compare.sh              # compare kernel benchmarks
+#   THRESHOLD_PCT=25 scripts/bench_compare.sh
+#   KERNEL_PATTERN='Thermal' scripts/bench_compare.sh
+#
+# Environment:
+#   THRESHOLD_PCT    allowed ns/op regression per benchmark (default 15)
+#   KERNEL_PATTERN   which recorded benchmarks count as kernel benches
+#                    (default: the thermal/runner micro-kernels)
+#   BASELINE         baseline path (default BENCH_results.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
+KERNEL_PATTERN="${KERNEL_PATTERN:-ThermalStep|ThermalLeap|SolveSteadyState|Runner}"
+BASELINE="${BASELINE:-BENCH_results.json}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_compare: no baseline at $BASELINE" >&2
+    exit 2
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+# Kernel benches need time-based sampling for stable ns/op (the pattern
+# path reuses HARNESS_BENCHTIME, whose 1x default suits whole-run harness
+# benches, not nanosecond kernels).
+BENCH_PATTERN="$KERNEL_PATTERN" HARNESS_BENCHTIME="${KERNEL_BENCHTIME:-1s}" OUT="$fresh" scripts/bench.sh >/dev/null
+
+# Baseline entries are one per line: "Name": {"ns_op": X, "allocs_op": Y}.
+awk -v thr="$THRESHOLD_PCT" -v pat="$KERNEL_PATTERN" '
+    function parse(line, arr) {
+        # "BenchmarkX": {"ns_op": 1.23, "allocs_op": 0},
+        match(line, /"[^"]+"/)
+        name = substr(line, RSTART + 1, RLENGTH - 2)
+        if (match(line, /"ns_op":[^0-9+-]*[0-9.eE+-]+/)) {
+            val = substr(line, RSTART, RLENGTH)
+            match(val, /[0-9.eE+-]+$/)
+            arr[name] = substr(val, RSTART, RLENGTH) + 0
+        }
+    }
+    NR == FNR { if ($0 ~ /ns_op/) { parse($0, base) } next }
+    /ns_op/ {
+        parse($0, freshv)
+        name = ""
+        match($0, /"[^"]+"/)
+        name = substr($0, RSTART + 1, RLENGTH - 2)
+        if (name !~ ("Benchmark(" pat ")")) next
+        if (!(name in base)) { printf "NEW      %-42s %12.2f ns/op\n", name, freshv[name]; next }
+        old = base[name]; new = freshv[name]
+        pct = (old > 0) ? 100 * (new - old) / old : 0
+        status = "ok"
+        if (pct > thr) { status = "REGRESSED"; bad = 1 }
+        printf "%-9s %-42s %12.2f -> %12.2f ns/op (%+.1f%%)\n", status, name, old, new, pct
+    }
+    END { exit bad ? 1 : 0 }
+' "$BASELINE" "$fresh" || rc=$?
+rc=${rc:-0}
+if [[ $rc -ne 0 ]]; then
+    echo "bench_compare: kernel benchmark regressed more than ${THRESHOLD_PCT}% against $BASELINE" >&2
+fi
+exit $rc
