@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch rest[0] {
 	case "bench":
 		return benchCmd(rest[1:], stdout, stderr)
+	case "remote":
+		return remoteCmd(rest[1:], *scale, *outDir, stdout, stderr)
 	case "scenario":
 		return scenarioCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
 	case "sched":
@@ -468,6 +470,10 @@ usage:
                                                       sweep all placement policies
   dimctl [-scale S] [-jobs N] [-out DIR] sched export <name>...
                                                       write sched CSVs + comparison
+  dimctl remote [-addr URL] run|submit|stream|export <name>... [-policy P] [-spec FILE]
+                                                      run jobs on a dimd daemon
+  dimctl remote [-addr URL] jobs|status|cancel|metrics
+                                                      inspect a dimd daemon
 
 flags:
 `)

@@ -1,0 +1,286 @@
+// dimctl's remote client mode: every experiment, scenario and sched
+// shootout the CLI runs locally can instead be submitted to a dimd daemon.
+// Rendered reports and exported CSVs are byte-identical to the local path —
+// the daemon runs the same engines and the same renderers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// defaultAddr is dimd's default endpoint; override with -addr or DIMD_ADDR.
+const defaultAddr = "http://127.0.0.1:8080"
+
+// remoteCmd implements the `dimctl remote` subcommands:
+//
+//	dimctl remote [-addr URL] run <name>... [-policy P] [-spec FILE]
+//	dimctl remote [-addr URL] submit <name>... [-policy P] [-spec FILE]
+//	dimctl remote [-addr URL] status <job-id>...
+//	dimctl remote [-addr URL] stream <job-id|name>
+//	dimctl remote [-addr URL] export <name>... [-out DIR]
+//	dimctl remote [-addr URL] jobs | cancel <job-id> | metrics
+func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Writer) int {
+	// Flags may appear anywhere — `remote -addr URL run X` and
+	// `remote run X -addr URL` both work, matching the usage text.
+	names, rest := splitFlags(args)
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "dimctl: remote requires a subcommand: run, submit, status, stream, export, jobs, cancel or metrics")
+		return 2
+	}
+	sub := names[0]
+	names = names[1:]
+	trailing := flag.NewFlagSet("remote", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	addrDefault := os.Getenv("DIMD_ADDR")
+	if addrDefault == "" {
+		addrDefault = defaultAddr
+	}
+	addr := trailing.String("addr", addrDefault, "dimd base URL (or $DIMD_ADDR)")
+	trailingScale := trailing.Float64("scale", scale, "experiment scale")
+	trailingOut := trailing.String("out", outDir, "output directory for export")
+	policy := trailing.String("policy", "", "placement policy for scheduled scenarios")
+	specFile := trailing.String("spec", "", "submit an inline scenario spec from this JSON file")
+	if len(rest) > 0 {
+		if err := trailing.Parse(rest); err != nil {
+			return 2
+		}
+	}
+	scale = *trailingScale
+	outDir = *trailingOut
+	c := service.NewClient(*addr)
+
+	submitTargets := func() ([]service.JobView, int) {
+		var reqs []service.Request
+		if *specFile != "" {
+			raw, err := os.ReadFile(*specFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: %v\n", err)
+				return nil, 1
+			}
+			reqs = append(reqs, service.Request{Spec: raw, Policy: *policy, Scale: scale})
+		}
+		for _, name := range names {
+			reqs = append(reqs, service.Request{Name: name, Policy: *policy, Scale: scale})
+		}
+		if len(reqs) == 0 {
+			fmt.Fprintf(stderr, "dimctl: remote %s requires names or -spec FILE\n", sub)
+			return nil, 2
+		}
+		var views []service.JobView
+		for _, req := range reqs {
+			v, err := c.Submit(req)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote submit: %v\n", err)
+				if service.IsBusy(err) {
+					fmt.Fprintln(stderr, "dimctl: daemon is at capacity; retry shortly")
+				}
+				return nil, 1
+			}
+			views = append(views, v)
+		}
+		return views, 0
+	}
+
+	switch sub {
+	case "run":
+		views, code := submitTargets()
+		if code != 0 {
+			return code
+		}
+		for _, v := range views {
+			start := time.Now()
+			final, err := c.Wait(context.Background(), v.ID)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote run %s: %v\n", v.Name, err)
+				return 1
+			}
+			if final.State != service.StateDone {
+				fmt.Fprintf(stderr, "dimctl: remote run %s: job %s %s: %s\n", v.Name, final.ID, final.State, final.Error)
+				return 1
+			}
+			out, err := c.Output(v.ID)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote run %s: %v\n", v.Name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "==== %s %s ====\n%s", remoteBanner(final), final.Name, out)
+			fmt.Fprintf(stdout, "---- %s done in %v (job %s%s) ----\n\n",
+				final.Name, time.Since(start).Round(time.Millisecond), final.ID, cacheTag(final))
+		}
+		return 0
+	case "submit":
+		views, code := submitTargets()
+		if code != 0 {
+			return code
+		}
+		for _, v := range views {
+			fmt.Fprintf(stdout, "%s  %-10s %s%s\n", v.ID, v.State, v.Name, cacheTag(v))
+		}
+		return 0
+	case "status":
+		if len(names) == 0 {
+			fmt.Fprintln(stderr, "dimctl: remote status requires job IDs")
+			return 2
+		}
+		for _, id := range names {
+			v, err := c.Job(id)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote status %s: %v\n", id, err)
+				return 1
+			}
+			printJobJSON(stdout, v)
+		}
+		return 0
+	case "stream":
+		var id string
+		switch {
+		case len(names) == 1 && strings.HasPrefix(names[0], "job-"):
+			id = names[0]
+		default:
+			// Validate the one-target constraint before submitting, so a
+			// misspelled invocation never leaves orphaned jobs running on
+			// the daemon.
+			targets := len(names)
+			if *specFile != "" {
+				targets++
+			}
+			if targets != 1 {
+				fmt.Fprintln(stderr, "dimctl: remote stream follows exactly one job (one name or -spec FILE)")
+				return 2
+			}
+			views, code := submitTargets()
+			if code != 0 {
+				return code
+			}
+			id = views[0].ID
+			fmt.Fprintf(stderr, "dimctl: streaming %s (%s)\n", id, views[0].Name)
+		}
+		enc := json.NewEncoder(stdout)
+		err := c.Stream(context.Background(), id, func(e service.Event) error {
+			return enc.Encode(e)
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: remote stream %s: %v\n", id, err)
+			return 1
+		}
+		return 0
+	case "export":
+		views, code := submitTargets()
+		if code != 0 {
+			return code
+		}
+		for _, v := range views {
+			start := time.Now()
+			final, err := c.Wait(context.Background(), v.ID)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote export %s: %v\n", v.Name, err)
+				return 1
+			}
+			if final.State != service.StateDone {
+				fmt.Fprintf(stderr, "dimctl: remote export %s: job %s %s: %s\n", v.Name, final.ID, final.State, final.Error)
+				return 1
+			}
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote export: %v\n", err)
+				return 1
+			}
+			var paths []string
+			for _, name := range final.Files {
+				// Artefact names come from the daemon; never let one climb
+				// out of -out.
+				if name != filepath.Base(name) || name == "." || name == ".." {
+					fmt.Fprintf(stderr, "dimctl: remote export: daemon sent unsafe file name %q\n", name)
+					return 1
+				}
+				data, err := c.File(final.ID, name)
+				if err != nil {
+					fmt.Fprintf(stderr, "dimctl: remote export %s: %v\n", name, err)
+					return 1
+				}
+				p := filepath.Join(outDir, name)
+				if err := os.WriteFile(p, data, 0o644); err != nil {
+					fmt.Fprintf(stderr, "dimctl: remote export: %v\n", err)
+					return 1
+				}
+				paths = append(paths, p)
+			}
+			printPaths(stdout, final.Name, paths, start)
+		}
+		return 0
+	case "jobs":
+		views, err := c.Jobs()
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: remote jobs: %v\n", err)
+			return 1
+		}
+		for _, v := range views {
+			fmt.Fprintf(stdout, "%s  %-10s %-14s %s%s\n", v.ID, v.State, v.Kind, v.Name, cacheTag(v))
+		}
+		return 0
+	case "cancel":
+		if len(names) == 0 {
+			fmt.Fprintln(stderr, "dimctl: remote cancel requires job IDs")
+			return 2
+		}
+		for _, id := range names {
+			v, err := c.Cancel(id)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: remote cancel %s: %v\n", id, err)
+				return 1
+			}
+			state := v.State
+			if v.CancelRequested {
+				state = "canceling"
+			}
+			fmt.Fprintf(stdout, "%s  %s\n", v.ID, state)
+		}
+		return 0
+	case "metrics":
+		text, err := c.Metrics()
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: remote metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, text)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "dimctl: unknown remote subcommand %q (run, submit, status, stream, export, jobs, cancel, metrics)\n", sub)
+		return 2
+	}
+}
+
+// remoteBanner mirrors the local banners: "scenario" / "sched" prefixes for
+// engine runs, the bare ID for experiments.
+func remoteBanner(v service.JobView) string {
+	switch v.Kind {
+	case service.KindScenario:
+		return "scenario"
+	case service.KindSched, service.KindSchedCompare:
+		return "sched"
+	default:
+		return "experiment"
+	}
+}
+
+func cacheTag(v service.JobView) string {
+	if v.CacheHit {
+		return " [cached]"
+	}
+	return ""
+}
+
+func printJobJSON(w io.Writer, v service.JobView) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,112 @@
+// Command dimd is the Dimetrodon simulation daemon: a long-running HTTP
+// service that accepts experiment/scenario/sched jobs, runs them on a
+// bounded worker pool, streams per-round fleet telemetry (NDJSON/SSE),
+// caches results by canonical spec hash, and exports the same byte-identical
+// reports and CSVs the dimctl CLI produces.
+//
+// Usage:
+//
+//	dimd                              serve on :8080
+//	dimd -addr 127.0.0.1:9090         serve elsewhere
+//	dimd -workers 4 -queue 256        size the pool and admission queue
+//	dimd -cache-mb 128                size the result cache
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (429/503), running jobs
+// finish (up to -drain-timeout, then their contexts are cancelled) and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dimetrodon "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point: it serves until a termination signal (or
+// the optional test-injected stop channel) fires, then drains. ready, when
+// non-nil, receives the bound address once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("dimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent job executors; 0 = GOMAXPROCS")
+	queue := fs.Int("queue", 256, "admission queue depth (full = 429 + Retry-After)")
+	cacheMB := fs.Int("cache-mb", 64, "result cache budget in MiB")
+	scale := fs.Float64("scale", 1.0, "default job scale when a request omits one")
+	jobs := fs.Int("jobs", 0, "per-job trial parallelism; 0 = GOMAXPROCS")
+	integrator := fs.String("integrator", "", "thermal integrator override: exact or leap")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound before in-flight jobs are cancelled")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) > 0 {
+		fmt.Fprintf(stderr, "dimd: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	dimetrodon.SetJobs(*jobs)
+	if err := dimetrodon.SetIntegrator(*integrator); err != nil {
+		fmt.Fprintf(stderr, "dimd: %v\n", err)
+		return 2
+	}
+
+	svc := dimetrodon.NewService(dimetrodon.ServiceConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheBytes:   int64(*cacheMB) << 20,
+		DefaultScale: *scale,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "dimd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "dimd: serving on %s (workers=%d queue=%d cache=%dMiB)\n",
+		ln.Addr(), *workers, *queue, *cacheMB)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(stdout, "dimd: %v, draining (timeout %v)\n", got, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "dimd: serve: %v\n", err)
+		return 1
+	}
+
+	// Drain: stop job admission first so /healthz flips to draining while
+	// in-flight jobs finish, then close the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stdout, "dimd: drain timeout, in-flight jobs cancelled\n")
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "dimd: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "dimd: drained, bye")
+	return 0
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon boots run() on a loopback port and returns the base URL plus a
+// channel carrying the exit code.
+func startDaemon(t *testing.T, stdout, stderr io.Writer, extra ...string) (string, <-chan int) {
+	t.Helper()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-scale", "0.05"}, extra...)
+	go func() { exit <- run(args, stdout, stderr, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, exit
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before binding", code)
+		return "", nil
+	}
+}
+
+// TestServeSubmitStreamExportSIGTERM is the daemon's full lifecycle in one
+// pass: boot, health, submit, stream to completion, download an artefact,
+// then a SIGTERM drain with exit code 0 — the same round-trip the CI smoke
+// job drives against the compiled binary.
+func TestServeSubmitStreamExportSIGTERM(t *testing.T) {
+	var out, errb bytes.Buffer
+	base, exit := startDaemon(t, &out, &errb)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	submit, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name": "fleet-diurnal", "scale": 0.05}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(submit.Body).Decode(&view); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	submit.Body.Close()
+
+	stream, err := http.Get(base + "/v1/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	events, err := io.ReadAll(stream.Body)
+	stream.Body.Close()
+	if err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !strings.Contains(string(events), `"type":"done"`) {
+		t.Fatalf("stream ended without a done event:\n%s", events)
+	}
+
+	file, err := http.Get(base + "/v1/jobs/" + view.ID + "/files/scenario_fleet_diurnal_fleet.csv")
+	if err != nil {
+		t.Fatalf("file: %v", err)
+	}
+	csv, _ := io.ReadAll(file.Body)
+	file.Body.Close()
+	if file.StatusCode != http.StatusOK || !strings.HasPrefix(string(csv), "metric,value") {
+		t.Fatalf("artefact download failed (%d):\n%s", file.StatusCode, csv)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d after SIGTERM:\n%s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM")
+	}
+	for _, want := range []string{"dimd: serving on", "draining", "drained, bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-integrator", "warp"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("bad integrator exited %d, want 2", code)
+	}
+	if code := run([]string{"unexpected"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("positional argument exited %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &errb, nil); code != 1 {
+		t.Fatalf("unbindable address exited %d, want 1", code)
+	}
+}

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/export"
 	"repro/internal/fleetsched"
 	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/service"
 )
 
 // Scale controls experiment durations and trial counts; 1.0 reproduces the
@@ -330,4 +333,43 @@ func ExportSchedResult(r *SchedResult, dir string) ([]string, error) {
 // policy and writes its per-machine, fleet and per-job CSVs into dir.
 func ExportSchedScenario(name string, scale Scale, dir string) ([]string, error) {
 	return fleetsched.Export(name, float64(scale), dir)
+}
+
+// --- Simulation-as-a-service (the dimd daemon core) ---
+
+// ServiceConfig sizes the simulation service; see internal/service.Config.
+type ServiceConfig = service.Config
+
+// SimService is the daemon core behind cmd/dimd: job queue, worker pool,
+// content-addressed result cache, telemetry streaming and the HTTP API.
+type SimService = service.Service
+
+// NewService builds a running simulation service with the full experiment
+// table enabled alongside scenario and sched jobs.
+func NewService(cfg ServiceConfig) *SimService {
+	cfg.Experiments = ServiceExperiments()
+	return service.New(cfg)
+}
+
+// ServiceExperiments adapts the experiment table for the service daemon:
+// Run produces exactly the bytes `dimctl run` writes between its banners,
+// Render exactly the files `dimctl export` writes.
+func ServiceExperiments() service.ExperimentSource {
+	return service.ExperimentSource{
+		IDs: ExperimentIDs,
+		Run: func(id string, scale float64) (string, error) {
+			e, ok := Experiments[id]
+			if !ok {
+				return "", fmt.Errorf("unknown experiment %q", id)
+			}
+			var b strings.Builder
+			if err := e.Run(&b, Scale(scale)); err != nil {
+				return "", err
+			}
+			return b.String(), nil
+		},
+		Render: func(id string, scale float64) ([]export.File, error) {
+			return experiments.Render(id, Scale(scale))
+		},
+	}
 }

@@ -7,10 +7,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"time"
 
 	"repro/internal/fleetsched"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/thermal"
 	"repro/internal/units"
 )
@@ -155,6 +159,49 @@ func Micros() []Micro {
 				for i := 0; i < iters; i++ {
 					if _, err := fleetsched.RunByName("sched-shootout", "", 0.05); err != nil {
 						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "service-submit",
+			Doc:  "daemon submit over HTTP: one cold run, then cache-hit round-trips",
+			Run: func(iters int) error {
+				svc := service.New(service.Config{Workers: 2, DefaultScale: 1})
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					_ = svc.Shutdown(ctx)
+				}()
+				srv := httptest.NewServer(svc.Handler())
+				defer srv.Close()
+				c := service.NewClient(srv.URL)
+				req := service.Request{Spec: []byte(`{
+					"name": "bench-service-submit",
+					"duration_s": 2,
+					"fleet": {"machines": 1, "base_seed": 42},
+					"machine": {"cores": 1},
+					"workload": [{"kind": "burn", "threads": 1}]
+				}`)}
+				v, err := c.Submit(req)
+				if err != nil {
+					return err
+				}
+				final, err := c.Wait(context.Background(), v.ID)
+				if err != nil {
+					return err
+				}
+				if final.State != service.StateDone {
+					return fmt.Errorf("bench job finished %s: %s", final.State, final.Error)
+				}
+				for i := 0; i < iters; i++ {
+					hit, err := c.Submit(req)
+					if err != nil {
+						return err
+					}
+					if !hit.CacheHit {
+						return fmt.Errorf("iteration %d missed the result cache", i)
 					}
 				}
 				return nil

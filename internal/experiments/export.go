@@ -14,10 +14,21 @@ import (
 // covers every figure and table of the paper plus the extension studies;
 // ablation results are table-shaped and exported as a single CSV each.
 func Export(id string, scale Scale, dir string) ([]string, error) {
+	files, err := Render(id, scale)
+	if err != nil {
+		return nil, err
+	}
+	return export.Write(dir, files...)
+}
+
+// Render runs the named experiment and renders its CSV artefacts in memory —
+// the single definition Export writes to disk and the service daemon serves
+// over HTTP, keeping the two byte-identical.
+func Render(id string, scale Scale) ([]export.File, error) {
 	switch id {
 	case "fig1":
 		r := RunFigure1(scale)
-		return writeAll(dir,
+		return collect(
 			seriesCSV("fig1_race_to_idle.csv", r.RaceToIdle),
 			seriesCSV("fig1_dimetrodon.csv", r.Dimetrodon),
 		)
@@ -27,7 +38,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 		for _, c := range r.Curves {
 			files = append(files, seriesCSV(fmt.Sprintf("fig2_rise_p%02.0f.csv", c.P*100), c.Rise))
 		}
-		return writeAll(dir, files...)
+		return collect(files...)
 	case "fig3":
 		r := RunFigure3(scale)
 		var b strings.Builder
@@ -36,10 +47,10 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 			fmt.Fprintf(&b, "%g,%g,%.6f,%.6f,%.4f\n",
 				pt.P, pt.L.Milliseconds(), pt.TempRed, pt.PerfRed, pt.Efficiency)
 		}
-		return writeAll(dir, namedCSV{Name: "fig3_efficiency.csv", Content: b.String()})
+		return collect(namedCSV{Name: "fig3_efficiency.csv", Content: b.String()})
 	case "fig4":
 		r := RunFigure4(scale)
-		return writeAll(dir,
+		return collect(
 			pointsCSV("fig4_dimetrodon.csv", r.Dimetrodon),
 			pointsCSV("fig4_vfs.csv", r.VFS),
 			pointsCSV("fig4_p4tcc.csv", r.P4TCC),
@@ -56,10 +67,10 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				row.Workload, row.RisePct, row.PaperRisePct,
 				row.Fit.Alpha, row.PaperAlpha, row.Fit.Beta, row.PaperBeta, row.Fit.R2)
 		}
-		return writeAll(dir, namedCSV{Name: "table1_workloads.csv", Content: b.String()})
+		return collect(namedCSV{Name: "table1_workloads.csv", Content: b.String()})
 	case "fig5":
 		r := RunFigure5(scale)
-		return writeAll(dir,
+		return collect(
 			fig5CSV("fig5_global.csv", r.Global),
 			fig5CSV("fig5_per_thread.csv", r.PerThread),
 		)
@@ -72,7 +83,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Label, p.TempReduction, p.GoodQoS, p.TolerableQoS,
 				p.Throughput, p.MeanLatency.Seconds())
 		}
-		return writeAll(dir, namedCSV{Name: "fig6_web_qos.csv", Content: b.String()})
+		return collect(namedCSV{Name: "fig6_web_qos.csv", Content: b.String()})
 	case "val-throughput":
 		r := RunValidationThroughput(scale)
 		var b strings.Builder
@@ -82,7 +93,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				row.P, row.L.Milliseconds(), row.Trials,
 				row.Predicted.Seconds(), row.MeanActual.Seconds(), row.DeviationPct)
 		}
-		return writeAll(dir, namedCSV{Name: "val_throughput.csv", Content: b.String()})
+		return collect(namedCSV{Name: "val_throughput.csv", Content: b.String()})
 	case "val-energy":
 		r := RunValidationEnergy(scale)
 		var b strings.Builder
@@ -91,7 +102,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 			fmt.Fprintf(&b, "%g,%g,%d,%.4f,%.4f\n",
 				row.P, row.L.Milliseconds(), row.Trials, row.RatioPct, row.TrueRatioPct)
 		}
-		return writeAll(dir, namedCSV{Name: "val_energy.csv", Content: b.String()})
+		return collect(namedCSV{Name: "val_energy.csv", Content: b.String()})
 	case "abl-leakage", "abl-cstate", "abl-deterministic", "abl-hotspot":
 		var r AblationResult
 		switch id {
@@ -111,7 +122,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Baseline.TempRed, p.Baseline.PerfRed, p.Baseline.Efficiency,
 				p.Variant.TempRed, p.Variant.PerfRed, p.Variant.Efficiency)
 		}
-		return writeAll(dir, namedCSV{Name: fmt.Sprintf("%s.csv", strings.ReplaceAll(id, "-", "_")), Content: b.String()})
+		return collect(namedCSV{Name: fmt.Sprintf("%s.csv", strings.ReplaceAll(id, "-", "_")), Content: b.String()})
 	case "abl-kernel":
 		r := RunAblationKernelThreads(scale)
 		var b strings.Builder
@@ -121,7 +132,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.ShieldedGood, p.ShieldedRed, p.ShieldedMean.Seconds(),
 				p.InjectedGood, p.InjectedRed, p.InjectedMean.Seconds(), p.KernelInjects)
 		}
-		return writeAll(dir, namedCSV{Name: "abl_kernel.csv", Content: b.String()})
+		return collect(namedCSV{Name: "abl_kernel.csv", Content: b.String()})
 	case "ext-adaptive":
 		r := RunAdaptiveControl(scale)
 		var b strings.Builder
@@ -129,7 +140,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 		for _, p := range r.Phases {
 			fmt.Fprintf(&b, "%q,%.4f,%.4f,%.4f\n", p.Name, p.MeanDTS, p.MeanP, p.TargetErr)
 		}
-		return writeAll(dir, namedCSV{Name: "ext_adaptive.csv", Content: b.String()})
+		return collect(namedCSV{Name: "ext_adaptive.csv", Content: b.String()})
 	case "ext-ule":
 		r := RunULEComparison(scale)
 		var b strings.Builder
@@ -139,7 +150,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.BSD.TempRed, p.BSD.PerfRed, p.BSD.Efficiency,
 				p.ULE.TempRed, p.ULE.PerfRed, p.ULE.Efficiency, p.Steals)
 		}
-		return writeAll(dir, namedCSV{Name: "ext_ule.csv", Content: b.String()})
+		return collect(namedCSV{Name: "ext_ule.csv", Content: b.String()})
 	case "ext-emergency":
 		r := RunEmergencyScenario(scale)
 		var b strings.Builder
@@ -149,7 +160,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				float64(a.PeakJunction), float64(a.MeanJunction),
 				a.WorkRate, a.Trips, a.Throttled.Seconds())
 		}
-		return writeAll(dir, namedCSV{Name: "ext_emergency.csv", Content: b.String()})
+		return collect(namedCSV{Name: "ext_emergency.csv", Content: b.String()})
 	case "ext-smt":
 		r := RunSMTCoScheduling(scale)
 		var b strings.Builder
@@ -159,7 +170,7 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 				p.Naive.TempRed, p.Naive.PerfRed, p.Naive.Efficiency,
 				p.CoSch.TempRed, p.CoSch.PerfRed, p.CoSch.Efficiency, p.ForcedIdles)
 		}
-		return writeAll(dir, namedCSV{Name: "ext_smt.csv", Content: b.String()})
+		return collect(namedCSV{Name: "ext_smt.csv", Content: b.String()})
 	default:
 		return nil, fmt.Errorf("experiments: no CSV export for %q", id)
 	}
@@ -169,8 +180,8 @@ func Export(id string, scale Scale, dir string) ([]string, error) {
 // export package's File, kept under its historical local name.
 type namedCSV = export.File
 
-func writeAll(dir string, files ...namedCSV) ([]string, error) {
-	return export.Write(dir, files...)
+func collect(files ...namedCSV) ([]export.File, error) {
+	return files, nil
 }
 
 func seriesCSV(name string, s *trace.Series) namedCSV {

@@ -21,9 +21,19 @@ type Comparison struct {
 // run sequentially (each run parallelises over machines within rounds), so
 // the comparison is byte-identical at any -jobs level.
 func Compare(spec *scenario.Spec, scale float64) (*Comparison, error) {
+	return CompareOpts(spec, scale, Options{}, nil)
+}
+
+// CompareOpts is Compare with per-run options; onPolicy, when non-nil, is
+// called with each policy's name as its sweep starts, so a streaming
+// observer can attribute the round telemetry that follows.
+func CompareOpts(spec *scenario.Spec, scale float64, opts Options, onPolicy func(policy string)) (*Comparison, error) {
 	c := &Comparison{Spec: spec, Scale: scale}
 	for _, name := range Names() {
-		res, err := Run(spec, name, scale)
+		if onPolicy != nil {
+			onPolicy(name)
+		}
+		res, err := RunOpts(spec, name, scale, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fleetsched: comparing %q under %s: %w", spec.Name, name, err)
 		}
@@ -126,15 +136,24 @@ func (c *Comparison) CSV() (string, error) {
 
 // ExportComparison writes the comparison CSV into dir.
 func ExportComparison(c *Comparison, dir string) ([]string, error) {
+	files, err := RenderComparison(c)
+	if err != nil {
+		return nil, err
+	}
+	return export.Write(dir, files...)
+}
+
+// RenderComparison renders the comparison CSV in memory (see RenderResult).
+func RenderComparison(c *Comparison) ([]export.File, error) {
 	content, err := c.CSV()
 	if err != nil {
 		return nil, err
 	}
 	base := strings.ReplaceAll(c.Spec.Name, "-", "_")
-	return export.Write(dir, export.File{
+	return []export.File{{
 		Name:    fmt.Sprintf("sched_%s_policies.csv", base),
 		Content: content,
-	})
+	}}, nil
 }
 
 // RunByName looks the scenario up in the registry and runs it under the

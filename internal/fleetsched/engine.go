@@ -1,6 +1,7 @@
 package fleetsched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -225,6 +226,83 @@ func (n *node) spawnJob(j *Job, works []float64) {
 // single-threaded round barriers, and machines advance between barriers as
 // independent deterministic functions of their own state.
 func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error) {
+	return RunOpts(spec, policyName, scale, Options{})
+}
+
+// Options customises a scheduled run beyond the spec: context cancellation
+// and the round-barrier telemetry hook the service daemon streams from. The
+// zero value reproduces Run exactly.
+type Options struct {
+	// Context, when non-nil, cancels the run at the next round barrier (and
+	// stops workers claiming further machines inside a round's advance
+	// phase). A cancelled run returns ctx's error.
+	Context context.Context
+	// OnRound, when non-nil, is called at every round barrier — from the
+	// single-threaded dispatcher, so calls are strictly ordered — with the
+	// fleet's dispatcher-facing telemetry after that round's migrations and
+	// placements.
+	OnRound func(RoundTelemetry)
+}
+
+// RoundTelemetry is one round barrier's fleet snapshot: what the dispatcher
+// itself sees when it ranks machines. Counters are cumulative from t=0.
+type RoundTelemetry struct {
+	Round int     `json:"round"`
+	NowS  float64 `json:"now_s"`
+
+	JobsArrived    int `json:"jobs_arrived"`
+	JobsDispatched int `json:"jobs_dispatched"`
+	JobsCompleted  int `json:"jobs_completed"`
+	Migrations     int `json:"migrations"`
+
+	// PendingWorkS is the remaining scheduled-job work fleet-wide.
+	PendingWorkS float64 `json:"pending_work_s"`
+	// MaxJunctionC is the hottest junction across the fleet at the barrier;
+	// HottestMachine is its fleet index. MeanJunctionC averages the
+	// per-machine mean junction temperatures.
+	MaxJunctionC   float64 `json:"max_junction_c"`
+	MeanJunctionC  float64 `json:"mean_junction_c"`
+	HottestMachine int     `json:"hottest_machine"`
+	// InjectedIdleS sums the fleet's cumulative injected idle seconds.
+	InjectedIdleS float64 `json:"injected_idle_s"`
+	// WorkDone sums the fleet's cumulative completed work (reference
+	// seconds) and EnergyJ its cumulative package energy — subscribers
+	// difference successive rounds into work-rate and mean-power gauges.
+	WorkDone float64 `json:"work_done"`
+	EnergyJ  float64 `json:"energy_j"`
+}
+
+// roundTelemetry folds the nodes' barrier telemetry into one fleet snapshot.
+func roundTelemetry(round int, now units.Time, nodes []*node, cursor, dispatched, migrations int) RoundTelemetry {
+	rt := RoundTelemetry{
+		Round:          round,
+		NowS:           now.Seconds(),
+		JobsArrived:    cursor,
+		JobsDispatched: dispatched,
+		Migrations:     migrations,
+		HottestMachine: -1,
+	}
+	var meanSum float64
+	for _, n := range nodes {
+		rt.JobsCompleted += n.completed
+		rt.PendingWorkS += n.pendingWorkS
+		rt.InjectedIdleS += n.tel.InjectedIdleS
+		rt.WorkDone += n.tel.WorkDone
+		rt.EnergyJ += n.tel.EnergyJ
+		meanSum += n.tel.MeanJunctionC
+		if n.tel.MaxJunctionC > rt.MaxJunctionC {
+			rt.MaxJunctionC = n.tel.MaxJunctionC
+			rt.HottestMachine = n.idx
+		}
+	}
+	if len(nodes) > 0 {
+		rt.MeanJunctionC = meanSum / float64(len(nodes))
+	}
+	return rt
+}
+
+// RunOpts is Run with per-run options; the zero Options value is exactly Run.
+func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -293,7 +371,13 @@ func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error)
 	// loop's below-trigger subset.
 	views := make([]MachineView, len(nodes))
 	migScratch := make([]MachineView, 0, len(nodes))
+	roundNo := 0
 	for now := units.Time(0); now < duration; {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
+			}
+		}
 		next := now + round
 		if next > duration {
 			next = duration
@@ -333,10 +417,17 @@ func Run(spec *scenario.Spec, policyName string, scale float64) (*Result, error)
 			views[pos].ResidentJobs++
 		}
 
-		runner.Map(nodes, func(_ int, n *node) struct{} {
+		if opts.OnRound != nil {
+			opts.OnRound(roundTelemetry(roundNo, now, nodes, cursor, dispatched, migrations))
+		}
+		roundNo++
+
+		if _, err := runner.MapCtx(opts.Context, nodes, func(_ int, n *node) struct{} {
 			n.advance(next, units.Celsius(violC))
 			return struct{}{}
-		})
+		}); err != nil {
+			return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
+		}
 		now = next
 	}
 

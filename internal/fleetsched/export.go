@@ -11,6 +11,17 @@ import (
 // per-machine table (the unscheduled columns plus the placement ledger), a
 // fleet/placement aggregate table, and the per-job ledger.
 func ExportResult(r *Result, dir string) ([]string, error) {
+	files, err := RenderResult(r)
+	if err != nil {
+		return nil, err
+	}
+	return export.Write(dir, files...)
+}
+
+// RenderResult renders the scheduled run's CSV artefacts in memory — shared
+// by ExportResult and the service daemon, so daemon exports are
+// byte-identical to the CLI's.
+func RenderResult(r *Result) ([]export.File, error) {
 	mHeader := []string{
 		"machine", "seed", "fan_factor", "mean_c", "peak_c", "idle_c",
 		"work_rate", "power_w", "injections", "injected_idle_s", "busy_s",
@@ -121,11 +132,11 @@ func ExportResult(r *Result, dir string) ([]string, error) {
 	}
 
 	base := strings.ReplaceAll(r.Spec.Name, "-", "_")
-	return export.Write(dir,
-		export.File{Name: fmt.Sprintf("sched_%s_machines.csv", base), Content: machinesCSV},
-		export.File{Name: fmt.Sprintf("sched_%s_fleet.csv", base), Content: fleetCSV},
-		export.File{Name: fmt.Sprintf("sched_%s_jobs.csv", base), Content: jobsCSV},
-	)
+	return []export.File{
+		{Name: fmt.Sprintf("sched_%s_machines.csv", base), Content: machinesCSV},
+		{Name: fmt.Sprintf("sched_%s_fleet.csv", base), Content: fleetCSV},
+		{Name: fmt.Sprintf("sched_%s_jobs.csv", base), Content: jobsCSV},
+	}, nil
 }
 
 // Export runs the named scheduled scenario under its default policy and

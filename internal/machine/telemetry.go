@@ -29,6 +29,12 @@ type Telemetry struct {
 	InjectedIdleS float64
 	// Injections is the cumulative count of injected idle quanta.
 	Injections int
+
+	// WorkDone is the cumulative completed work in reference-seconds and
+	// EnergyJ the cumulative package energy in joules — the pair a telemetry
+	// stream differences into work-rate and mean-power gauges.
+	WorkDone float64
+	EnergyJ  float64
 }
 
 // Telemetry returns the machine's current dispatcher-facing snapshot. It
@@ -44,6 +50,7 @@ func (m *Machine) Telemetry() Telemetry {
 		Now:             m.Now(),
 		RunnableThreads: m.Sched.QueueLen(),
 		Injections:      m.Sched.TotalInjections,
+		EnergyJ:         float64(m.Energy.Energy()),
 	}
 	temps := m.Net.Junctions(m.lastTemps)
 	var sum float64
@@ -64,7 +71,10 @@ func (m *Machine) Telemetry() Telemetry {
 	}
 	tel.BusyS = busy.Seconds()
 	tel.InjectedIdleS = injected.Seconds()
+	// Thread accounting was flushed by the ChargeAll above; summing WorkDone
+	// here avoids TotalWorkDone's second flush on this per-barrier hot path.
 	for _, th := range m.Sched.Threads() {
+		tel.WorkDone += th.WorkDone
 		if !th.Exited() {
 			tel.LiveThreads++
 		}

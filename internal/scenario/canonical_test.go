@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Two spellings of the same scenario: identical content, different JSON key
+// order at every nesting level. The cache key the service daemon relies on
+// must not see a difference.
+const canonSpecA = `{
+  "name": "canon-probe",
+  "title": "canonical probe",
+  "duration_s": 30,
+  "warmup_frac": 0.2,
+  "fleet": {"machines": 3, "base_seed": 7, "fan_spread": 0.1},
+  "machine": {"cores": 4},
+  "workload": [
+    {"kind": "burn", "threads": 2, "arrival": {"pattern": "diurnal", "min_load": 0.25}},
+    {"kind": "spec", "benchmark": "namd"}
+  ],
+  "policy": {"kind": "dimetrodon", "p": 0.25, "l_ms": 50},
+  "scheduler": {
+    "jobs": [{"name": "small", "rate": 0.5, "work_s": 4}],
+    "migration": {"enabled": true}
+  }
+}`
+
+const canonSpecB = `{
+  "scheduler": {
+    "migration": {"enabled": true},
+    "jobs": [{"work_s": 4, "rate": 0.5, "name": "small"}]
+  },
+  "policy": {"l_ms": 50, "p": 0.25, "kind": "dimetrodon"},
+  "workload": [
+    {"arrival": {"min_load": 0.25, "pattern": "diurnal"}, "threads": 2, "kind": "burn"},
+    {"benchmark": "namd", "kind": "spec"}
+  ],
+  "machine": {"cores": 4},
+  "fleet": {"fan_spread": 0.1, "base_seed": 7, "machines": 3},
+  "warmup_frac": 0.2,
+  "duration_s": 30,
+  "title": "canonical probe",
+  "name": "canon-probe"
+}`
+
+func mustHash(t *testing.T, src string) string {
+	t.Helper()
+	s, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	return h
+}
+
+func TestCanonicalHashFieldOrderInvariant(t *testing.T) {
+	ha := mustHash(t, canonSpecA)
+	hb := mustHash(t, canonSpecB)
+	if ha != hb {
+		t.Fatalf("field-order permutation changed the hash:\n A %s\n B %s", ha, hb)
+	}
+}
+
+func TestCanonicalHashDefaultNormalization(t *testing.T) {
+	implicit := `{
+	  "name": "canon-default",
+	  "duration_s": 20,
+	  "fleet": {"machines": 2, "base_seed": 1},
+	  "workload": [{"kind": "burn"}]
+	}`
+	// The same scenario with every engine default spelled out: violation
+	// threshold 70 °C, policy "none", fan factor 1, ambient 25.2 °C, the
+	// quad-core single-SMT testbed, one burn thread per scheduler core at
+	// power factor 1, steady arrival.
+	explicit := `{
+	  "name": "canon-default",
+	  "duration_s": 20,
+	  "violation_c": 70,
+	  "fleet": {"machines": 2, "base_seed": 1},
+	  "machine": {"cores": 4, "smt_contexts": 1, "fan_factor": 1, "ambient_c": 25.2},
+	  "workload": [{"kind": "burn", "threads": 4, "power_factor": 1,
+	                "arrival": {"pattern": "steady"}}],
+	  "policy": {"kind": "none"}
+	}`
+	hi := mustHash(t, implicit)
+	he := mustHash(t, explicit)
+	if hi != he {
+		t.Fatalf("explicit defaults changed the hash:\n implicit %s\n explicit %s", hi, he)
+	}
+}
+
+func TestCanonicalHashSeparatesDistinctSpecs(t *testing.T) {
+	base := `{"name":"canon-x","duration_s":20,"fleet":{"machines":2,"base_seed":1},"workload":[{"kind":"burn"}]}`
+	longer := `{"name":"canon-x","duration_s":21,"fleet":{"machines":2,"base_seed":1},"workload":[{"kind":"burn"}]}`
+	titled := `{"name":"canon-x","title":"t","duration_s":20,"fleet":{"machines":2,"base_seed":1},"workload":[{"kind":"burn"}]}`
+	hb := mustHash(t, base)
+	if hl := mustHash(t, longer); hl == hb {
+		t.Fatalf("duration change did not change the hash")
+	}
+	// Title feeds the rendered output, so it must be part of the address.
+	if ht := mustHash(t, titled); ht == hb {
+		t.Fatalf("title change did not change the hash")
+	}
+}
+
+func TestCanonicalIsSortedStableJSON(t *testing.T) {
+	s, err := Decode([]byte(canonSpecA))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	// The canonical form is valid JSON that re-canonicalises to itself.
+	s2, err := Decode(c1)
+	if err != nil {
+		t.Fatalf("canonical form does not decode: %v\n%s", err, c1)
+	}
+	c2, err := s2.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical (round 2): %v", err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalisation is not idempotent:\n 1 %s\n 2 %s", c1, c2)
+	}
+	// Spot-check key ordering at the top level.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(c1, &m); err != nil {
+		t.Fatalf("unmarshal canonical: %v", err)
+	}
+	if !bytes.HasPrefix(c1, []byte(`{"duration_s":`)) {
+		t.Fatalf("canonical keys not sorted (want duration_s first):\n%s", c1)
+	}
+	// Normalize must not mutate the receiver (Register holds shared specs).
+	if s.ViolationC != 0 {
+		t.Fatalf("Normalize mutated the receiver: ViolationC = %v", s.ViolationC)
+	}
+}

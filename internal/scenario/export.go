@@ -10,6 +10,13 @@ import (
 // ExportResult writes a run's plot-ready CSVs into dir: a per-machine table
 // and a fleet-aggregate table, named after the scenario.
 func ExportResult(r *Result, dir string) ([]string, error) {
+	return export.Write(dir, RenderResult(r)...)
+}
+
+// RenderResult renders the run's CSV artefacts in memory — the single
+// definition ExportResult writes to disk and the service daemon serves over
+// HTTP, which is what makes daemon exports byte-identical to the CLI's.
+func RenderResult(r *Result) []export.File {
 	var mb strings.Builder
 	mb.WriteString("machine,seed,fan_factor,mean_c,peak_c,idle_c,work_rate,power_w," +
 		"injections,injected_idle_s,busy_s,overhead_pct,violation_s,violations," +
@@ -56,10 +63,10 @@ func ExportResult(r *Result, dir string) ([]string, error) {
 	row("web_throughput_rps", "%.3f", a.WebThroughput)
 
 	base := strings.ReplaceAll(r.Spec.Name, "-", "_")
-	return export.Write(dir,
-		export.File{Name: fmt.Sprintf("scenario_%s_machines.csv", base), Content: mb.String()},
-		export.File{Name: fmt.Sprintf("scenario_%s_fleet.csv", base), Content: fb.String()},
-	)
+	return []export.File{
+		{Name: fmt.Sprintf("scenario_%s_machines.csv", base), Content: mb.String()},
+		{Name: fmt.Sprintf("scenario_%s_fleet.csv", base), Content: fb.String()},
+	}
 }
 
 // Export runs the named registered scenario and writes its CSVs.

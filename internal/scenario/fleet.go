@@ -35,9 +35,9 @@ type FleetAgg struct {
 	TM1ThrottledS float64
 
 	// Web QoS across machines running the webserver component.
-	WebMachines  int
-	WebGoodMean  float64 // mean "good" fraction
-	WebGoodMin   float64
+	WebMachines   int
+	WebGoodMean   float64 // mean "good" fraction
+	WebGoodMin    float64
 	WebThroughput float64 // summed requests/s
 }
 

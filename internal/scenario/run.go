@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/runner"
@@ -52,9 +53,51 @@ func (r MachineResult) OverheadFraction() float64 {
 	return r.InjectedIdleS / occ
 }
 
+// RunOptions customises a fleet run beyond the spec itself. The zero value
+// reproduces Run exactly; every field is optional.
+type RunOptions struct {
+	// Context, when non-nil, cancels the sweep: workers stop claiming new
+	// machines and in-flight machines abandon their tick loop at the next
+	// metric tick. A cancelled run returns ctx's error.
+	Context context.Context
+	// OnMachine, when non-nil, receives each fleet member's result as it
+	// completes. Machines run concurrently across the worker pool, so calls
+	// arrive from multiple goroutines in nondeterministic order; the final
+	// Result slice stays index-ordered regardless.
+	OnMachine func(MachineResult)
+	// OnTelemetry, when non-nil, receives per-machine samples every
+	// TelemetryEvery metric ticks — the streaming tap the service daemon
+	// feeds NDJSON/SSE subscribers from. Calls arrive concurrently, like
+	// OnMachine.
+	OnTelemetry func(MachineSample)
+	// TelemetryEvery is the OnTelemetry cadence in metric ticks (100 ms of
+	// virtual time each); 0 disables sampling.
+	TelemetryEvery int
+}
+
+// MachineSample is one in-run telemetry point from a fleet member. It is
+// built exclusively from observables the metric loop already reads every
+// tick (junction temperatures, the injection counter), never from
+// measurement flushes the silent path would not perform — so a streamed run
+// stays byte-identical to an unobserved one. The daemon's determinism tests
+// pin exactly that.
+type MachineSample struct {
+	Index int     `json:"index"`
+	NowS  float64 `json:"now_s"`
+
+	MeanJunctionC float64 `json:"mean_junction_c"`
+	MaxJunctionC  float64 `json:"max_junction_c"`
+	// PeakJunctionC is the running post-warmup peak so far.
+	PeakJunctionC float64 `json:"peak_junction_c"`
+	// Injections is the cumulative injected-quantum count.
+	Injections int `json:"injections"`
+	// ViolationS is the accumulated post-warmup violation time so far.
+	ViolationS float64 `json:"violation_s"`
+}
+
 // runMachine executes one fleet member's simulation: build, apply policy,
 // spawn the mix, warm up, then measure the window at the metric tick.
-func runMachine(t MachineTrial) (MachineResult, error) {
+func runMachine(t MachineTrial, opts RunOptions) (MachineResult, error) {
 	m, tm1, srv, err := t.Build()
 	if err != nil {
 		return MachineResult{}, err
@@ -83,13 +126,20 @@ func runMachine(t MachineTrial) (MachineResult, error) {
 	violC := units.Celsius(t.Spec.violationC())
 	res := MachineResult{Index: t.Index, Seed: t.Seed, FanFactor: t.FanFactor}
 	over := false
+	ticks := 0
 	var temps []units.Celsius
 	for m.Now() < t.Duration {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return MachineResult{}, err
+			}
+		}
 		step := t.Tick
 		if rem := t.Duration - m.Now(); rem < step {
 			step = rem
 		}
 		m.RunFor(step)
+		ticks++
 		temps = m.Net.Junctions(temps)
 		hot := false
 		for _, tj := range temps {
@@ -107,6 +157,25 @@ func runMachine(t MachineTrial) (MachineResult, error) {
 			}
 		}
 		over = hot
+		if opts.OnTelemetry != nil && opts.TelemetryEvery > 0 && ticks%opts.TelemetryEvery == 0 {
+			var sum, max float64
+			for _, tj := range temps {
+				v := float64(tj)
+				sum += v
+				if v > max {
+					max = v
+				}
+			}
+			opts.OnTelemetry(MachineSample{
+				Index:         t.Index,
+				NowS:          m.Now().Seconds(),
+				MeanJunctionC: sum / float64(len(temps)),
+				MaxJunctionC:  max,
+				PeakJunctionC: res.PeakJunction,
+				Injections:    m.Sched.TotalInjections,
+				ViolationS:    res.ViolationS,
+			})
+		}
 	}
 
 	secs := (m.Now() - t0).Seconds()
@@ -138,6 +207,13 @@ func runMachine(t MachineTrial) (MachineResult, error) {
 // aggregates the per-machine results. Output is byte-identical at any -jobs
 // setting: each machine is a deterministic function of its trial alone.
 func Run(spec *Spec, scale float64) (*Result, error) {
+	return RunOpts(spec, scale, RunOptions{})
+}
+
+// RunOpts is Run with per-run options: context cancellation and the
+// streaming telemetry hooks the service daemon uses. The zero options value
+// is exactly Run.
+func RunOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,8 +225,12 @@ func Run(spec *Spec, scale float64) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: has a scheduler block; run it through the fleetsched engine (dimctl sched run %s)", spec.Name, spec.Name)
 	}
 	trials := spec.Compile(scale)
-	machines, err := runner.MapErr(trials, func(_ int, t MachineTrial) (MachineResult, error) {
-		return runMachine(t)
+	machines, err := runner.MapErrCtx(opts.Context, trials, func(_ int, t MachineTrial) (MachineResult, error) {
+		r, err := runMachine(t, opts)
+		if err == nil && opts.OnMachine != nil {
+			opts.OnMachine(r)
+		}
+		return r, err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)

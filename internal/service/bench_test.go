@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServiceSubmit measures the daemon's serving hot paths over real
+// HTTP (httptest loopback): "hit" is the content-addressed fast path an
+// identical submission takes (decode → canonical hash → cache → response,
+// no simulation), "cold" the full submit→simulate→complete round-trip of a
+// minimal scenario. scripts/loadtest.sh records both alongside its
+// concurrent-throughput numbers.
+func BenchmarkServiceSubmit(b *testing.B) {
+	newBenchService := func(b *testing.B) *Client {
+		b.Helper()
+		svc := New(Config{Workers: 2, DefaultScale: 1})
+		srv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = svc.Shutdown(ctx)
+			srv.Close()
+		})
+		return NewClient(srv.URL)
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		c := newBenchService(b)
+		req := Request{Spec: tinySpec("bench-hit", 1, 42)}
+		v, err := c.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Wait(context.Background(), v.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := c.Submit(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.CacheHit {
+				b.Fatalf("iteration %d missed the cache", i)
+			}
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		c := newBenchService(b)
+		for i := 0; i < b.N; i++ {
+			v, err := c.Submit(Request{Spec: tinySpec("bench-cold", 1, uint64(100000+i))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			final, err := c.Wait(context.Background(), v.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if final.State != StateDone {
+				b.Fatalf("job finished %s: %s", final.State, final.Error)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceStream measures a full submit→stream-to-completion pass of
+// a scheduled scenario (round telemetry flowing over the wire).
+func BenchmarkServiceStream(b *testing.B) {
+	svc := New(Config{Workers: 2, DefaultScale: 1})
+	srv := httptest.NewServer(svc.Handler())
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		srv.Close()
+	})
+	c := NewClient(srv.URL)
+	for i := 0; i < b.N; i++ {
+		v, err := c.Submit(Request{Spec: schedSpec(fmt.Sprintf("bench-stream-%d", i%8))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := 0
+		if err := c.Stream(context.Background(), v.ID, func(e Event) error {
+			if e.Type == "round" {
+				rounds++
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if i >= 8 && rounds != 0 {
+			// After the first 8 distinct specs every further submission is
+			// a cache hit: the stream replays state+done only.
+			b.Fatalf("cache-hit stream carried %d round events", rounds)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cache is the content-addressed result store: canonical work key →
+// completed artifact. It is a byte-budgeted LRU — identical submissions hit
+// it and return instantly with bytes identical to the CLI path, and the
+// budget bounds daemon memory no matter how many distinct specs pass
+// through.
+type cache struct {
+	budget int64
+
+	mu    sync.Mutex
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	art *Artifact
+}
+
+func newCache(budget int64) *cache {
+	return &cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+	}
+}
+
+// get returns the cached artifact. Hit/miss accounting is the caller's:
+// only an *admitted* submission counts (a lookup for a request that is then
+// rejected with 429 never simulated anything, so it must not skew the
+// miss counter).
+func (c *cache) get(key string) (*Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// put stores the artifact, evicting least-recently-used entries past the
+// byte budget. Artifacts larger than the whole budget are not retained.
+func (c *cache) put(key string, art *Artifact) {
+	sz := art.size()
+	if sz > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Identical keys produce identical bytes; keep the incumbent.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art})
+	c.size += sz
+	for c.size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= ent.art.size()
+	}
+}
+
+// stats returns entry count and retained bytes.
+func (c *cache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.size
+}

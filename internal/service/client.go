@@ -1,0 +1,258 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for a dimd daemon — what `dimctl remote` drives.
+// Base is the daemon's root URL (e.g. http://127.0.0.1:8080).
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+// StatusError is a non-2xx API response, carrying the decoded error document
+// and the Retry-After hint on 429s.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dimd: HTTP %d: %s", e.Code, e.Message)
+}
+
+// IsBusy reports whether the error is admission backpressure (HTTP 429).
+func IsBusy(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusError(resp, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("dimd: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func statusError(resp *http.Response, data []byte) error {
+	se := &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	var ae apiError
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		se.Message = ae.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if d, err := time.ParseDuration(ra + "s"); err == nil {
+			se.RetryAfter = d
+		}
+	}
+	return se
+}
+
+// Submit submits a job.
+func (c *Client) Submit(req Request) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodPost, "/v1/jobs", req, &v)
+	return v, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Jobs lists the daemon's tracked jobs.
+func (c *Client) Jobs() ([]JobView, error) {
+	var v []JobView
+	err := c.do(http.MethodGet, "/v1/jobs", nil, &v)
+	return v, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Catalog fetches the daemon's work vocabulary.
+func (c *Client) Catalog() (Catalog, error) {
+	var v Catalog
+	err := c.do(http.MethodGet, "/v1/catalog", nil, &v)
+	return v, err
+}
+
+// Health fetches the liveness document (non-2xx drain responses decode too).
+func (c *Client) Health() (Health, error) {
+	var v Health
+	err := c.do(http.MethodGet, "/healthz", nil, &v)
+	if se, ok := err.(*StatusError); ok && se.Code == http.StatusServiceUnavailable {
+		return Health{Status: "draining", Draining: true}, nil
+	}
+	return v, err
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", statusError(resp, data)
+	}
+	return string(data), nil
+}
+
+// Output fetches a done job's rendered report — byte-identical to the
+// matching dimctl run's output.
+func (c *Client) Output(id string) (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/jobs/" + id + "/output")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", statusError(resp, data)
+	}
+	return string(data), nil
+}
+
+// Files lists a done job's artefact names.
+func (c *Client) Files(id string) ([]string, error) {
+	var v []string
+	err := c.do(http.MethodGet, "/v1/jobs/"+id+"/files", nil, &v)
+	return v, err
+}
+
+// File fetches one artefact — byte-identical to the matching dimctl export.
+func (c *Client) File(id, name string) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.Base + "/v1/jobs/" + id + "/files/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, statusError(resp, data)
+	}
+	return data, nil
+}
+
+// Stream follows the job's NDJSON telemetry, invoking fn per event, until
+// the stream ends (the job reached a terminal state), fn returns an error,
+// or ctx is done. The terminal done/error event is delivered to fn like any
+// other.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return statusError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("dimd: decoding stream event: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait blocks until the job reaches a terminal state, following the stream
+// (which ends exactly at terminality) and confirming with a status fetch.
+// If the terminal record is evicted from the daemon's bounded job history
+// between the two, the view is reconstructed from the stream's terminal
+// event rather than reported as an error.
+func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
+	var terminal Event
+	if err := c.Stream(ctx, id, func(e Event) error {
+		if e.Type == "done" || e.Type == "error" {
+			terminal = e
+		}
+		return nil
+	}); err != nil {
+		return JobView{}, err
+	}
+	v, err := c.Job(id)
+	if se, ok := err.(*StatusError); ok && se.Code == http.StatusNotFound && terminal.State != "" {
+		return JobView{ID: id, State: terminal.State, Error: terminal.Error}, nil
+	}
+	return v, err
+}

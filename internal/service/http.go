@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs                submit (429 + Retry-After under backpressure)
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           job status
+//	DELETE /v1/jobs/{id}           cancel
+//	GET    /v1/jobs/{id}/stream    telemetry stream (NDJSON; SSE on request)
+//	GET    /v1/jobs/{id}/output    rendered report (text/plain; byte-identical to dimctl)
+//	GET    /v1/jobs/{id}/files     artefact names (JSON list)
+//	GET    /v1/jobs/{id}/files/{name}  one CSV artefact (byte-identical to dimctl export)
+//	GET    /v1/catalog             experiments, scenarios, policies
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /v1/jobs/{id}/files", s.handleFiles)
+	mux.HandleFunc("GET /v1/jobs/{id}/files/{name}", s.handleFile)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the uniform error document.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBusy):
+		// Backpressure, not failure: the client should retry after the
+		// queue has drained a little.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if j.Terminal() { // cache hit: already done
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j.View())
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.View())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Cancel(j.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Service) handleOutput(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	art := j.artifactRef()
+	if art == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; output exists once done", j.ID, j.View().State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(art.Rendered))
+}
+
+func (s *Service) handleFiles(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	art := j.artifactRef()
+	if art == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; files exist once done", j.ID, j.View().State))
+		return
+	}
+	names := make([]string, len(art.Files))
+	for i, f := range art.Files {
+		names[i] = f.Name
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Service) handleFile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	art := j.artifactRef()
+	if art == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; files exist once done", j.ID, j.View().State))
+		return
+	}
+	name := r.PathValue("name")
+	for _, f := range art.Files {
+		if f.Name == name {
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			_, _ = w.Write([]byte(f.Content))
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no file %q", j.ID, name))
+}
+
+// Catalog is the daemon's work vocabulary.
+type Catalog struct {
+	Experiments    []string `json:"experiments"`
+	Scenarios      []string `json:"scenarios"`
+	SchedScenarios []string `json:"sched_scenarios"`
+	Policies       []string `json:"policies"`
+}
+
+func (s *Service) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	cat := Catalog{Policies: scenario.PlacementPolicies}
+	if s.cfg.Experiments.IDs != nil {
+		cat.Experiments = s.cfg.Experiments.IDs()
+	}
+	for _, name := range scenario.Names() {
+		cat.Scenarios = append(cat.Scenarios, name)
+		if spec, ok := scenario.Get(name); ok && spec.Scheduler != nil {
+			cat.SchedScenarios = append(cat.SchedScenarios, name)
+		}
+	}
+	writeJSON(w, http.StatusOK, cat)
+}
+
+// Health is the liveness document.
+type Health struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", Draining: s.Draining()}
+	status := http.StatusOK
+	if h.Draining {
+		// Load balancers should stop routing here while we drain.
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.met.render(&b, s.QueueDepth(), s.cfg.QueueDepth, s.cfg.Workers, s.cache)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleStream serves the job's telemetry as NDJSON (default) or SSE (when
+// the client prefers text/event-stream). It replays from the beginning (or
+// ?from=seq), follows live until the job reaches a terminal state, and
+// always ends with the terminal "done"/"error" event — so a reader can
+// treat stream end as job completion.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
+		r.URL.Query().Get("format") == "sse"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	seq := 0
+	if from := r.URL.Query().Get("from"); from != "" {
+		if n, err := strconv.Atoi(from); err == nil && n >= 0 {
+			seq = n
+		}
+	}
+	enc := json.NewEncoder(w)
+	writeEvent := func(e Event) error {
+		if sse {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: ", e.Type); err != nil {
+				return err
+			}
+			if err := enc.Encode(e); err != nil { // Encode appends \n
+				return err
+			}
+			_, err := fmt.Fprint(w, "\n")
+			return err
+		}
+		return enc.Encode(e)
+	}
+	for {
+		events, next, closed, evicted := j.stream.since(seq)
+		if evicted > 0 {
+			// The gap takes the first evicted entry's sequence number, so
+			// the stream stays strictly monotonic through it.
+			if writeEvent(Event{Seq: seq, Type: "gap", Job: j.ID, Dropped: evicted}) != nil {
+				return
+			}
+		}
+		for _, e := range events {
+			if writeEvent(e) != nil {
+				return
+			}
+		}
+		seq = next
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-j.stream.wait(seq):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

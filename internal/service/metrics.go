@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// metrics is the daemon's operational counter set, rendered in Prometheus
+// text exposition format by /metrics. Sim-seconds are the serving unit of
+// work: one simulated machine advancing one virtual second.
+type metrics struct {
+	submitted atomic.Int64
+	rejected  atomic.Int64 // queue-full 429s
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	inFlight  atomic.Int64
+
+	// Microsecond-granular accumulators (atomic integers; floats would
+	// race): virtual machine-seconds simulated, and wall-clock seconds spent
+	// executing jobs.
+	simMicro  atomic.Int64
+	busyMicro atomic.Int64
+}
+
+func (m *metrics) addSim(simSeconds, busySeconds float64) {
+	m.simMicro.Add(int64(simSeconds * 1e6))
+	m.busyMicro.Add(int64(busySeconds * 1e6))
+}
+
+// render writes the exposition document. The service supplies the gauges it
+// owns (queue depth and capacity, worker count, cache occupancy).
+func (m *metrics) render(b *strings.Builder, queueDepth, queueCap, workers int, c *cache) {
+	entries, bytes := c.stats()
+	sim := float64(m.simMicro.Load()) / 1e6
+	busy := float64(m.busyMicro.Load()) / 1e6
+	rate := 0.0
+	if busy > 0 {
+		rate = sim / busy
+	}
+	gauge := func(name string, help string, v any) {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(b, "%s %v\n", name, v)
+	}
+	gauge("dimd_queue_depth", "jobs admitted and waiting for a worker", queueDepth)
+	gauge("dimd_queue_capacity", "admission bound on waiting jobs", queueCap)
+	gauge("dimd_workers", "concurrent job executors", workers)
+	gauge("dimd_jobs_inflight", "jobs currently executing", m.inFlight.Load())
+	gauge("dimd_jobs_submitted_total", "jobs admitted (including cache hits)", m.submitted.Load())
+	gauge("dimd_jobs_rejected_total", "submissions refused with 429 (queue full)", m.rejected.Load())
+	gauge("dimd_jobs_completed_total", "jobs finished successfully", m.completed.Load())
+	gauge("dimd_jobs_failed_total", "jobs finished with an error", m.failed.Load())
+	gauge("dimd_jobs_canceled_total", "jobs canceled before completion", m.canceled.Load())
+	gauge("dimd_cache_hits_total", "submissions answered from the result cache", c.hits.Load())
+	gauge("dimd_cache_misses_total", "submissions that had to simulate", c.misses.Load())
+	gauge("dimd_cache_entries", "artifacts retained in the result cache", entries)
+	gauge("dimd_cache_bytes", "bytes retained in the result cache", bytes)
+	gauge("dimd_sim_seconds_total", "virtual machine-seconds simulated", fmt.Sprintf("%.6f", sim))
+	gauge("dimd_busy_seconds_total", "wall seconds spent executing jobs", fmt.Sprintf("%.6f", busy))
+	gauge("dimd_sim_seconds_per_second", "simulation throughput (virtual/wall)", fmt.Sprintf("%.3f", rate))
+}

@@ -1,0 +1,483 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// daemon core that accepts experiment/scenario/sched jobs (the same
+// declarative JSON specs internal/scenario decodes), runs them on a bounded
+// worker pool layered over the deterministic runner engine, streams
+// per-round fleet telemetry to NDJSON/SSE subscribers, and serves results
+// from a content-addressed cache keyed by the canonical spec hash — so an
+// identical submission returns instantly, byte-identical to the dimctl path.
+//
+// The serving discipline is explicit about its limits: admission control
+// returns 429 + Retry-After when the bounded queue is full (backpressure,
+// never unbounded buffering), per-job contexts cancel mid-run at metric
+// ticks and round barriers, and shutdown drains running work before
+// exiting. cmd/dimd wraps this package in an HTTP server; cmd/dimctl's
+// `remote` subcommands are its client.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/fleetsched"
+	"repro/internal/scenario"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrBusy is returned when the admission queue is full (HTTP 429).
+	ErrBusy = errors.New("service: queue full, retry later")
+	// ErrDraining is returned once shutdown has begun (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob is returned for lookups of untracked job IDs (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// ExperimentSource adapts the root package's experiment table for the
+// daemon without an import cycle: the service depends only on these three
+// closures, wired up by cmd/dimd (see dimetrodon.ServiceExperiments).
+type ExperimentSource struct {
+	// IDs lists the experiment identifiers in stable order.
+	IDs func() []string
+	// Run executes one experiment and returns its rendered report —
+	// byte-identical to what `dimctl run` writes between its banners.
+	Run func(id string, scale float64) (string, error)
+	// Render returns the experiment's plot-ready CSV artefacts —
+	// byte-identical to `dimctl export`'s files.
+	Render func(id string, scale float64) ([]export.File, error)
+}
+
+// Config sizes the daemon. Zero fields select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent job executors; each job further
+	// parallelises across the runner pool. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-not-running jobs; a full queue
+	// rejects with ErrBusy. Default: 256.
+	QueueDepth int
+	// CacheBytes budgets the content-addressed result cache. Default: 64 MiB.
+	CacheBytes int64
+	// MaxEvents bounds each job's telemetry ring. Default: 2048.
+	MaxEvents int
+	// MaxJobs bounds retained terminal job records (oldest evicted first;
+	// live jobs are always retained). Default: 1024.
+	MaxJobs int
+	// DefaultScale applies when a request leaves Scale zero. Default: 1.0.
+	DefaultScale float64
+	// TelemetryEvery is the per-machine sampling cadence for unscheduled
+	// scenario streams, in metric ticks. Default: 50 (5 s of virtual time).
+	TelemetryEvery int
+	// Experiments enables experiment jobs; the zero value disables them
+	// (scenario and sched jobs always work).
+	Experiments ExperimentSource
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 2048
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.DefaultScale <= 0 {
+		c.DefaultScale = 1.0
+	}
+	if c.TelemetryEvery <= 0 {
+		c.TelemetryEvery = 50
+	}
+	return c
+}
+
+// Service is the daemon core. Create with New, serve via Handler, stop with
+// Shutdown.
+type Service struct {
+	cfg   Config
+	cache *cache
+	met   metrics
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and retention
+	queue    chan *Job
+	wg       sync.WaitGroup
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:       cfg,
+		cache:     newCache(cfg.CacheBytes),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      map[string]*Job{},
+		queue:     make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates, admits and tracks one job. Cache hits complete
+// immediately (state done, CacheHit true) without occupying a worker; misses
+// enqueue, or fail with ErrBusy when the queue is full.
+func (s *Service) Submit(req Request) (*Job, error) {
+	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	art, hit := s.cache.get(r.key)
+
+	s.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("job-%06d", s.seq),
+		Key:    r.key,
+		kind:   r.kind,
+		name:   jobName(r),
+		policy: r.policy,
+		scale:  r.scale,
+		res:    r,
+		stream: newStream(s.cfg.MaxEvents),
+	}
+	j.submitted = time.Now()
+	if hit {
+		j.state = StateDone
+		j.cacheHit = true
+		j.started = j.submitted
+		j.finished = j.submitted
+		j.artifact = art
+		j.stream.append(Event{Type: "state", Job: j.ID, State: StateDone})
+		j.stream.append(Event{Type: "done", Job: j.ID, State: StateDone})
+		j.stream.closeStream()
+		s.cache.hits.Add(1)
+		s.met.submitted.Add(1)
+		s.met.completed.Add(1)
+		s.track(j)
+		return j, nil
+	}
+
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		// Rejected submissions never simulated anything; they count as
+		// backpressure, not cache misses.
+		s.met.rejected.Add(1)
+		return nil, ErrBusy
+	}
+	s.cache.misses.Add(1)
+	s.met.submitted.Add(1)
+	j.stream.append(Event{Type: "state", Job: j.ID, State: StateQueued})
+	s.track(j)
+	return j, nil
+}
+
+func jobName(r *resolved) string {
+	if r.kind == KindExperiment {
+		return r.expID
+	}
+	return r.spec.Name
+}
+
+// track records the job and enforces the terminal-record retention bound.
+// Caller holds s.mu.
+func (s *Service) track(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	toDrop := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		if toDrop > 0 && s.jobs[id].Terminal() {
+			delete(s.jobs, id)
+			toDrop--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns a tracked job.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Jobs lists tracked jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job: queued jobs terminate immediately (the worker skips
+// them), running jobs get their context cancelled and stop at the next
+// metric tick or round barrier.
+func (s *Service) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled while queued"
+		j.finished = time.Now()
+		s.met.canceled.Add(1)
+		j.mu.Unlock()
+		j.stream.append(Event{Type: "done", Job: j.ID, State: StateCanceled})
+		j.stream.closeStream()
+		return nil
+	case StateRunning:
+		j.cancelAsked = true
+		cancel := j.cancelFunc
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		j.mu.Unlock()
+		return nil // already terminal: cancellation is idempotent
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the number of admitted jobs waiting for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Shutdown stops admission and drains: already-admitted jobs run to
+// completion unless ctx expires first, at which point every outstanding job
+// context is cancelled and the drain finishes promptly. Always returns once
+// all workers have exited.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: Shutdown called twice")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runJob executes one admitted job on a worker.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelFunc = cancel
+	j.mu.Unlock()
+
+	s.met.inFlight.Add(1)
+	j.stream.append(Event{Type: "state", Job: j.ID, State: StateRunning})
+
+	art, err := s.execute(ctx, j)
+	busy := time.Since(j.started).Seconds()
+	s.met.inFlight.Add(-1)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancelFunc = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.artifact = art
+		s.cache.put(j.Key, art)
+		s.met.completed.Add(1)
+		s.met.addSim(art.SimSeconds, busy)
+	case ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = "canceled"
+		s.met.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.met.failed.Add(1)
+	}
+	state, msg := j.state, j.err
+	j.mu.Unlock()
+
+	if state == StateDone {
+		j.stream.append(Event{Type: "done", Job: j.ID, State: state})
+	} else {
+		j.stream.append(Event{Type: "error", Job: j.ID, State: state, Error: msg})
+	}
+	j.stream.closeStream()
+}
+
+// execute dispatches the resolved work item to the matching engine, wiring
+// the job's telemetry stream into the engine hooks.
+func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
+	r := j.res
+	switch r.kind {
+	case KindExperiment:
+		if s.cfg.Experiments.Run == nil {
+			return nil, fmt.Errorf("experiment jobs are not enabled on this daemon")
+		}
+		// Paper harnesses have no internal cancellation points; a cancel
+		// that raced the start still wins before the run begins.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rendered, err := s.cfg.Experiments.Run(r.expID, r.scale)
+		if err != nil {
+			return nil, err
+		}
+		files, err := s.cfg.Experiments.Render(r.expID, r.scale)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Rendered: rendered, Files: files}, nil
+
+	case KindScenario:
+		res, err := scenario.RunOpts(r.spec, r.scale, scenario.RunOptions{
+			Context:        ctx,
+			TelemetryEvery: s.cfg.TelemetryEvery,
+			OnTelemetry: func(sm scenario.MachineSample) {
+				j.stream.append(Event{Type: "telemetry", Job: j.ID, Machine: sampleEvent(sm)})
+			},
+			OnMachine: func(m scenario.MachineResult) {
+				j.stream.append(Event{Type: "machine", Job: j.ID, Machine: &MachineEvent{
+					Index:         m.Index,
+					MeanJunctionC: m.MeanJunction,
+					MaxJunctionC:  m.PeakJunction,
+					PeakJunctionC: m.PeakJunction,
+					BusyS:         m.BusyS,
+					InjectedIdleS: m.InjectedIdleS,
+					Injections:    m.Injections,
+					Violations:    m.Violations,
+				}})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{
+			Rendered:   res.String(),
+			Files:      scenario.RenderResult(res),
+			SimSeconds: res.Duration.Seconds() * float64(len(res.Machines)),
+		}, nil
+
+	case KindSched:
+		res, err := fleetsched.RunOpts(r.spec, r.policy, r.scale, fleetsched.Options{
+			Context: ctx,
+			OnRound: func(rt fleetsched.RoundTelemetry) {
+				j.stream.append(Event{Type: "round", Job: j.ID, Round: &rt})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		files, err := fleetsched.RenderResult(res)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{
+			Rendered:   res.String(),
+			Files:      files,
+			SimSeconds: res.Duration.Seconds() * float64(len(res.Machines)),
+		}, nil
+
+	case KindSchedCompare:
+		c, err := fleetsched.CompareOpts(r.spec, r.scale, fleetsched.Options{
+			Context: ctx,
+			OnRound: func(rt fleetsched.RoundTelemetry) {
+				j.stream.append(Event{Type: "round", Job: j.ID, Round: &rt})
+			},
+		}, func(policy string) {
+			j.stream.append(Event{Type: "policy", Job: j.ID, Policy: policy})
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Mirror `dimctl sched export`: the default-policy run's CSVs
+		// alongside the comparison table, from one sweep.
+		files, err := fleetsched.RenderResult(c.DefaultResult())
+		if err != nil {
+			return nil, err
+		}
+		cmpFiles, err := fleetsched.RenderComparison(c)
+		if err != nil {
+			return nil, err
+		}
+		def := c.DefaultResult()
+		return &Artifact{
+			Rendered:   c.String(),
+			Files:      append(files, cmpFiles...),
+			SimSeconds: def.Duration.Seconds() * float64(len(def.Machines)) * float64(len(c.Results)),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown job kind %q", r.kind)
+}

@@ -42,6 +42,10 @@ else
     # Kernel micro-benchmarks: cheap enough for time-based sampling.
     go test -run '^$' -bench 'ThermalStep|ThermalLeap|SolveSteadyState|Runner' \
         -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/thermal/ ./internal/runner/ | tee -a "$raw"
+    # Service daemon: the submit hot paths (cache hit vs full cold run) and
+    # a streamed scheduled round-trip, over loopback HTTP.
+    go test -run '^$' -bench 'ServiceSubmit|ServiceStream' \
+        -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/service/ | tee -a "$raw"
 fi
 
 awk '

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# loadtest.sh — boot a real dimd daemon, drive N concurrent scenario
+# submissions through the HTTP API, and record serving throughput into
+# BENCH_results.json alongside the benchmark suite's numbers.
+#
+# Two phases, both at LANES-way concurrency:
+#   cold   LANES distinct specs (every job simulates)
+#   warm   the same specs again (every job is a content-addressed cache hit)
+#
+# Usage:
+#   scripts/loadtest.sh
+#   LANES=128 scripts/loadtest.sh
+#
+# Environment:
+#   LANES   concurrent submission lanes (default 64)
+#   OUT     results file to merge into (default BENCH_results.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LANES="${LANES:-64}"
+OUT="${OUT:-BENCH_results.json}"
+
+work="$(mktemp -d)"
+DPID=""
+cleanup() {
+    [[ -n "$DPID" ]] && kill "$DPID" 2>/dev/null || true
+    [[ -n "$DPID" ]] && wait "$DPID" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "loadtest: building dimd + dimctl"
+go build -o "$work/dimd" ./cmd/dimd
+go build -o "$work/dimctl" ./cmd/dimctl
+
+"$work/dimd" -addr 127.0.0.1:0 -queue "$((LANES * 2))" >"$work/dimd.log" 2>&1 &
+DPID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^dimd: serving on \([0-9.:]*\).*/\1/p' "$work/dimd.log")"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "${ADDR:-}" ]]; then
+    echo "loadtest: dimd never came up:" >&2
+    cat "$work/dimd.log" >&2
+    exit 1
+fi
+BASE="http://$ADDR"
+echo "loadtest: dimd on $BASE, $LANES lanes"
+
+# Per-lane spec: one tiny machine, distinct seed -> distinct content address.
+for i in $(seq 1 "$LANES"); do
+    cat > "$work/spec-$i.json" <<EOF
+{
+  "name": "loadtest-lane",
+  "duration_s": 2,
+  "fleet": {"machines": 1, "base_seed": $((7000 + i))},
+  "machine": {"cores": 1},
+  "workload": [{"kind": "burn", "threads": 1}]
+}
+EOF
+done
+
+phase() {
+    local label="$1"
+    local start end
+    local pids=()
+    start=$(date +%s.%N)
+    for i in $(seq 1 "$LANES"); do
+        "$work/dimctl" remote run -addr "$BASE" -spec "$work/spec-$i.json" \
+            >"$work/$label-$i.out" 2>"$work/$label-$i.err" &
+        pids+=("$!")
+    done
+    local failed=0
+    for pid in "${pids[@]}"; do
+        wait "$pid" || failed=1
+    done
+    end=$(date +%s.%N)
+    if [[ $failed -ne 0 ]]; then
+        echo "loadtest: $label phase had failures:" >&2
+        cat "$work/$label"-*.err >&2
+        exit 1
+    fi
+    awk -v s="$start" -v e="$end" -v n="$LANES" 'BEGIN { printf "%.6f %.3f\n", e - s, n / (e - s) }'
+}
+
+echo "loadtest: cold phase ($LANES distinct specs)"
+read -r COLD_S COLD_JPS < <(phase cold)
+echo "loadtest: cold  $COLD_S s  ->  $COLD_JPS jobs/s"
+
+echo "loadtest: warm phase (same specs, cache hits)"
+read -r WARM_S WARM_JPS < <(phase warm)
+echo "loadtest: warm  $WARM_S s  ->  $WARM_JPS jobs/s"
+
+# Every warm lane must report a cache hit — otherwise the content-addressed
+# cache is broken and the warm number is meaningless.
+hits=$( (grep -l '\[cached\]' "$work"/warm-*.out || true) | wc -l)
+if [[ "$hits" -ne "$LANES" ]]; then
+    echo "loadtest: only $hits/$LANES warm lanes hit the cache" >&2
+    exit 1
+fi
+
+# Graceful shutdown check rides along: SIGTERM must drain cleanly.
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "loadtest: dimd exited non-zero on SIGTERM" >&2
+    exit 1
+fi
+DPID=""
+grep -q "drained, bye" "$work/dimd.log" || { echo "loadtest: no clean drain marker" >&2; exit 1; }
+
+python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" <<'EOF'
+import json, sys
+
+out, lanes, cold_s, cold_jps, warm_s, warm_jps = sys.argv[1:]
+try:
+    with open(out) as f:
+        results = json.load(f)
+except FileNotFoundError:
+    results = {}
+
+def entry(total_s, jps):
+    # ns_op = serving time per job, so the entry is shape-compatible with
+    # the benchmark records around it.
+    return {
+        "ns_op": round(float(total_s) * 1e9 / int(lanes), 1),
+        "allocs_op": None,
+        "lanes": int(lanes),
+        "jobs_per_s": round(float(jps), 3),
+    }
+
+results["ServiceLoadtest/cold"] = entry(cold_s, cold_jps)
+results["ServiceLoadtest/warm"] = entry(warm_s, warm_jps)
+
+with open(out, "w") as f:
+    f.write("{\n")
+    keys = list(results)
+    for i, k in enumerate(keys):
+        comma = "," if i < len(keys) - 1 else ""
+        f.write(f'  "{k}": {json.dumps(results[k])}{comma}\n')
+    f.write("}\n")
+print(f"loadtest: recorded ServiceLoadtest/cold + warm into {out}")
+EOF
