@@ -50,6 +50,9 @@ func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Wr
 	trailingOut := trailing.String("out", outDir, "output directory for export")
 	policy := trailing.String("policy", "", "placement policy for scheduled scenarios")
 	specFile := trailing.String("spec", "", "submit an inline scenario spec from this JSON file")
+	retries := trailing.Int("retries", 5, "attempts per call under transient failures (429, restarts, drops); 1 disables")
+	retryBase := trailing.Duration("retry-base", 200*time.Millisecond, "first retry backoff step (doubles per attempt, jittered)")
+	retryMax := trailing.Duration("retry-max", 5*time.Second, "retry backoff cap")
 	if len(rest) > 0 {
 		if err := trailing.Parse(rest); err != nil {
 			return 2
@@ -57,20 +60,26 @@ func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Wr
 	}
 	scale = *trailingScale
 	outDir = *trailingOut
-	c := service.NewClient(*addr)
+	c := service.NewRetryClient(*addr, service.RetryPolicy{
+		MaxAttempts: *retries,
+		BaseDelay:   *retryBase,
+		MaxDelay:    *retryMax,
+	})
 
 	submitTargets := func() ([]service.JobView, int) {
 		var reqs []service.Request
+		// Idempotent: a retried submission attaches to the job the lost
+		// response created instead of forking a duplicate run.
 		if *specFile != "" {
 			raw, err := os.ReadFile(*specFile)
 			if err != nil {
 				fmt.Fprintf(stderr, "dimctl: %v\n", err)
 				return nil, 1
 			}
-			reqs = append(reqs, service.Request{Spec: raw, Policy: *policy, Scale: scale})
+			reqs = append(reqs, service.Request{Spec: raw, Policy: *policy, Scale: scale, Idempotent: true})
 		}
 		for _, name := range names {
-			reqs = append(reqs, service.Request{Name: name, Policy: *policy, Scale: scale})
+			reqs = append(reqs, service.Request{Name: name, Policy: *policy, Scale: scale, Idempotent: true})
 		}
 		if len(reqs) == 0 {
 			fmt.Fprintf(stderr, "dimctl: remote %s requires names or -spec FILE\n", sub)

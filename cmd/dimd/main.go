@@ -10,6 +10,14 @@
 //	dimd -addr 127.0.0.1:9090         serve elsewhere
 //	dimd -workers 4 -queue 256        size the pool and admission queue
 //	dimd -cache-mb 128                size the result cache
+//	dimd -data-dir /var/lib/dimd      durable: journal + checkpoints + artifacts
+//
+// With -data-dir the daemon is crash-safe: accepted jobs journal to a WAL
+// before the submission is acknowledged, in-flight jobs checkpoint at round
+// barriers, and a restart (clean or kill -9) recovers the job table, warms
+// the result cache from persisted artifacts, and re-runs interrupted jobs to
+// byte-identical results — resuming scheduled runs from their last verified
+// checkpoint.
 //
 // SIGINT/SIGTERM drain gracefully: admission stops (429/503), running jobs
 // finish (up to -drain-timeout, then their contexts are cancelled) and the
@@ -26,10 +34,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	dimetrodon "repro"
+	"repro/internal/faultinject"
 )
 
 func main() {
@@ -50,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	jobs := fs.Int("jobs", 0, "per-job trial parallelism; 0 = GOMAXPROCS")
 	integrator := fs.String("integrator", "", "thermal integrator override: exact or leap")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound before in-flight jobs are cancelled")
+	dataDir := fs.String("data-dir", "", "durable state directory (job journal, checkpoints, artifacts); empty = in-memory")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "scheduled-run checkpoint cadence in round barriers; 0 = default (5), negative disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,13 +76,37 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "dimd: %v\n", err)
 		return 2
 	}
+	// The chaos harness arms fault points through the environment; a
+	// malformed spec refuses to start rather than run half-armed.
+	if err := faultinject.ConfigureFromEnv(); err != nil {
+		fmt.Fprintf(stderr, "dimd: %v\n", err)
+		return 2
+	}
 
-	svc := dimetrodon.NewService(dimetrodon.ServiceConfig{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheBytes:   int64(*cacheMB) << 20,
-		DefaultScale: *scale,
+	if *dataDir != "" {
+		cleanupPid, err := writePidFile(*dataDir, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "dimd: %v\n", err)
+			return 1
+		}
+		defer cleanupPid()
+	}
+
+	svc, err := dimetrodon.OpenService(dimetrodon.ServiceConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      int64(*cacheMB) << 20,
+		DefaultScale:    *scale,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "dimd: %v\n", err)
+		return 1
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(stdout, "dimd: durable in %s, recovered %d interrupted job(s)\n", *dataDir, svc.Recovered())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,4 +147,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stdout, "dimd: drained, bye")
 	return 0
+}
+
+// writePidFile claims the data directory via dimd.pid, refusing to start
+// while another live dimd owns it and clearing a stale file left by a
+// crashed one (the crash-recovery path: the journal, not the pid file, is
+// the source of truth). Returns the cleanup to run on graceful exit.
+func writePidFile(dataDir string, stderr io.Writer) (func(), error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dataDir, "dimd.pid")
+	if raw, err := os.ReadFile(path); err == nil {
+		if pid, perr := strconv.Atoi(strings.TrimSpace(string(raw))); perr == nil && pid > 0 {
+			// Signal 0 probes liveness without touching the process.
+			if syscall.Kill(pid, 0) == nil {
+				return nil, fmt.Errorf("data dir %s is owned by running dimd pid %d (remove %s if that is wrong)", dataDir, pid, path)
+			}
+			fmt.Fprintf(stderr, "dimd: clearing stale pid file (pid %d is gone)\n", pid)
+		}
+	}
+	if err := os.WriteFile(path, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	return func() { _ = os.Remove(path) }, nil
 }

@@ -345,10 +345,19 @@ type ServiceConfig = service.Config
 type SimService = service.Service
 
 // NewService builds a running simulation service with the full experiment
-// table enabled alongside scenario and sched jobs.
+// table enabled alongside scenario and sched jobs. It panics if a durable
+// config fails to open its data directory — use OpenService to handle that.
 func NewService(cfg ServiceConfig) *SimService {
 	cfg.Experiments = ServiceExperiments()
 	return service.New(cfg)
+}
+
+// OpenService is NewService with durable-recovery error handling: when
+// cfg.DataDir is set it replays the job journal, warms the result cache from
+// persisted artifacts and re-enqueues interrupted jobs before returning.
+func OpenService(cfg ServiceConfig) (*SimService, error) {
+	cfg.Experiments = ServiceExperiments()
+	return service.Open(cfg)
 }
 
 // ServiceExperiments adapts the experiment table for the service daemon:

@@ -1,0 +1,146 @@
+// Package faultinject is the adversarial test harness's trigger registry:
+// named fault points compiled into durability-critical code paths (WAL
+// fsync, checkpoint rename, worker execution) that stay inert in production
+// and fire deterministically when armed.
+//
+// Arming is explicit — the DIMD_FAULTS environment variable (read by
+// cmd/dimd via ConfigureFromEnv) or a test's Configure call — and uses a
+// hit-count spec so a fault can be aimed at exactly the nth traversal of a
+// point:
+//
+//	DIMD_FAULTS="wal.fsync:3"            fail the 3rd WAL fsync
+//	DIMD_FAULTS="wal.partial"            truncate the 1st WAL record write
+//	DIMD_FAULTS="worker.panic:2"         panic the 2nd job execution
+//	DIMD_FAULTS="checkpoint.kill"        kill -9 the process mid-checkpoint
+//	                                     (between temp-file write and rename)
+//
+// Multiple points are comma-separated. The fast path is a single atomic
+// load when nothing is armed, so instrumented code costs nothing in
+// production.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known fault points. Instrumented code references these constants;
+// the chaos suite arms them.
+const (
+	// WALFsync makes the journal's next (or nth) fsync report an error —
+	// the disk lying about durability.
+	WALFsync = "wal.fsync"
+	// WALPartial truncates the next (or nth) WAL record to half its bytes
+	// before it reaches the file — a torn write at the journal tail.
+	WALPartial = "wal.partial"
+	// WorkerPanic panics inside the next (or nth) job execution — a bug in
+	// an engine taking down a worker goroutine.
+	WorkerPanic = "worker.panic"
+	// CheckpointKill exits the process with SIGKILL semantics (exit code
+	// 137, no deferred cleanup) between a checkpoint's temp-file write and
+	// its atomic rename — the torn-checkpoint window.
+	CheckpointKill = "checkpoint.kill"
+)
+
+// armed is non-zero while any point is configured; the zero fast path makes
+// Hit free in production.
+var armed atomic.Int32
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+type point struct {
+	// fireAt is the 1-based hit count the fault triggers on; hits counts
+	// traversals so far. A triggered point disarms (one shot).
+	fireAt int
+	hits   int
+	fired  bool
+}
+
+// Configure arms the given spec, replacing any previous configuration.
+// Spec syntax: "point[:n][,point[:n]...]"; empty disarms everything.
+func Configure(spec string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(0)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	pts := map[string]*point{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, nStr, hasN := strings.Cut(part, ":")
+		n := 1
+		if hasN {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v < 1 {
+				return fmt.Errorf("faultinject: bad hit count %q in %q", nStr, part)
+			}
+			n = v
+		}
+		pts[name] = &point{fireAt: n}
+	}
+	points = pts
+	if len(pts) > 0 {
+		armed.Store(1)
+	}
+	return nil
+}
+
+// ConfigureFromEnv arms from DIMD_FAULTS. A malformed spec is returned as an
+// error so the daemon can refuse to start half-armed.
+func ConfigureFromEnv() error {
+	return Configure(os.Getenv("DIMD_FAULTS"))
+}
+
+// Reset disarms every point (test teardown).
+func Reset() { _ = Configure("") }
+
+// Hit records a traversal of the named point and reports whether the fault
+// fires on this traversal. Each armed point fires exactly once.
+func Hit(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok || p.fired {
+		return false
+	}
+	p.hits++
+	if p.hits >= p.fireAt {
+		p.fired = true
+		return true
+	}
+	return false
+}
+
+// Crash exits the process abruptly (exit code 137, mimicking kill -9: no
+// deferred cleanup, no flushes) if the named point fires on this traversal.
+func Crash(name string) {
+	if Hit(name) {
+		// Bypass any atexit machinery: this models a power cut.
+		os.Exit(137)
+	}
+}
+
+// Error returns a synthetic fault error if the named point fires on this
+// traversal, nil otherwise.
+func Error(name string) error {
+	if Hit(name) {
+		return fmt.Errorf("faultinject: injected fault at %s", name)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package faultinject
+
+import "testing"
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if Hit(WALFsync) {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if err := Error(WALPartial); err != nil {
+		t.Fatalf("disarmed Error: %v", err)
+	}
+}
+
+func TestHitCountTargeting(t *testing.T) {
+	defer Reset()
+	if err := Configure("wal.fsync:3"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(WALFsync) || Hit(WALFsync) {
+		t.Fatal("fired before the 3rd hit")
+	}
+	if !Hit(WALFsync) {
+		t.Fatal("did not fire on the 3rd hit")
+	}
+	if Hit(WALFsync) {
+		t.Fatal("fired twice (points are one-shot)")
+	}
+}
+
+func TestMultiplePoints(t *testing.T) {
+	defer Reset()
+	if err := Configure("wal.partial, worker.panic:2"); err != nil {
+		t.Fatal(err)
+	}
+	if !Hit(WALPartial) {
+		t.Fatal("wal.partial should fire on first hit")
+	}
+	if Hit(WorkerPanic) {
+		t.Fatal("worker.panic fired early")
+	}
+	if !Hit(WorkerPanic) {
+		t.Fatal("worker.panic should fire on 2nd hit")
+	}
+	if Hit(WALFsync) {
+		t.Fatal("unconfigured point fired")
+	}
+}
+
+func TestBadSpec(t *testing.T) {
+	defer Reset()
+	if err := Configure("wal.fsync:zero"); err == nil {
+		t.Fatal("want error for non-numeric count")
+	}
+	if err := Configure("wal.fsync:0"); err == nil {
+		t.Fatal("want error for zero count")
+	}
+	// A failed Configure leaves everything disarmed.
+	if Hit(WALFsync) {
+		t.Fatal("point armed after failed Configure")
+	}
+}
+
+func TestErrorHelper(t *testing.T) {
+	defer Reset()
+	if err := Configure("wal.fsync"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Error(WALFsync); err == nil {
+		t.Fatal("armed Error returned nil")
+	}
+	if err := Error(WALFsync); err != nil {
+		t.Fatalf("one-shot point errored twice: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package fleetsched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Checkpoint is a scheduled run's resume token, captured at a round barrier —
+// the only point where cross-machine state is quiescent (telemetry flushed,
+// migrations and placements applied, no worker owns a node).
+//
+// It deliberately does not serialize the fleet: armed timers and workload
+// program closures cannot be re-seated from bytes. Instead it records *where*
+// the run was (round, cursor into the pregenerated arrival stream, dispatch
+// and migration counters) plus a Digest that fingerprints the complete fleet
+// state at that barrier. Resume is verified deterministic replay: the engine
+// re-runs the trial from t=0 with observers suppressed, arrives at the same
+// barrier, recomputes the digest, and refuses to continue on any mismatch.
+// The replayed prefix costs CPU but is provably bit-identical — which is the
+// whole point: a resumed run is indistinguishable from an uninterrupted one,
+// and the digest check turns that claim into an enforced invariant rather
+// than a hope (see DESIGN.md §12).
+type Checkpoint struct {
+	// Round is the barrier index the checkpoint was captured at (the value
+	// OnRound saw at the same barrier).
+	Round int `json:"round"`
+	// NowS is the barrier's virtual time in seconds.
+	NowS float64 `json:"now_s"`
+	// Cursor is how far the dispatcher had consumed the pregenerated job
+	// arrival stream; Dispatched and Migrations are the cumulative counters.
+	Cursor     int `json:"cursor"`
+	Dispatched int `json:"dispatched"`
+	Migrations int `json:"migrations"`
+	// Digest fingerprints the entire fleet at the barrier: every machine's
+	// full simulation state plus the engine's per-node ledgers and job
+	// tracking. See fleetDigest.
+	Digest string `json:"digest"`
+}
+
+// checkpointJob is one job's entry in the digest ledger. Thread-level progress
+// (WorkDone, CPU time, run state) is already inside the machine digest; this
+// adds the engine's own tracking — identity, placement, migration history and
+// the per-thread assignments remaining work is measured against.
+type checkpointJob struct {
+	ID         int        `json:"id"`
+	Machine    int        `json:"machine"`
+	Migrations int        `json:"migrations"`
+	Done       bool       `json:"done"`
+	DoneAt     units.Time `json:"done_at"`
+	DispatchAt units.Time `json:"dispatch_at"`
+	Assigned   []float64  `json:"assigned"`
+}
+
+// checkpointNode is one fleet member's entry in the digest: the machine's own
+// state digest plus every engine-side field the dispatcher reads or the final
+// accounting folds.
+type checkpointNode struct {
+	Machine string `json:"machine"` // machine.State digest
+
+	Measuring  bool    `json:"measuring"`
+	Over       bool    `json:"over"`
+	Peak       float64 `json:"peak"`
+	ViolationS float64 `json:"violation_s"`
+	Violations int     `json:"violations"`
+
+	EWMA         float64 `json:"ewma"`
+	InjFrac      float64 `json:"inj_frac"`
+	PendingWorkS float64 `json:"pending_work_s"`
+
+	Placed      int `json:"placed"`
+	Completed   int `json:"completed"`
+	MigratedIn  int `json:"migrated_in"`
+	MigratedOut int `json:"migrated_out"`
+
+	Jobs []checkpointJob `json:"jobs"`
+}
+
+// checkpointFleet is the digest's full preimage.
+type checkpointFleet struct {
+	Round      int              `json:"round"`
+	Now        units.Time       `json:"now"`
+	Cursor     int              `json:"cursor"`
+	Dispatched int              `json:"dispatched"`
+	Migrations int              `json:"migrations"`
+	Nodes      []checkpointNode `json:"nodes"`
+}
+
+// fleetDigest fingerprints the whole run at a round barrier. It folds, per
+// node: the machine's full state digest (thermal nodes, RNG words, scheduler
+// ledgers, energy accumulator — see machine.State) and the engine's own
+// violation accounting, placement signals and job ledger; plus the
+// dispatcher's global counters. Capturing machine state here is
+// perturbation-free: the barrier already flushed each machine's lazy thermal
+// window and scheduler accounting via Telemetry, so Checkpoint's own flush
+// covers a zero-length window.
+func fleetDigest(roundNo int, now units.Time, nodes []*node, cursor, dispatched, migrations int) string {
+	fleet := checkpointFleet{
+		Round:      roundNo,
+		Now:        now,
+		Cursor:     cursor,
+		Dispatched: dispatched,
+		Migrations: migrations,
+		Nodes:      make([]checkpointNode, len(nodes)),
+	}
+	for i, n := range nodes {
+		cn := checkpointNode{
+			Machine:      n.m.Checkpoint().Digest(),
+			Measuring:    n.measuring,
+			Over:         n.over,
+			Peak:         n.peak,
+			ViolationS:   n.violationS,
+			Violations:   n.violations,
+			EWMA:         n.ewma,
+			InjFrac:      n.injFrac,
+			PendingWorkS: n.pendingWorkS,
+			Placed:       n.placed,
+			Completed:    n.completed,
+			MigratedIn:   n.migratedIn,
+			MigratedOut:  n.migratedOut,
+		}
+		for _, j := range n.jobs {
+			cn.Jobs = append(cn.Jobs, checkpointJob{
+				ID:         j.ID,
+				Machine:    j.Machine,
+				Migrations: j.Migrations,
+				Done:       j.done,
+				DoneAt:     j.DoneAt,
+				DispatchAt: j.DispatchAt,
+				Assigned:   j.assigned,
+			})
+		}
+		fleet.Nodes[i] = cn
+	}
+	raw, err := json.Marshal(fleet)
+	if err != nil {
+		// Plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("fleetsched: marshaling fleet checkpoint: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// verifyResume checks a replayed fleet against the checkpoint it is resuming
+// from, returning a descriptive error on the first divergence. The digest
+// comparison is the real gate; the named-field checks in front of it exist so
+// an operator sees "cursor 14 != 17", not just two hashes.
+func verifyResume(cp *Checkpoint, roundNo int, now units.Time, nodes []*node, cursor, dispatched, migrations int) error {
+	switch {
+	case cursor != cp.Cursor:
+		return fmt.Errorf("resume divergence at round %d: arrival cursor %d != checkpoint %d", roundNo, cursor, cp.Cursor)
+	case dispatched != cp.Dispatched:
+		return fmt.Errorf("resume divergence at round %d: dispatched %d != checkpoint %d", roundNo, dispatched, cp.Dispatched)
+	case migrations != cp.Migrations:
+		return fmt.Errorf("resume divergence at round %d: migrations %d != checkpoint %d", roundNo, migrations, cp.Migrations)
+	}
+	if got := fleetDigest(roundNo, now, nodes, cursor, dispatched, migrations); got != cp.Digest {
+		return fmt.Errorf("resume divergence at round %d (t=%.3fs): fleet digest %s != checkpoint %s", roundNo, now.Seconds(), shortHash(got), shortHash(cp.Digest))
+	}
+	return nil
+}
+
+// shortHash abbreviates a digest for error messages, tolerating a corrupt
+// checkpoint whose digest field is not even hash-shaped.
+func shortHash(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}

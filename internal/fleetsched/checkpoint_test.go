@@ -1,0 +1,165 @@
+package fleetsched
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func mustSpec(t *testing.T, name string) *scenario.Spec {
+	t.Helper()
+	spec, ok := scenario.Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	return spec
+}
+
+func resultJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	raw, err := json.Marshal(struct {
+		Rendered string
+		Machines []MachineStats
+	}{res.String(), res.Machines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// Checkpoint capture must not perturb the run: results with checkpointing on
+// are byte-identical to results with it off, at every capture cadence.
+func TestCheckpointingDoesNotPerturb(t *testing.T) {
+	spec := mustSpec(t, "hotspot-herd") // migration enabled: the most stateful path
+	base, err := RunOpts(spec, "", 0.02, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, base)
+	for _, every := range []int{1, 3} {
+		var cps []Checkpoint
+		res, err := RunOpts(spec, "", 0.02, Options{
+			CheckpointEvery: every,
+			OnCheckpoint:    func(cp Checkpoint) { cps = append(cps, cp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultJSON(t, res) != want {
+			t.Fatalf("CheckpointEvery=%d perturbed the run", every)
+		}
+		if len(cps) == 0 {
+			t.Fatalf("CheckpointEvery=%d captured no checkpoints", every)
+		}
+		for i, cp := range cps {
+			if cp.Round%every != 0 {
+				t.Fatalf("checkpoint %d at round %d, cadence %d", i, cp.Round, every)
+			}
+			if len(cp.Digest) != 64 {
+				t.Fatalf("checkpoint %d digest %q is not a sha256 hex", i, cp.Digest)
+			}
+		}
+	}
+}
+
+// Resuming from any checkpoint must reproduce the uninterrupted run exactly,
+// emit telemetry only for rounds past the checkpoint, and re-derive identical
+// later checkpoints.
+func TestResumeReproducesRun(t *testing.T) {
+	spec := mustSpec(t, "hotspot-herd")
+	var cps []Checkpoint
+	var rounds []int
+	base, err := RunOpts(spec, "", 0.02, Options{
+		CheckpointEvery: 2,
+		OnCheckpoint:    func(cp Checkpoint) { cps = append(cps, cp) },
+		OnRound:         func(rt RoundTelemetry) { rounds = append(rounds, rt.Round) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 3 {
+		t.Fatalf("want ≥3 checkpoints to resume from, got %d", len(cps))
+	}
+	want := resultJSON(t, base)
+	totalRounds := len(rounds)
+
+	for _, pick := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[pick]
+		var resumedRounds []int
+		var laterCPs []Checkpoint
+		res, err := RunOpts(spec, "", 0.02, Options{
+			CheckpointEvery: 2,
+			OnCheckpoint:    func(c Checkpoint) { laterCPs = append(laterCPs, c) },
+			OnRound:         func(rt RoundTelemetry) { resumedRounds = append(resumedRounds, rt.Round) },
+			Resume:          &cp,
+		})
+		if err != nil {
+			t.Fatalf("resume from round %d: %v", cp.Round, err)
+		}
+		if got := resultJSON(t, res); got != want {
+			t.Fatalf("resume from round %d diverged from the uninterrupted run", cp.Round)
+		}
+		if len(resumedRounds) != totalRounds-cp.Round-1 {
+			t.Fatalf("resume from round %d emitted %d rounds, want %d", cp.Round, len(resumedRounds), totalRounds-cp.Round-1)
+		}
+		if len(resumedRounds) > 0 && resumedRounds[0] != cp.Round+1 {
+			t.Fatalf("resume from round %d: first telemetry at round %d", cp.Round, resumedRounds[0])
+		}
+		// Checkpoints taken after the resume point must match the originals.
+		for _, later := range laterCPs {
+			if later.Round <= cp.Round {
+				t.Fatalf("resume re-captured checkpoint for replayed round %d", later.Round)
+			}
+			orig := cps[later.Round/2]
+			if orig != later {
+				t.Fatalf("re-derived checkpoint at round %d differs:\n  orig  %+v\n  again %+v", later.Round, orig, later)
+			}
+		}
+	}
+}
+
+// Any mismatch between the checkpoint and the replayed fleet must abort the
+// resume with a descriptive error, never continue silently.
+func TestResumeDetectsDivergence(t *testing.T) {
+	spec := mustSpec(t, "sched-shootout")
+	var cps []Checkpoint
+	if _, err := RunOpts(spec, "", 0.02, Options{
+		CheckpointEvery: 2,
+		OnCheckpoint:    func(cp Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp := cps[len(cps)/2]
+
+	tampered := cp
+	tampered.Digest = "bogus"
+	if _, err := RunOpts(spec, "", 0.02, Options{Resume: &tampered}); err == nil {
+		t.Fatal("tampered digest resumed without error")
+	} else if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("tampered digest error: %v", err)
+	}
+
+	wrongCursor := cp
+	wrongCursor.Cursor++
+	if _, err := RunOpts(spec, "", 0.02, Options{Resume: &wrongCursor}); err == nil {
+		t.Fatal("wrong cursor resumed without error")
+	} else if !strings.Contains(err.Error(), "cursor") {
+		t.Fatalf("wrong cursor error: %v", err)
+	}
+
+	// A different policy replays a genuinely different run; the digest gate
+	// must catch it even when the counters happen to line up.
+	if _, err := RunOpts(spec, scenario.PlaceRandom, 0.02, Options{Resume: &cp}); err == nil {
+		t.Fatal("resume under a different policy did not error")
+	}
+
+	beyond := cp
+	beyond.Round = 10_000
+	if _, err := RunOpts(spec, "", 0.02, Options{Resume: &beyond}); err == nil {
+		t.Fatal("out-of-range checkpoint round resumed without error")
+	} else if !strings.Contains(err.Error(), "barriers") {
+		t.Fatalf("out-of-range round error: %v", err)
+	}
+}

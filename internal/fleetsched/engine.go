@@ -242,6 +242,30 @@ type Options struct {
 	// fleet's dispatcher-facing telemetry after that round's migrations and
 	// placements.
 	OnRound func(RoundTelemetry)
+
+	// CheckpointEvery, when positive, captures a Checkpoint every that many
+	// round barriers (round 0, CheckpointEvery, 2×CheckpointEvery, …) and
+	// hands it to OnCheckpoint. Capture is perturbation-free — the run's
+	// results are byte-identical with checkpointing on or off — because the
+	// barrier has already flushed every machine's lazy thermal window and
+	// scheduler accounting. 0 disables capture.
+	CheckpointEvery int
+	// OnCheckpoint, when non-nil, receives each captured Checkpoint from the
+	// single-threaded dispatcher. The daemon persists these so a crashed job
+	// can resume.
+	OnCheckpoint func(Checkpoint)
+
+	// Resume, when non-nil, replays the run silently up to and including the
+	// checkpoint's round barrier — OnRound and OnCheckpoint are suppressed
+	// for the replayed prefix (subscribers already saw those rounds before
+	// the crash); context cancellation still applies — then verifies the
+	// replayed fleet's digest against the checkpoint and errors on any
+	// divergence. Past the barrier the run continues normally: telemetry
+	// resumes at round Resume.Round+1 and checkpointing resumes on the
+	// CheckpointEvery cadence. The final Result is byte-identical to an
+	// uninterrupted run's — the digest check proves it rather than assuming
+	// it.
+	Resume *Checkpoint
 }
 
 // RoundTelemetry is one round barrier's fleet snapshot: what the dispatcher
@@ -372,6 +396,7 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 	views := make([]MachineView, len(nodes))
 	migScratch := make([]MachineView, 0, len(nodes))
 	roundNo := 0
+	resumed := false
 	for now := units.Time(0); now < duration; {
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
@@ -417,8 +442,33 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 			views[pos].ResidentJobs++
 		}
 
-		if opts.OnRound != nil {
-			opts.OnRound(roundTelemetry(roundNo, now, nodes, cursor, dispatched, migrations))
+		// Replay discipline: while re-running the prefix of a resumed job the
+		// barrier stays silent; at the checkpointed barrier itself the fleet
+		// digest must match before the run is allowed to continue.
+		replaying := opts.Resume != nil && roundNo <= opts.Resume.Round
+		if replaying && roundNo == opts.Resume.Round {
+			if err := verifyResume(opts.Resume, roundNo, now, nodes, cursor, dispatched, migrations); err != nil {
+				return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
+			}
+			resumed = true
+		}
+		if !replaying {
+			if opts.OnRound != nil {
+				opts.OnRound(roundTelemetry(roundNo, now, nodes, cursor, dispatched, migrations))
+			}
+			if opts.CheckpointEvery > 0 && roundNo%opts.CheckpointEvery == 0 {
+				cp := Checkpoint{
+					Round:      roundNo,
+					NowS:       now.Seconds(),
+					Cursor:     cursor,
+					Dispatched: dispatched,
+					Migrations: migrations,
+					Digest:     fleetDigest(roundNo, now, nodes, cursor, dispatched, migrations),
+				}
+				if opts.OnCheckpoint != nil {
+					opts.OnCheckpoint(cp)
+				}
+			}
 		}
 		roundNo++
 
@@ -429,6 +479,9 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 			return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
 		}
 		now = next
+	}
+	if opts.Resume != nil && !resumed {
+		return nil, fmt.Errorf("fleetsched: scenario %q: resume checkpoint names round %d but the run has only %d barriers (spec or scale mismatch)", spec.Name, opts.Resume.Round, roundNo)
 	}
 
 	res := &Result{

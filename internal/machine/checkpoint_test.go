@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// buildBusy returns a machine with a couple of live threads so the
+// checkpoint exercises the scheduler ledger, not just the thermal state.
+func buildBusy(t *testing.T, seed uint64) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Meter.Disabled = true
+	m := New(cfg)
+	m.Admit(workload.FiniteBurn(5), sched.SpawnConfig{Name: "burn-a", ProcessID: 1})
+	m.Admit(workload.FiniteBurn(3), sched.SpawnConfig{Name: "burn-b", ProcessID: 2})
+	return m
+}
+
+// Replaying the same trial to the same barrier must produce a bit-identical
+// state — the invariant crash recovery rests on.
+func TestCheckpointReplayIdentity(t *testing.T) {
+	for _, integ := range []string{IntegratorExact, IntegratorLeap} {
+		a := buildBusy(t, 42)
+		b := buildBusy(t, 42)
+		a.cfg.Integrator = integ
+		b.cfg.Integrator = integ
+		for i := 0; i < 5; i++ {
+			a.RunFor(200 * units.Millisecond)
+			b.RunFor(200 * units.Millisecond)
+			sa, sb := a.Checkpoint(), b.Checkpoint()
+			if sa.Digest() != sb.Digest() {
+				t.Fatalf("%s: barrier %d: digests diverge:\n%s", integ, i, diffState(sa, sb))
+			}
+			if err := b.Restore(sa); err != nil {
+				t.Fatalf("%s: barrier %d: Restore on identical replay: %v", integ, i, err)
+			}
+		}
+	}
+}
+
+// A checkpoint taken mid-run, carried across a JSON round trip (what the
+// daemon's on-disk format does), must still digest identically.
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	m := buildBusy(t, 7)
+	m.RunFor(750 * units.Millisecond)
+	st := m.Checkpoint()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if st.Digest() != back.Digest() {
+		t.Fatal("digest changed across JSON round trip")
+	}
+	if err := m.Restore(back); err != nil {
+		t.Fatalf("Restore after round trip: %v", err)
+	}
+}
+
+// Any divergence — different seed, different progress — must fail Restore
+// with a descriptive error, never pass silently.
+func TestRestoreDetectsDivergence(t *testing.T) {
+	a := buildBusy(t, 1)
+	b := buildBusy(t, 2) // different seed: RNG words differ
+	a.RunFor(300 * units.Millisecond)
+	b.RunFor(300 * units.Millisecond)
+	if err := b.Restore(a.Checkpoint()); err == nil {
+		t.Fatal("Restore accepted a different-seed machine")
+	}
+
+	c := buildBusy(t, 1)
+	c.RunFor(400 * units.Millisecond) // same seed, ran further
+	err := c.Restore(a.Checkpoint())
+	if err == nil {
+		t.Fatal("Restore accepted a machine at a different barrier")
+	}
+	if !strings.Contains(err.Error(), "now") {
+		t.Fatalf("divergence error should name the field: %v", err)
+	}
+}
+
+// The checkpoint must observe scheduler progress: two states straddling
+// thread work must differ.
+func TestCheckpointSeesProgress(t *testing.T) {
+	m := buildBusy(t, 9)
+	m.RunFor(100 * units.Millisecond)
+	s1 := m.Checkpoint()
+	m.RunFor(100 * units.Millisecond)
+	s2 := m.Checkpoint()
+	if s1.Digest() == s2.Digest() {
+		t.Fatal("states at different times digest equally")
+	}
+	if len(s1.Threads) != 2 {
+		t.Fatalf("thread ledger has %d entries, want 2", len(s1.Threads))
+	}
+	if s2.Threads[0].WorkDone <= s1.Threads[0].WorkDone {
+		t.Fatal("thread work did not advance between checkpoints")
+	}
+	// Checkpointing must not perturb the run: a third machine advanced
+	// without intermediate checkpoints lands on the same state.
+	n := buildBusy(t, 9)
+	n.RunFor(200 * units.Millisecond)
+	if n.Checkpoint().Digest() != s2.Digest() {
+		t.Fatal("intermediate checkpoints perturbed the simulation")
+	}
+}

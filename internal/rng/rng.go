@@ -114,3 +114,12 @@ func (r *Source) ExpFloat64() float64 {
 		}
 	}
 }
+
+// State returns the generator's four state words — the complete internal
+// state, captured for checkpointing. Restoring it with SetState resumes the
+// stream at exactly the next draw.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with words previously
+// captured by State.
+func (r *Source) SetState(s [4]uint64) { r.s = s }

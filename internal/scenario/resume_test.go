@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Recovered per-machine results must splice into a resumed run exactly: the
+// final Result is byte-identical to an uninterrupted run's, only the missing
+// machines are simulated, and OnMachine fires only for them.
+func TestResumeFromCompletedMachines(t *testing.T) {
+	spec, ok := Get("fleet-diurnal")
+	if !ok {
+		t.Fatal("fleet-diurnal not registered")
+	}
+	base, err := Run(spec, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(base.Machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash that had completed an arbitrary (non-prefix) subset.
+	recovered := []MachineResult{base.Machines[0], base.Machines[2]}
+	var mu sync.Mutex
+	reran := map[int]bool{}
+	res, err := RunOpts(spec, 0.02, RunOptions{
+		Completed: recovered,
+		OnMachine: func(r MachineResult) {
+			mu.Lock()
+			reran[r.Index] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res.Machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed run diverged from the uninterrupted run")
+	}
+	if res.String() != base.String() {
+		t.Fatal("rendered output diverged after resume")
+	}
+	if reran[0] || reran[2] {
+		t.Fatalf("recovered machines were re-simulated: %v", reran)
+	}
+	if len(reran) != len(base.Machines)-2 {
+		t.Fatalf("OnMachine fired for %d machines, want %d", len(reran), len(base.Machines)-2)
+	}
+}
+
+// A checkpoint from a different spec or scale compiles to a different fleet;
+// an out-of-range machine index must be rejected, not silently dropped.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	spec, ok := Get("fleet-diurnal")
+	if !ok {
+		t.Fatal("fleet-diurnal not registered")
+	}
+	_, err := RunOpts(spec, 0.02, RunOptions{
+		Completed: []MachineResult{{Index: 10_000}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range recovered machine accepted")
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("error should name the checkpoint: %v", err)
+	}
+}

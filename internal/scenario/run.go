@@ -73,6 +73,14 @@ type RunOptions struct {
 	// TelemetryEvery is the OnTelemetry cadence in metric ticks (100 ms of
 	// virtual time each); 0 disables sampling.
 	TelemetryEvery int
+	// Completed carries per-machine results recovered from a checkpoint of an
+	// earlier, interrupted run of the same spec at the same scale. Machines
+	// whose Index appears here are not re-simulated: the recovered result is
+	// used verbatim, OnMachine and OnTelemetry do not re-fire for them, and
+	// only the remaining machines run. This is sound because fleet members
+	// are independent deterministic functions of their own trial — a result
+	// computed before a crash is bit-identical to one computed after it.
+	Completed []MachineResult
 }
 
 // MachineSample is one in-run telemetry point from a fleet member. It is
@@ -225,7 +233,20 @@ func RunOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: has a scheduler block; run it through the fleetsched engine (dimctl sched run %s)", spec.Name, spec.Name)
 	}
 	trials := spec.Compile(scale)
+	var recovered map[int]MachineResult
+	if len(opts.Completed) > 0 {
+		recovered = make(map[int]MachineResult, len(opts.Completed))
+		for _, r := range opts.Completed {
+			if r.Index < 0 || r.Index >= len(trials) {
+				return nil, fmt.Errorf("scenario %q: checkpoint carries machine %d but the spec compiles %d machines at scale %g", spec.Name, r.Index, len(trials), scale)
+			}
+			recovered[r.Index] = r
+		}
+	}
 	machines, err := runner.MapErrCtx(opts.Context, trials, func(_ int, t MachineTrial) (MachineResult, error) {
+		if r, ok := recovered[t.Index]; ok {
+			return r, nil
+		}
 		r, err := runMachine(t, opts)
 		if err == nil && opts.OnMachine != nil {
 			opts.OnMachine(r)

@@ -166,3 +166,8 @@ func (t *Thread) Runtime(now units.Time) units.Time {
 
 // Exited reports whether the thread has terminated.
 func (t *Thread) Exited() bool { return t.state == StateExited }
+
+// Remaining returns the reference-seconds left of the thread's current
+// compute action (0 when sleeping, blocked or exited). Flush scheduler
+// accounting (ChargeAll) first for an exact answer at a measurement boundary.
+func (t *Thread) Remaining() float64 { return t.remaining }

@@ -5,11 +5,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Client is the Go client for a dimd daemon — what `dimctl remote` drives.
@@ -17,11 +21,128 @@ import (
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// Retry governs transient-failure handling. The zero value makes every
+	// call single-attempt (NewClient's behavior); set it — or construct with
+	// NewRetryClient — to ride out daemon restarts and backpressure.
+	Retry RetryPolicy
+
+	jmu    sync.Mutex
+	jitter *rng.Source
 }
 
-// NewClient builds a client for the daemon at base.
+// NewClient builds a client for the daemon at base, without retries.
 func NewClient(base string) *Client {
 	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+// NewRetryClient builds a client that retries transient failures under the
+// given policy (pass the zero RetryPolicy for the documented defaults).
+func NewRetryClient(base string, p RetryPolicy) *Client {
+	c := NewClient(base)
+	c.Retry = p.withDefaults()
+	return c
+}
+
+// RetryPolicy is capped exponential backoff with deterministic jitter.
+//
+// What retries is decided by safety, not success odds: reads (status, lists,
+// outputs, files, streams) always retry; a submission retries only when it is
+// backpressure-rejected (429 — the daemon provably did not admit it) or
+// explicitly marked Request.Idempotent (resubmit-by-content-address makes a
+// duplicated request attach to the original job instead of forking work). A
+// 429's Retry-After wins over the computed backoff when longer.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first call included). 0 means the
+	// default 5; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; each retry doubles it up to
+	// MaxDelay. Defaults: 100ms base, 5s cap.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed feeds the jitter stream (deterministic, like everything else in
+	// this repo). Zero selects a fixed default seed.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// backoff computes the wait before retry attempt (1-based), jittered
+// uniformly over [d/2, d) so a fleet of clients does not stampede in phase.
+func (c *Client) backoff(attempt int) time.Duration {
+	p := c.Retry.withDefaults()
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = p.MaxDelay
+	}
+	c.jmu.Lock()
+	if c.jitter == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 0x64696d64 // "dimd"
+		}
+		c.jitter = rng.New(seed)
+	}
+	f := 0.5 + 0.5*c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// retryable classifies an error: transport failures and gateway-ish statuses
+// (429 draining/backpressure, 502/503/504) are transient; other HTTP statuses
+// are answers, not failures.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	se, ok := err.(*StatusError)
+	if !ok {
+		return true // transport: connection refused/reset mid-restart
+	}
+	switch se.Code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// withRetry runs op under the client's policy, retrying errors canRetry
+// accepts. A zero Retry field (a hand-built Client) disables retries, as
+// does MaxAttempts 1.
+func (c *Client) withRetry(ctx context.Context, canRetry func(error) bool, op func() error) error {
+	p := c.Retry
+	if p.MaxAttempts == 1 || (p == RetryPolicy{}) {
+		return op()
+	}
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !canRetry(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		wait := c.backoff(attempt)
+		if se, ok := err.(*StatusError); ok && se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
 }
 
 // StatusError is a non-2xx API response, carrying the decoded error document
@@ -42,7 +163,16 @@ func IsBusy(err error) bool {
 	return ok && se.Code == http.StatusTooManyRequests
 }
 
+// do issues one reading call (GETs, DELETE) with retries: reads are
+// idempotent, so any transient failure may be retried.
 func (c *Client) do(method, path string, body any, out any) error {
+	ctx := context.Background()
+	return c.withRetry(ctx, retryable, func() error {
+		return c.doOnce(ctx, method, path, body, out)
+	})
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body any, out any) error {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -51,7 +181,7 @@ func (c *Client) do(method, path string, body any, out any) error {
 		}
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -92,10 +222,21 @@ func statusError(resp *http.Response, data []byte) error {
 	return se
 }
 
-// Submit submits a job.
+// Submit submits a job. Retry safety is conditional: a plain submission
+// retries only 429 rejections (the daemon provably did not admit it), while a
+// Request marked Idempotent also retries transport failures and restarts —
+// if the lost response had actually landed, the resubmission attaches to that
+// job by content key instead of forking a duplicate run.
 func (c *Client) Submit(req Request) (JobView, error) {
+	canRetry := IsBusy
+	if req.Idempotent {
+		canRetry = retryable
+	}
+	ctx := context.Background()
 	var v JobView
-	err := c.do(http.MethodPost, "/v1/jobs", req, &v)
+	err := c.withRetry(ctx, canRetry, func() error {
+		return c.doOnce(ctx, http.MethodPost, "/v1/jobs", req, &v)
+	})
 	return v, err
 }
 
@@ -137,39 +278,44 @@ func (c *Client) Health() (Health, error) {
 	return v, err
 }
 
+// getRaw fetches a non-JSON endpoint with read retries.
+func (c *Client) getRaw(path string) ([]byte, error) {
+	ctx := context.Background()
+	var data []byte
+	err := c.withRetry(ctx, retryable, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		d, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			return statusError(resp, d)
+		}
+		data = d
+		return nil
+	})
+	return data, err
+}
+
 // Metrics fetches the Prometheus exposition text.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/metrics")
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode/100 != 2 {
-		return "", statusError(resp, data)
-	}
-	return string(data), nil
+	data, err := c.getRaw("/metrics")
+	return string(data), err
 }
 
 // Output fetches a done job's rendered report — byte-identical to the
 // matching dimctl run's output.
 func (c *Client) Output(id string) (string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/v1/jobs/" + id + "/output")
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode/100 != 2 {
-		return "", statusError(resp, data)
-	}
-	return string(data), nil
+	data, err := c.getRaw("/v1/jobs/" + id + "/output")
+	return string(data), err
 }
 
 // Files lists a done job's artefact names.
@@ -181,39 +327,81 @@ func (c *Client) Files(id string) ([]string, error) {
 
 // File fetches one artefact — byte-identical to the matching dimctl export.
 func (c *Client) File(id, name string) ([]byte, error) {
-	resp, err := c.HTTP.Get(c.Base + "/v1/jobs/" + id + "/files/" + name)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return nil, statusError(resp, data)
-	}
-	return data, nil
+	return c.getRaw("/v1/jobs/" + id + "/files/" + name)
 }
+
+// fnError marks an error returned by the subscriber's callback — always
+// terminal, never retried.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+func (e *fnError) Unwrap() error { return e.err }
 
 // Stream follows the job's NDJSON telemetry, invoking fn per event, until
 // the stream ends (the job reached a terminal state), fn returns an error,
 // or ctx is done. The terminal done/error event is delivered to fn like any
 // other.
+//
+// Under a retry policy a dropped connection resumes, not restarts: the
+// client remembers the last sequence number it delivered and reconnects with
+// ?from=next, so fn sees every event exactly once across any number of
+// drops (the server's per-job ring permitting — entries that aged out while
+// disconnected surface as one "gap" event, same as for a slow reader). Each
+// delivered event refunds the retry budget; only consecutive dead
+// connections exhaust it.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/stream", nil)
+	next := -1 // -1: no resume point yet, take the stream from its start
+	p := c.Retry
+	if p.MaxAttempts != 1 && (p != RetryPolicy{}) {
+		p = p.withDefaults()
+	}
+	for attempt := 1; ; attempt++ {
+		progressed, err := c.streamOnce(ctx, id, &next, fn)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		var fe *fnError
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		if progressed {
+			attempt = 1
+		}
+		if p.MaxAttempts <= 1 || !retryable(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		t := time.NewTimer(c.backoff(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// streamOnce runs a single stream connection, advancing *next past every
+// event it delivers. It reports whether any event was delivered; a nil error
+// means the stream ended normally (the job is terminal).
+func (c *Client) streamOnce(ctx context.Context, id string, next *int, fn func(Event) error) (bool, error) {
+	path := c.Base + "/v1/jobs/" + id + "/stream"
+	if *next >= 0 {
+		path += fmt.Sprintf("?from=%d", *next)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(resp.Body)
-		return statusError(resp, data)
+		return false, statusError(resp, data)
 	}
+	progressed, terminal := false, false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -223,17 +411,41 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 		}
 		var e Event
 		if err := json.Unmarshal(line, &e); err != nil {
-			return fmt.Errorf("dimd: decoding stream event: %w", err)
+			return progressed, fmt.Errorf("dimd: decoding stream event: %w", err)
 		}
 		if err := fn(e); err != nil {
-			return err
+			return progressed, &fnError{err}
+		}
+		progressed = true
+		if e.Type == "gap" {
+			*next = e.Seq + e.Dropped
+		} else {
+			*next = e.Seq + 1
+		}
+		if e.Type == "done" || e.Type == "error" {
+			terminal = true
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return err
+		return progressed, err
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return progressed, err
+	}
+	if !terminal {
+		// The protocol ends every stream with the terminal done/error event.
+		// A body that finished without one was cut — by a dying daemon or a
+		// middlebox — even if HTTP framing closed cleanly. Treat it like any
+		// dropped connection so a retry policy resumes instead of the caller
+		// mistaking truncation for completion.
+		return progressed, errTruncated
+	}
+	return progressed, nil
 }
+
+// errTruncated marks a stream that ended without its terminal event; it is
+// retryable (the client reconnects and resumes).
+var errTruncated = errors.New("dimd: stream ended before the job reached a terminal state")
 
 // Wait blocks until the job reaches a terminal state, following the stream
 // (which ends exactly at terminality) and confirming with a status fetch.

@@ -222,10 +222,12 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStream serves the job's telemetry as NDJSON (default) or SSE (when
-// the client prefers text/event-stream). It replays from the beginning (or
-// ?from=seq), follows live until the job reaches a terminal state, and
-// always ends with the terminal "done"/"error" event — so a reader can
-// treat stream end as job completion.
+// the client prefers text/event-stream). It replays from the beginning,
+// ?from=seq, or — for reconnecting SSE clients — the Last-Event-ID request
+// header (resuming at that ID + 1, the EventSource contract; every SSE event
+// carries an id: line so the browser can offer it back). It follows live
+// until the job reaches a terminal state, and always ends with the terminal
+// "done"/"error" event — so a reader can treat stream end as job completion.
 func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -247,11 +249,15 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		if n, err := strconv.Atoi(from); err == nil && n >= 0 {
 			seq = n
 		}
+	} else if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			seq = n + 1
+		}
 	}
 	enc := json.NewEncoder(w)
 	writeEvent := func(e Event) error {
 		if sse {
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: ", e.Type); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: ", e.Seq, e.Type); err != nil {
 				return err
 			}
 			if err := enc.Encode(e); err != nil { // Encode appends \n

@@ -47,6 +47,11 @@ type Request struct {
 	Policy string `json:"policy,omitempty"`
 	// Scale is the experiment scale; 0 selects the daemon's default.
 	Scale float64 `json:"scale,omitempty"`
+	// Idempotent marks a retried submission: if a non-failed job with the
+	// same content key is already tracked, it is returned instead of forking
+	// a duplicate run. Determinism makes this safe — the duplicate would
+	// produce identical bytes anyway.
+	Idempotent bool `json:"idempotent,omitempty"`
 }
 
 // MaxScale bounds a submission's scale: a hostile request cannot ask for
@@ -211,6 +216,12 @@ type Job struct {
 
 	res    *resolved
 	stream *stream
+
+	// recovered marks a job re-enqueued from the journal at boot;
+	// checkpoint, when non-nil, is its surviving resume token. Both are set
+	// single-threaded during recovery, before any worker runs.
+	recovered  bool
+	checkpoint *jobCheckpoint
 
 	mu          sync.Mutex
 	state       string

@@ -17,6 +17,18 @@ type metrics struct {
 	canceled  atomic.Int64
 	inFlight  atomic.Int64
 
+	// Durability counters (zero and inert for in-memory daemons).
+	walReplayed    atomic.Int64 // journal records replayed at boot
+	walTruncations atomic.Int64 // torn journal tails truncated at boot
+	walRecords     atomic.Int64 // journal records appended by this process
+	walErrors      atomic.Int64 // journal appends/fsyncs that failed
+	recovered      atomic.Int64 // interrupted jobs re-enqueued at boot
+	deduped        atomic.Int64 // idempotent resubmits answered by a live job
+	panics         atomic.Int64 // worker panics contained to their job
+	checkpoints    atomic.Int64 // job checkpoints written
+	resumes        atomic.Int64 // jobs resumed from a checkpoint
+	resumeRejected atomic.Int64 // checkpoints rejected (divergent) and rerun from scratch
+
 	// Microsecond-granular accumulators (atomic integers; floats would
 	// race): virtual machine-seconds simulated, and wall-clock seconds spent
 	// executing jobs.
@@ -52,6 +64,16 @@ func (m *metrics) render(b *strings.Builder, queueDepth, queueCap, workers int, 
 	gauge("dimd_jobs_completed_total", "jobs finished successfully", m.completed.Load())
 	gauge("dimd_jobs_failed_total", "jobs finished with an error", m.failed.Load())
 	gauge("dimd_jobs_canceled_total", "jobs canceled before completion", m.canceled.Load())
+	gauge("dimd_job_panics_total", "worker panics contained to their job", m.panics.Load())
+	gauge("dimd_jobs_recovered_total", "interrupted jobs re-enqueued at boot", m.recovered.Load())
+	gauge("dimd_jobs_deduped_total", "idempotent resubmits answered by an existing job", m.deduped.Load())
+	gauge("dimd_wal_records_total", "journal records appended by this process", m.walRecords.Load())
+	gauge("dimd_wal_replayed_total", "journal records replayed at boot", m.walReplayed.Load())
+	gauge("dimd_wal_truncations_total", "torn journal tails truncated at boot", m.walTruncations.Load())
+	gauge("dimd_wal_errors_total", "journal writes that failed (durability degraded)", m.walErrors.Load())
+	gauge("dimd_checkpoints_written_total", "job checkpoints persisted", m.checkpoints.Load())
+	gauge("dimd_job_resumes_total", "jobs resumed from a verified checkpoint", m.resumes.Load())
+	gauge("dimd_resume_rejects_total", "checkpoints rejected as divergent (rerun from scratch)", m.resumeRejected.Load())
 	gauge("dimd_cache_hits_total", "submissions answered from the result cache", c.hits.Load())
 	gauge("dimd_cache_misses_total", "submissions that had to simulate", c.misses.Load())
 	gauge("dimd_cache_entries", "artifacts retained in the result cache", entries)

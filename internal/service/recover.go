@@ -1,0 +1,202 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// recoveredJob is one job's state folded from its journal records.
+type recoveredJob struct {
+	rec      journalRecord // the "submitted" record (request + identity)
+	state    string
+	errMsg   string
+	started  time.Time
+	finished time.Time
+}
+
+// recoverFromJournal rebuilds the daemon's job table from a replayed journal.
+// It runs during Open, before the worker pool starts, so it owns every
+// structure it touches.
+//
+// The fold is by last-writer-wins over each job's records, then:
+//
+//   - done jobs whose artifact file is present restore as terminal cache
+//     entries — the result cache is warm across the restart, and an identical
+//     resubmission hits without simulating;
+//   - failed/canceled jobs restore as terminal records;
+//   - everything else — queued, running, or done-with-a-lost-artifact — is
+//     re-resolved from its submitted record and re-enqueued, resuming from
+//     its persisted checkpoint when one survives. Determinism makes this
+//     sound: the rerun produces byte-identical output, so "lost the race to
+//     finish before the crash" degrades to spent CPU, never to divergent
+//     results.
+//
+// Re-resolution recomputes the content key and compares it to the journaled
+// one; a mismatch means the daemon restarted into a different world (catalog
+// edit, integrator override change) and the job fails loudly instead of
+// silently computing something else under the old name.
+func (s *Service) recoverFromJournal(rep storeReplay) {
+	byID := map[string]*recoveredJob{}
+	var order []string
+	for _, rec := range rep.records {
+		switch rec.Op {
+		case "submitted":
+			if _, ok := byID[rec.ID]; ok {
+				continue // duplicate submission record; first wins
+			}
+			byID[rec.ID] = &recoveredJob{rec: rec, state: StateQueued}
+			order = append(order, rec.ID)
+			var n int
+			if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > s.seq {
+				s.seq = n
+			}
+		case "started":
+			if rj, ok := byID[rec.ID]; ok && !terminalState(rj.state) {
+				rj.state = StateRunning
+				rj.started = rec.At
+			}
+		case "done":
+			if rj, ok := byID[rec.ID]; ok {
+				rj.state = StateDone
+				rj.finished = rec.At
+			}
+		case "failed", "canceled":
+			if rj, ok := byID[rec.ID]; ok {
+				if rec.Op == "failed" {
+					rj.state = StateFailed
+				} else {
+					rj.state = StateCanceled
+				}
+				rj.errMsg = rec.Error
+				rj.finished = rec.At
+			}
+		}
+	}
+
+	for _, id := range order {
+		rj := byID[id]
+		name := rj.rec.JobName
+		if name == "" {
+			name = rj.rec.Name
+		}
+		j := &Job{
+			ID:     id,
+			Key:    rj.rec.Key,
+			kind:   rj.rec.Kind,
+			name:   name,
+			policy: rj.rec.Policy,
+			scale:  rj.rec.Scale,
+			stream: newStream(s.cfg.MaxEvents),
+		}
+		j.submitted = rj.rec.At
+		j.started = rj.started
+		j.finished = rj.finished
+		j.cacheHit = rj.rec.CacheHit
+
+		switch rj.state {
+		case StateDone:
+			if art, ok := s.store.loadArtifact(rj.rec.Key); ok {
+				j.state = StateDone
+				j.artifact = art
+				s.cache.put(j.Key, art)
+				j.stream.append(Event{Type: "state", Job: id, State: StateDone})
+				j.stream.append(Event{Type: "done", Job: id, State: StateDone})
+				j.stream.closeStream()
+				break
+			}
+			// The journal says done but the artifact is gone (lost rename,
+			// operator deletion). Recompute rather than serve a hole.
+			s.requeueRecovered(j, rj)
+		case StateFailed, StateCanceled:
+			j.state = rj.state
+			j.err = rj.errMsg
+			j.stream.append(Event{Type: "error", Job: id, State: rj.state, Error: rj.errMsg})
+			j.stream.closeStream()
+		default: // queued or running at the crash
+			s.requeueRecovered(j, rj)
+		}
+		s.store.removeCheckpointIfTerminal(j)
+		s.track(j)
+	}
+}
+
+// requeueRecovered re-resolves a recovered in-flight job and puts it back on
+// the queue, attaching any surviving checkpoint. On any impossibility —
+// unresolvable request, key drift, full queue — the job fails with a message
+// naming the cause; recovery itself never aborts the boot.
+func (s *Service) requeueRecovered(j *Job, rj *recoveredJob) {
+	fail := func(msg string) {
+		j.state = StateFailed
+		j.err = msg
+		j.finished = time.Now()
+		s.met.failed.Add(1)
+		s.journal(journalRecord{Op: "failed", ID: j.ID, At: j.finished, Error: msg}, true)
+		j.stream.append(Event{Type: "error", Job: j.ID, State: StateFailed, Error: msg})
+		j.stream.closeStream()
+	}
+
+	r, err := s.resolve(Request{
+		Kind:   rj.rec.Kind,
+		Name:   rj.rec.Name,
+		Spec:   json.RawMessage(rj.rec.Spec),
+		Policy: rj.rec.Policy,
+		Scale:  rj.rec.Scale,
+	})
+	if err != nil {
+		fail(fmt.Sprintf("recovery: re-resolving journaled request: %v", err))
+		return
+	}
+	if r.key != rj.rec.Key {
+		fail(fmt.Sprintf("recovery: content key drifted across restart (journal %s, now %s): catalog or integrator changed", shortKey(rj.rec.Key), shortKey(r.key)))
+		return
+	}
+	j.res = r
+	j.recovered = true
+	j.cacheHit = false
+	j.started, j.finished = time.Time{}, time.Time{}
+	if cp, ok := s.store.loadCheckpoint(j.ID); ok && cp.Kind == j.kind {
+		j.checkpoint = cp
+	}
+
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		fail("recovery: admission queue full; resubmit the job")
+		return
+	}
+	s.met.recovered.Add(1)
+	j.stream.append(Event{Type: "state", Job: j.ID, State: StateQueued})
+	j.stream.append(Event{Type: "recovered", Job: j.ID, State: StateQueued, Resumed: j.checkpointProgress()})
+}
+
+// checkpointProgress summarises how much of the job a surviving checkpoint
+// lets the rerun skip or verify-replay, for the "recovered" stream event.
+func (j *Job) checkpointProgress() string {
+	switch {
+	case j.checkpoint == nil:
+		return "from scratch"
+	case j.checkpoint.Sched != nil:
+		return fmt.Sprintf("replay to round %d", j.checkpoint.Sched.Round)
+	case len(j.checkpoint.Machines) > 0:
+		return fmt.Sprintf("%d machines precomputed", len(j.checkpoint.Machines))
+	default:
+		return "from scratch"
+	}
+}
+
+// removeCheckpointIfTerminal clears the resume token of a job that will never
+// run again.
+func (st *store) removeCheckpointIfTerminal(j *Job) {
+	if terminalState(j.state) {
+		st.removeCheckpoint(j.ID)
+	}
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

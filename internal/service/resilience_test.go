@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps resilience tests quick: tight backoff, plenty of attempts.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// dropWriter truncates a streaming response after limit newline-terminated
+// events, simulating a connection cut mid-stream (the HTTP framing still
+// closes cleanly — the nastier case, indistinguishable from completion
+// without the protocol's terminal-event rule).
+type dropWriter struct {
+	http.ResponseWriter
+	lines, limit int
+}
+
+func (d *dropWriter) Write(p []byte) (int, error) {
+	if d.lines >= d.limit {
+		return 0, fmt.Errorf("injected connection drop")
+	}
+	n, err := d.ResponseWriter.Write(p)
+	d.lines += bytes.Count(p[:n], []byte("\n"))
+	return n, err
+}
+
+func (d *dropWriter) Flush() {
+	if f, ok := d.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestSubmitRetriesBackpressure: 429 + Retry-After answers are backpressure,
+// not failure — the client waits and resubmits, and exactly one job exists
+// once it gets through.
+func TestSubmitRetriesBackpressure(t *testing.T) {
+	svc := New(Config{Workers: 2, DefaultScale: 1})
+	defer shutdownSvc(t, svc)
+	inner := svc.Handler()
+
+	var rejects atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejects.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, fastRetry())
+	v, err := c.Submit(Request{Spec: tinySpec("busy-retry", 1, 41)})
+	if err != nil {
+		t.Fatalf("submit through 429s: %v", err)
+	}
+	if got := rejects.Load(); got != 4 { // 3 rejects + 1 pass-through
+		t.Fatalf("submit attempts = %d, want 4", got)
+	}
+	if final, err := c.Wait(context.Background(), v.ID); err != nil || final.State != StateDone {
+		t.Fatalf("wait: %v (state %s)", err, final.State)
+	}
+	if n := len(svc.Jobs()); n != 1 {
+		t.Fatalf("retried submission created %d jobs, want 1", n)
+	}
+}
+
+// TestIdempotentSubmitSurvivesLostResponse: the daemon admits the job but the
+// response never reaches the client. A plain retry would fork a duplicate
+// run; an Idempotent retry attaches to the admitted job by content key.
+func TestIdempotentSubmitSurvivesLostResponse(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultScale: 1})
+	defer shutdownSvc(t, svc)
+	inner := svc.Handler()
+
+	var lost atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && lost.CompareAndSwap(false, true) {
+			// Run the submission for real, then kill the connection before
+			// any response byte escapes.
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, fastRetry())
+	// A full-scale blocker pins the single worker so the lost-ack job stays
+	// queued (live) until the retry lands — the retry must attach, not fork.
+	// (Were it allowed to finish first, the retry would instead cache-hit
+	// into a fresh job: still no duplicate simulation, but a different path
+	// than this test pins down.)
+	blocker, err := svc.Submit(Request{Spec: slowSpec("lost-ack-blocker"), Scale: 1})
+	if err != nil {
+		t.Fatalf("blocker submit: %v", err)
+	}
+	v, err := c.Submit(Request{Spec: slowSpec("lost-ack"), Scale: 0.05, Idempotent: true})
+	if err != nil {
+		t.Fatalf("idempotent submit through lost response: %v", err)
+	}
+	if n := len(svc.Jobs()); n != 2 { // blocker + the one lost-ack job
+		t.Fatalf("lost-response retry forked jobs: %d tracked, want 2", n)
+	}
+	if got := svc.met.deduped.Load(); got != 1 {
+		t.Fatalf("deduped counter = %d, want 1", got)
+	}
+	for _, id := range []string{v.ID, blocker.ID} {
+		if _, err := c.Cancel(id); err != nil {
+			t.Fatalf("cancel %s: %v", id, err)
+		}
+		if _, err := c.Wait(context.Background(), id); err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+	}
+}
+
+// TestStreamResumesAcrossDrops: every stream connection is cut after two
+// events; the client must reassemble the full event sequence — dense seqs,
+// no duplicates, no losses, terminal event last — across reconnects.
+func TestStreamResumesAcrossDrops(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultScale: 1})
+	defer shutdownSvc(t, svc)
+	inner := svc.Handler()
+
+	var drops atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			drops.Add(1)
+			inner.ServeHTTP(&dropWriter{ResponseWriter: w, limit: 2}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, RetryPolicy{MaxAttempts: 64, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	v, err := c.Submit(Request{Spec: tinySpec("stream-drops", 4, 47)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var events []Event
+	if err := c.Stream(context.Background(), v.ID, func(e Event) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream across drops: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("no events delivered")
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d: sequence not dense (duplicate or loss across reconnect)", i, e.Seq)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.State != StateDone {
+		t.Fatalf("stream did not end with the terminal done event: %+v", last)
+	}
+	// state queued + state running + 4 machine + done = 7 events minimum,
+	// at 2 per connection the client must have reconnected.
+	if got := drops.Load(); got < 3 {
+		t.Fatalf("stream served in %d connections; the drop harness did not engage", got)
+	}
+}
+
+// TestStreamTruncationDetected: without a retry policy, a cut stream is an
+// error — never mistaken for completion.
+func TestStreamTruncationDetected(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultScale: 1})
+	defer shutdownSvc(t, svc)
+	inner := svc.Handler()
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			inner.ServeHTTP(&dropWriter{ResponseWriter: w, limit: 1}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL) // no retries
+	v, err := c.Submit(Request{Spec: tinySpec("truncated", 1, 53)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, c, v.ID)
+	err = c.Stream(context.Background(), v.ID, func(Event) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "before the job reached a terminal state") {
+		t.Fatalf("truncated stream returned %v, want truncation error", err)
+	}
+}
+
+// TestReadsRetryTransportFailures: status fetches ride out connections the
+// server kills outright.
+func TestReadsRetryTransportFailures(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultScale: 1})
+	defer shutdownSvc(t, svc)
+	inner := svc.Handler()
+
+	var kills atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && kills.Add(1) <= 2 {
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, fastRetry())
+	v, err := c.Submit(Request{Spec: tinySpec("read-retry", 1, 59)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got, err := c.Job(v.ID)
+	if err != nil {
+		t.Fatalf("status fetch through killed connections: %v", err)
+	}
+	if got.ID != v.ID {
+		t.Fatalf("fetched job %s, want %s", got.ID, v.ID)
+	}
+	if k := kills.Load(); k < 3 {
+		t.Fatalf("GET attempts = %d, want >= 3 (two kills + success)", k)
+	}
+}
+
+func shutdownSvc(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = svc.Shutdown(ctx)
+}
+
+func waitJob(t *testing.T, c *Client, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := c.Job(id)
+		if err == nil && terminalState(v.State) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return JobView{}
+}

@@ -19,10 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/export"
+	"repro/internal/faultinject"
 	"repro/internal/fleetsched"
 	"repro/internal/scenario"
 )
@@ -74,6 +78,18 @@ type Config struct {
 	// Experiments enables experiment jobs; the zero value disables them
 	// (scenario and sched jobs always work).
 	Experiments ExperimentSource
+
+	// DataDir, when set, makes the daemon durable: submissions journal to an
+	// append-only WAL before they are acknowledged, completed artifacts
+	// persist to content-addressed files, in-flight jobs checkpoint, and a
+	// restarted daemon recovers all three — queued and running jobs re-run
+	// (resuming from their checkpoints) and produce byte-identical results.
+	// Empty keeps the daemon fully in-memory, exactly as before.
+	DataDir string
+	// CheckpointEvery is the scheduled-run checkpoint cadence in round
+	// barriers (durable daemons only). Default: 5. Negative disables
+	// checkpointing (recovery then reruns from scratch).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.TelemetryEvery <= 0 {
 		c.TelemetryEvery = 50
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 5
+	}
 	return c
 }
 
@@ -107,6 +126,10 @@ type Service struct {
 	cfg   Config
 	cache *cache
 	met   metrics
+	// store is the durable layer; nil for an in-memory daemon. All journal
+	// and checkpoint writes funnel through Service.journal / execute's
+	// checkpoint hooks, which tolerate a nil store.
+	store *store
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -120,8 +143,22 @@ type Service struct {
 	wg       sync.WaitGroup
 }
 
-// New builds the service and starts its worker pool.
+// New builds the service and starts its worker pool. It panics if a durable
+// config (DataDir set) fails to open its data directory — use Open to handle
+// that error; an in-memory config never fails.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds the service, recovers durable state when Config.DataDir is
+// set (replaying the job journal, warming the result cache from persisted
+// artifacts, and re-enqueueing interrupted jobs with their checkpoints), and
+// starts the worker pool.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
@@ -132,6 +169,22 @@ func New(cfg Config) *Service {
 		jobs:      map[string]*Job{},
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
+	if cfg.DataDir != "" {
+		st, rep, err := openStore(cfg.DataDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		s.met.walReplayed.Store(int64(rep.stats.Records))
+		if rep.stats.Truncated {
+			s.met.walTruncations.Add(1)
+		}
+		// Recovery runs before any worker exists, so it owns every structure
+		// it touches and re-enqueued jobs sit in the queue until workers
+		// start below.
+		s.recoverFromJournal(rep)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -141,8 +194,27 @@ func New(cfg Config) *Service {
 			}
 		}()
 	}
-	return s
+	return s, nil
 }
+
+// journal durably records one journal entry; a no-op for in-memory daemons.
+// Journal failures degrade durability, not availability: the daemon keeps
+// serving (the job still runs, the client still gets its result) and the
+// failure is counted for operators to alarm on.
+func (s *Service) journal(rec journalRecord, sync bool) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.append(rec, sync); err != nil {
+		s.met.walErrors.Add(1)
+		return
+	}
+	s.met.walRecords.Add(1)
+}
+
+// Recovered reports how many interrupted jobs this process re-enqueued at
+// boot (0 for in-memory daemons).
+func (s *Service) Recovered() int { return int(s.met.recovered.Load()) }
 
 // Submit validates, admits and tracks one job. Cache hits complete
 // immediately (state done, CacheHit true) without occupying a worker; misses
@@ -157,6 +229,23 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
+	}
+	if req.Idempotent {
+		// Resubmit-by-content-address: a client retrying after a lost
+		// response must not fork a second identical simulation, so a LIVE
+		// job with the same key answers the retry. Terminal jobs do not
+		// attach: done runs are the cache's business (the fall-through
+		// below answers instantly, marked CacheHit), and a retry after
+		// failed/canceled should genuinely re-run.
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if prev := s.jobs[s.order[i]]; prev.Key == r.key {
+				if st := prev.View().State; st != StateQueued && st != StateRunning {
+					continue
+				}
+				s.met.deduped.Add(1)
+				return prev, nil
+			}
+		}
 	}
 	art, hit := s.cache.get(r.key)
 
@@ -184,6 +273,8 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		s.cache.hits.Add(1)
 		s.met.submitted.Add(1)
 		s.met.completed.Add(1)
+		s.journal(s.submitRecord(j, req, true), false)
+		s.journal(journalRecord{Op: "done", ID: j.ID, At: j.finished}, true)
 		s.track(j)
 		return j, nil
 	}
@@ -199,9 +290,30 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	}
 	s.cache.misses.Add(1)
 	s.met.submitted.Add(1)
+	// Durable ack: the submission record is fsynced before Submit returns,
+	// so an accepted job survives any crash from here on.
+	s.journal(s.submitRecord(j, req, false), true)
 	j.stream.append(Event{Type: "state", Job: j.ID, State: StateQueued})
 	s.track(j)
 	return j, nil
+}
+
+// submitRecord builds a job's journal submission record, carrying enough of
+// the original request to re-resolve it at recovery.
+func (s *Service) submitRecord(j *Job, req Request, cacheHit bool) journalRecord {
+	return journalRecord{
+		Op:       "submitted",
+		ID:       j.ID,
+		At:       j.submitted,
+		Key:      j.Key,
+		Kind:     j.kind,
+		Name:     req.Name,
+		JobName:  j.name,
+		Policy:   j.policy, // resolved, so recovery re-runs the same work even if spec defaults change
+		Scale:    j.scale,  // resolved, for the same reason
+		Spec:     req.Spec,
+		CacheHit: cacheHit,
+	}
 }
 
 func jobName(r *resolved) string {
@@ -270,6 +382,10 @@ func (s *Service) Cancel(id string) error {
 		j.finished = time.Now()
 		s.met.canceled.Add(1)
 		j.mu.Unlock()
+		s.journal(journalRecord{Op: "canceled", ID: j.ID, At: time.Now(), Error: "canceled while queued"}, true)
+		if s.store != nil {
+			s.store.removeCheckpoint(j.ID)
+		}
 		j.stream.append(Event{Type: "done", Job: j.ID, State: StateCanceled})
 		j.stream.closeStream()
 		return nil
@@ -316,17 +432,27 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.store != nil {
+		// After the drain: every worker has finished journaling.
+		if cerr := s.store.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
-// runJob executes one admitted job on a worker.
+// runJob executes one admitted job on a worker. A panic anywhere in the
+// engine stack is contained to the job: the worker recovers, fails the job
+// with the panic value and a trimmed stack, and goes back to the queue — one
+// poisoned spec cannot take the daemon (or its sibling jobs) down.
 func (s *Service) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
@@ -341,11 +467,61 @@ func (s *Service) runJob(j *Job) {
 	j.mu.Unlock()
 
 	s.met.inFlight.Add(1)
+	s.journal(journalRecord{Op: "started", ID: j.ID, At: j.started}, false)
 	j.stream.append(Event{Type: "state", Job: j.ID, State: StateRunning})
+	defer func() {
+		r := recover()
+		s.met.inFlight.Add(-1)
+		if r == nil {
+			return
+		}
+		s.met.panics.Add(1)
+		msg := fmt.Sprintf("worker panic: %v\n%s", r, trimStack(debug.Stack()))
+		// As in the normal terminal path: drop the resume token before the
+		// terminal state becomes observable (the panicking goroutine was the
+		// only checkpoint writer, so nothing is in flight).
+		if s.store != nil {
+			s.store.removeCheckpoint(j.ID)
+		}
+		j.mu.Lock()
+		// Only transition if execute hadn't already finished the job — a
+		// panic after the terminal switch (e.g. in a stream hook) must not
+		// double-finish.
+		if j.state == StateRunning {
+			j.state = StateFailed
+			j.err = msg
+			j.finished = time.Now()
+			j.cancelFunc = nil
+			s.met.failed.Add(1)
+		}
+		j.mu.Unlock()
+		s.journal(journalRecord{Op: "failed", ID: j.ID, At: time.Now(), Error: msg}, true)
+		j.stream.append(Event{Type: "error", Job: j.ID, State: StateFailed, Error: msg})
+		j.stream.closeStream()
+	}()
 
 	art, err := s.execute(ctx, j)
 	busy := time.Since(j.started).Seconds()
-	s.met.inFlight.Add(-1)
+
+	if err == nil && s.store != nil {
+		// Durability ordering: the artifact must be on disk before the
+		// journal says "done" — recovery trusts the journal, and a "done"
+		// pointing at nothing would serve a hole. (A failed write merely
+		// downgrades to in-memory: recovery sees done-without-artifact and
+		// recomputes the identical bytes.)
+		if werr := s.store.writeArtifact(j.Key, art); werr != nil {
+			s.met.walErrors.Add(1)
+		}
+	}
+
+	// The resume token goes away BEFORE the terminal state is published:
+	// execute has returned, so no checkpoint writer is in flight, and an
+	// observer that sees a terminal job must never find a checkpoint file.
+	// (Crash-wise the order is free — a journal without a terminal record
+	// re-runs from scratch either way.)
+	if s.store != nil {
+		s.store.removeCheckpoint(j.ID)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -367,7 +543,17 @@ func (s *Service) runJob(j *Job) {
 		s.met.failed.Add(1)
 	}
 	state, msg := j.state, j.err
+	finished := j.finished
 	j.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		s.journal(journalRecord{Op: "done", ID: j.ID, At: finished}, true)
+	case StateCanceled:
+		s.journal(journalRecord{Op: "canceled", ID: j.ID, At: finished, Error: msg}, true)
+	default:
+		s.journal(journalRecord{Op: "failed", ID: j.ID, At: finished, Error: msg}, true)
+	}
 
 	if state == StateDone {
 		j.stream.append(Event{Type: "done", Job: j.ID, State: state})
@@ -377,9 +563,24 @@ func (s *Service) runJob(j *Job) {
 	j.stream.closeStream()
 }
 
+// trimStack keeps a panic stack readable in an error field: the goroutine
+// header plus the first few frames, which name the faulting engine code.
+func trimStack(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	const keep = 13 // header + 6 frames (2 lines each)
+	if len(lines) > keep {
+		lines = lines[:keep]
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n")
+}
+
 // execute dispatches the resolved work item to the matching engine, wiring
-// the job's telemetry stream into the engine hooks.
+// the job's telemetry stream into the engine hooks — and, on durable
+// daemons, the checkpoint hooks that let a restarted daemon resume this job.
 func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
+	if faultinject.Hit(faultinject.WorkerPanic) {
+		panic("faultinject: worker.panic")
+	}
 	r := j.res
 	switch r.kind {
 	case KindExperiment:
@@ -402,25 +603,48 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 		return &Artifact{Rendered: rendered, Files: files}, nil
 
 	case KindScenario:
-		res, err := scenario.RunOpts(r.spec, r.scale, scenario.RunOptions{
+		opts := scenario.RunOptions{
 			Context:        ctx,
 			TelemetryEvery: s.cfg.TelemetryEvery,
 			OnTelemetry: func(sm scenario.MachineSample) {
 				j.stream.append(Event{Type: "telemetry", Job: j.ID, Machine: sampleEvent(sm)})
 			},
-			OnMachine: func(m scenario.MachineResult) {
-				j.stream.append(Event{Type: "machine", Job: j.ID, Machine: &MachineEvent{
-					Index:         m.Index,
-					MeanJunctionC: m.MeanJunction,
-					MaxJunctionC:  m.PeakJunction,
-					PeakJunctionC: m.PeakJunction,
-					BusyS:         m.BusyS,
-					InjectedIdleS: m.InjectedIdleS,
-					Injections:    m.Injections,
-					Violations:    m.Violations,
-				}})
-			},
-		})
+		}
+		// Checkpointing for independent-machine fleets is completion
+		// accumulation: finished machines persist as they land, and a
+		// recovered job hands them back via Completed so the rerun skips
+		// them. The recovered results re-emit as "machine" events up front so
+		// a resumed stream still carries every completion.
+		var (
+			cpMu   sync.Mutex
+			cpDone []scenario.MachineResult
+		)
+		if j.checkpoint != nil && len(j.checkpoint.Machines) > 0 {
+			cpDone = append(cpDone, j.checkpoint.Machines...)
+			sort.Slice(cpDone, func(a, b int) bool { return cpDone[a].Index < cpDone[b].Index })
+			opts.Completed = append([]scenario.MachineResult(nil), cpDone...)
+			for _, m := range cpDone {
+				j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
+			}
+			s.met.resumes.Add(1)
+		}
+		opts.OnMachine = func(m scenario.MachineResult) {
+			j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
+			if s.store == nil || s.cfg.CheckpointEvery < 0 {
+				return
+			}
+			cpMu.Lock()
+			cpDone = append(cpDone, m)
+			snap := append([]scenario.MachineResult(nil), cpDone...)
+			cpMu.Unlock()
+			sort.Slice(snap, func(a, b int) bool { return snap[a].Index < snap[b].Index })
+			if err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap}); err == nil {
+				s.met.checkpoints.Add(1)
+			} else {
+				s.met.walErrors.Add(1)
+			}
+		}
+		res, err := scenario.RunOpts(r.spec, r.scale, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -431,12 +655,37 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 		}, nil
 
 	case KindSched:
-		res, err := fleetsched.RunOpts(r.spec, r.policy, r.scale, fleetsched.Options{
+		fsOpts := fleetsched.Options{
 			Context: ctx,
 			OnRound: func(rt fleetsched.RoundTelemetry) {
 				j.stream.append(Event{Type: "round", Job: j.ID, Round: &rt})
 			},
-		})
+		}
+		if s.store != nil && s.cfg.CheckpointEvery > 0 {
+			fsOpts.CheckpointEvery = s.cfg.CheckpointEvery
+			fsOpts.OnCheckpoint = func(cp fleetsched.Checkpoint) {
+				if err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindSched, Sched: &cp}); err == nil {
+					s.met.checkpoints.Add(1)
+				} else {
+					s.met.walErrors.Add(1)
+				}
+			}
+		}
+		if j.checkpoint != nil && j.checkpoint.Sched != nil {
+			fsOpts.Resume = j.checkpoint.Sched
+		}
+		res, err := fleetsched.RunOpts(r.spec, r.policy, r.scale, fsOpts)
+		if err != nil && fsOpts.Resume != nil && ctx.Err() == nil {
+			// The checkpoint failed its replay verification (or named a
+			// barrier the run never reaches). Determinism means the rerun is
+			// authoritative; the checkpoint is the corrupt party. Drop it and
+			// run from scratch rather than fail a recoverable job.
+			s.met.resumeRejected.Add(1)
+			fsOpts.Resume = nil
+			res, err = fleetsched.RunOpts(r.spec, r.policy, r.scale, fsOpts)
+		} else if err == nil && fsOpts.Resume != nil {
+			s.met.resumes.Add(1)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -480,4 +729,19 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown job kind %q", r.kind)
+}
+
+// machineEvent converts a per-machine completion summary into its stream
+// event payload.
+func machineEvent(m scenario.MachineResult) *MachineEvent {
+	return &MachineEvent{
+		Index:         m.Index,
+		MeanJunctionC: m.MeanJunction,
+		MaxJunctionC:  m.PeakJunction,
+		PeakJunctionC: m.PeakJunction,
+		BusyS:         m.BusyS,
+		InjectedIdleS: m.InjectedIdleS,
+		Injections:    m.Injections,
+		Violations:    m.Violations,
+	}
 }

@@ -12,7 +12,7 @@ import (
 // out of the bounded ring before a slow subscriber read them.
 type Event struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // state | round | machine | telemetry | policy | gap | done | error
+	Type string `json:"type"` // state | round | machine | telemetry | policy | gap | done | error | recovered
 	Job  string `json:"job"`
 
 	// State carries the job state for "state"/"done"/"error" events.
@@ -23,6 +23,10 @@ type Event struct {
 	Policy string `json:"policy,omitempty"`
 	// Dropped counts ring-evicted events for "gap" events.
 	Dropped int `json:"dropped,omitempty"`
+	// Resumed describes what a recovered job's checkpoint lets it skip
+	// ("recovered" events): "from scratch", "replay to round N", or
+	// "N machines precomputed".
+	Resumed string `json:"resumed,omitempty"`
 
 	// Round is the fleet's round-barrier snapshot (scheduled runs).
 	Round *fleetsched.RoundTelemetry `json:"round,omitempty"`

@@ -1,0 +1,190 @@
+// Package wal is the append-only journal underneath dimd's crash safety: a
+// single file of length-prefixed, CRC-guarded records, written with batched
+// fsyncs and read back with a corruption-tolerant scanner that treats a torn
+// tail as "the crash happened here", not as data loss.
+//
+// Record framing (little-endian):
+//
+//	u32 payload length | u32 CRC-32C (Castagnoli) of payload | payload bytes
+//
+// Durability discipline: appends buffer in the OS page cache; Sync flushes
+// and fsyncs. Callers pick the batching — the service fsyncs unconditionally
+// on completion records (a result must never be acknowledged before it is
+// durable) and coalesces submission records. A record that fails its CRC, or
+// a frame that runs past EOF, ends the replay: everything before it is
+// intact by induction (records are only ever appended), everything from it
+// on is the torn tail of the interrupted final write and is truncated on the
+// next open so the journal never accretes garbage mid-file.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// maxRecord bounds a single record; a frame longer than this is treated as
+// corruption (a garbage length prefix would otherwise ask for gigabytes).
+const maxRecord = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open journal. Append/Sync are safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	dirty bool // appended since last fsync
+}
+
+// ReplayStats describes what Open found in an existing journal.
+type ReplayStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Truncated is true when a torn tail was found and cut; TruncatedAt is
+	// the byte offset it started at.
+	Truncated   bool
+	TruncatedAt int64
+}
+
+// Open opens (creating if absent) the journal at path, replays every intact
+// record through fn, truncates any torn tail, and returns the log positioned
+// for appending. fn may be nil to skip replay contents (stats still count).
+func Open(path string, fn func(payload []byte) error) (*Log, ReplayStats, error) {
+	var stats ReplayStats
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, stats, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var off int64
+	var hdr [8]byte
+	buf := []byte{}
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			// io.ErrUnexpectedEOF: a torn header — the tail.
+			stats.Truncated, stats.TruncatedAt = true, off
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecord {
+			stats.Truncated, stats.TruncatedAt = true, off
+			break
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			stats.Truncated, stats.TruncatedAt = true, off
+			break
+		}
+		if crc32.Checksum(buf, castagnoli) != sum {
+			stats.Truncated, stats.TruncatedAt = true, off
+			break
+		}
+		if fn != nil {
+			if err := fn(buf); err != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("wal: replaying record %d: %w", stats.Records, err)
+			}
+		}
+		stats.Records++
+		off += 8 + int64(n)
+	}
+
+	if stats.Truncated {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	return &Log{f: f}, stats, nil
+}
+
+// Append frames and writes one record. The bytes reach the OS, not
+// necessarily the disk — call Sync to make them durable.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	frame := append(hdr[:], payload...)
+	if faultinject.Hit(faultinject.WALPartial) {
+		// A torn write: half the frame lands, then the "crash". The file
+		// stays open — the caller decides when the process dies — but the
+		// journal now ends in a frame the reader must reject.
+		_, _ = l.f.Write(frame[:len(frame)/2])
+		l.dirty = true
+		return fmt.Errorf("wal: %w", errors.New("injected partial write"))
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.dirty = true
+	return nil
+}
+
+// Sync fsyncs pending appends. It is a no-op when nothing was appended since
+// the last Sync, so callers can over-call it cheaply.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := faultinject.Error(faultinject.WALFsync); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.mu.Lock()
+		if l.f != nil {
+			l.f.Close()
+			l.f = nil
+		}
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

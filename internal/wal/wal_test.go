@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func openCollect(t *testing.T, path string) (*Log, ReplayStats, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, stats, err := Open(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, stats, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	l, stats, _ := openCollect(t, path)
+	if stats.Records != 0 || stats.Truncated {
+		t.Fatalf("fresh journal stats = %+v", stats)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte("x"), 4096)}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, got := openCollect(t, path)
+	if stats.Records != len(want) || stats.Truncated {
+		t.Fatalf("replay stats = %+v, want %d records untruncated", stats, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// A torn tail — any prefix of the final frame — must replay every earlier
+// record and truncate the garbage, for every possible tear offset.
+func TestTornTailEveryOffset(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "j.wal")
+	l, _, _ := openCollect(t, base)
+	recs := [][]byte{[]byte("alpha"), []byte("beta-beta"), []byte("gamma")}
+	for _, p := range recs {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last frame starts at len - (8 + len("gamma")).
+	lastStart := len(whole) - (8 + len("gamma"))
+	for cut := lastStart + 1; cut < len(whole); cut++ {
+		p := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d.wal", cut))
+		if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, stats, got := openCollect(t, p)
+		if stats.Records != 2 || !stats.Truncated || stats.TruncatedAt != int64(lastStart) {
+			t.Fatalf("cut=%d: stats = %+v", cut, stats)
+		}
+		if len(got) != 2 || !bytes.Equal(got[1], recs[1]) {
+			t.Fatalf("cut=%d: replayed %d records", cut, len(got))
+		}
+		// The truncated journal must accept appends and replay cleanly.
+		if err := l2.Append([]byte("after-crash")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, stats, got = openCollect(t, p)
+		if stats.Records != 3 || stats.Truncated {
+			t.Fatalf("cut=%d reopen: stats = %+v", cut, stats)
+		}
+		if !bytes.Equal(got[2], []byte("after-crash")) {
+			t.Fatalf("cut=%d reopen: tail record %q", cut, got[2])
+		}
+	}
+}
+
+// A flipped byte mid-record fails its CRC; replay stops there.
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	l, _, _ := openCollect(t, path)
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	// Flip a payload byte inside the second record (offset: frame0 + header).
+	frame0 := 8 + len("record-0")
+	raw[frame0+8+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, got := openCollect(t, path)
+	if stats.Records != 1 || !stats.Truncated || stats.TruncatedAt != int64(frame0) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(got) != 1 || string(got[0]) != "record-0" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestInjectedPartialWrite(t *testing.T) {
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	l, _, _ := openCollect(t, path)
+	if err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure("wal.partial"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("injected partial write reported no error")
+	}
+	faultinject.Reset()
+	l.Close()
+
+	_, stats, got := openCollect(t, path)
+	if stats.Records != 1 || !stats.Truncated {
+		t.Fatalf("stats after torn write = %+v", stats)
+	}
+	if string(got[0]) != "durable" {
+		t.Fatalf("surviving record = %q", got[0])
+	}
+}
+
+func TestInjectedFsyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	l, _, _ := openCollect(t, path)
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure("wal.fsync"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("injected fsync failure reported no error")
+	}
+	// One-shot fault: the retry succeeds and the data is durable.
+	if err := l.Sync(); err != nil {
+		t.Fatalf("post-fault Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIsIdempotentAndCheap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	l, _, _ := openCollect(t, path)
+	for i := 0; i < 3; i++ {
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}

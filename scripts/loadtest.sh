@@ -22,12 +22,39 @@ OUT="${OUT:-BENCH_results.json}"
 
 work="$(mktemp -d)"
 DPID=""
+LANE_PIDS=()
+PIDFILE="${TMPDIR:-/tmp}/dimd-loadtest.pid"
+
+# Cleanup must run on interrupt as well as normal exit: an orphaned dimd (or
+# a herd of orphaned dimctl lanes) from a ^C'd loadtest would poison the next
+# run's numbers and hold the port.
 cleanup() {
-    [[ -n "$DPID" ]] && kill "$DPID" 2>/dev/null || true
-    [[ -n "$DPID" ]] && wait "$DPID" 2>/dev/null || true
+    trap - INT TERM EXIT
+    for pid in "${LANE_PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    done
+    if [[ -n "$DPID" ]]; then
+        kill "$DPID" 2>/dev/null || true
+        wait "$DPID" 2>/dev/null || true
+    fi
+    rm -f "$PIDFILE"
     rm -rf "$work"
 }
-trap cleanup EXIT
+trap cleanup INT TERM EXIT
+
+# Stale-pid check: refuse to stack a second loadtest daemon on a live one,
+# and clear the marker a crashed run left behind.
+if [[ -f "$PIDFILE" ]]; then
+    oldpid="$(cat "$PIDFILE" 2>/dev/null || true)"
+    if [[ -n "$oldpid" ]] && kill -0 "$oldpid" 2>/dev/null; then
+        echo "loadtest: a previous loadtest dimd (pid $oldpid) is still running; kill it or remove $PIDFILE" >&2
+        trap - INT TERM EXIT
+        rm -rf "$work"
+        exit 1
+    fi
+    echo "loadtest: clearing stale pid file (pid ${oldpid:-?} is gone)"
+    rm -f "$PIDFILE"
+fi
 
 echo "loadtest: building dimd + dimctl"
 go build -o "$work/dimd" ./cmd/dimd
@@ -35,6 +62,7 @@ go build -o "$work/dimctl" ./cmd/dimctl
 
 "$work/dimd" -addr 127.0.0.1:0 -queue "$((LANES * 2))" >"$work/dimd.log" 2>&1 &
 DPID=$!
+echo "$DPID" > "$PIDFILE"
 for _ in $(seq 1 100); do
     ADDR="$(sed -n 's/^dimd: serving on \([0-9.:]*\).*/\1/p' "$work/dimd.log")"
     [[ -n "$ADDR" ]] && break
@@ -64,17 +92,20 @@ done
 phase() {
     local label="$1"
     local start end
-    local pids=()
+    # Lane pids live in the global array so an interrupt mid-phase still
+    # reaps every in-flight dimctl.
+    LANE_PIDS=()
     start=$(date +%s.%N)
     for i in $(seq 1 "$LANES"); do
         "$work/dimctl" remote run -addr "$BASE" -spec "$work/spec-$i.json" \
             >"$work/$label-$i.out" 2>"$work/$label-$i.err" &
-        pids+=("$!")
+        LANE_PIDS+=("$!")
     done
     local failed=0
-    for pid in "${pids[@]}"; do
+    for pid in "${LANE_PIDS[@]}"; do
         wait "$pid" || failed=1
     done
+    LANE_PIDS=()
     end=$(date +%s.%N)
     if [[ $failed -ne 0 ]]; then
         echo "loadtest: $label phase had failures:" >&2
