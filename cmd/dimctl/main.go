@@ -8,6 +8,7 @@
 //	dimctl -scale 0.25 run all              run everything at quarter scale
 //	dimctl scenario list                    list fleet scenarios
 //	dimctl scenario run <name>...           run fleet scenarios
+//	dimctl scenario mega <name> -machines N tiled mega-fleet summary
 //	dimctl sched policies                   list placement policies
 //	dimctl sched compare -scenario <name>   sweep all placement policies
 package main
@@ -185,13 +186,15 @@ func printPaths(w io.Writer, label string, paths []string, start time.Time) {
 	}
 }
 
-// scenarioCmd implements `dimctl scenario list|run|export`. Scenarios with a
-// scheduler block route through the fleetsched cross-machine engine (their
-// default placement policy); plain fleets use the independent per-machine
-// path. Flags are also accepted after the scenario names.
+// scenarioCmd implements `dimctl scenario list|run|export|mega`. Scenarios
+// with a scheduler block route through the fleetsched cross-machine engine
+// (their default placement policy); plain fleets use the independent
+// per-machine path, or the batched shared-propagator engine under -batched.
+// `mega` tiles the fleet out to -machines and prints the summary. Flags are
+// also accepted after the scenario names.
 func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "dimctl: scenario requires a subcommand: list, run or export")
+		fmt.Fprintln(stderr, "dimctl: scenario requires a subcommand: list, run, export or mega")
 		return 2
 	}
 	names, rest := splitFlags(args[1:])
@@ -201,6 +204,8 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 	trailingJobs := trailing.Int("jobs", 0, "parallel trial workers")
 	trailingOut := trailing.String("out", outDir, "output directory for export")
 	trailingInteg := trailing.String("integrator", "", "thermal integrator override (exact|leap)")
+	trailingBatched := trailing.Bool("batched", false, "run plain fleets through the batched engine (shared propagators, SoA stepping); byte-identical output")
+	trailingMachines := trailing.Int("machines", 1_000_000, "tiled fleet size for `scenario mega`")
 	if len(rest) > 0 {
 		if err := trailing.Parse(rest); err != nil {
 			return 2
@@ -256,6 +261,8 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 			var err error
 			if s, _ := dimetrodon.LookupScenario(name); s != nil && s.Scheduler != nil {
 				rendered, err = dimetrodon.RunSchedScenario(name, "", scale)
+			} else if *trailingBatched {
+				rendered, err = dimetrodon.RunScenarioBatched(name, scale)
 			} else {
 				rendered, err = dimetrodon.RunScenario(name, scale)
 			}
@@ -274,7 +281,11 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 		}
 		for _, name := range targets {
 			start := time.Now()
-			paths, err := dimetrodon.ExportScenario(name, scale, outDir)
+			export := dimetrodon.ExportScenario
+			if *trailingBatched {
+				export = dimetrodon.ExportScenarioBatched
+			}
+			paths, err := export(name, scale, outDir)
 			if err != nil {
 				fmt.Fprintf(stderr, "dimctl: exporting scenario %s: %v\n", name, err)
 				return 1
@@ -282,8 +293,24 @@ func scenarioCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, s
 			printPaths(stdout, name, paths, start)
 		}
 		return 0
+	case "mega":
+		targets, code := resolve()
+		if code != 0 {
+			return code
+		}
+		for _, name := range targets {
+			start := time.Now()
+			res, err := dimetrodon.RunMegaScenario(name, *trailingMachines, scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "dimctl: scenario %s failed: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "==== scenario %s (mega) ====\n%s", name, res)
+			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return 0
 	default:
-		fmt.Fprintf(stderr, "dimctl: unknown scenario subcommand %q (list, run, export)\n", args[0])
+		fmt.Fprintf(stderr, "dimctl: unknown scenario subcommand %q (list, run, export, mega)\n", args[0])
 		return 2
 	}
 }
@@ -432,15 +459,20 @@ func schedCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stde
 	}
 }
 
+// boolTrailingFlags names the trailing flags that take no value token, so
+// splitFlags does not consume the argument after a bare "-batched".
+var boolTrailingFlags = map[string]bool{"batched": true}
+
 // splitFlags partitions subcommand arguments into positional names and
-// trailing flag tokens (each flag here takes a value, passed either as
-// "-jobs=8" or "-jobs 8").
+// trailing flag tokens (value-taking flags accept either "-jobs=8" or
+// "-jobs 8"; boolean flags stand alone or use the "=" form).
 func splitFlags(args []string) (names, rest []string) {
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		if strings.HasPrefix(a, "-") {
 			rest = append(rest, a)
-			if !strings.Contains(a, "=") && i+1 < len(args) {
+			bare := strings.TrimLeft(a, "-")
+			if !strings.Contains(a, "=") && !boolTrailingFlags[bare] && i+1 < len(args) {
 				i++
 				rest = append(rest, args[i])
 			}
@@ -461,8 +493,10 @@ usage:
   dimctl [-scale S] [-jobs N] [-out DIR] export <id>  write plot-ready CSVs (or "all")
   dimctl scenario list                                list fleet scenarios
   dimctl [-scale S] [-jobs N] scenario run <name>...  run fleet scenarios (or "all")
+                                                      (-batched: shared-propagator SoA engine)
   dimctl [-scale S] [-jobs N] [-out DIR] scenario export <name>...
                                                       write scenario CSVs (or "all")
+  dimctl scenario mega <name>... [-machines N]        tiled mega-fleet summary (default 1M)
   dimctl sched policies                               list placement policies
   dimctl [-scale S] [-jobs N] sched run <name> [-policy P]
                                                       run a scheduled scenario

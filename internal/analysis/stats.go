@@ -67,6 +67,33 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// Quantiles returns the requested percentiles (each in [0,100]) of xs,
+// copying and sorting the input exactly once and indexing every quantile
+// out of the sorted slice. Each returned value is bit-identical to the
+// corresponding Percentile call; the single sort is what makes fleet-scale
+// aggregation O(n log n) instead of O(q·n log n). An empty input yields all
+// zeros.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out
+}
+
+// quantileSorted reads the p-th percentile out of an already-sorted,
+// non-empty slice by linear interpolation between closest ranks — the single
+// definition Percentile and Quantiles share, so the two can never drift.
+func quantileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -82,6 +109,28 @@ func Percentile(xs []float64, p float64) float64 {
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
+
+// Kahan is a compensated (Kahan) summation accumulator. Fleet aggregation
+// folds per-machine metrics in strict index order through Kahan sums, so the
+// totals stay exact to the last bit well past a million terms and — because
+// the reduction order is fixed — identical regardless of which path
+// (per-machine, batched, or tiled mega fleet) produced the terms. The zero
+// value is an empty sum.
+type Kahan struct {
+	sum, c float64
+}
+
+// Add folds x into the sum, carrying the rounding error of the addition in
+// the compensation term.
+func (k *Kahan) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total so far.
+func (k *Kahan) Sum() float64 { return k.sum }
 
 // LinearFit is the least-squares line y = Intercept + Slope·x, with the
 // coefficient of determination R2.

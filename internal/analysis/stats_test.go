@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestQuantilesMatchPercentile pins the bit-identity contract between the
+// sort-once Quantiles path and per-call Percentile, across the edge cases
+// the fleet aggregator leans on: empty input, a single element, the p=0 and
+// p=100 extremes, exact ranks and interpolated ranks.
+func TestQuantilesMatchPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{42.5}},
+		{"two", []float64{3, 1}},
+		{"five", []float64{9, 2, 7, 4, 100}},
+		{"repeats", []float64{5, 5, 5, 1, 5}},
+		{"negatives", []float64{-3, 0, 2.5, -7.25, 11}},
+	}
+	ps := []float64{-5, 0, 1, 25, 50, 75, 90, 99, 100, 120}
+	for _, tc := range cases {
+		got := Quantiles(tc.xs, ps...)
+		if len(got) != len(ps) {
+			t.Fatalf("%s: Quantiles returned %d values for %d percentiles", tc.name, len(got), len(ps))
+		}
+		for i, p := range ps {
+			want := Percentile(tc.xs, p)
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Errorf("%s: Quantiles p=%g = %v, Percentile = %v (must be bit-identical)", tc.name, p, got[i], want)
+			}
+		}
+	}
+}
+
+// TestQuantileEdgeValues pins the hand-computable cases: extremes clamp to
+// min/max, exact ranks return elements verbatim, and fractional ranks
+// interpolate linearly between closest ranks.
+func TestQuantileEdgeValues(t *testing.T) {
+	xs := []float64{10, 20, 30, 40} // ranks 0,1,2,3
+	check := func(p, want float64) {
+		t.Helper()
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("Percentile(%v, %g) = %v, want %v", xs, p, got, want)
+		}
+	}
+	check(0, 10)
+	check(100, 40)
+	check(-1, 10)  // clamps to min
+	check(101, 40) // clamps to max
+	// rank = p/100*(n-1): p=50 -> rank 1.5 -> midpoint of 20 and 30.
+	check(50, 25)
+	// p=25 -> rank 0.75 -> 10*(0.25) + 20*(0.75).
+	check(25, 17.5)
+	// Exact rank: p=100/3 -> rank 1 exactly.
+	check(100.0/3, 20)
+
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile([7], 99) = %v, want 7", got)
+	}
+}
+
+// TestKahanMillionTerms pins the compensated accumulator against an exact
+// big.Float reference over a summation that defeats naive float64 addition:
+// a large base term followed by a million small increments. This is the
+// fleet-accumulator regression at 1e6 synthetic machines — naive running
+// sums drift by whole units here, the Kahan sum must stay within one ulp of
+// exact.
+func TestKahanMillionTerms(t *testing.T) {
+	const n = 1_000_000
+	exact := new(big.Float).SetPrec(200)
+	var k Kahan
+	var naive float64
+
+	term := func(i int) float64 {
+		// Alternating magnitudes: each machine contributes ~1e8 worth of
+		// accumulated total against unit-scale per-machine values, the
+		// shape of summing watts and seconds across a mega fleet.
+		if i == 0 {
+			return 1e8
+		}
+		return 0.1 + 1e-6*float64(i%97)
+	}
+	for i := 0; i < n; i++ {
+		v := term(i)
+		k.Add(v)
+		naive += v
+		exact.Add(exact, new(big.Float).SetPrec(200).SetFloat64(v))
+	}
+	want, _ := exact.Float64()
+	if k.Sum() != want {
+		// Allow at most one ulp of slack: Kahan's error bound is O(1) ulp
+		// independent of n.
+		ulp := math.Nextafter(want, math.Inf(1)) - want
+		if math.Abs(k.Sum()-want) > ulp {
+			t.Errorf("Kahan sum = %.17g, exact = %.17g (diff %g > 1 ulp)", k.Sum(), want, k.Sum()-want)
+		}
+	}
+	if naive == want {
+		t.Log("naive sum happened to match exact; compensation untested by this data")
+	} else if math.Abs(naive-want) <= math.Abs(k.Sum()-want) {
+		t.Errorf("naive sum (err %g) no worse than Kahan (err %g); regression data lost its point",
+			naive-want, k.Sum()-want)
+	}
+}
+
+// TestKahanZero pins the zero value as an empty sum.
+func TestKahanZero(t *testing.T) {
+	var k Kahan
+	if k.Sum() != 0 {
+		t.Errorf("zero Kahan sum = %v, want 0", k.Sum())
+	}
+	k.Add(2.5)
+	k.Add(-2.5)
+	if k.Sum() != 0 {
+		t.Errorf("2.5 - 2.5 = %v, want 0", k.Sum())
+	}
+}

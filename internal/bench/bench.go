@@ -153,6 +153,22 @@ func Micros() []Micro {
 			},
 		},
 		{
+			Name: "mega-fleet",
+			Doc:  "fleet-diurnal tiled to 100k machines through the batched engine",
+			Run: func(iters int) error {
+				for i := 0; i < iters; i++ {
+					res, err := scenario.RunMegaByName("fleet-diurnal", 100_000, 0.05)
+					if err != nil {
+						return err
+					}
+					if res.Total != 100_000 || res.Base <= 0 {
+						return fmt.Errorf("mega run tiled %d machines from %d", res.Total, res.Base)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name: "fleet-sched",
 			Doc:  "sched-shootout scheduled run at golden scale, default policy",
 			Run: func(iters int) error {

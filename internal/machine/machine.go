@@ -234,7 +234,18 @@ type Machine struct {
 	lazy     bool
 	intFrom  units.Time
 	intEpoch uint64
+
+	// rngDraws counts every Uint64 drawn from the machine's RNG tree (the
+	// root and all Split descendants). A zero count after construction
+	// proves a configuration's dynamics are seed-insensitive, which the
+	// batched fleet path uses to replicate one simulated result across
+	// seeds.
+	rngDraws uint64
 }
+
+// RNGDraws reports how many raw draws the machine's RNG tree has produced
+// since construction finished (build-time seeding draws are excluded).
+func (m *Machine) RNGDraws() uint64 { return m.rngDraws }
 
 // New builds a machine from cfg. The thermal state starts at the all-idle
 // equilibrium, as a real testbed does after sitting idle.
@@ -269,6 +280,10 @@ func New(cfg Config) *Machine {
 		RNG:      rng.New(cfg.Seed),
 		cfg:      cfg,
 	}
+	// Instrument before any Split so every derived substream inherits the
+	// counter; the count is zeroed at the end of New so it reflects only
+	// post-build dynamics.
+	m.RNG.Instrument(&m.rngDraws)
 	if cfg.SMTContexts < 1 {
 		cfg.SMTContexts = 1
 		m.cfg.SMTContexts = 1
@@ -317,6 +332,9 @@ func New(cfg Config) *Machine {
 	for i, t := range idleSolve(&m.cfg, 1).temps {
 		m.Net.Net.SetTemp(thermal.NodeID(i), t)
 	}
+	// Construction consumed draws only for substream seeding; zero the
+	// counter so RNGDraws reflects dynamics alone.
+	m.rngDraws = 0
 	return m
 }
 

@@ -17,7 +17,8 @@ import "math"
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New or Split.
 type Source struct {
-	s [4]uint64
+	s     [4]uint64
+	draws *uint64
 }
 
 // splitmix64 advances the given state and returns the next output. It is used
@@ -44,15 +45,31 @@ func New(seed uint64) *Source {
 
 // Split derives an independent child generator from r. The child's stream is
 // a deterministic function of r's current state, and deriving it advances r
-// exactly once, so sibling splits are themselves independent.
+// exactly once, so sibling splits are themselves independent. A draw counter
+// installed with Instrument is inherited by the child, so one counter
+// observes an entire generator tree.
 func (r *Source) Split() *Source {
-	return New(r.Uint64())
+	c := New(r.Uint64())
+	c.draws = r.draws
+	return c
 }
+
+// Instrument attaches a draw counter to r and every generator later Split
+// from it: each Uint64 (and so every derived variate) increments *count. The
+// batched fleet path uses a zero post-build count as proof that a machine's
+// dynamics never consumed randomness, which licenses replicating its result
+// across seeds. Pass nil to detach. Not safe for concurrent draws on
+// generators sharing one counter; instrumented machines are stepped by a
+// single goroutine.
+func (r *Source) Instrument(count *uint64) { r.draws = count }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
+	if r.draws != nil {
+		*r.draws++
+	}
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
 	r.s[2] ^= r.s[0]

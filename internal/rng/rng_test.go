@@ -189,3 +189,41 @@ func TestExpFloat64Moments(t *testing.T) {
 		t.Errorf("exponential mean = %v, want ~1", mean)
 	}
 }
+
+// TestInstrumentCountsAcrossSplits pins the draw counter: every Uint64 on
+// the instrumented generator and on any descendant Split increments it
+// (including the draw Split itself consumes), detaching stops counting, and
+// an uninstrumented generator's stream is unchanged by instrumentation.
+func TestInstrumentCountsAcrossSplits(t *testing.T) {
+	var draws uint64
+	r := New(99)
+	r.Instrument(&draws)
+	child := r.Split() // one draw from r, counter inherited
+	if draws != 1 {
+		t.Fatalf("draws after Split = %d, want 1", draws)
+	}
+	child.Uint64()
+	grand := child.Split()
+	grand.Float64()
+	if draws != 4 {
+		t.Errorf("draws across the tree = %d, want 4", draws)
+	}
+	r.Instrument(nil)
+	r.Uint64()
+	if draws != 4 {
+		t.Errorf("detached root still counted: draws = %d, want 4", draws)
+	}
+
+	// Streams are identical with and without instrumentation.
+	a, b := New(7), New(7)
+	var c uint64
+	b.Instrument(&c)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("instrumentation perturbed the stream")
+		}
+	}
+	if c != 100 {
+		t.Errorf("counter = %d, want 100", c)
+	}
+}

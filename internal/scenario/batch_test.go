@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// batchedPinned runs a library scenario through the batched engine with the
+// integrator pinned, resetting the cross-run cache first so every invocation
+// exercises the engine rather than a prior test's results.
+func batchedPinned(t *testing.T, name, integrator string) *Result {
+	t.Helper()
+	spec, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q missing from the library", name)
+	}
+	pinned := *spec
+	pinned.Machine.Integrator = integrator
+	ResetBatchCache()
+	res, err := RunBatched(&pinned, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBatchedMatchesPerMachine is the batched-vs-per-machine equivalence
+// suite: for every library scenario, both integrators, and both a serial and
+// an 8-worker pool, the batched engine's rendered output and per-machine
+// results must be byte-identical to the independent path's. This is the
+// contract that makes RunBatched an optimisation rather than a semantic
+// fork — grouping, ladder sharing, arena stepping, seed-invariant
+// replication and deduplication all have to be invisible in the bytes.
+func TestBatchedMatchesPerMachine(t *testing.T) {
+	defer runner.SetJobs(runner.Jobs())
+	for _, name := range Names() {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %q missing from the library", name)
+		}
+		if spec.Scheduler != nil {
+			// Coupled fleets reject identically on both paths; pinned by
+			// TestBatchedSchedulerRejected.
+			continue
+		}
+		for _, integ := range []string{"exact", "leap"} {
+			runner.SetJobs(1)
+			want := runPinned(t, name, integ)
+			for _, jobs := range []int{1, 8} {
+				t.Run(name+"/"+integ+"/jobs"+string(rune('0'+jobs)), func(t *testing.T) {
+					runner.SetJobs(jobs)
+					got := batchedPinned(t, name, integ)
+					if g, w := got.String(), want.String(); g != w {
+						t.Errorf("batched output diverged from per-machine at %d jobs:\n%s", jobs, firstDiff(w, g))
+					}
+					if !reflect.DeepEqual(got.Machines, want.Machines) {
+						t.Errorf("batched per-machine results diverged from per-machine path at %d jobs", jobs)
+					}
+					if got.Fleet != want.Fleet {
+						t.Errorf("batched fleet aggregate diverged:\n batched %+v\n direct  %+v", got.Fleet, want.Fleet)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchedSchedulerRejected pins the scheduler-block contract: the
+// batched engine and the mega path refuse coupled fleets with exactly the
+// error the independent path gives, pointing at the fleetsched engine.
+func TestBatchedSchedulerRejected(t *testing.T) {
+	// Mirror of the fleetsched library's sched-shootout, declared inline
+	// because that library registers from its own package init, which
+	// in-package tests here never import.
+	spec := &Spec{
+		Name:   "sched-shootout",
+		Fleet:  FleetSpec{Machines: 12, BaseSeed: 8100, FanSpread: 0.4, AmbientSpreadC: 9},
+		Policy: PolicySpec{Kind: PolicyDimetrodon, P: 0.35, LMS: 25},
+		Scheduler: &SchedulerSpec{
+			Policy: PlaceCoolestFirst,
+			RoundS: 2,
+			Jobs: []JobClassSpec{
+				{Name: "batch", Rate: 0.55, Threads: 2, WorkS: 14, WorkSpread: 0.5},
+			},
+		},
+		DurationS:  400,
+		WarmupFrac: 0.1,
+		ViolationC: 47,
+	}
+	_, errDirect := Run(spec, goldenScale)
+	_, errBatched := RunBatched(spec, goldenScale)
+	_, errMega := RunMega(spec, 10_000, goldenScale)
+	if errDirect == nil || errBatched == nil || errMega == nil {
+		t.Fatalf("scheduler spec must be rejected on every path: direct=%v batched=%v mega=%v",
+			errDirect, errBatched, errMega)
+	}
+	if errBatched.Error() != errDirect.Error() {
+		t.Errorf("batched rejection %q differs from direct %q", errBatched, errDirect)
+	}
+	if errMega.Error() != errDirect.Error() {
+		t.Errorf("mega rejection %q differs from direct %q", errMega, errDirect)
+	}
+}
+
+// TestRunMegaTilesExactly pins the tiled mega path against a materialised
+// reference: aggregating the tiled accessor must equal aggregating an
+// actually materialised tiled slice, and the summary must name both the
+// tiled and the simulated fleet sizes.
+func TestRunMegaTilesExactly(t *testing.T) {
+	spec, ok := Get("multi-tenant")
+	if !ok {
+		t.Fatal("multi-tenant missing from the library")
+	}
+	const total = 1000
+	mega, err := RunMega(spec, total, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec.Fleet.Machines
+	if mega.Total != total || mega.Base != base {
+		t.Fatalf("mega sizes = (%d, %d), want (%d, %d)", mega.Total, mega.Base, total, base)
+	}
+
+	ResetBatchCache()
+	br, err := RunBatched(spec, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled := make([]MachineResult, total)
+	for i := range tiled {
+		tiled[i] = br.Machines[i%base]
+	}
+	if want := aggregate(spec, tiled); mega.Fleet != want {
+		t.Errorf("tiled-accessor aggregate diverged from materialised tiling:\n mega %+v\n want %+v", mega.Fleet, want)
+	}
+	if s := mega.String(); !strings.Contains(s, "mega fleet of 1000 machines (16 distinct simulated)") {
+		t.Errorf("mega summary missing the tiling line:\n%s", s)
+	}
+	if mega.Total < mega.Base {
+		t.Error("tiling invariant violated")
+	}
+	if _, err := RunMega(spec, base-1, goldenScale); err == nil {
+		t.Error("RunMega must reject totals below the compiled fleet size")
+	}
+}
+
+// TestBatchCacheDedupsAcrossRuns pins the cross-run cache: a second batched
+// run of the same spec at the same scale must resolve at least its group
+// representatives from cache instead of re-simulating.
+func TestBatchCacheDedupsAcrossRuns(t *testing.T) {
+	spec, ok := Get("multi-tenant")
+	if !ok {
+		t.Fatal("multi-tenant missing from the library")
+	}
+	ResetBatchCache()
+	if _, err := RunBatched(spec, goldenScale); err != nil {
+		t.Fatal(err)
+	}
+	h0, _, entries := BatchCacheStats()
+	if entries == 0 {
+		t.Fatal("first batched run stored nothing in the cross-run cache")
+	}
+	if _, err := RunBatched(spec, goldenScale); err != nil {
+		t.Fatal(err)
+	}
+	h1, _, _ := BatchCacheStats()
+	if h1 <= h0 {
+		t.Errorf("second identical run hit the cache %d times, want > %d", h1, h0)
+	}
+}
+
+// TestBatchedTelemetryRunsEveryMachine pins the telemetry constraint: with a
+// tap installed, result sharing stands down and every machine streams its
+// own samples.
+func TestBatchedTelemetryRunsEveryMachine(t *testing.T) {
+	spec, ok := Get("multi-tenant")
+	if !ok {
+		t.Fatal("multi-tenant missing from the library")
+	}
+	seen := make(map[int]bool)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	res, err := RunBatchedOpts(spec, goldenScale, RunOptions{
+		TelemetryEvery: 5,
+		OnTelemetry: func(s MachineSample) {
+			<-mu
+			seen[s.Index] = true
+			mu <- struct{}{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Machines {
+		if !seen[i] {
+			t.Errorf("machine %d produced no telemetry under the batched engine", i)
+		}
+	}
+}

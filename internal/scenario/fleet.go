@@ -61,47 +61,71 @@ func Aggregate(spec *Spec, machines []MachineResult) FleetAgg {
 
 // aggregate folds per-machine results into the fleet view.
 func aggregate(spec *Spec, machines []MachineResult) FleetAgg {
+	return aggregateFrom(spec, len(machines), func(i int) *MachineResult { return &machines[i] })
+}
+
+// aggregateFrom folds n per-machine results into the fleet view through an
+// index accessor, so callers that never materialise a full []MachineResult
+// — the mega path tiles a small distinct result set across millions of
+// indices — aggregate through the very same arithmetic as the per-machine
+// path.
+//
+// Summation order is part of the determinism contract: every floating-point
+// total is a compensated (Kahan) sum folded in strict index order 0..n-1,
+// never in worker-completion order, so the per-machine, batched and tiled
+// mega paths produce bit-identical aggregates regardless of how the
+// simulations were scheduled — and the compensation keeps the totals exact
+// to the last bit at million-machine scale, where naive running sums drift.
+// The temperature percentiles sort each distribution once and index every
+// quantile from the sorted copy (analysis.Quantiles), bit-identical to the
+// former per-quantile Percentile calls without their six full-fleet
+// copy+sorts.
+func aggregateFrom(spec *Spec, n int, at func(int) *MachineResult) FleetAgg {
 	var agg FleetAgg
-	means := make([]float64, len(machines))
-	peaks := make([]float64, len(machines))
-	var occ, injected float64
+	means := make([]float64, n)
+	peaks := make([]float64, n)
+	var workRate, power, occ, injected, violS, tm1S, webGood, webTput analysis.Kahan
 	agg.WebGoodMin = 1
-	for i, m := range machines {
+	for i := 0; i < n; i++ {
+		m := at(i)
 		means[i] = m.MeanJunction
 		peaks[i] = m.PeakJunction
-		agg.TotalWorkRate += m.WorkRate
-		agg.TotalPower += m.MeanPower
+		workRate.Add(m.WorkRate)
+		power.Add(m.MeanPower)
 		agg.TotalInjection += m.Injections
-		occ += m.BusyS + m.InjectedIdleS
-		injected += m.InjectedIdleS
-		agg.ViolationS += m.ViolationS
+		occ.Add(m.BusyS + m.InjectedIdleS)
+		injected.Add(m.InjectedIdleS)
+		violS.Add(m.ViolationS)
 		agg.TotalViolations += m.Violations
 		if m.Violations > 0 {
 			agg.MachinesViol++
 		}
 		agg.TM1Trips += m.TM1Trips
-		agg.TM1ThrottledS += m.TM1ThrottledS
+		tm1S.Add(m.TM1ThrottledS)
 		if m.Web != nil {
 			agg.WebMachines++
 			g := m.Web.GoodFraction()
-			agg.WebGoodMean += g
+			webGood.Add(g)
 			if g < agg.WebGoodMin {
 				agg.WebGoodMin = g
 			}
-			agg.WebThroughput += m.Web.Throughput
+			webTput.Add(m.Web.Throughput)
 		}
 	}
-	agg.MeanJunctionP50 = analysis.Percentile(means, 50)
-	agg.MeanJunctionP90 = analysis.Percentile(means, 90)
-	agg.MeanJunctionMax = analysis.Percentile(means, 100)
-	agg.PeakJunctionP50 = analysis.Percentile(peaks, 50)
-	agg.PeakJunctionP99 = analysis.Percentile(peaks, 99)
-	agg.PeakJunctionMax = analysis.Percentile(peaks, 100)
-	if occ > 0 {
-		agg.OverheadPct = 100 * injected / occ
+	agg.TotalWorkRate = workRate.Sum()
+	agg.TotalPower = power.Sum()
+	agg.ViolationS = violS.Sum()
+	agg.TM1ThrottledS = tm1S.Sum()
+	agg.WebThroughput = webTput.Sum()
+	mq := analysis.Quantiles(means, 50, 90, 100)
+	agg.MeanJunctionP50, agg.MeanJunctionP90, agg.MeanJunctionMax = mq[0], mq[1], mq[2]
+	pq := analysis.Quantiles(peaks, 50, 99, 100)
+	agg.PeakJunctionP50, agg.PeakJunctionP99, agg.PeakJunctionMax = pq[0], pq[1], pq[2]
+	if o := occ.Sum(); o > 0 {
+		agg.OverheadPct = 100 * injected.Sum() / o
 	}
 	if agg.WebMachines > 0 {
-		agg.WebGoodMean /= float64(agg.WebMachines)
+		agg.WebGoodMean = webGood.Sum() / float64(agg.WebMachines)
 	} else {
 		agg.WebGoodMin = 0
 	}

@@ -1,0 +1,49 @@
+package scenario
+
+import "testing"
+
+// BenchmarkMegaFleet measures the batched mega path against the independent
+// per-machine engine on the same spec. The batched side runs fleet-diurnal
+// tiled to 100k machines (24 distinct simulations, shared ladders, cross-run
+// dedup across iterations); the per-machine side runs the 24 independent
+// machine graphs directly. Both report ns/machine — per fleet member
+// summarised, the unit the mega path is built to amortise — and the batched
+// side additionally reports the cross-run cache hit rate. scripts/bench.sh
+// records all of it in BENCH_results.json.
+func BenchmarkMegaFleet(b *testing.B) {
+	const megaScale = 0.05
+	spec, ok := Get("fleet-diurnal")
+	if !ok {
+		b.Fatal("fleet-diurnal missing from the library")
+	}
+
+	b.Run("batched-100k", func(b *testing.B) {
+		const total = 100_000
+		ResetBatchCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunMega(spec, total, megaScale); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/machine")
+		hits, misses, _ := BatchCacheStats()
+		if lookups := hits + misses; lookups > 0 {
+			b.ReportMetric(100*float64(hits)/float64(lookups), "dedup-hit-pct")
+		}
+	})
+
+	b.Run("permachine", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(spec, megaScale); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(spec.Fleet.Machines), "ns/machine")
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/dtm"
+	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/units"
 	"repro/internal/webserver"
@@ -110,7 +112,16 @@ func runMachine(t MachineTrial, opts RunOptions) (MachineResult, error) {
 	if err != nil {
 		return MachineResult{}, err
 	}
+	return measure(m, tm1, srv, t, opts)
+}
 
+// measure drives an already-built machine through the trial's warmup and
+// measurement window and collects the per-machine result. It is the
+// post-construction half of runMachine, split out so the batched fleet path
+// can interpose on the Build seam (scratch arenas, shared propagator
+// adoption) and still measure through the one shared loop — which is what
+// makes batched output byte-identical to the per-machine path.
+func measure(m *machine.Machine, tm1 *dtm.TM1, srv *webserver.Server, t MachineTrial, opts RunOptions) (MachineResult, error) {
 	m.RunFor(t.Warmup)
 	cores := m.Config().Model.NumCores * m.Config().SMTContexts
 	var busy0, inj0 units.Time

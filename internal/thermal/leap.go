@@ -180,37 +180,81 @@ const (
 // least-recently-used slot on a miss. Two slots mirror the machine layer's
 // stepping pattern: leap windows only ever use the dominant ThermalStep, the
 // second slot absorbs a reconfigured machine sharing the network.
+//
+// Eviction is fully deterministic: recency decides, and equal recency
+// stamps — empty slots, or the clean epoch after a counter-wrap reset —
+// break the tie on the step-size key itself rather than on slot position,
+// so the victim never depends on the order step sizes happened to land in
+// slots. With ladders visible fleet-wide through the share cache, a
+// position-dependent choice would make one machine's slot history leak into
+// another's rebuild costs.
 func (n *Network) ladderFor(dts float64) *propLadder {
 	bits := math.Float64bits(dts)
-	n.decayTick++
+	tick := n.bumpTick()
 	victim := 0
 	for i := range n.ladders {
 		l := &n.ladders[i]
 		if l.bits == bits {
-			l.used = n.decayTick
+			l.used = tick
 			return l
 		}
-		if l.used < n.ladders[victim].used {
+		if v := &n.ladders[victim]; l.used < v.used || (l.used == v.used && l.bits < v.bits) {
 			victim = i
 		}
 	}
 	l := &n.ladders[victim]
-	*l = propLadder{bits: bits, used: n.decayTick}
+	*l = propLadder{bits: bits, used: tick}
 	return l
 }
 
-// level returns ladder rung lvl for step size dts, building rungs as needed.
+// bumpTick advances the shared recency clock for the decay and ladder
+// caches, guarding against wrap: when the counter would return to zero —
+// after which every stamped entry would look fresher than every new one and
+// the LRU order would invert — all recency stamps reset to a clean epoch and
+// the clock restarts from 1. Relative recency within the epoch is lost, but
+// the deterministic key tie-break keeps eviction well-defined.
+func (n *Network) bumpTick() uint64 {
+	n.decayTick++
+	if n.decayTick == 0 {
+		for i := range n.slots {
+			n.slots[i].used = 0
+		}
+		for i := range n.ladders {
+			n.ladders[i].used = 0
+		}
+		n.decayTick = 1
+	}
+	return n.decayTick
+}
+
+// level returns ladder rung lvl for step size dts, building rungs as
+// needed. With an adopted fleet snapshot, published rungs are used directly
+// (they are bit-identical to what a local build would produce) and local
+// building starts where the snapshot ends.
 func (n *Network) level(lad *propLadder, lvl int, dts float64) *propLevel {
+	ls := n.sharedLadder(lad.bits)
+	if ls != nil && lvl < len(ls.levels) {
+		return ls.levels[lvl]
+	}
 	for len(lad.levels) <= lvl {
 		lad.levels = append(lad.levels, propLevel{})
 	}
-	if lad.levels[0].built == false {
-		n.buildBase(&lad.levels[0], dts)
-	}
-	for j := 1; j <= lvl; j++ {
-		if !lad.levels[j].built {
-			squareLevel(&lad.levels[j], &lad.levels[j-1], len(n.nodes))
+	for j := 0; j <= lvl; j++ {
+		if lad.levels[j].built {
+			continue
 		}
+		if ls != nil && j < len(ls.levels) {
+			continue // served from the snapshot when asked for
+		}
+		if j == 0 {
+			n.buildBase(&lad.levels[0], dts)
+			continue
+		}
+		src := &lad.levels[j-1]
+		if ls != nil && j-1 < len(ls.levels) {
+			src = ls.levels[j-1]
+		}
+		squareLevel(&lad.levels[j], src, len(n.nodes))
 	}
 	return &lad.levels[lvl]
 }
@@ -230,6 +274,18 @@ func (n *Network) propFor(lad *propLadder, c int, dts float64) *propLevel {
 		}
 	} else if l, ok := lad.composed[c]; ok {
 		return l
+	}
+	// Adopted fleet snapshot: published composed windows serve misses
+	// directly — the common case in a homogeneous fleet, whose machines
+	// all leap the same tick-bounded window lengths.
+	if ls := n.sharedLadder(lad.bits); ls != nil {
+		if c < leapSmallMax {
+			if l := ls.small[c]; l != nil {
+				return l
+			}
+		} else if l, ok := ls.composed[c]; ok {
+			return l
+		}
 	}
 	nn := len(n.nodes)
 	// Compose the digits in the ping-pong scratch pair, so only the final

@@ -109,6 +109,16 @@ type Network struct {
 	leapChunks  uint64
 	leapSteps   uint64
 	leapRejects uint64
+
+	// shared is the adopted fleet-wide propagator/decay snapshot (see
+	// sharecache.go); nil outside batched fleet runs. Consulted read-only
+	// on cache misses, never mutated.
+	shared *PropShare
+	// scratch, when set via SetScratch, backs the network's mutable
+	// per-step state (temperatures and integration scratch) so a batched
+	// fleet can lay every machine's thermal state out in one contiguous
+	// structure-of-arrays slab.
+	scratch []float64
 }
 
 // NewNetwork returns an empty network.
@@ -237,8 +247,28 @@ func (n *Network) flatten() {
 			n.adjG[base+k] = n.nodes[i].conds[k]
 		}
 	}
-	n.eq = make([]float64, nn)
-	n.pow = make([]float64, nn)
+	// Mutable per-step state: carved out of the caller-provided arena when
+	// one is bound (batched fleets pack every machine's temperatures and
+	// scratch into one contiguous slab), freshly allocated otherwise. The
+	// arena path is semantically identical — every carved slice starts
+	// zeroed, and the current temperatures are copied across.
+	alloc := func(sz int) []float64 { return make([]float64, sz) }
+	if len(n.scratch) >= ScratchLen(nn) {
+		buf := n.scratch
+		alloc = func(sz int) []float64 {
+			s := buf[:sz:sz]
+			buf = buf[sz:]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+		temp := alloc(nn)
+		copy(temp, n.temp)
+		n.temp = temp
+	}
+	n.eq = alloc(nn)
+	n.pow = alloc(nn)
 	for s := range n.slots {
 		n.slots[s] = decaySlot{decay: make([]float64, nn)}
 	}
@@ -247,14 +277,17 @@ func (n *Network) flatten() {
 		n.ladders[l] = propLadder{}
 	}
 	n.leapLevel = 0
-	n.leapPow = make([]float64, nn)
-	n.leapPow2 = make([]float64, nn)
-	n.leapTemp = make([]float64, nn)
-	n.leapDiff = make([]float64, nn)
-	n.leapEvalT = make([]float64, nn)
-	n.leapXY = make([]float64, 2*nn)
+	n.leapPow = alloc(nn)
+	n.leapPow2 = alloc(nn)
+	n.leapTemp = alloc(nn)
+	n.leapDiff = alloc(nn)
+	n.leapEvalT = alloc(nn)
+	n.leapXY = alloc(2 * nn)
 	n.compA, n.compB = propLevel{}, propLevel{}
 	n.allRows = n.allRows[:0]
+	// A topology change invalidates any adopted fleet snapshot: the shared
+	// propagators were built for the old structure.
+	n.shared = nil
 	n.dirty = false
 }
 
@@ -265,25 +298,36 @@ func (n *Network) flatten() {
 // change cost, never output.
 func (n *Network) decayFor(dts float64) []float64 {
 	bits := math.Float64bits(dts)
-	n.decayTick++
+	tick := n.bumpTick()
 	victim := 0
 	for i := range n.slots {
 		s := &n.slots[i]
 		if s.bits == bits {
-			s.used = n.decayTick
+			s.used = tick
 			return s.decay
 		}
-		if s.used < n.slots[victim].used {
+		// Deterministic LRU: recency first, key bits on ties (see
+		// ladderFor), so the victim never depends on slot order.
+		if v := &n.slots[victim]; s.used < v.used || (s.used == v.used && s.bits < v.bits) {
 			victim = i
 		}
 	}
-	// Miss: recompute into the least-recently-used slot.
+	// Miss: fill the victim slot, from the fleet-shared snapshot when one
+	// is adopted (bit-identical to recomputing — the factors are a pure
+	// function of the shared topology), else by recomputing.
 	s := &n.slots[victim]
 	s.bits = bits
-	s.used = n.decayTick
+	s.used = tick
+	if n.shared != nil {
+		if d, ok := n.shared.decay[bits]; ok {
+			copy(s.decay, d)
+			return s.decay
+		}
+	}
 	for i := range n.nodes {
 		nd := &n.nodes[i]
 		if nd.boundary || nd.gSum == 0 {
+			s.decay[i] = 0
 			continue
 		}
 		tau := nd.capJ / nd.gSum

@@ -35,6 +35,11 @@ else
     # both the leap (default) and exact integrators.
     go test -run '^$' -bench 'FleetScenario' \
         -benchmem -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
+    # Mega fleet: the batched engine tiling fleet-diurnal to 100k machines
+    # against the independent per-machine baseline; reports ns per fleet
+    # member summarised and the cross-run dedup hit rate.
+    go test -run '^$' -bench 'MegaFleet' \
+        -benchmem -benchtime "$HARNESS_BENCHTIME" ./internal/scenario/ | tee -a "$raw"
     # Fleet scheduler: one iteration is a whole scheduled run under both
     # integrators (and the six-policy comparison sweep).
     go test -run '^$' -bench 'FleetSched' \
@@ -56,6 +61,8 @@ awk '
         for (i = 3; i <= NF; i++) {
             if ($i == "ns/op") { ns[name] = $(i - 1); found = 1 }
             if ($i == "allocs/op") { allocs[name] = $(i - 1) }
+            if ($i == "ns/machine") { nsmach[name] = $(i - 1) }
+            if ($i == "dedup-hit-pct") { dedup[name] = $(i - 1) }
         }
         if (!found) next
         if (!(name in allocs)) allocs[name] = "null"
@@ -65,8 +72,11 @@ awk '
         printf "{\n"
         for (i = 1; i <= n; i++) {
             key = order[i]
-            printf "  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}%s\n", \
-                key, ns[key], allocs[key], (i < n ? "," : "")
+            extra = ""
+            if (key in nsmach) extra = extra sprintf(", \"ns_machine\": %s", nsmach[key])
+            if (key in dedup) extra = extra sprintf(", \"dedup_hit_pct\": %s", dedup[key])
+            printf "  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s%s}%s\n", \
+                key, ns[key], allocs[key], extra, (i < n ? "," : "")
         }
         printf "}\n"
     }
