@@ -56,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return benchCmd(rest[1:], stdout, stderr)
 	case "remote":
 		return remoteCmd(rest[1:], *scale, *outDir, stdout, stderr)
+	case "trace":
+		return traceCmd(rest[1:], stdout, stderr)
+	case "top":
+		return topCmd(rest[1:], stdout, stderr)
 	case "scenario":
 		return scenarioCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
 	case "sched":
@@ -461,7 +465,7 @@ func schedCmd(args []string, scale dimetrodon.Scale, outDir string, stdout, stde
 
 // boolTrailingFlags names the trailing flags that take no value token, so
 // splitFlags does not consume the argument after a bare "-batched".
-var boolTrailingFlags = map[string]bool{"batched": true}
+var boolTrailingFlags = map[string]bool{"batched": true, "once": true}
 
 // splitFlags partitions subcommand arguments into positional names and
 // trailing flag tokens (value-taking flags accept either "-jobs=8" or
@@ -508,6 +512,8 @@ usage:
                                                       run jobs on a dimd daemon
   dimctl remote [-addr URL] jobs|status|cancel|metrics
                                                       inspect a dimd daemon
+  dimctl trace <job-id> [-addr URL] [-out FILE]       fetch a job's Chrome trace JSON
+  dimctl top [-addr URL] [-once] [-interval D]        live fleet heat map
 
 flags:
 `)

@@ -1,0 +1,205 @@
+// dimctl's observability commands: `trace` pulls a job's span trace from a
+// dimd daemon as Chrome trace-event JSON, and `top` renders the daemon's live
+// fleet heat map in the terminal — the operator's view of which machines run
+// hot while their jobs are still in flight.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// traceCmd implements `dimctl trace <job-id>... [-addr URL] [-out FILE]`:
+// fetch each job's Chrome trace-event JSON (load it in chrome://tracing or
+// https://ui.perfetto.dev). With -out the first job's trace writes to FILE;
+// otherwise traces stream to stdout.
+func traceCmd(args []string, stdout, stderr io.Writer) int {
+	ids, rest := splitFlags(args)
+	trailing := flag.NewFlagSet("trace", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	addr := trailing.String("addr", remoteAddrDefault(), "dimd base URL (or $DIMD_ADDR)")
+	out := trailing.String("out", "", "write the trace JSON to this file instead of stdout")
+	if len(rest) > 0 {
+		if err := trailing.Parse(rest); err != nil {
+			return 2
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "dimctl: trace requires job IDs")
+		return 2
+	}
+	if *out != "" && len(ids) > 1 {
+		fmt.Fprintln(stderr, "dimctl: trace -out takes exactly one job ID")
+		return 2
+	}
+	c := service.NewRetryClient(*addr, service.RetryPolicy{})
+	for _, id := range ids {
+		data, err := c.Trace(id)
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: trace %s: %v\n", id, err)
+			return 1
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintf(stderr, "dimctl: trace: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s -> %s (%d bytes)\n", id, *out, len(data))
+			continue
+		}
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+// topCmd implements `dimctl top [-addr URL] [-once] [-interval D]`: the live
+// fleet heat map. Each in-flight job renders one row of heat cells (machine
+// indices fold modulo the cell count), shaded by peak junction temperature.
+// -once prints a single frame and exits; the default follows the daemon's SSE
+// feed, redrawing in place until interrupted.
+func topCmd(args []string, stdout, stderr io.Writer) int {
+	_, rest := splitFlags(args)
+	trailing := flag.NewFlagSet("top", flag.ContinueOnError)
+	trailing.SetOutput(stderr)
+	addr := trailing.String("addr", remoteAddrDefault(), "dimd base URL (or $DIMD_ADDR)")
+	once := trailing.Bool("once", false, "print one frame and exit")
+	interval := trailing.Duration("interval", 0, "frame cadence (0 = server default, 500ms)")
+	width := trailing.Int("width", 64, "heat cells per row")
+	if len(rest) > 0 {
+		if err := trailing.Parse(rest); err != nil {
+			return 2
+		}
+	}
+	c := service.NewRetryClient(*addr, service.RetryPolicy{})
+	if *once {
+		f, err := c.Heat()
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: top: %v\n", err)
+			return 1
+		}
+		renderHeatFrame(stdout, f, *width)
+		return 0
+	}
+	err := c.HeatStream(context.Background(), *interval, func(f service.HeatFrame) error {
+		fmt.Fprint(stdout, "\x1b[H\x1b[2J") // home + clear: redraw in place
+		renderHeatFrame(stdout, f, *width)
+		return nil
+	})
+	if err != nil && err != context.Canceled {
+		fmt.Fprintf(stderr, "dimctl: top: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// heatRamp shades a cell by temperature, cold to hot.
+const heatRamp = " .:-=+*#%@"
+
+// renderHeatFrame draws one heat frame: a header, then one row per job with
+// its cells downsampled to width characters. The shade scale is per-frame
+// (coldest visible cell to hottest), so relative hotspots stand out whatever
+// the absolute fleet temperatures are.
+func renderHeatFrame(w io.Writer, f service.HeatFrame, width int) {
+	if width < 8 {
+		width = 8
+	}
+	fmt.Fprintf(w, "dimd fleet heat  %s  %d job(s)\n", f.At.Format("15:04:05"), len(f.Jobs))
+	if len(f.Jobs) == 0 {
+		fmt.Fprintln(w, "  (no jobs streaming telemetry)")
+		return
+	}
+	lo, hi := frameRange(f)
+	fmt.Fprintf(w, "scale %s  %.1fC .. %.1fC\n", strings.TrimLeft(heatRamp, " "), lo, hi)
+	for _, j := range f.Jobs {
+		fmt.Fprintf(w, "%-12s %6d mach  max %6.1fC (m%d)  mean %6.1fC  t=%.0fs",
+			j.Job, j.Machines, j.MaxC, j.HottestMachine, j.MeanC, j.VirtualS)
+		if j.Round > 0 {
+			fmt.Fprintf(w, "  round %d", j.Round)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  [%s]\n", heatRow(j.Cells, width, lo, hi))
+	}
+}
+
+// frameRange finds the shade scale: the frame's coldest non-zero and hottest
+// cells, widened to at least one degree so a uniform fleet is not all-hot.
+func frameRange(f service.HeatFrame) (lo, hi float64) {
+	lo, hi = 0, 1
+	first := true
+	for _, j := range f.Jobs {
+		for _, c := range j.Cells {
+			if c <= 0 {
+				continue
+			}
+			if first || c < lo {
+				lo = c
+			}
+			if first || c > hi {
+				hi = c
+			}
+			first = false
+		}
+	}
+	if hi < lo+1 {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// heatRow downsamples cells to width shade characters, keeping each output
+// column's maximum (a hotspot must never average away).
+func heatRow(cells []float64, width int, lo, hi float64) string {
+	if len(cells) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	if width > len(cells) {
+		width = len(cells)
+	}
+	var b strings.Builder
+	for col := 0; col < width; col++ {
+		start := col * len(cells) / width
+		end := (col + 1) * len(cells) / width
+		if end <= start {
+			end = start + 1
+		}
+		max := 0.0
+		for _, c := range cells[start:end] {
+			if c > max {
+				max = c
+			}
+		}
+		b.WriteByte(heatChar(max, lo, hi))
+	}
+	return b.String()
+}
+
+// heatChar maps one temperature onto the ramp; zero (never sampled) is blank.
+func heatChar(c, lo, hi float64) byte {
+	if c <= 0 {
+		return ' '
+	}
+	idx := 1 + int(float64(len(heatRamp)-2)*(c-lo)/(hi-lo)+0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	return heatRamp[idx]
+}
+
+// remoteAddrDefault resolves the daemon address default ($DIMD_ADDR or the
+// documented localhost endpoint), shared by every daemon-facing subcommand.
+func remoteAddrDefault() string {
+	if a := os.Getenv("DIMD_ADDR"); a != "" {
+		return a
+	}
+	return defaultAddr
+}

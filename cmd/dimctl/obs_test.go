@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceCommand(t *testing.T) {
+	addr := newTestDaemon(t)
+
+	code, stdout, stderr := runCLI(t, "remote", "run", "fleet-diurnal", "-addr", addr, "-scale", "0.05")
+	if code != 0 {
+		t.Fatalf("remote run failed: %s", stderr)
+	}
+	_ = stdout
+
+	code, stdout, stderr = runCLI(t, "remote", "jobs", "-addr", addr)
+	if code != 0 {
+		t.Fatalf("remote jobs failed: %s", stderr)
+	}
+	job := strings.Fields(stdout)[0]
+
+	// Trace to stdout is the raw Chrome trace document.
+	code, stdout, stderr = runCLI(t, "trace", job, "-addr", addr)
+	if code != 0 {
+		t.Fatalf("trace failed: %s", stderr)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("trace output is not JSON: %v\n%s", err, stdout)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	phases := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "lifecycle" {
+			phases[e.Name] = true
+		}
+	}
+	for _, want := range []string{"submit", "queue", "run", "finalize", "done"} {
+		if !phases[want] {
+			t.Errorf("trace missing lifecycle phase %q (have %v)", want, phases)
+		}
+	}
+
+	// -out writes the same document to a file and reports the byte count.
+	out := filepath.Join(t.TempDir(), "trace.json")
+	code, stdout, stderr = runCLI(t, "trace", job, "-addr", addr, "-out", out)
+	if code != 0 {
+		t.Fatalf("trace -out failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, job) || !strings.Contains(stdout, "bytes") {
+		t.Fatalf("trace -out did not report the written file:\n%s", stdout)
+	}
+	if b, err := os.ReadFile(out); err != nil || len(b) == 0 {
+		t.Fatalf("trace -out wrote nothing: %v", err)
+	}
+
+	// Unknown jobs are an error, not an empty trace.
+	if code, _, stderr := runCLI(t, "trace", "no-such-job", "-addr", addr); code == 0 {
+		t.Fatal("trace of unknown job exited zero")
+	} else if stderr == "" {
+		t.Fatal("trace of unknown job printed no error")
+	}
+
+	// Bare trace is a usage error.
+	if code, _, _ := runCLI(t, "trace"); code != 2 {
+		t.Fatalf("bare trace exited %d, want 2", code)
+	}
+}
+
+func TestTopOnce(t *testing.T) {
+	addr := newTestDaemon(t)
+
+	code, stdout, stderr := runCLI(t, "top", "-once", "-addr", addr)
+	if code != 0 {
+		t.Fatalf("top -once failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "dimd fleet heat") {
+		t.Fatalf("top frame missing header:\n%s", stdout)
+	}
+}
+
+func TestHeatRowDownsamplesKeepingMax(t *testing.T) {
+	cells := make([]float64, 512)
+	for i := range cells {
+		cells[i] = 20
+	}
+	cells[100] = 90 // hottest cell must survive any downsample
+
+	row := heatRow(cells, 64, 20, 90)
+	if len(row) != 64 {
+		t.Fatalf("row width %d, want 64", len(row))
+	}
+	// The hottest cell maps to the top of the ramp; every other column sits
+	// at the bottom rung.
+	hot := heatRamp[len(heatRamp)-1]
+	if strings.Count(row, string(hot)) != 1 {
+		t.Fatalf("downsample lost the hottest cell: %q", row)
+	}
+	if strings.ContainsRune(row, ' ') {
+		t.Fatalf("live cells rendered blank: %q", row)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +43,7 @@ import (
 
 	dimetrodon "repro"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -64,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound before in-flight jobs are cancelled")
 	dataDir := fs.String("data-dir", "", "durable state directory (job journal, checkpoints, artifacts); empty = in-memory")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "scheduled-run checkpoint cadence in round barriers; 0 = default (5), negative disables")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text, json or off")
+	logLevel := fs.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
+	profilePhases := fs.Bool("profile-phases", false, "accumulate engine phase timings (exported as dimd_phase_seconds_total)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +87,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "dimd: %v\n", err)
 		return 2
 	}
+	logger, err := buildLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "dimd: %v\n", err)
+		return 2
+	}
+	obs.EnableProfiling(*profilePhases)
 
 	if *dataDir != "" {
 		cleanupPid, err := writePidFile(*dataDir, stderr)
@@ -99,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		DefaultScale:    *scale,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "dimd: %v\n", err)
@@ -147,6 +159,37 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stdout, "dimd: drained, bye")
 	return 0
+}
+
+// buildLogger assembles the daemon's structured logger from the -log-format
+// and -log-level flags. Logs go to stderr so the human-readable stdout lines
+// ("serving on", "drained, bye") stay machine-greppable; "off" keeps the
+// logger nil, which the service discards.
+func buildLogger(stderr io.Writer, format, level string) (*slog.Logger, error) {
+	if format == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(stderr, ho)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text, json or off)", format)
 }
 
 // writePidFile claims the data directory via dimd.pid, refusing to start

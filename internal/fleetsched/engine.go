@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -15,6 +16,20 @@ import (
 	"repro/internal/webserver"
 	"repro/internal/workload"
 )
+
+// Phase profiler accumulators for the scheduled engine: fleet construction
+// and the parallel advance phase between round barriers. Dispatch itself is
+// single-threaded and tiny; the advance phase is where the simulation time
+// goes.
+var (
+	phaseSchedBuild   = obs.RegisterPhase("sched.build")
+	phaseSchedAdvance = obs.RegisterPhase("sched.advance")
+)
+
+// traceRoundSpans bounds per-round trace spans: early rounds show the
+// dispatch/advance cadence; ten thousand more would only rotate the span
+// budget.
+const traceRoundSpans = 64
 
 // ewmaAlpha weights the newest round's hottest-junction reading in the
 // per-machine EWMA the headroom policy consumes. 0.3 remembers roughly the
@@ -266,6 +281,12 @@ type Options struct {
 	// uninterrupted run's — the digest check proves it rather than assuming
 	// it.
 	Resume *Checkpoint
+
+	// Trace, when non-nil, records engine spans (build, the first rounds'
+	// advances, aggregate) into the job's tracer. Purely observational: spans
+	// read the wall clock and already-computed values, never simulation
+	// state, so traced output is byte-identical to untraced.
+	Trace *obs.Tracer
 }
 
 // RoundTelemetry is one round barrier's fleet snapshot: what the dispatcher
@@ -346,10 +367,14 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 		return nil, err
 	}
 
+	spBuild := opts.Trace.Start("build", "sched", 0)
+	bt := phaseSchedBuild.Start()
 	trials := spec.Compile(scale)
 	nodes, err := runner.MapErr(trials, func(_ int, t scenario.MachineTrial) (*node, error) {
 		return buildNode(t)
 	})
+	phaseSchedBuild.StopN(bt, int64(len(trials)))
+	spBuild.EndArgs(map[string]any{"machines": len(trials)})
 	if err != nil {
 		return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
 	}
@@ -472,12 +497,19 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 		}
 		roundNo++
 
+		var spRound obs.Span
+		if roundNo <= traceRoundSpans {
+			spRound = opts.Trace.Start(fmt.Sprintf("round-%04d", roundNo-1), "sched", 0)
+		}
+		at := phaseSchedAdvance.Start()
 		if _, err := runner.MapCtx(opts.Context, nodes, func(_ int, n *node) struct{} {
 			n.advance(next, units.Celsius(violC))
 			return struct{}{}
 		}); err != nil {
 			return nil, fmt.Errorf("fleetsched: scenario %q: %w", spec.Name, err)
 		}
+		phaseSchedAdvance.StopN(at, int64(len(nodes)))
+		spRound.EndArgs(map[string]any{"now_s": next.Seconds()})
 		now = next
 	}
 	if opts.Resume != nil && !resumed {
@@ -493,6 +525,7 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 		Round:    round,
 		Jobs:     jobs,
 	}
+	spAgg := opts.Trace.Start("aggregate", "sched", 0)
 	res.Machines = make([]MachineStats, len(nodes))
 	for i, n := range nodes {
 		res.Machines[i] = n.finish(duration)
@@ -503,6 +536,7 @@ func RunOpts(spec *scenario.Spec, policyName string, scale float64, opts Options
 	}
 	res.Fleet = scenario.Aggregate(spec, base)
 	res.Placement = aggregatePlacement(res.Machines, jobs, dispatched, migrations)
+	spAgg.End()
 	return res, nil
 }
 

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The phase profiler: named monotonic-clock accumulators wrapped around the
+// simulation hot path's coarse phases — the metric-tick step loop, leap
+// propagator ladder builds, the Kahan fleet aggregation. Phases are
+// process-wide (registered once, accumulated from any goroutine) because the
+// hot path they instrument is fanned across the runner pool.
+//
+// Cost discipline: instrumented code calls Phase.Start, which is a single
+// atomic load when profiling is disabled (the overwhelming default) and one
+// time.Now() when enabled. Nothing sits inside the per-step thermal kernel —
+// accumulators wrap the tick loop around it — so kernel benchmarks see zero
+// overhead either way.
+
+var profEnabled atomic.Bool
+
+var phaseReg = struct {
+	sync.Mutex
+	byName map[string]*Phase
+	order  []*Phase
+}{byName: map[string]*Phase{}}
+
+// Phase is one named accumulator: total nanoseconds and entry count.
+type Phase struct {
+	name  string
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// RegisterPhase returns the process-wide phase accumulator with the given
+// name, creating it on first use. Intended for package-level vars at the
+// instrumentation sites.
+func RegisterPhase(name string) *Phase {
+	phaseReg.Lock()
+	defer phaseReg.Unlock()
+	if p, ok := phaseReg.byName[name]; ok {
+		return p
+	}
+	p := &Phase{name: name}
+	phaseReg.byName[name] = p
+	phaseReg.order = append(phaseReg.order, p)
+	return p
+}
+
+// EnableProfiling turns the phase profiler on or off process-wide.
+func EnableProfiling(on bool) { profEnabled.Store(on) }
+
+// ProfilingEnabled reports the profiler state.
+func ProfilingEnabled() bool { return profEnabled.Load() }
+
+// Start begins timing one phase entry. It returns the zero time when
+// profiling is disabled; Stop on a zero time is a no-op, so call sites need
+// no branches of their own.
+func (p *Phase) Start() time.Time {
+	if !profEnabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop accumulates the time since t0 as one phase entry.
+func (p *Phase) Stop(t0 time.Time) { p.StopN(t0, 1) }
+
+// StopN accumulates the time since t0 as n phase entries — for loops that
+// time a whole batch with one clock-read pair.
+func (p *Phase) StopN(t0 time.Time, n int64) {
+	if t0.IsZero() {
+		return
+	}
+	p.ns.Add(int64(time.Since(t0)))
+	p.count.Add(n)
+}
+
+// PhaseStat is one phase's accumulated totals.
+type PhaseStat struct {
+	Name  string
+	NS    int64
+	Count int64
+}
+
+// PerCallNS returns the mean nanoseconds per counted entry (0 if none).
+func (s PhaseStat) PerCallNS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.NS) / float64(s.Count)
+}
+
+// ProfileSnapshot returns every registered phase's totals, sorted by name.
+// Phases with no entries are included — a reader can distinguish "never ran"
+// from "not instrumented".
+func ProfileSnapshot() []PhaseStat {
+	phaseReg.Lock()
+	phases := append([]*Phase(nil), phaseReg.order...)
+	phaseReg.Unlock()
+	out := make([]PhaseStat, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, PhaseStat{Name: p.name, NS: p.ns.Load(), Count: p.count.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetProfile zeroes every registered phase accumulator.
+func ResetProfile() {
+	phaseReg.Lock()
+	phases := append([]*Phase(nil), phaseReg.order...)
+	phaseReg.Unlock()
+	for _, p := range phases {
+		p.ns.Store(0)
+		p.count.Store(0)
+	}
+}
+
+// ProfileReport renders the snapshot as an aligned text table — what `dimctl`
+// and dimd's logs print after a profiled run.
+func ProfileReport() string {
+	stats := ProfileSnapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %12s %14s\n", "phase", "total_ms", "count", "ns/call")
+	for _, s := range stats {
+		if s.Count == 0 && s.NS == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-28s %14.3f %12d %14.1f\n",
+			s.Name, float64(s.NS)/1e6, s.Count, s.PerCallNS())
+	}
+	return b.String()
+}
+
+// CollectPhases renders the profiler as Prometheus exposition lines
+// (dimd_phase_seconds_total / dimd_phase_calls_total, labelled by phase) —
+// registered as a Registry collector by the daemon. Nothing is emitted while
+// profiling is disabled or before any phase has accumulated, so the default
+// exposition document stays pinned to its golden.
+func CollectPhases(b *strings.Builder) {
+	if !profEnabled.Load() {
+		return
+	}
+	stats := ProfileSnapshot()
+	any := false
+	for _, s := range stats {
+		if s.Count > 0 || s.NS > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("# HELP dimd_phase_seconds_total wall seconds accumulated per profiled phase\n")
+	b.WriteString("# TYPE dimd_phase_seconds_total counter\n")
+	for _, s := range stats {
+		if s.Count == 0 && s.NS == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "dimd_phase_seconds_total{phase=%q} %.9f\n", s.Name, float64(s.NS)/1e9)
+	}
+	b.WriteString("# HELP dimd_phase_calls_total entries accumulated per profiled phase\n")
+	b.WriteString("# TYPE dimd_phase_calls_total counter\n")
+	for _, s := range stats {
+		if s.Count == 0 && s.NS == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "dimd_phase_calls_total{phase=%q} %d\n", s.Name, s.Count)
+	}
+}

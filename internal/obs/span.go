@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Tracer records spans for one traced unit of work (the daemon creates one
+// per job) and exports them as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto. All methods are safe on a nil *Tracer —
+// every call no-ops — so engines thread a tracer unconditionally and untraced
+// runs pay only a nil check.
+//
+// Spans are bounded: past maxSpans further Start calls record nothing but
+// count as dropped, so a million-machine fleet cannot balloon a job's trace.
+// Span timings come from the wall clock alone; a tracer never reads or
+// perturbs simulation state.
+type Tracer struct {
+	mu      sync.Mutex
+	t0      time.Time
+	spans   []span
+	max     int
+	dropped int
+}
+
+type span struct {
+	name    string
+	cat     string
+	tid     int
+	phase   byte // 'X' complete, 'i' instant
+	startNS int64
+	durNS   int64
+	args    map[string]any
+}
+
+// DefaultMaxSpans bounds one tracer's retained spans.
+const DefaultMaxSpans = 8192
+
+// NewTracer returns a tracer with the default span bound.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now(), max: DefaultMaxSpans}
+}
+
+// Span is an in-flight span handle; End (or EndArgs) completes it. The zero
+// value (from a nil tracer or an exhausted span budget) no-ops on End.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Start opens a span. cat groups spans in the trace viewer ("lifecycle",
+// "scenario", "sched", "machine"); tid picks the horizontal track (0 for the
+// job's main track, a machine index for per-machine tracks).
+func (t *Tracer) Start(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End completes the span.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs completes the span with key/value annotations shown in the trace
+// viewer's detail pane.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.t.add(span{
+		name: s.name, cat: s.cat, tid: s.tid, phase: 'X',
+		startNS: s.start.Sub(s.t.t0).Nanoseconds(), durNS: dur.Nanoseconds(),
+		args: args,
+	})
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(name, cat string, tid int) {
+	if t == nil {
+		return
+	}
+	t.add(span{name: name, cat: cat, tid: tid, phase: 'i',
+		startNS: time.Since(t.t0).Nanoseconds()})
+}
+
+func (t *Tracer) add(s span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Len returns the number of retained spans; Dropped how many the bound shed.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans the retention bound shed.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one element of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds ('X' events)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavour of the trace-event format, which
+// both chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the retained spans as Chrome trace-event JSON. It is
+// safe to call while spans are still being recorded — the export is a
+// snapshot.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	if t == nil {
+		return json.Marshal(chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
+	}
+	t.mu.Lock()
+	spans := append([]span(nil), t.spans...)
+	t.mu.Unlock()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.name, Cat: s.cat, Ph: string(s.phase), PID: 1, TID: s.tid,
+			TS:   float64(s.startNS) / 1e3,
+			Dur:  float64(s.durNS) / 1e3,
+			Args: s.args,
+		})
+	}
+	return json.Marshal(out)
+}

@@ -28,9 +28,19 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/thermal"
 	"repro/internal/units"
+)
+
+// Batched-path phase accumulators: the fingerprint/group pass and the
+// representative runs that publish shared ladders. Members and duplicates
+// measure through the same scenario.step/scenario.warmup phases as the
+// per-machine path.
+var (
+	phaseGroup     = obs.RegisterPhase("scenario.group")
+	phaseRepresent = obs.RegisterPhase("scenario.represent")
 )
 
 // effectiveIntegrator resolves the integrator a trial of this spec will run
@@ -230,7 +240,11 @@ func RunBatchedOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error)
 		// Same contract as RunOpts: coupled fleets run through fleetsched.
 		return nil, fmt.Errorf("scenario %q: has a scheduler block; run it through the fleetsched engine (dimctl sched run %s)", spec.Name, spec.Name)
 	}
+	spc := opts.Trace.Start("compile", "scenario", 0)
+	ct := phaseCompile.Start()
 	trials := spec.Compile(scale)
+	phaseCompile.Stop(ct)
+	spc.EndArgs(map[string]any{"machines": len(trials)})
 	machines, err := runTrialsBatched(spec, scale, trials, opts)
 	if err != nil {
 		return nil, err
@@ -242,7 +256,9 @@ func RunBatchedOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error)
 		Warmup:   trials[0].Warmup,
 		Machines: machines,
 	}
+	spAgg := opts.Trace.Start("aggregate", "scenario", 0)
 	res.Fleet = aggregate(spec, machines)
+	spAgg.End()
 	return res, nil
 }
 
@@ -276,6 +292,8 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 	// cross-run cache all stand down.
 	share := opts.OnTelemetry == nil
 
+	spGroup := opts.Trace.Start("group", "scenario", 0)
+	gt := phaseGroup.Start()
 	groupsByKey := make(map[string]*batchGroup)
 	groupOf := make(map[int]*batchGroup, n)
 	var order []*batchGroup
@@ -308,6 +326,8 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 		g.members = append(g.members, i)
 		groupOf[i] = g
 	}
+	phaseGroup.StopN(gt, int64(n))
+	spGroup.EndArgs(map[string]any{"groups": len(order), "machines": n})
 
 	finish := func(i int, r MachineResult) {
 		results[i] = r
@@ -333,6 +353,8 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 		}
 		reps = append(reps, i)
 	}
+	spRep := opts.Trace.Start("represent", "scenario", 0)
+	rt := phaseRepresent.Start()
 	if _, err := runner.MapErrCtx(opts.Context, reps, func(_ int, i int) (struct{}, error) {
 		r, draws, nn, err := runBatchedTrial(trials[i], opts, ladders, nil)
 		if err != nil {
@@ -348,6 +370,8 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 	}); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
+	phaseRepresent.StopN(rt, int64(len(reps)))
+	spRep.EndArgs(map[string]any{"representatives": len(reps)})
 
 	// Phase 2: the rest of each group. A representative that consumed zero
 	// RNG draws proves the configuration's dynamics are seed-insensitive —
@@ -399,6 +423,7 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 			pending = append(pending, pendingTrial{i: i, scratch: sc})
 		}
 	}
+	spStep := opts.Trace.Start("step", "scenario", 0)
 	if _, err := runner.MapErrCtx(opts.Context, pending, func(_ int, p pendingTrial) (struct{}, error) {
 		r, draws, _, err := runBatchedTrial(trials[p.i], opts, ladders, p.scratch)
 		if err != nil {
@@ -412,14 +437,19 @@ func runTrialsBatched(spec *Spec, scale float64, trials []MachineTrial, opts Run
 	}); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
+	spStep.EndArgs(map[string]any{"members": len(pending)})
 
 	// Phase 3: byte-identical duplicates copy their source's result with
 	// their own identity stamped on.
+	spStamp := opts.Trace.Start("stamp", "scenario", 0)
+	stamped := 0
 	for i := range trials {
 		if dupOf[i] >= 0 {
 			finish(i, stampResult(results[dupOf[i]], &trials[i]))
+			stamped++
 		}
 	}
+	spStamp.EndArgs(map[string]any{"duplicates": stamped})
 	return results, nil
 }
 

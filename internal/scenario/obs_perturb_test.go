@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// TestObservabilityNonPerturbing pins the load-bearing contract of the obs
+// layer: tracing, telemetry streaming and phase profiling read only the wall
+// clock and already-computed metric-loop observables, never simulation state.
+// Every library scenario must therefore produce byte-identical rendered
+// output and CSV artefacts with full observability enabled and disabled —
+// across both integrators and both fleet engines.
+func TestObservabilityNonPerturbing(t *testing.T) {
+	const scale = 0.02
+	defer func() {
+		obs.EnableProfiling(false)
+		_ = machine.SetIntegratorOverride("")
+	}()
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		if spec.Scheduler != nil {
+			continue // scheduled scenarios: see the fleetsched mirror of this test
+		}
+		for _, integ := range []string{machine.IntegratorExact, machine.IntegratorLeap} {
+			for _, batched := range []bool{false, true} {
+				runEngine := RunOpts
+				if batched {
+					runEngine = RunBatchedOpts
+				}
+				label := fmt.Sprintf("%s/%s/batched=%v", name, integ, batched)
+				if err := machine.SetIntegratorOverride(integ); err != nil {
+					t.Fatal(err)
+				}
+
+				obs.EnableProfiling(false)
+				silent, err := runEngine(spec, scale, RunOptions{})
+				if err != nil {
+					t.Fatalf("%s: silent run: %v", label, err)
+				}
+
+				obs.EnableProfiling(true)
+				tr := obs.NewTracer()
+				samples := 0
+				observed, err := runEngine(spec, scale, RunOptions{
+					Trace:          tr,
+					TelemetryEvery: 1,
+					OnTelemetry:    func(MachineSample) { samples++ },
+					OnMachine:      func(MachineResult) {},
+				})
+				if err != nil {
+					t.Fatalf("%s: observed run: %v", label, err)
+				}
+
+				if silent.String() != observed.String() {
+					t.Errorf("%s: rendered output diverges with observability on", label)
+				}
+				if a, b := flattenFiles(silent), flattenFiles(observed); a != b {
+					t.Errorf("%s: CSV artefacts diverge with observability on", label)
+				}
+				if tr.Len() == 0 {
+					t.Errorf("%s: traced run recorded no spans", label)
+				}
+				if samples == 0 {
+					t.Errorf("%s: telemetry hook never fired", label)
+				}
+			}
+		}
+	}
+}
+
+func flattenFiles(r *Result) string {
+	var out string
+	for _, f := range RenderResult(r) {
+		out += f.Name + "\n" + f.Content
+	}
+	return out
+}

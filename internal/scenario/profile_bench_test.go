@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// BenchmarkFleetScenarioProfiled runs a library fleet with the phase profiler
+// enabled and reports where the wall time went: per-phase milliseconds per
+// fleet run, via the same accumulators `dimd -profile-phases` exports. The
+// bench suite records these alongside ns/op, so a regression in one engine
+// phase (compile, step, aggregate, ladder builds) is attributable instead of
+// vanishing into the whole-run number.
+func BenchmarkFleetScenarioProfiled(b *testing.B) {
+	obs.ResetProfile()
+	obs.EnableProfiling(true)
+	defer obs.EnableProfiling(false)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(mustGet(b, "fleet-diurnal"), 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range obs.ProfileSnapshot() {
+		if s.Count == 0 && s.NS == 0 {
+			continue
+		}
+		// Metric names keep the phase's own dots; bench.sh records any
+		// "<phase>-ms/run" column it finds.
+		b.ReportMetric(float64(s.NS)/1e6/float64(b.N), s.Name+"-ms/run")
+	}
+}
+
+// BenchmarkFleetScenarioObsOff is the paired control: the identical fleet run
+// with profiling disabled (every Phase.Start a single failed atomic load) and
+// no tracer. Comparing ns/op against the Profiled benchmark measures the
+// observability layer's whole-run overhead — the <2% budget the design holds.
+func BenchmarkFleetScenarioObsOff(b *testing.B) {
+	obs.EnableProfiling(false)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(mustGet(b, "fleet-diurnal"), 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustGet(b *testing.B, name string) *Spec {
+	spec, ok := Get(name)
+	if !ok {
+		b.Fatalf("scenario %q missing from the library", name)
+	}
+	return spec
+}
+
+// TestProfileReportShape smoke-checks the human rendering used after
+// profiled CLI runs: phases that accumulated show up with their counts.
+func TestProfileReportShape(t *testing.T) {
+	obs.ResetProfile()
+	obs.EnableProfiling(true)
+	defer func() {
+		obs.EnableProfiling(false)
+		obs.ResetProfile()
+	}()
+	if _, err := Run(mustGetT(t, "fleet-diurnal"), 0.02); err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.ProfileReport()
+	for _, phase := range []string{"scenario.compile", "scenario.step", "scenario.aggregate", "scenario.warmup"} {
+		if !strings.Contains(rep, phase) {
+			t.Errorf("profile report missing %s:\n%s", phase, rep)
+		}
+	}
+}
+
+func mustGetT(t *testing.T, name string) *Spec {
+	spec, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q missing from the library", name)
+	}
+	return spec
+}

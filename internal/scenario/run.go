@@ -6,10 +6,27 @@ import (
 
 	"repro/internal/dtm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/units"
 	"repro/internal/webserver"
 )
+
+// Phase profiler accumulators for the per-machine fleet path. They wrap the
+// coarse phases around the thermal kernel — never the kernel's inner step —
+// so profiling on or off never touches the hot loop's timings, and the
+// disabled cost is one atomic load per phase entry.
+var (
+	phaseCompile   = obs.RegisterPhase("scenario.compile")
+	phaseWarmup    = obs.RegisterPhase("scenario.warmup")
+	phaseStep      = obs.RegisterPhase("scenario.step")
+	phaseAggregate = obs.RegisterPhase("scenario.aggregate")
+)
+
+// traceMachineSpans bounds how many fleet members get their own trace span:
+// the first 64 machines tell the story; a million-machine fleet must not
+// balloon (or rotate out) the job's span budget.
+const traceMachineSpans = 64
 
 // MachineResult is one fleet member's measured outcome over the post-warmup
 // window. Temperatures are °C; rates are per second of window.
@@ -83,6 +100,11 @@ type RunOptions struct {
 	// are independent deterministic functions of their own trial — a result
 	// computed before a crash is bit-identical to one computed after it.
 	Completed []MachineResult
+	// Trace, when non-nil, records engine spans (compile, step, aggregate,
+	// and the first machines' individual runs) into the job's tracer. Purely
+	// observational: spans read the wall clock and already-computed values,
+	// never simulation state, so traced output is byte-identical to untraced.
+	Trace *obs.Tracer
 }
 
 // MachineSample is one in-run telemetry point from a fleet member. It is
@@ -122,7 +144,9 @@ func runMachine(t MachineTrial, opts RunOptions) (MachineResult, error) {
 // adoption) and still measure through the one shared loop — which is what
 // makes batched output byte-identical to the per-machine path.
 func measure(m *machine.Machine, tm1 *dtm.TM1, srv *webserver.Server, t MachineTrial, opts RunOptions) (MachineResult, error) {
+	wt := phaseWarmup.Start()
 	m.RunFor(t.Warmup)
+	phaseWarmup.Stop(wt)
 	cores := m.Config().Model.NumCores * m.Config().SMTContexts
 	var busy0, inj0 units.Time
 	for c := 0; c < cores; c++ {
@@ -147,6 +171,7 @@ func measure(m *machine.Machine, tm1 *dtm.TM1, srv *webserver.Server, t MachineT
 	over := false
 	ticks := 0
 	var temps []units.Celsius
+	st := phaseStep.Start()
 	for m.Now() < t.Duration {
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
@@ -196,6 +221,7 @@ func measure(m *machine.Machine, tm1 *dtm.TM1, srv *webserver.Server, t MachineT
 			})
 		}
 	}
+	phaseStep.StopN(st, int64(ticks))
 
 	secs := (m.Now() - t0).Seconds()
 	res.MeanJunction = (m.MeanJunctionIntegral() - i0) / secs
@@ -243,7 +269,11 @@ func RunOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error) {
 		// internal/fleetsched; dimctl and the top-level API route there.
 		return nil, fmt.Errorf("scenario %q: has a scheduler block; run it through the fleetsched engine (dimctl sched run %s)", spec.Name, spec.Name)
 	}
+	spc := opts.Trace.Start("compile", "scenario", 0)
+	ct := phaseCompile.Start()
 	trials := spec.Compile(scale)
+	phaseCompile.Stop(ct)
+	spc.EndArgs(map[string]any{"machines": len(trials)})
 	var recovered map[int]MachineResult
 	if len(opts.Completed) > 0 {
 		recovered = make(map[int]MachineResult, len(opts.Completed))
@@ -254,16 +284,25 @@ func RunOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error) {
 			recovered[r.Index] = r
 		}
 	}
+	spStep := opts.Trace.Start("step", "scenario", 0)
 	machines, err := runner.MapErrCtx(opts.Context, trials, func(_ int, t MachineTrial) (MachineResult, error) {
 		if r, ok := recovered[t.Index]; ok {
 			return r, nil
 		}
+		var sp obs.Span
+		if t.Index < traceMachineSpans {
+			sp = opts.Trace.Start(fmt.Sprintf("machine-%03d", t.Index), "machine", t.Index+1)
+		}
 		r, err := runMachine(t, opts)
-		if err == nil && opts.OnMachine != nil {
-			opts.OnMachine(r)
+		if err == nil {
+			sp.EndArgs(map[string]any{"peak_c": r.PeakJunction})
+			if opts.OnMachine != nil {
+				opts.OnMachine(r)
+			}
 		}
 		return r, err
 	})
+	spStep.EndArgs(map[string]any{"machines": len(trials)})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
@@ -274,7 +313,9 @@ func RunOpts(spec *Spec, scale float64, opts RunOptions) (*Result, error) {
 		Warmup:   trials[0].Warmup,
 		Machines: machines,
 	}
+	spAgg := opts.Trace.Start("aggregate", "scenario", 0)
 	res.Fleet = aggregate(spec, machines)
+	spAgg.End()
 	return res, nil
 }
 

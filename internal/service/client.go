@@ -311,6 +311,61 @@ func (c *Client) Metrics() (string, error) {
 	return string(data), err
 }
 
+// Trace fetches a job's span trace as Chrome trace-event JSON — loadable in
+// chrome://tracing or Perfetto.
+func (c *Client) Trace(id string) ([]byte, error) {
+	return c.getRaw("/debug/trace/" + id)
+}
+
+// Heat fetches one fleet heat-map frame (the ?once=1 snapshot).
+func (c *Client) Heat() (HeatFrame, error) {
+	var v HeatFrame
+	err := c.do(http.MethodGet, "/v1/fleet/heat?once=1", nil, &v)
+	return v, err
+}
+
+// HeatStream follows the SSE fleet heat feed, invoking fn per frame, until fn
+// returns an error or ctx is done (the normal way to stop watching). interval
+// is the server-side frame cadence; zero selects the server default.
+func (c *Client) HeatStream(ctx context.Context, interval time.Duration, fn func(HeatFrame) error) error {
+	path := c.Base + "/v1/fleet/heat"
+	if interval > 0 {
+		path += fmt.Sprintf("?interval_ms=%d", interval.Milliseconds())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return statusError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue
+		}
+		var f HeatFrame
+		if err := json.Unmarshal(bytes.TrimPrefix(line, []byte("data: ")), &f); err != nil {
+			return fmt.Errorf("dimd: decoding heat frame: %w", err)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
 // Output fetches a done job's rendered report — byte-identical to the
 // matching dimctl run's output.
 func (c *Client) Output(id string) (string, error) {

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fleetsched"
+	"repro/internal/scenario"
+)
+
+// The live fleet heat-map: per-job, per-machine peak junction temperatures,
+// fed entirely from the telemetry hooks the engines already call — scenario
+// MachineSamples and fleetsched RoundTelemetry. Observability only: the heat
+// map reads values the metric-loop already computed for the stream, never the
+// thermal state itself, so serving it perturbs nothing.
+//
+// Memory is bounded two ways: machine indices fold into at most heatMaxCells
+// cells per job (index mod cells — aliased for fleets past the bound, but a
+// hotspot still lights its cell), and a job's cells are dropped when it goes
+// terminal.
+
+// heatMaxCells bounds one job's heat cells.
+const heatMaxCells = 512
+
+// heatState holds the live per-job heat maps. The zero value is ready.
+type heatState struct {
+	mu   sync.Mutex
+	jobs map[string]*jobHeat
+}
+
+type jobHeat struct {
+	machines int // highest machine index seen + 1 (fleet size lower bound)
+	cells    []float64
+	hot      []int // machine index currently owning each cell's peak
+	virtualS float64
+	round    int
+	updated  time.Time
+}
+
+// HeatFrame is one snapshot of every live job's heat map — the document the
+// SSE endpoint streams and `dimctl top` renders.
+type HeatFrame struct {
+	At   time.Time     `json:"at"`
+	Jobs []JobHeatView `json:"jobs"`
+}
+
+// JobHeatView is one job's heat map. Cells holds peak junction temperatures
+// (°C); machines past Cells' length fold in modulo, so len(Cells) ==
+// min(Machines, 512).
+type JobHeatView struct {
+	Job      string    `json:"job"`
+	Machines int       `json:"machines"`
+	Cells    []float64 `json:"cells"`
+	// MaxC/MeanC summarise the cells; HottestMachine is the fleet index
+	// owning the hottest cell.
+	MaxC           float64 `json:"max_c"`
+	MeanC          float64 `json:"mean_c"`
+	HottestMachine int     `json:"hottest_machine"`
+	// VirtualS is the sim-time high-water mark; Round the last scheduler
+	// round (scheduled jobs only).
+	VirtualS float64   `json:"virtual_s"`
+	Round    int       `json:"round,omitempty"`
+	Updated  time.Time `json:"updated"`
+}
+
+func (h *heatState) job(id string) *jobHeat {
+	if h.jobs == nil {
+		h.jobs = map[string]*jobHeat{}
+	}
+	jh, ok := h.jobs[id]
+	if !ok {
+		jh = &jobHeat{}
+		h.jobs[id] = jh
+	}
+	return jh
+}
+
+func (jh *jobHeat) observe(index int, peakC, virtualS float64) {
+	if index < 0 {
+		return
+	}
+	if index+1 > jh.machines {
+		jh.machines = index + 1
+	}
+	n := jh.machines
+	if n > heatMaxCells {
+		n = heatMaxCells
+	}
+	for len(jh.cells) < n {
+		jh.cells = append(jh.cells, 0)
+		jh.hot = append(jh.hot, -1)
+	}
+	cell := index % len(jh.cells)
+	if peakC > jh.cells[cell] {
+		jh.cells[cell] = peakC
+		jh.hot[cell] = index
+	}
+	if virtualS > jh.virtualS {
+		jh.virtualS = virtualS
+	}
+	jh.updated = time.Now()
+}
+
+// observeSample folds one scenario telemetry sample into the job's heat map.
+func (h *heatState) observeSample(jobID string, sm scenario.MachineSample) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.job(jobID).observe(sm.Index, sm.PeakJunctionC, sm.NowS)
+}
+
+// observeRound folds one scheduler round barrier into the job's heat map.
+// Rounds carry only the hottest machine, so a scheduled job's map fills in as
+// the hotspot moves — exactly the migration behaviour worth watching.
+func (h *heatState) observeRound(jobID string, rt fleetsched.RoundTelemetry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	jh := h.job(jobID)
+	jh.observe(rt.HottestMachine, rt.MaxJunctionC, rt.NowS)
+	jh.round = rt.Round
+}
+
+// drop removes a terminal job's heat map.
+func (h *heatState) drop(jobID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.jobs, jobID)
+}
+
+// snapshot renders the current frame. Jobs sort by ID so frames are stable.
+func (h *heatState) snapshot() HeatFrame {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	frame := HeatFrame{At: time.Now()}
+	for id, jh := range h.jobs {
+		if len(jh.cells) == 0 {
+			continue
+		}
+		v := JobHeatView{
+			Job: id, Machines: jh.machines,
+			Cells:    append([]float64(nil), jh.cells...),
+			VirtualS: jh.virtualS, Round: jh.round, Updated: jh.updated,
+		}
+		var sum float64
+		for i, c := range jh.cells {
+			sum += c
+			if c > v.MaxC {
+				v.MaxC = c
+				v.HottestMachine = jh.hot[i]
+			}
+		}
+		v.MeanC = sum / float64(len(jh.cells))
+		frame.Jobs = append(frame.Jobs, v)
+	}
+	sortJobHeat(frame.Jobs)
+	return frame
+}
+
+func sortJobHeat(jobs []JobHeatView) {
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k].Job < jobs[k-1].Job; k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -22,8 +24,11 @@ import (
 //	GET    /v1/jobs/{id}/files     artefact names (JSON list)
 //	GET    /v1/jobs/{id}/files/{name}  one CSV artefact (byte-identical to dimctl export)
 //	GET    /v1/catalog             experiments, scenarios, policies
+//	GET    /v1/fleet/heat          live fleet heat-map (SSE; ?once=1 for one JSON frame)
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                Prometheus text exposition
+//	GET    /debug/trace/{id}       job trace (Chrome trace-event JSON)
+//	GET    /debug/pprof/...        net/http/pprof profiles
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,8 +40,17 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/files", s.handleFiles)
 	mux.HandleFunc("GET /v1/jobs/{id}/files/{name}", s.handleFile)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/fleet/heat", s.handleHeat)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	// pprof registers on the DefaultServeMux via init; the daemon serves an
+	// explicit mux, so route the handlers by hand.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -58,6 +72,9 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	defer func(t0 time.Time) {
+		s.met.submitLatency.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -216,9 +233,69 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.met.render(&b, s.QueueDepth(), s.cfg.QueueDepth, s.cfg.Workers, s.cache)
+	s.met.reg.Render(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleTrace serves a job's lifecycle/engine spans as Chrome trace-event
+// JSON — load it in chrome://tracing or Perfetto, or via `dimctl trace`. The
+// export is a snapshot; a running job serves its spans so far.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	raw, err := j.Trace().ChromeTrace()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// handleHeat serves the live fleet heat-map. Default is SSE: one JSON
+// HeatFrame per interval (?interval_ms, default 500, floor 100) until the
+// client disconnects. ?once=1 returns a single frame as plain JSON — what
+// `dimctl top -once` and scripted checks use.
+func (s *Service) handleHeat(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("once") == "1" {
+		writeJSON(w, http.StatusOK, s.heat.snapshot())
+		return
+	}
+	interval := 500 * time.Millisecond
+	if ms := r.URL.Query().Get("interval_ms"); ms != "" {
+		if n, err := strconv.Atoi(ms); err == nil && n >= 100 {
+			interval = time.Duration(n) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := fmt.Fprint(w, "event: heat\ndata: "); err != nil {
+			return
+		}
+		if err := enc.Encode(s.heat.snapshot()); err != nil { // Encode appends \n
+			return
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleStream serves the job's telemetry as NDJSON (default) or SSE (when
@@ -254,6 +331,8 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 			seq = n + 1
 		}
 	}
+	t0 := time.Now()
+	waitingFirst := true
 	enc := json.NewEncoder(w)
 	writeEvent := func(e Event) error {
 		if sse {
@@ -285,6 +364,12 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		seq = next
 		if flusher != nil {
 			flusher.Flush()
+		}
+		if waitingFirst && (len(events) > 0 || evicted > 0) {
+			// Time-to-first-event: what a subscriber waited before telemetry
+			// started flowing.
+			s.met.streamLatency.Observe(time.Since(t0).Seconds())
+			waitingFirst = false
 		}
 		if closed {
 			return

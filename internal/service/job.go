@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/export"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -217,6 +218,16 @@ type Job struct {
 	res    *resolved
 	stream *stream
 
+	// trace records the job's lifecycle and engine spans; queueSpan is the
+	// open "queue" span between admission and worker pickup. Both are safe
+	// when zero (nil tracer no-ops), which recovered pre-tracing jobs rely on.
+	trace     *obs.Tracer
+	queueSpan obs.Span
+	// enqueued is when the job actually entered the admission queue — for
+	// recovered jobs that is boot time, not the original submission time, so
+	// the queue-wait histogram measures this process's queue, not the outage.
+	enqueued time.Time
+
 	// recovered marks a job re-enqueued from the journal at boot;
 	// checkpoint, when non-nil, is its surviving resume token. Both are set
 	// single-threaded during recovery, before any worker runs.
@@ -307,3 +318,8 @@ func (j *Job) artifactRef() *Artifact {
 	defer j.mu.Unlock()
 	return j.artifact
 }
+
+// Trace returns the job's tracer; nil when the job predates tracing (restored
+// terminal jobs). Safe to export concurrently with a running job — the tracer
+// snapshots.
+func (j *Job) Trace() *obs.Tracer { return j.trace }

@@ -2,83 +2,137 @@ package service
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// metrics is the daemon's operational counter set, rendered in Prometheus
-// text exposition format by /metrics. Sim-seconds are the serving unit of
-// work: one simulated machine advancing one virtual second.
+// metrics is the daemon's operational instrument set, held in an obs.Registry
+// and rendered in Prometheus text exposition format by /metrics. Sim-seconds
+// are the serving unit of work: one simulated machine advancing one virtual
+// second.
+//
+// Every metric name predating the registry is byte-stable — dashboards and
+// the CI smoke greps keep working — and the exposition golden test pins the
+// full name/type set.
 type metrics struct {
-	submitted atomic.Int64
-	rejected  atomic.Int64 // queue-full 429s
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	inFlight  atomic.Int64
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	rejected  *obs.Counter // queue-full 429s
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	inFlight  atomic.Int64 // rendered as the dimd_jobs_inflight gauge
 
 	// Durability counters (zero and inert for in-memory daemons).
-	walReplayed    atomic.Int64 // journal records replayed at boot
-	walTruncations atomic.Int64 // torn journal tails truncated at boot
-	walRecords     atomic.Int64 // journal records appended by this process
-	walErrors      atomic.Int64 // journal appends/fsyncs that failed
-	recovered      atomic.Int64 // interrupted jobs re-enqueued at boot
-	deduped        atomic.Int64 // idempotent resubmits answered by a live job
-	panics         atomic.Int64 // worker panics contained to their job
-	checkpoints    atomic.Int64 // job checkpoints written
-	resumes        atomic.Int64 // jobs resumed from a checkpoint
-	resumeRejected atomic.Int64 // checkpoints rejected (divergent) and rerun from scratch
+	walReplayed    *obs.Counter // journal records replayed at boot
+	walTruncations *obs.Counter // torn journal tails truncated at boot
+	walRecords     *obs.Counter // journal records appended by this process
+	walErrors      *obs.Counter // journal appends/fsyncs that failed
+	recovered      *obs.Counter // interrupted jobs re-enqueued at boot
+	deduped        *obs.Counter // idempotent resubmits answered by a live job
+	panics         *obs.Counter // worker panics contained to their job
+	checkpoints    *obs.Counter // job checkpoints written
+	resumes        *obs.Counter // jobs resumed from a checkpoint
+	resumeRejected *obs.Counter // checkpoints rejected (divergent) and rerun from scratch
 
 	// Microsecond-granular accumulators (atomic integers; floats would
 	// race): virtual machine-seconds simulated, and wall-clock seconds spent
 	// executing jobs.
 	simMicro  atomic.Int64
 	busyMicro atomic.Int64
+
+	// Latency histograms, all in seconds on the shared obs.DefBuckets grid.
+	queueWait     *obs.Histogram // submit ack -> worker pickup
+	runSeconds    *obs.Histogram // worker pickup -> terminal state
+	cacheLookup   *obs.Histogram // content-addressed cache get
+	walFsync      *obs.Histogram // journal fsync syscall
+	submitLatency *obs.Histogram // POST /v1/jobs handler, wall time
+	streamLatency *obs.Histogram // GET .../stream, time to first event flushed
+}
+
+// init builds the registry. Registration order is the legacy render order —
+// the exposition document keeps its layout — with the histograms appended
+// after. Must run before any worker or recovery path touches a counter.
+func (m *metrics) init(s *Service) {
+	r := obs.NewRegistry()
+	m.reg = r
+
+	// Integer gauges render via strconv, byte-identical to the %v-on-int
+	// lines of the hand-rolled exposition this registry replaced.
+	intGauge := func(name, help string, fn func() int64) {
+		r.Text(name, help, obs.TypeGauge, func() string { return strconv.FormatInt(fn(), 10) })
+	}
+
+	intGauge("dimd_queue_depth", "jobs admitted and waiting for a worker",
+		func() int64 { return int64(s.QueueDepth()) })
+	intGauge("dimd_queue_capacity", "admission bound on waiting jobs",
+		func() int64 { return int64(s.cfg.QueueDepth) })
+	intGauge("dimd_workers", "concurrent job executors",
+		func() int64 { return int64(s.cfg.Workers) })
+	intGauge("dimd_jobs_inflight", "jobs currently executing", m.inFlight.Load)
+
+	m.submitted = r.Counter("dimd_jobs_submitted_total", "jobs admitted (including cache hits)")
+	m.rejected = r.Counter("dimd_jobs_rejected_total", "submissions refused with 429 (queue full)")
+	m.completed = r.Counter("dimd_jobs_completed_total", "jobs finished successfully")
+	m.failed = r.Counter("dimd_jobs_failed_total", "jobs finished with an error")
+	m.canceled = r.Counter("dimd_jobs_canceled_total", "jobs canceled before completion")
+	m.panics = r.Counter("dimd_job_panics_total", "worker panics contained to their job")
+	m.recovered = r.Counter("dimd_jobs_recovered_total", "interrupted jobs re-enqueued at boot")
+	m.deduped = r.Counter("dimd_jobs_deduped_total", "idempotent resubmits answered by an existing job")
+	m.walRecords = r.Counter("dimd_wal_records_total", "journal records appended by this process")
+	m.walReplayed = r.Counter("dimd_wal_replayed_total", "journal records replayed at boot")
+	m.walTruncations = r.Counter("dimd_wal_truncations_total", "torn journal tails truncated at boot")
+	m.walErrors = r.Counter("dimd_wal_errors_total", "journal writes that failed (durability degraded)")
+	m.checkpoints = r.Counter("dimd_checkpoints_written_total", "job checkpoints persisted")
+	m.resumes = r.Counter("dimd_job_resumes_total", "jobs resumed from a verified checkpoint")
+	m.resumeRejected = r.Counter("dimd_resume_rejects_total", "checkpoints rejected as divergent (rerun from scratch)")
+
+	r.CounterFunc("dimd_cache_hits_total", "submissions answered from the result cache",
+		s.cache.hits.Load)
+	r.CounterFunc("dimd_cache_misses_total", "submissions that had to simulate",
+		s.cache.misses.Load)
+	intGauge("dimd_cache_entries", "artifacts retained in the result cache",
+		func() int64 { entries, _ := s.cache.stats(); return int64(entries) })
+	intGauge("dimd_cache_bytes", "bytes retained in the result cache",
+		func() int64 { _, bytes := s.cache.stats(); return bytes })
+
+	r.Text("dimd_sim_seconds_total", "virtual machine-seconds simulated", obs.TypeCounter,
+		func() string { return fmt.Sprintf("%.6f", float64(m.simMicro.Load())/1e6) })
+	r.Text("dimd_busy_seconds_total", "wall seconds spent executing jobs", obs.TypeCounter,
+		func() string { return fmt.Sprintf("%.6f", float64(m.busyMicro.Load())/1e6) })
+	r.Text("dimd_sim_seconds_per_second", "simulation throughput (virtual/wall)", obs.TypeGauge,
+		func() string {
+			sim := float64(m.simMicro.Load()) / 1e6
+			busy := float64(m.busyMicro.Load()) / 1e6
+			rate := 0.0
+			if busy > 0 {
+				rate = sim / busy
+			}
+			return fmt.Sprintf("%.3f", rate)
+		})
+
+	m.queueWait = r.Histogram("dimd_job_queue_wait_seconds",
+		"seconds jobs waited in the admission queue before a worker picked them up", nil)
+	m.runSeconds = r.Histogram("dimd_job_run_seconds",
+		"wall seconds jobs spent executing", nil)
+	m.cacheLookup = r.Histogram("dimd_cache_lookup_seconds",
+		"result-cache lookup latency", nil)
+	m.walFsync = r.Histogram("dimd_wal_fsync_seconds",
+		"journal fsync latency", nil)
+	m.submitLatency = r.Histogram("dimd_submit_latency_seconds",
+		"POST /v1/jobs handler latency", nil)
+	m.streamLatency = r.Histogram("dimd_stream_latency_seconds",
+		"stream time-to-first-event latency", nil)
+
+	// The phase profiler's per-phase series render after everything else, and
+	// only while profiling is enabled — the default document stays pinned.
+	r.Collect(obs.CollectPhases)
 }
 
 func (m *metrics) addSim(simSeconds, busySeconds float64) {
 	m.simMicro.Add(int64(simSeconds * 1e6))
 	m.busyMicro.Add(int64(busySeconds * 1e6))
-}
-
-// render writes the exposition document. The service supplies the gauges it
-// owns (queue depth and capacity, worker count, cache occupancy).
-func (m *metrics) render(b *strings.Builder, queueDepth, queueCap, workers int, c *cache) {
-	entries, bytes := c.stats()
-	sim := float64(m.simMicro.Load()) / 1e6
-	busy := float64(m.busyMicro.Load()) / 1e6
-	rate := 0.0
-	if busy > 0 {
-		rate = sim / busy
-	}
-	gauge := func(name string, help string, v any) {
-		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
-		fmt.Fprintf(b, "%s %v\n", name, v)
-	}
-	gauge("dimd_queue_depth", "jobs admitted and waiting for a worker", queueDepth)
-	gauge("dimd_queue_capacity", "admission bound on waiting jobs", queueCap)
-	gauge("dimd_workers", "concurrent job executors", workers)
-	gauge("dimd_jobs_inflight", "jobs currently executing", m.inFlight.Load())
-	gauge("dimd_jobs_submitted_total", "jobs admitted (including cache hits)", m.submitted.Load())
-	gauge("dimd_jobs_rejected_total", "submissions refused with 429 (queue full)", m.rejected.Load())
-	gauge("dimd_jobs_completed_total", "jobs finished successfully", m.completed.Load())
-	gauge("dimd_jobs_failed_total", "jobs finished with an error", m.failed.Load())
-	gauge("dimd_jobs_canceled_total", "jobs canceled before completion", m.canceled.Load())
-	gauge("dimd_job_panics_total", "worker panics contained to their job", m.panics.Load())
-	gauge("dimd_jobs_recovered_total", "interrupted jobs re-enqueued at boot", m.recovered.Load())
-	gauge("dimd_jobs_deduped_total", "idempotent resubmits answered by an existing job", m.deduped.Load())
-	gauge("dimd_wal_records_total", "journal records appended by this process", m.walRecords.Load())
-	gauge("dimd_wal_replayed_total", "journal records replayed at boot", m.walReplayed.Load())
-	gauge("dimd_wal_truncations_total", "torn journal tails truncated at boot", m.walTruncations.Load())
-	gauge("dimd_wal_errors_total", "journal writes that failed (durability degraded)", m.walErrors.Load())
-	gauge("dimd_checkpoints_written_total", "job checkpoints persisted", m.checkpoints.Load())
-	gauge("dimd_job_resumes_total", "jobs resumed from a verified checkpoint", m.resumes.Load())
-	gauge("dimd_resume_rejects_total", "checkpoints rejected as divergent (rerun from scratch)", m.resumeRejected.Load())
-	gauge("dimd_cache_hits_total", "submissions answered from the result cache", c.hits.Load())
-	gauge("dimd_cache_misses_total", "submissions that had to simulate", c.misses.Load())
-	gauge("dimd_cache_entries", "artifacts retained in the result cache", entries)
-	gauge("dimd_cache_bytes", "bytes retained in the result cache", bytes)
-	gauge("dimd_sim_seconds_total", "virtual machine-seconds simulated", fmt.Sprintf("%.6f", sim))
-	gauge("dimd_busy_seconds_total", "wall seconds spent executing jobs", fmt.Sprintf("%.6f", busy))
-	gauge("dimd_sim_seconds_per_second", "simulation throughput (virtual/wall)", fmt.Sprintf("%.3f", rate))
 }

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleetsched"
+	"repro/internal/scenario"
+)
+
+// TestMetricsGoldenNames pins the /metrics exposition surface: every metric
+// name and its declared type, in render order. Dashboards and the CI smoke
+// grep depend on these being byte-stable; a rename or reorder must update the
+// golden deliberately (UPDATE_GOLDEN=1 go test ./internal/service/).
+func TestMetricsGoldenNames(t *testing.T) {
+	svc, _ := newTestService(t, Config{Workers: 1, DefaultScale: 1})
+	got := strings.Join(svc.met.reg.Names(), "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics_names.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric name/type surface drifted from %s:\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestMetricsExpositionFormat asserts the exact sample-line format the CI
+// smoke job greps for, and that the legacy names survived the registry
+// migration with their values intact.
+func TestMetricsExpositionFormat(t *testing.T) {
+	_, c := newTestService(t, Config{Workers: 2, DefaultScale: 1})
+	for i := 0; i < 2; i++ { // second submit is a cache hit
+		v, err := c.Submit(Request{Spec: tinySpec("obs-expo", 1, 3)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if _, err := c.Wait(context.Background(), v.ID); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"dimd_jobs_submitted_total 2\n",
+		"dimd_cache_hits_total 1\n",
+		"dimd_cache_misses_total 1\n",
+		"# TYPE dimd_cache_hits_total counter\n",
+		"# TYPE dimd_queue_depth gauge\n",
+		"# TYPE dimd_job_queue_wait_seconds histogram\n",
+		`dimd_job_run_seconds_bucket{le="+Inf"} 1`,
+		"dimd_job_run_seconds_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceEndpoint runs one durable job and checks its Chrome trace: valid
+// trace-event JSON carrying the full lifecycle span taxonomy.
+func TestTraceEndpoint(t *testing.T) {
+	_, c := newTestService(t, Config{Workers: 1, DefaultScale: 1, DataDir: t.TempDir()})
+	v, err := c.Submit(Request{Spec: tinySpec("obs-trace", 2, 7)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := c.Wait(context.Background(), v.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	raw, err := c.Trace(v.ID)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "lifecycle" {
+			seen[e.Name] = true
+		}
+	}
+	for _, want := range []string{"submit", "queue", "run", "checkpoint", "artifact", "finalize", "done"} {
+		if !seen[want] {
+			t.Errorf("trace missing lifecycle span %q; saw %v", want, seen)
+		}
+	}
+
+	if _, err := c.Trace("job-999999"); err == nil {
+		t.Errorf("trace of unknown job did not error")
+	}
+}
+
+// TestHeatEndpoint drives a slow streaming job and polls the once-frame until
+// the job's heat row appears, then checks the terminal job is dropped.
+func TestHeatEndpoint(t *testing.T) {
+	svc, c := newTestService(t, Config{Workers: 1, DefaultScale: 1, TelemetryEvery: 1})
+	v, err := c.Submit(Request{Spec: slowSpec("obs-heat")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var frame HeatFrame
+	for {
+		frame, err = c.Heat()
+		if err != nil {
+			t.Fatalf("heat: %v", err)
+		}
+		if len(frame.Jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no heat frame for running job %s", v.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	j := frame.Jobs[0]
+	if j.Job != v.ID || j.Machines <= 0 || len(j.Cells) == 0 || j.MaxC <= 0 {
+		t.Fatalf("implausible heat row: %+v", j)
+	}
+	if len(j.Cells) > heatMaxCells {
+		t.Fatalf("heat cells unbounded: %d", len(j.Cells))
+	}
+	if _, err := c.Cancel(v.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if _, err := c.Wait(context.Background(), v.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	svc.heat.mu.Lock()
+	_, still := svc.heat.jobs[v.ID]
+	svc.heat.mu.Unlock()
+	if still {
+		t.Errorf("terminal job %s still holds heat cells", v.ID)
+	}
+}
+
+// TestHeatStateFolding unit-tests the cell folding: indices past the bound
+// alias modulo the cell count, and the hottest machine wins its cell.
+func TestHeatStateFolding(t *testing.T) {
+	var h heatState
+	h.observeSample("job-1", scenario.MachineSample{Index: 0, PeakJunctionC: 50, NowS: 1})
+	h.observeSample("job-1", scenario.MachineSample{Index: 700, PeakJunctionC: 80, NowS: 2})
+	h.observeSample("job-1", scenario.MachineSample{Index: 700 % heatMaxCells, PeakJunctionC: 60, NowS: 3})
+	h.observeRound("job-0", fleetsched.RoundTelemetry{Round: 4, HottestMachine: 3, MaxJunctionC: 91, NowS: 8})
+
+	f := h.snapshot()
+	if len(f.Jobs) != 2 || f.Jobs[0].Job != "job-0" || f.Jobs[1].Job != "job-1" {
+		t.Fatalf("snapshot jobs = %+v, want job-0 then job-1", f.Jobs)
+	}
+	j := f.Jobs[1]
+	if j.Machines != 701 || len(j.Cells) != heatMaxCells {
+		t.Fatalf("machines=%d cells=%d, want 701 machines folded into %d cells", j.Machines, len(j.Cells), heatMaxCells)
+	}
+	if j.MaxC != 80 || j.HottestMachine != 700 {
+		t.Errorf("hottest = %.0fC at m%d, want 80C at m700 (aliased cell must keep its max)", j.MaxC, j.HottestMachine)
+	}
+	if j.VirtualS != 3 {
+		t.Errorf("virtualS = %v, want high-water 3", j.VirtualS)
+	}
+	s := f.Jobs[0]
+	if s.Round != 4 || s.MaxC != 91 || s.HottestMachine != 3 {
+		t.Errorf("sched row = %+v, want round 4, 91C at m3", s)
+	}
+
+	h.drop("job-1")
+	if f := h.snapshot(); len(f.Jobs) != 1 {
+		t.Errorf("drop left %d jobs, want 1", len(f.Jobs))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // recoveredJob is one job's state folded from its journal records.
@@ -160,6 +162,13 @@ func (s *Service) requeueRecovered(j *Job, rj *recoveredJob) {
 	}
 
 	j.state = StateQueued
+	// Same ordering discipline as Submit: the trace and queue span exist
+	// before the send publishes the job to any worker. (Recovery actually
+	// runs before the pool starts, but the invariant is cheap to keep.)
+	j.trace = obs.NewTracer()
+	j.trace.Instant("recovered", "lifecycle", 0)
+	j.enqueued = time.Now()
+	j.queueSpan = j.trace.Start("queue", "lifecycle", 0)
 	select {
 	case s.queue <- j:
 	default:

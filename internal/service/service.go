@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/faultinject"
 	"repro/internal/fleetsched"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -90,6 +93,10 @@ type Config struct {
 	// barriers (durable daemons only). Default: 5. Negative disables
 	// checkpointing (recovery then reruns from scratch).
 	CheckpointEvery int
+
+	// Logger receives structured job-lifecycle logs. Nil discards them —
+	// logging is observability, never load-bearing.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +133,8 @@ type Service struct {
 	cfg   Config
 	cache *cache
 	met   metrics
+	heat  heatState
+	log   *slog.Logger
 	// store is the durable layer; nil for an in-memory daemon. All journal
 	// and checkpoint writes funnel through Service.journal / execute's
 	// checkpoint hooks, which tolerate a nil store.
@@ -169,6 +178,11 @@ func Open(cfg Config) (*Service, error) {
 		jobs:      map[string]*Job{},
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
+	s.met.init(s)
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if cfg.DataDir != "" {
 		st, rep, err := openStore(cfg.DataDir)
 		if err != nil {
@@ -176,6 +190,7 @@ func Open(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.store = st
+		st.log.SetFsyncObserver(s.met.walFsync.Observe)
 		s.met.walReplayed.Store(int64(rep.stats.Records))
 		if rep.stats.Truncated {
 			s.met.walTruncations.Add(1)
@@ -194,6 +209,9 @@ func Open(cfg Config) (*Service, error) {
 			}
 		}()
 	}
+	s.log.Info("service open",
+		"workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"durable", cfg.DataDir != "", "recovered", s.Recovered())
 	return s, nil
 }
 
@@ -220,6 +238,11 @@ func (s *Service) Recovered() int { return int(s.met.recovered.Load()) }
 // immediately (state done, CacheHit true) without occupying a worker; misses
 // enqueue, or fail with ErrBusy when the queue is full.
 func (s *Service) Submit(req Request) (*Job, error) {
+	// The tracer starts before resolution so the submit span covers
+	// validation and admission; a rejected submission's tracer is simply
+	// discarded with the job that never was.
+	tr := obs.NewTracer()
+	spSubmit := tr.Start("submit", "lifecycle", 0)
 	r, err := s.resolve(req)
 	if err != nil {
 		return nil, err
@@ -247,7 +270,9 @@ func (s *Service) Submit(req Request) (*Job, error) {
 			}
 		}
 	}
+	lookup := time.Now()
 	art, hit := s.cache.get(r.key)
+	s.met.cacheLookup.Observe(time.Since(lookup).Seconds())
 
 	s.seq++
 	j := &Job{
@@ -259,6 +284,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		scale:  r.scale,
 		res:    r,
 		stream: newStream(s.cfg.MaxEvents),
+		trace:  tr,
 	}
 	j.submitted = time.Now()
 	if hit {
@@ -275,11 +301,20 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		s.met.completed.Add(1)
 		s.journal(s.submitRecord(j, req, true), false)
 		s.journal(journalRecord{Op: "done", ID: j.ID, At: j.finished}, true)
+		spSubmit.EndArgs(map[string]any{"job": j.ID, "cache_hit": true})
+		tr.Instant("done", "lifecycle", 0)
 		s.track(j)
+		s.log.Info("job submitted", "job", j.ID, "kind", j.kind, "name", j.name, "cache_hit", true)
 		return j, nil
 	}
 
 	j.state = StateQueued
+	// The queue span (and its wait clock) must exist before the channel send
+	// publishes the job: a free worker can start runJob the moment the send
+	// lands, and it ends this span.
+	j.enqueued = time.Now()
+	spSubmit.EndArgs(map[string]any{"job": j.ID, "cache_hit": false})
+	j.queueSpan = tr.Start("queue", "lifecycle", 0)
 	select {
 	case s.queue <- j:
 	default:
@@ -295,6 +330,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.journal(s.submitRecord(j, req, false), true)
 	j.stream.append(Event{Type: "state", Job: j.ID, State: StateQueued})
 	s.track(j)
+	s.log.Info("job submitted", "job", j.ID, "kind", j.kind, "name", j.name, "cache_hit", false)
 	return j, nil
 }
 
@@ -466,6 +502,12 @@ func (s *Service) runJob(j *Job) {
 	j.cancelFunc = cancel
 	j.mu.Unlock()
 
+	j.queueSpan.End()
+	if !j.enqueued.IsZero() {
+		s.met.queueWait.Observe(j.started.Sub(j.enqueued).Seconds())
+	}
+	spRun := j.trace.Start("run", "lifecycle", 0)
+
 	s.met.inFlight.Add(1)
 	s.journal(journalRecord{Op: "started", ID: j.ID, At: j.started}, false)
 	j.stream.append(Event{Type: "state", Job: j.ID, State: StateRunning})
@@ -476,6 +518,7 @@ func (s *Service) runJob(j *Job) {
 			return
 		}
 		s.met.panics.Add(1)
+		j.trace.Instant("panic", "lifecycle", 0)
 		msg := fmt.Sprintf("worker panic: %v\n%s", r, trimStack(debug.Stack()))
 		// As in the normal terminal path: drop the resume token before the
 		// terminal state becomes observable (the panicking goroutine was the
@@ -498,10 +541,15 @@ func (s *Service) runJob(j *Job) {
 		s.journal(journalRecord{Op: "failed", ID: j.ID, At: time.Now(), Error: msg}, true)
 		j.stream.append(Event{Type: "error", Job: j.ID, State: StateFailed, Error: msg})
 		j.stream.closeStream()
+		s.heat.drop(j.ID)
+		s.log.Error("job panicked", "job", j.ID)
 	}()
 
 	art, err := s.execute(ctx, j)
 	busy := time.Since(j.started).Seconds()
+	spRun.EndArgs(map[string]any{"busy_seconds": busy})
+	s.met.runSeconds.Observe(busy)
+	spFinal := j.trace.Start("finalize", "lifecycle", 0)
 
 	if err == nil && s.store != nil {
 		// Durability ordering: the artifact must be on disk before the
@@ -509,7 +557,10 @@ func (s *Service) runJob(j *Job) {
 		// pointing at nothing would serve a hole. (A failed write merely
 		// downgrades to in-memory: recovery sees done-without-artifact and
 		// recomputes the identical bytes.)
-		if werr := s.store.writeArtifact(j.Key, art); werr != nil {
+		spArt := j.trace.Start("artifact", "lifecycle", 0)
+		werr := s.store.writeArtifact(j.Key, art)
+		spArt.End()
+		if werr != nil {
 			s.met.walErrors.Add(1)
 		}
 	}
@@ -561,6 +612,14 @@ func (s *Service) runJob(j *Job) {
 		j.stream.append(Event{Type: "error", Job: j.ID, State: state, Error: msg})
 	}
 	j.stream.closeStream()
+	spFinal.End()
+	j.trace.Instant(state, "lifecycle", 0)
+	s.heat.drop(j.ID)
+	if state == StateDone {
+		s.log.Info("job done", "job", j.ID, "busy_seconds", busy, "sim_seconds", art.SimSeconds)
+	} else {
+		s.log.Warn("job "+state, "job", j.ID, "error", msg)
+	}
 }
 
 // trimStack keeps a panic stack readable in an error field: the goroutine
@@ -606,7 +665,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 		opts := scenario.RunOptions{
 			Context:        ctx,
 			TelemetryEvery: s.cfg.TelemetryEvery,
+			Trace:          j.trace,
 			OnTelemetry: func(sm scenario.MachineSample) {
+				s.heat.observeSample(j.ID, sm)
 				j.stream.append(Event{Type: "telemetry", Job: j.ID, Machine: sampleEvent(sm)})
 			},
 		}
@@ -638,7 +699,10 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 			snap := append([]scenario.MachineResult(nil), cpDone...)
 			cpMu.Unlock()
 			sort.Slice(snap, func(a, b int) bool { return snap[a].Index < snap[b].Index })
-			if err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap}); err == nil {
+			sp := j.trace.Start("checkpoint", "lifecycle", 0)
+			err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap})
+			sp.EndArgs(map[string]any{"machines": len(snap)})
+			if err == nil {
 				s.met.checkpoints.Add(1)
 			} else {
 				s.met.walErrors.Add(1)
@@ -657,14 +721,19 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 	case KindSched:
 		fsOpts := fleetsched.Options{
 			Context: ctx,
+			Trace:   j.trace,
 			OnRound: func(rt fleetsched.RoundTelemetry) {
+				s.heat.observeRound(j.ID, rt)
 				j.stream.append(Event{Type: "round", Job: j.ID, Round: &rt})
 			},
 		}
 		if s.store != nil && s.cfg.CheckpointEvery > 0 {
 			fsOpts.CheckpointEvery = s.cfg.CheckpointEvery
 			fsOpts.OnCheckpoint = func(cp fleetsched.Checkpoint) {
-				if err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindSched, Sched: &cp}); err == nil {
+				sp := j.trace.Start("checkpoint", "lifecycle", 0)
+				err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindSched, Sched: &cp})
+				sp.EndArgs(map[string]any{"round": cp.Round})
+				if err == nil {
 					s.met.checkpoints.Add(1)
 				} else {
 					s.met.walErrors.Add(1)
@@ -702,7 +771,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 	case KindSchedCompare:
 		c, err := fleetsched.CompareOpts(r.spec, r.scale, fleetsched.Options{
 			Context: ctx,
+			Trace:   j.trace,
 			OnRound: func(rt fleetsched.RoundTelemetry) {
+				s.heat.observeRound(j.ID, rt)
 				j.stream.append(Event{Type: "round", Job: j.ID, Round: &rt})
 			},
 		}, func(policy string) {

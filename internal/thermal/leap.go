@@ -37,8 +37,16 @@ package thermal
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
+
+// phaseLadderBuild accumulates the wall time spent constructing propagator
+// ladder rungs (base builds and repeated squarings). It wraps only the build
+// loop — never the per-step kernel or the leap application path — so the
+// disabled cost is one atomic load per ladder miss, and the hot loop's
+// timings are untouched either way.
+var phaseLadderBuild = obs.RegisterPhase("thermal.ladder_build")
 
 const (
 	// leapTol is the per-chunk ceiling on the frozen-power temperature
@@ -239,6 +247,8 @@ func (n *Network) level(lad *propLadder, lvl int, dts float64) *propLevel {
 	for len(lad.levels) <= lvl {
 		lad.levels = append(lad.levels, propLevel{})
 	}
+	bt := phaseLadderBuild.Start()
+	built := int64(0)
 	for j := 0; j <= lvl; j++ {
 		if lad.levels[j].built {
 			continue
@@ -246,6 +256,7 @@ func (n *Network) level(lad *propLadder, lvl int, dts float64) *propLevel {
 		if ls != nil && j < len(ls.levels) {
 			continue // served from the snapshot when asked for
 		}
+		built++
 		if j == 0 {
 			n.buildBase(&lad.levels[0], dts)
 			continue
@@ -256,6 +267,7 @@ func (n *Network) level(lad *propLadder, lvl int, dts float64) *propLevel {
 		}
 		squareLevel(&lad.levels[j], src, len(n.nodes))
 	}
+	phaseLadderBuild.StopN(bt, built)
 	return &lad.levels[lvl]
 }
 

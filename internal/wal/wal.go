@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/faultinject"
 )
@@ -38,9 +39,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log is an open journal. Append/Sync are safe for concurrent use.
 type Log struct {
-	mu    sync.Mutex
-	f     *os.File
-	dirty bool // appended since last fsync
+	mu      sync.Mutex
+	f       *os.File
+	dirty   bool // appended since last fsync
+	onFsync func(seconds float64)
+}
+
+// SetFsyncObserver installs fn, called with each fsync's wall-clock duration
+// in seconds — the seam the daemon's dimd_wal_fsync_seconds histogram hangs
+// on. Observability only: fn sees timings after the fsync completed and must
+// not block (it runs under the log's lock, like the fsync itself).
+func (l *Log) SetFsyncObserver(fn func(seconds float64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onFsync = fn
 }
 
 // ReplayStats describes what Open found in an existing journal.
@@ -161,8 +173,12 @@ func (l *Log) Sync() error {
 	if err := faultinject.Error(faultinject.WALFsync); err != nil {
 		return err
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if l.onFsync != nil {
+		l.onFsync(time.Since(t0).Seconds())
 	}
 	l.dirty = false
 	return nil

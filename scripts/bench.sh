@@ -63,6 +63,14 @@ awk '
             if ($i == "allocs/op") { allocs[name] = $(i - 1) }
             if ($i == "ns/machine") { nsmach[name] = $(i - 1) }
             if ($i == "dedup-hit-pct") { dedup[name] = $(i - 1) }
+            if ($i ~ /-ms\/run$/) {
+                # Phase-profiler columns ("scenario.step-ms/run") from the
+                # profiled fleet benchmark, folded into a phases_ms object.
+                phase = $i
+                sub(/-ms\/run$/, "", phase)
+                sep = (name in phases) ? ", " : ""
+                phases[name] = phases[name] sep sprintf("\"%s\": %s", phase, $(i - 1))
+            }
         }
         if (!found) next
         if (!(name in allocs)) allocs[name] = "null"
@@ -75,6 +83,7 @@ awk '
             extra = ""
             if (key in nsmach) extra = extra sprintf(", \"ns_machine\": %s", nsmach[key])
             if (key in dedup) extra = extra sprintf(", \"dedup_hit_pct\": %s", dedup[key])
+            if (key in phases) extra = extra sprintf(", \"phases_ms\": {%s}", phases[key])
             printf "  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s%s}%s\n", \
                 key, ns[key], allocs[key], extra, (i < n ? "," : "")
         }

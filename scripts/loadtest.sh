@@ -131,6 +131,12 @@ if [[ "$hits" -ne "$LANES" ]]; then
     exit 1
 fi
 
+# Scrape the latency histograms before shutdown: every lane's POST /v1/jobs
+# landed in dimd_submit_latency_seconds and every Wait's stream connection in
+# dimd_stream_latency_seconds, so the percentiles below summarise this exact
+# load.
+"$work/dimctl" remote metrics -addr "$BASE" > "$work/metrics.txt"
+
 # Graceful shutdown check rides along: SIGTERM must drain cleanly.
 kill -TERM "$DPID"
 if ! wait "$DPID"; then
@@ -140,10 +146,10 @@ fi
 DPID=""
 grep -q "drained, bye" "$work/dimd.log" || { echo "loadtest: no clean drain marker" >&2; exit 1; }
 
-python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" <<'EOF'
-import json, sys
+python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" "$work/metrics.txt" <<'EOF'
+import json, re, sys
 
-out, lanes, cold_s, cold_jps, warm_s, warm_jps = sys.argv[1:]
+out, lanes, cold_s, cold_jps, warm_s, warm_jps, metrics_path = sys.argv[1:]
 try:
     with open(out) as f:
         results = json.load(f)
@@ -163,6 +169,48 @@ def entry(total_s, jps):
 results["ServiceLoadtest/cold"] = entry(cold_s, cold_jps)
 results["ServiceLoadtest/warm"] = entry(warm_s, warm_jps)
 
+def histogram(text, name):
+    # Cumulative bucket counts in le order, +Inf last, as exposed.
+    pat = re.compile(r'^%s_bucket\{le="([^"]+)"\} (\d+)$' % re.escape(name), re.M)
+    return [(float("inf") if le == "+Inf" else float(le), int(n))
+            for le, n in pat.findall(text)]
+
+def quantile(buckets, q):
+    # Linear interpolation inside the winning bucket — the same estimate
+    # obs.Histogram.Quantile computes server-side.
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total == 0:
+        return None
+    rank = q * total
+    prev_le, prev_n = 0.0, 0
+    for le, n in buckets:
+        if n >= rank:
+            if le == float("inf"):
+                return prev_le
+            frac = (rank - prev_n) / max(n - prev_n, 1)
+            return prev_le + (le - prev_le) * frac
+        prev_le, prev_n = le, n
+    return prev_le
+
+with open(metrics_path) as f:
+    metrics = f.read()
+
+for key, metric in [("submit", "dimd_submit_latency_seconds"),
+                    ("stream", "dimd_stream_latency_seconds")]:
+    buckets = histogram(metrics, metric)
+    count = buckets[-1][1] if buckets else 0
+    if count == 0:
+        print(f"loadtest: WARNING: {metric} recorded no samples", file=sys.stderr)
+        sys.exit(1)
+    rec = {"ns_op": None, "allocs_op": None, "samples": count}
+    for q, label in [(0.5, "p50_us"), (0.95, "p95_us"), (0.99, "p99_us")]:
+        rec[label] = round(quantile(buckets, q) * 1e6, 1)
+    results[f"ServiceLoadtest/{key}_latency"] = rec
+    print(f"loadtest: {key} latency p50={rec['p50_us']}us "
+          f"p95={rec['p95_us']}us p99={rec['p99_us']}us ({count} samples)")
+
 with open(out, "w") as f:
     f.write("{\n")
     keys = list(results)
@@ -170,5 +218,5 @@ with open(out, "w") as f:
         comma = "," if i < len(keys) - 1 else ""
         f.write(f'  "{k}": {json.dumps(results[k])}{comma}\n')
     f.write("}\n")
-print(f"loadtest: recorded ServiceLoadtest/cold + warm into {out}")
+print(f"loadtest: recorded ServiceLoadtest cold/warm + latency percentiles into {out}")
 EOF

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# obslint.sh — forbid hand-rolled Prometheus exposition outside internal/obs.
+#
+# Every metric must go through the obs registry (obs.Registry / obs.Collect):
+# the golden exposition test and the CI smoke greps pin exact names and types,
+# and a stray fmt.Fprintf emitting "# HELP ..." or "dimd_... %d" in some
+# handler would drift out from under them. internal/obs itself is the one
+# place allowed to render exposition syntax; test files may assert on it.
+#
+# Exits non-zero listing each offending line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Exposition preamble literals ("# HELP", "# TYPE") outside internal/obs.
+if out=$(grep -rn --include='*.go' -e '"# HELP' -e '"# TYPE' -e '# HELP %s' -e '# TYPE %s' . \
+        | grep -v '^\./internal/obs/' \
+        | grep -v '_test\.go:'); then
+    echo "obslint: exposition preamble emitted outside internal/obs:" >&2
+    echo "$out" >&2
+    fail=1
+fi
+
+# Direct metric sample emission: a print call formatting a dimd_* sample line
+# instead of registering the series with the obs registry.
+if out=$(grep -rn --include='*.go' -E '(Fprintf|Sprintf|Printf|WriteString)\([^)]*"dimd_[a-z_]+(\{[^"]*\})? %' . \
+        | grep -v '^\./internal/obs/' \
+        | grep -v '_test\.go:'); then
+    echo "obslint: direct dimd_* sample emission outside internal/obs:" >&2
+    echo "$out" >&2
+    fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+    echo "obslint: route metrics through internal/obs (Registry.Counter/Gauge/Histogram/Text or Collect)" >&2
+    exit 1
+fi
+echo "obslint: clean"
