@@ -28,13 +28,13 @@ const defaultAddr = "http://127.0.0.1:8080"
 //	dimctl remote [-addr URL] status <job-id>...
 //	dimctl remote [-addr URL] stream <job-id|name>
 //	dimctl remote [-addr URL] export <name>... [-out DIR]
-//	dimctl remote [-addr URL] jobs | cancel <job-id> | metrics
+//	dimctl remote [-addr URL] jobs | cancel <job-id> | metrics | cluster
 func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Writer) int {
 	// Flags may appear anywhere — `remote -addr URL run X` and
 	// `remote run X -addr URL` both work, matching the usage text.
 	names, rest := splitFlags(args)
 	if len(names) == 0 {
-		fmt.Fprintln(stderr, "dimctl: remote requires a subcommand: run, submit, status, stream, export, jobs, cancel or metrics")
+		fmt.Fprintln(stderr, "dimctl: remote requires a subcommand: run, submit, status, stream, export, jobs, cancel, metrics or cluster")
 		return 2
 	}
 	sub := names[0]
@@ -117,6 +117,7 @@ func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Wr
 				fmt.Fprintf(stderr, "dimctl: remote run %s: job %s %s: %s\n", v.Name, final.ID, final.State, final.Error)
 				return 1
 			}
+			warnDegraded(stderr, "run", final)
 			out, err := c.Output(v.ID)
 			if err != nil {
 				fmt.Fprintf(stderr, "dimctl: remote run %s: %v\n", v.Name, err)
@@ -199,6 +200,7 @@ func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Wr
 				fmt.Fprintf(stderr, "dimctl: remote export %s: job %s %s: %s\n", v.Name, final.ID, final.State, final.Error)
 				return 1
 			}
+			warnDegraded(stderr, "export", final)
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				fmt.Fprintf(stderr, "dimctl: remote export: %v\n", err)
 				return 1
@@ -262,10 +264,42 @@ func remoteCmd(args []string, scale float64, outDir string, stdout, stderr io.Wr
 		}
 		fmt.Fprint(stdout, text)
 		return 0
+	case "cluster":
+		st, err := c.ClusterStatus()
+		if err != nil {
+			fmt.Fprintf(stderr, "dimctl: remote cluster: %v\n", err)
+			return 1
+		}
+		if !st.Enabled {
+			fmt.Fprintln(stdout, "cluster: disabled (single-node daemon)")
+			return 0
+		}
+		fmt.Fprintf(stdout, "cluster: %d/%d workers healthy\n", st.Healthy, st.Workers)
+		for _, w := range st.Detail {
+			state := "healthy"
+			if !w.Healthy {
+				state = "UNHEALTHY"
+			}
+			fmt.Fprintf(stdout, "  %-32s %-9s breaker=%-6s misses=%d inflight=%d done=%d errors=%d\n",
+				w.URL, state, w.Breaker, w.ConsecutiveMisses, w.InFlightShards, w.ShardsDone, w.ShardErrors)
+		}
+		return 0
 	default:
-		fmt.Fprintf(stderr, "dimctl: unknown remote subcommand %q (run, submit, status, stream, export, jobs, cancel, metrics)\n", sub)
+		fmt.Fprintf(stderr, "dimctl: unknown remote subcommand %q (run, submit, status, stream, export, jobs, cancel, metrics, cluster)\n", sub)
 		return 2
 	}
+}
+
+// warnDegraded surfaces a clustered job that completed in degraded mode. The
+// bytes downloaded are still byte-identical to a healthy run — which is
+// exactly why the condition must be called out rather than inferred from the
+// output: without this line a degraded cluster is invisible to the operator.
+func warnDegraded(stderr io.Writer, verb string, v service.JobView) {
+	if !v.Degraded {
+		return
+	}
+	fmt.Fprintf(stderr, "dimctl: remote %s %s: job %s completed DEGRADED: shard(s) ran on the coordinator because no healthy worker was available; results are byte-correct but the cluster needs attention (check `dimctl remote cluster`)\n",
+		verb, v.Name, v.ID)
 }
 
 // remoteBanner mirrors the local banners: "scenario" / "sched" prefixes for

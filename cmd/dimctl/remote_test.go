@@ -137,3 +137,75 @@ func TestRemoteErrors(t *testing.T) {
 		t.Fatalf("remote status without IDs exited %d, want 2", code)
 	}
 }
+
+// newDegradedCoordinator boots a coordinator whose static worker set was
+// never alive: every clustered scenario job degrades to local execution.
+func newDegradedCoordinator(t *testing.T) string {
+	t.Helper()
+	cfg := dimetrodon.ServiceConfig{Workers: 2, DefaultScale: 0.05}
+	cfg.Cluster.Workers = []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}
+	cfg.Cluster.LeaseTTL = 300 * time.Millisecond
+	cfg.Cluster.HeartbeatEvery = 50 * time.Millisecond
+	svc := dimetrodon.NewService(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		srv.Close()
+	})
+	return srv.URL
+}
+
+// TestRemoteClusterStatus: `remote cluster` reports single-node daemons as
+// disabled and coordinators with their worker fleet detail.
+func TestRemoteClusterStatus(t *testing.T) {
+	addr := newTestDaemon(t)
+	code, stdout, stderr := runCLI(t, "remote", "cluster", "-addr", addr)
+	if code != 0 {
+		t.Fatalf("remote cluster against single-node daemon failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "disabled") {
+		t.Fatalf("single-node cluster status not reported disabled:\n%s", stdout)
+	}
+
+	coord := newDegradedCoordinator(t)
+	code, stdout, stderr = runCLI(t, "remote", "cluster", "-addr", coord)
+	if code != 0 {
+		t.Fatalf("remote cluster against coordinator failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "workers healthy") || !strings.Contains(stdout, "http://127.0.0.1:1") {
+		t.Fatalf("coordinator cluster status missing fleet detail:\n%s", stdout)
+	}
+}
+
+// TestRemoteRunWarnsDegraded pins the satellite bugfix: a clustered job that
+// completed degraded produces byte-correct output, so without an explicit
+// warning the operator cannot tell capacity silently collapsed. The run must
+// succeed AND name the degradation on stderr, pointing at `remote cluster`.
+func TestRemoteRunWarnsDegraded(t *testing.T) {
+	coord := newDegradedCoordinator(t)
+
+	code, stdout, stderr := runCLI(t, "remote", "run", "fleet-diurnal", "-addr", coord, "-scale", "0.05")
+	if code != 0 {
+		t.Fatalf("degraded remote run failed (results are correct, it must succeed): %s", stderr)
+	}
+	if !strings.Contains(stdout, "fleet-diurnal") {
+		t.Fatalf("degraded run produced no report:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "DEGRADED") || !strings.Contains(stderr, "dimctl remote cluster") {
+		t.Fatalf("degraded run did not warn distinctly on stderr: %q", stderr)
+	}
+
+	// Same distinct signal on the export path. A different scale forces a
+	// fresh degraded run — a cache hit of the earlier artifact would not be
+	// degraded (nothing dispatched), and must not warn.
+	outDir := t.TempDir()
+	code, _, stderr = runCLI(t, "remote", "export", "fleet-diurnal", "-addr", coord, "-scale", "0.04", "-out", outDir)
+	if code != 0 {
+		t.Fatalf("degraded remote export failed: %s", stderr)
+	}
+	if !strings.Contains(stderr, "DEGRADED") {
+		t.Fatalf("degraded export did not warn on stderr: %q", stderr)
+	}
+}

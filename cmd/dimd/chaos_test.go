@@ -52,11 +52,20 @@ type chaosChild struct {
 // startChild boots a daemon child over dataDir and waits for its listener.
 func startChild(t *testing.T, dataDir string) *chaosChild {
 	t.Helper()
+	return startChildWith(t, "-addr 127.0.0.1:0 -workers 2 -checkpoint-every 1 -data-dir "+dataDir)
+}
+
+// startChildWith boots a daemon child with explicit flags (plus any extra
+// environment entries, e.g. DIMD_FAULTS fault arming) and waits for its
+// listener.
+func startChildWith(t *testing.T, flags string, extraEnv ...string) *chaosChild {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		"DIMD_CHAOS_CHILD=1",
-		"DIMD_CHAOS_FLAGS=-addr 127.0.0.1:0 -workers 2 -checkpoint-every 1 -data-dir "+dataDir,
+		"DIMD_CHAOS_FLAGS="+flags,
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatalf("stdout pipe: %v", err)
@@ -65,6 +74,10 @@ func startChild(t *testing.T, dataDir string) *chaosChild {
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting daemon child: %v", err)
 	}
+	// Last-resort reaping: if the test bails before its own sigterm/kill9,
+	// don't leave a daemon process behind (Kill on a reaped process is a
+	// harmless error).
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
 	c := &chaosChild{cmd: cmd, out: &strings.Builder{}, omu: &sync.Mutex{}, done: make(chan error, 1)}
 	addrCh := make(chan string, 1)
 	go func() {
@@ -242,47 +255,7 @@ func TestChaosKillRecovery(t *testing.T) {
 // panic counter ticks, and the daemon keeps serving.
 func TestChaosWorkerPanicSmoke(t *testing.T) {
 	dir := t.TempDir()
-	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(),
-		"DIMD_CHAOS_CHILD=1",
-		"DIMD_CHAOS_FLAGS=-addr 127.0.0.1:0 -workers 1 -data-dir "+dir,
-		"DIMD_FAULTS=worker.panic",
-	)
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatalf("stdout pipe: %v", err)
-	}
-	cmd.Stderr = cmd.Stdout
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("start: %v", err)
-	}
-	child := &chaosChild{cmd: cmd, out: &strings.Builder{}, omu: &sync.Mutex{}, done: make(chan error, 1)}
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stdout)
-		for sc.Scan() {
-			line := sc.Text()
-			child.omu.Lock()
-			child.out.WriteString(line + "\n")
-			child.omu.Unlock()
-			if _, rest, ok := strings.Cut(line, "serving on "); ok {
-				if addr, _, ok := strings.Cut(rest, " "); ok {
-					select {
-					case addrCh <- addr:
-					default:
-					}
-				}
-			}
-		}
-		child.done <- cmd.Wait()
-	}()
-	select {
-	case addr := <-addrCh:
-		child.base = "http://" + addr
-	case <-time.After(30 * time.Second):
-		_ = cmd.Process.Kill()
-		t.Fatalf("daemon did not bind\n%s", child.output())
-	}
+	child := startChildWith(t, "-addr 127.0.0.1:0 -workers 1 -data-dir "+dir, "DIMD_FAULTS=worker.panic")
 	defer child.sigterm(t)
 
 	c := service.NewRetryClient(child.base, chaosRetry())

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// clusterSpec is the unscheduled fleet the cluster chaos suite runs: 16
+// machines over the default 8-shard plan (2 workers x 4 shards each) puts >=2
+// machines in every shard, so a stream cut after the first machine always
+// leaves undelivered work behind — a murdered worker must force a
+// re-dispatch, never a quietly-complete shard.
+const clusterSpec = `{
+	"name": "cluster-chaos",
+	"duration_s": 120,
+	"fleet": {"machines": 16, "base_seed": 11},
+	"machine": {"cores": 2},
+	"workload": [{"kind": "burn", "threads": 1}]
+}`
+
+// singleNodeReferenceArtifact runs clusterSpec once on a plain single-node
+// daemon process — the bytes every clustered run, however abused, must match.
+func singleNodeReferenceArtifact(t *testing.T) string {
+	t.Helper()
+	ref := startChildWith(t, "-addr 127.0.0.1:0 -workers 2")
+	c := service.NewRetryClient(ref.base, chaosRetry())
+	v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	final, err := c.Wait(context.Background(), v.ID)
+	if err != nil || final.State != service.StateDone {
+		t.Fatalf("reference run: %v (state %s %s)", err, final.State, final.Error)
+	}
+	want := fetchArtifact(t, c, v.ID)
+	ref.sigterm(t)
+	return want
+}
+
+// startClusterWorker boots one worker-role daemon, optionally with a
+// DIMD_FAULTS arming spec.
+func startClusterWorker(t *testing.T, faults string) *chaosChild {
+	t.Helper()
+	env := []string(nil)
+	if faults != "" {
+		env = append(env, "DIMD_FAULTS="+faults)
+	}
+	return startChildWith(t, "-addr 127.0.0.1:0 -workers 2 -role worker", env...)
+}
+
+// startClusterCoordinator boots a coordinator-role daemon over the given
+// workers with chaos-friendly timing (fast heartbeats, short leases).
+func startClusterCoordinator(t *testing.T, extraFlags string, workers ...*chaosChild) *chaosChild {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.base
+	}
+	flags := "-addr 127.0.0.1:0 -workers 2 -role coordinator" +
+		" -cluster-workers " + strings.Join(urls, ",") +
+		" -heartbeat-every 50ms" + extraFlags
+	return startChildWith(t, flags)
+}
+
+// metricValue extracts one exposition-format sample by exact name.
+func metricValue(metrics, name string) (float64, bool) {
+	for _, ln := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(ln, name+" "); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// waitWorkerInFlight polls the coordinator's cluster status until the named
+// worker holds at least one lease — the mid-shard moment the chaos verbs aim
+// for.
+func waitWorkerInFlight(t *testing.T, c *service.Client, workerURL string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.ClusterStatus()
+		if err == nil {
+			for _, w := range st.Detail {
+				if w.URL == workerURL && w.InFlightShards > 0 {
+					return
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("worker %s never took a shard lease", workerURL)
+}
+
+// TestClusterChaosWorkerKill is the distributed-mode acceptance test: a real
+// worker process is kill -9ed mid-job at three seeded points — dead before
+// the job starts, wedged mid-shard holding a lease, and right after a
+// truncated result stream — and every time the coordinator must recover the
+// work and export bytes identical to a single-node run.
+func TestClusterChaosWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite re-execs daemons; skipped in -short")
+	}
+	want := singleNodeReferenceArtifact(t)
+
+	t.Run("dead-at-submit", func(t *testing.T) {
+		w1 := startClusterWorker(t, "")
+		w2 := startClusterWorker(t, "")
+		defer w2.sigterm(t)
+		co := startClusterCoordinator(t, " -lease-ttl 2s", w1, w2)
+		defer co.sigterm(t)
+		w1.kill9(t) // worker is a corpse before the first dispatch
+
+		c := service.NewRetryClient(co.base, chaosRetry())
+		v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		final, err := c.Wait(context.Background(), v.ID)
+		if err != nil || final.State != service.StateDone {
+			t.Fatalf("job with a dead worker: %v (state %s %s)\n%s", err, final.State, final.Error, co.output())
+		}
+		if got := fetchArtifact(t, c, v.ID); got != want {
+			t.Fatalf("dead-at-submit run diverged from single-node reference (%d vs %d bytes)", len(got), len(want))
+		}
+	})
+
+	t.Run("stalled-mid-shard", func(t *testing.T) {
+		// The stall fault wedges w1's first shard stream: it holds the lease,
+		// answers nothing, and we SIGKILL it in exactly that state.
+		w1 := startClusterWorker(t, "cluster.shard.stall")
+		w2 := startClusterWorker(t, "")
+		defer w2.sigterm(t)
+		co := startClusterCoordinator(t, " -lease-ttl 2s", w1, w2)
+		defer co.sigterm(t)
+
+		c := service.NewRetryClient(co.base, chaosRetry())
+		v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		waitWorkerInFlight(t, c, w1.base)
+		w1.kill9(t)
+
+		final, err := c.Wait(context.Background(), v.ID)
+		if err != nil || final.State != service.StateDone {
+			t.Fatalf("job after mid-shard worker kill: %v (state %s %s)\n%s", err, final.State, final.Error, co.output())
+		}
+		if got := fetchArtifact(t, c, v.ID); got != want {
+			t.Fatalf("mid-shard kill run diverged from single-node reference (%d vs %d bytes)", len(got), len(want))
+		}
+		metrics, err := c.Metrics()
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		if n, ok := metricValue(metrics, "dimd_cluster_shard_retries_total"); !ok || n < 1 {
+			t.Fatalf("dimd_cluster_shard_retries_total = %v (ok=%v), want >= 1 after a killed lease holder", n, ok)
+		}
+	})
+
+	t.Run("killed-after-partial-stream", func(t *testing.T) {
+		// w1 truncates its first stream mid-shard (machines delivered, no
+		// terminal line), then dies for good once the coordinator has noticed.
+		w1 := startClusterWorker(t, "cluster.result.partial")
+		w2 := startClusterWorker(t, "")
+		defer w2.sigterm(t)
+		co := startClusterCoordinator(t, " -lease-ttl 2s", w1, w2)
+		defer co.sigterm(t)
+
+		c := service.NewRetryClient(co.base, chaosRetry())
+		v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if m, err := c.Metrics(); err == nil {
+				if n, ok := metricValue(m, "dimd_cluster_shard_retries_total"); ok && n >= 1 {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("coordinator never counted a shard retry after the truncated stream")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		w1.kill9(t)
+
+		final, err := c.Wait(context.Background(), v.ID)
+		if err != nil || final.State != service.StateDone {
+			t.Fatalf("job after partial stream + kill: %v (state %s %s)\n%s", err, final.State, final.Error, co.output())
+		}
+		if got := fetchArtifact(t, c, v.ID); got != want {
+			t.Fatalf("partial-stream kill run diverged from single-node reference (%d vs %d bytes)", len(got), len(want))
+		}
+	})
+}
+
+// TestClusterChaosCoordinatorRestart kills -9 the coordinator itself mid-job
+// (a worker wedged on a long lease guarantees the job is in flight) and
+// restarts it over the same data directory: the journaled job must recover,
+// re-dispatch through the cluster, and export the single-node bytes.
+func TestClusterChaosCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite re-execs daemons; skipped in -short")
+	}
+	want := singleNodeReferenceArtifact(t)
+
+	// The stall consumes itself with the first coordinator's death (the fault
+	// is one-shot per worker process), so the revived coordinator's
+	// re-dispatch sails through.
+	w1 := startClusterWorker(t, "cluster.shard.stall")
+	defer w1.sigterm(t)
+	w2 := startClusterWorker(t, "")
+	defer w2.sigterm(t)
+
+	dir := t.TempDir()
+	durable := " -lease-ttl 60s -checkpoint-every 1 -data-dir " + dir
+	co := startClusterCoordinator(t, durable, w1, w2)
+	c := service.NewRetryClient(co.base, chaosRetry())
+	v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// With a 60s lease the wedged shard pins the job open; once w1 holds a
+	// lease the job provably cannot finish before the kill lands.
+	waitWorkerInFlight(t, c, w1.base)
+	co.kill9(t)
+
+	revived := startClusterCoordinator(t, durable, w1, w2)
+	defer revived.sigterm(t)
+	if !strings.Contains(revived.output(), "recovered 1 interrupted job(s)") {
+		t.Fatalf("restarted coordinator did not report recovery:\n%s", revived.output())
+	}
+	c2 := service.NewRetryClient(revived.base, chaosRetry())
+	final, err := c2.Wait(context.Background(), v.ID)
+	if err != nil || final.State != service.StateDone {
+		t.Fatalf("recovered clustered job: %v (state %s %s)\n%s", err, final.State, final.Error, revived.output())
+	}
+	if got := fetchArtifact(t, c2, v.ID); got != want {
+		t.Fatalf("coordinator-restart run diverged from single-node reference (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestClusterChaosDegradeVisible points a coordinator at workers that were
+// never alive: the job must still complete (shards degrade to the
+// coordinator), produce single-node bytes, and the degradation must be
+// visible in the job status, the event stream, and /metrics.
+func TestClusterChaosDegradeVisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite re-execs daemons; skipped in -short")
+	}
+	want := singleNodeReferenceArtifact(t)
+
+	co := startChildWith(t, "-addr 127.0.0.1:0 -workers 2 -role coordinator"+
+		" -cluster-workers http://127.0.0.1:1,http://127.0.0.1:2"+
+		" -heartbeat-every 50ms -lease-ttl 500ms")
+	defer co.sigterm(t)
+
+	c := service.NewRetryClient(co.base, chaosRetry())
+	v, err := c.Submit(service.Request{Spec: []byte(clusterSpec)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	sawDegradedEvent := false
+	if err := c.Stream(context.Background(), v.ID, func(e service.Event) error {
+		if e.Type == "degraded" {
+			sawDegradedEvent = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !sawDegradedEvent {
+		t.Fatal("no degraded event on the job stream")
+	}
+	final, err := c.Job(v.ID)
+	if err != nil || final.State != service.StateDone {
+		t.Fatalf("degraded job: %v (state %s %s)\n%s", err, final.State, final.Error, co.output())
+	}
+	if !final.Degraded {
+		t.Fatal("job view does not report degraded")
+	}
+	if got := fetchArtifact(t, c, v.ID); got != want {
+		t.Fatalf("degraded run diverged from single-node reference (%d vs %d bytes)", len(got), len(want))
+	}
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if n, ok := metricValue(metrics, "dimd_cluster_jobs_degraded_total"); !ok || n != 1 {
+		t.Fatalf("dimd_cluster_jobs_degraded_total = %v (ok=%v), want 1", n, ok)
+	}
+	if n, ok := metricValue(metrics, "dimd_cluster_shards_local_total"); !ok || n < 1 {
+		t.Fatalf("dimd_cluster_shards_local_total = %v (ok=%v), want >= 1", n, ok)
+	}
+}

@@ -11,6 +11,18 @@
 //	dimd -workers 4 -queue 256        size the pool and admission queue
 //	dimd -cache-mb 128                size the result cache
 //	dimd -data-dir /var/lib/dimd      durable: journal + checkpoints + artifacts
+//	dimd -role worker                 shard worker for a remote coordinator
+//	dimd -role coordinator -cluster-workers http://w1:8080,http://w2:8080
+//	                                  fan scenario fleets out across workers
+//
+// In coordinator mode, scenario jobs are split into machine-range shards and
+// dispatched to the static worker set under TTL leases: a worker that dies,
+// stalls, or truncates its result stream mid-shard has its lease revoked and
+// the missing machines re-dispatched (or, when no healthy worker remains, run
+// locally — the job completes degraded rather than failing). Results merge in
+// fixed machine order, so the exported bytes are identical to a single-node
+// run regardless of which workers failed along the way. Worker mode is an
+// ordinary daemon with a name tag: every dimd serves the shard endpoints.
 //
 // With -data-dir the daemon is crash-safe: accepted jobs journal to a WAL
 // before the submission is acknowledged, in-flight jobs checkpoint at round
@@ -66,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound before in-flight jobs are cancelled")
 	dataDir := fs.String("data-dir", "", "durable state directory (job journal, checkpoints, artifacts); empty = in-memory")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "scheduled-run checkpoint cadence in round barriers; 0 = default (5), negative disables")
+	role := fs.String("role", "", "cluster role: coordinator, worker, or empty for single-node")
+	clusterWorkers := fs.String("cluster-workers", "", "comma-separated worker base URLs (coordinator role only)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "shard lease TTL before a silent worker is presumed dead; 0 = default")
+	heartbeatEvery := fs.Duration("heartbeat-every", 0, "worker health-probe cadence; 0 = default")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text, json or off")
 	logLevel := fs.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	profilePhases := fs.Bool("profile-phases", false, "accumulate engine phase timings (exported as dimd_phase_seconds_total)")
@@ -94,6 +110,34 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	obs.EnableProfiling(*profilePhases)
 
+	var workerURLs []string
+	switch *role {
+	case "coordinator":
+		for _, u := range strings.Split(*clusterWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, u)
+			}
+		}
+		if len(workerURLs) == 0 {
+			fmt.Fprintln(stderr, "dimd: -role coordinator needs -cluster-workers (comma-separated worker URLs)")
+			return 2
+		}
+	case "", "worker":
+		// A worker is an ordinary daemon — the role flag only names it in the
+		// startup line. Cluster topology flags belong to the coordinator.
+		if *clusterWorkers != "" {
+			fmt.Fprintf(stderr, "dimd: -cluster-workers only applies to -role coordinator (role is %q)\n", *role)
+			return 2
+		}
+		if *leaseTTL != 0 || *heartbeatEvery != 0 {
+			fmt.Fprintf(stderr, "dimd: -lease-ttl/-heartbeat-every only apply to -role coordinator (role is %q)\n", *role)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "dimd: unknown -role %q (want coordinator, worker, or empty)\n", *role)
+		return 2
+	}
+
 	if *dataDir != "" {
 		cleanupPid, err := writePidFile(*dataDir, stderr)
 		if err != nil {
@@ -103,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		defer cleanupPid()
 	}
 
-	svc, err := dimetrodon.OpenService(dimetrodon.ServiceConfig{
+	cfg := dimetrodon.ServiceConfig{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheBytes:      int64(*cacheMB) << 20,
@@ -111,13 +155,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
 		Logger:          logger,
-	})
+	}
+	cfg.Cluster.Workers = workerURLs
+	cfg.Cluster.LeaseTTL = *leaseTTL
+	cfg.Cluster.HeartbeatEvery = *heartbeatEvery
+	svc, err := dimetrodon.OpenService(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "dimd: %v\n", err)
 		return 1
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(stdout, "dimd: durable in %s, recovered %d interrupted job(s)\n", *dataDir, svc.Recovered())
+	}
+	switch *role {
+	case "coordinator":
+		fmt.Fprintf(stdout, "dimd: coordinator over %d worker(s): %s\n", len(workerURLs), strings.Join(workerURLs, ", "))
+	case "worker":
+		fmt.Fprintf(stdout, "dimd: worker mode, serving shards\n")
 	}
 
 	ln, err := net.Listen("tcp", *addr)

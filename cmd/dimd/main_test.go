@@ -111,4 +111,16 @@ func TestFlagValidation(t *testing.T) {
 	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &errb, nil); code != 1 {
 		t.Fatalf("unbindable address exited %d, want 1", code)
 	}
+	if code := run([]string{"-role", "overlord"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("unknown role exited %d, want 2", code)
+	}
+	if code := run([]string{"-role", "coordinator"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("coordinator without workers exited %d, want 2", code)
+	}
+	if code := run([]string{"-role", "worker", "-cluster-workers", "http://x"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("worker with -cluster-workers exited %d, want 2", code)
+	}
+	if code := run([]string{"-lease-ttl", "5s"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("-lease-ttl without coordinator role exited %d, want 2", code)
+	}
 }

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"    // dispatches flow
+	BreakerOpen     = "open"      // dispatches refused until the cooldown passes
+	BreakerHalfOpen = "half-open" // one probe dispatch in flight; its outcome decides
+)
+
+// Breaker is a per-worker circuit breaker over shard dispatches. Consecutive
+// failures past the threshold open it; after the cooldown one probe dispatch
+// is allowed through (half-open), and that probe's outcome either closes the
+// breaker or re-opens it for another cooldown. It protects the lease table
+// from burning its shard attempt budget against a worker that fails fast —
+// connection refused in microseconds would otherwise exhaust every retry
+// before a slower, healthy worker got a look.
+type Breaker struct {
+	mu        sync.Mutex
+	state     string
+	fails     int
+	openedAt  time.Time
+	probing   bool // half-open: the single probe slot is taken
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+}
+
+// NewBreaker builds a closed breaker. threshold is the consecutive-failure
+// count that opens it (min 1); cooldown is the open->half-open delay.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{state: BreakerClosed, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a dispatch may proceed. In half-open state exactly
+// one caller gets true (the probe); everyone else waits for its verdict.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed dispatch: the breaker closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Fail records a failed dispatch. A half-open probe failure re-opens
+// immediately; in closed state the streak must reach the threshold.
+func (b *Breaker) Fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// State returns the breaker state name for status documents.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen // cooldown served; next Allow admits the probe
+	}
+	return b.state
+}

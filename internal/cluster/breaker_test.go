@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Fail()
+		if !b.Allow() {
+			t.Fatalf("breaker refused dispatch after %d/3 failures", i+1)
+		}
+	}
+	b.Fail()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a dispatch inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.Fail()
+	b.Fail()
+	b.Success()
+	b.Fail()
+	b.Fail()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q, want closed: success should reset the failure streak", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clock := time.Now()
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time { return clock }
+	b.Fail()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a dispatch")
+	}
+
+	clock = clock.Add(2 * time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %q after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe dispatch")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure re-opens for a fresh cooldown.
+	b.Fail()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state %q after probe failure, want open and refusing", b.State())
+	}
+
+	// After another cooldown, a successful probe closes it fully.
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() || !b.Allow() {
+		t.Fatalf("state %q after probe success, want closed and freely admitting", b.State())
+	}
+}
+
+func TestPlanCoversFleetExactly(t *testing.T) {
+	for _, tc := range []struct{ n, target, want int }{
+		{100, 8, 8},
+		{7, 3, 3},
+		{3, 8, 3},  // target clamps to fleet size
+		{5, 0, 1},  // degenerate target
+		{0, 4, 0},  // empty fleet
+		{-2, 4, 0}, // nonsense fleet
+	} {
+		shards := Plan(tc.n, tc.target)
+		if len(shards) != tc.want {
+			t.Fatalf("Plan(%d,%d) made %d shards, want %d", tc.n, tc.target, len(shards), tc.want)
+		}
+		next := 0
+		for i, s := range shards {
+			if s.ID != i || s.From != next || s.Size() < 1 {
+				t.Fatalf("Plan(%d,%d)[%d] = %+v: not contiguous from %d", tc.n, tc.target, i, s, next)
+			}
+			next = s.To
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Fatalf("Plan(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.target, next, tc.n)
+		}
+	}
+	// Near-equal: sizes differ by at most one.
+	shards := Plan(10, 3)
+	for _, s := range shards {
+		if s.Size() != 3 && s.Size() != 4 {
+			t.Fatalf("Plan(10,3) shard %+v: size %d not near-equal", s, s.Size())
+		}
+	}
+}

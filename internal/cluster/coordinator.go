@@ -1,0 +1,546 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Config sizes the distributed tier. Zero fields select the documented
+// defaults.
+type Config struct {
+	// Workers is the static worker URL list (opaque to this package; the
+	// injected Transport interprets them).
+	Workers []string
+	// LeaseTTL bounds how long a granted shard may go without streaming a
+	// result before its lease is revoked and the shard re-dispatched.
+	// Default: 10s.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the worker health-probe cadence. Default: 2s.
+	HeartbeatEvery time.Duration
+	// ProbeTimeout bounds one health probe. Default: HeartbeatEvery.
+	ProbeTimeout time.Duration
+	// UnhealthyAfter is the consecutive heartbeat misses that mark a worker
+	// unhealthy (the first success heals it). Default: 3.
+	UnhealthyAfter int
+	// BreakerThreshold is the consecutive dispatch failures that open a
+	// worker's circuit breaker. Default: 3.
+	BreakerThreshold int
+	// BreakerCooldown is the open->half-open delay. Default: 2*LeaseTTL.
+	BreakerCooldown time.Duration
+	// ShardsPerWorker is the oversharding factor: the fleet splits into
+	// len(Workers)*ShardsPerWorker shards so a lost worker forfeits a
+	// fraction of the fleet, not 1/len(Workers) of it. Default: 4.
+	ShardsPerWorker int
+	// MaxPerWorker caps concurrently dispatched shards per worker.
+	// Default: 2.
+	MaxPerWorker int
+	// MaxShardAttempts is the remote grant budget per shard; past it the
+	// shard runs locally (degraded mode) instead of failing the job.
+	// Default: 3.
+	MaxShardAttempts int
+	// Logger receives lease-lifecycle logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.HeartbeatEvery
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * c.LeaseTTL
+	}
+	if c.ShardsPerWorker <= 0 {
+		c.ShardsPerWorker = 4
+	}
+	if c.MaxPerWorker <= 0 {
+		c.MaxPerWorker = 2
+	}
+	if c.MaxShardAttempts <= 0 {
+		c.MaxShardAttempts = 3
+	}
+	return c
+}
+
+// ProbeFunc probes one worker's health within ctx's deadline. The service
+// layer supplies an HTTP GET; unit tests supply fakes.
+type ProbeFunc func(ctx context.Context, url string) error
+
+// Event is one lease-lifecycle notification, the hook the service layer maps
+// to metrics and trace spans. Kind is "grant" (Attempt 1 = first dispatch,
+// >1 = redispatch), "revoke" (Reason and lease Age set), or "local" (the
+// shard fell back to in-process execution).
+type Event struct {
+	Kind    string
+	Shard   Shard
+	Worker  string
+	Attempt int
+	Age     time.Duration
+	Reason  string
+}
+
+// ReasonExpired is the revoke reason for a lease that outlived its TTL
+// without streaming progress.
+const ReasonExpired = "lease expired"
+
+// RunReq is one distributed fleet execution request. Dispatch and Local are
+// per-request because they close over the job's spec; the coordinator itself
+// is job-agnostic.
+type RunReq struct {
+	// Machines is the compiled fleet size at the job's scale.
+	Machines int
+	// Done lists machine indices whose results a recovered checkpoint
+	// already holds; shards skip them.
+	Done []int
+	// Dispatch executes sh (minus skip indices) on the worker at url,
+	// invoking onResult per completed machine as results stream back. It
+	// returns nil only after the worker's terminal confirmation; a stream
+	// that ends early must return an error. ctx cancellation (lease revoke,
+	// job cancel) must abort promptly.
+	Dispatch func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error
+	// Local executes sh in-process — the degraded path.
+	Local func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error
+	// OnResult receives each newly computed machine result exactly once
+	// (first-wins across duplicate deliveries), from multiple goroutines.
+	OnResult func(scenario.MachineResult)
+	// OnEvent receives lease-lifecycle events; may be nil.
+	OnEvent func(Event)
+}
+
+// Outcome summarises a completed Run.
+type Outcome struct {
+	// Results holds the newly computed machine results, index-sorted
+	// (checkpoint-recovered indices are not repeated).
+	Results []scenario.MachineResult
+	// Degraded reports that at least one shard ran locally because no
+	// healthy worker could take it.
+	Degraded bool
+	// Redispatches counts lease grants past each shard's first.
+	Redispatches int
+	// Expirations counts leases revoked by TTL expiry.
+	Expirations int
+	// LocalShards counts shards that ran in-process.
+	LocalShards int
+}
+
+// Lease states.
+const (
+	leasePending = iota // waiting for a grant
+	leaseGranted        // dispatched to a worker under a live TTL
+	leaseLocal          // running in-process (degraded)
+	leaseDone
+)
+
+// lease is one shard's grant record. epoch invalidates in-flight attempts:
+// a revoked attempt's late completion (or its streamed stragglers' renewal)
+// must not touch the successor grant's lease.
+type lease struct {
+	shard     Shard
+	state     int
+	worker    *workerState
+	attempts  int // grants so far, remote and local
+	remote    int // remote grants so far (the MaxShardAttempts budget)
+	epoch     int
+	grantedAt time.Time
+	expiry    time.Time
+	cancel    context.CancelFunc
+}
+
+// Coordinator runs fleets across the worker set. One Coordinator serves many
+// sequential or concurrent Run calls; the heartbeat monitor is shared.
+type Coordinator struct {
+	cfg Config
+	mon *Monitor
+	log *slog.Logger
+}
+
+// New builds a coordinator and starts its heartbeat monitor (driven by
+// probe). Call Stop when done. onHealth, when non-nil, observes worker
+// health transitions (the service layer logs them and updates gauges).
+func New(cfg Config, probe ProbeFunc, onHealth func(url string, healthy bool)) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, log: cfg.Logger}
+	if c.log == nil {
+		c.log = slog.New(discardHandler{})
+	}
+	c.mon = newMonitor(cfg.Workers, cfg, probe, onHealth)
+	c.mon.Start()
+	return c
+}
+
+// Stop halts the heartbeat monitor.
+func (c *Coordinator) Stop() { c.mon.Stop() }
+
+// Monitor exposes the worker health table for status documents and metrics.
+func (c *Coordinator) Monitor() *Monitor { return c.mon }
+
+// attemptDone is one dispatch goroutine's completion notice.
+type attemptDone struct {
+	l     *lease
+	epoch int
+	local bool
+	err   error
+}
+
+// Run executes a Machines-wide fleet across the workers and returns once
+// every machine index outside req.Done has a result. Failures re-dispatch;
+// only context cancellation or a deterministic engine error (reproduced by
+// the local fallback) fails the run.
+func (c *Coordinator) Run(ctx context.Context, req RunReq) (Outcome, error) {
+	var out Outcome
+	if req.Machines <= 0 {
+		return out, fmt.Errorf("cluster: fleet of %d machines", req.Machines)
+	}
+	if req.Dispatch == nil || req.Local == nil {
+		return out, fmt.Errorf("cluster: RunReq needs both Dispatch and Local")
+	}
+
+	done := make(map[int]bool, len(req.Done))
+	for _, i := range req.Done {
+		done[i] = true
+	}
+
+	// results guards the first-wins dedupe: streamed results from a revoked
+	// attempt still count (determinism makes any delivery of index i the
+	// delivery), and the successor grant skips them.
+	var mu sync.Mutex
+	results := map[int]scenario.MachineResult{}
+	covered := func(i int) bool { return done[i] || func() bool { _, ok := results[i]; return ok }() }
+
+	target := len(c.cfg.Workers) * c.cfg.ShardsPerWorker
+	if target < 1 {
+		target = 1
+	}
+	leases := make([]*lease, 0, target)
+	doneShards := 0
+	for _, sh := range Plan(req.Machines, target) {
+		l := &lease{shard: sh, state: leasePending}
+		mu.Lock()
+		if c.remaining(l, done, results) == nil {
+			l.state = leaseDone
+			doneShards++
+		}
+		mu.Unlock()
+		leases = append(leases, l)
+	}
+
+	resCh := make(chan attemptDone, len(leases))
+	inflight := 0
+	watch := c.cfg.LeaseTTL / 4
+	if watch < 5*time.Millisecond {
+		watch = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(watch)
+	defer ticker.Stop()
+
+	emit := func(e Event) {
+		if req.OnEvent != nil {
+			req.OnEvent(e)
+		}
+	}
+
+	grantLocal := func(l *lease) {
+		actx, cancel := context.WithCancel(ctx)
+		mu.Lock()
+		l.state = leaseLocal
+		l.attempts++
+		l.epoch++
+		l.grantedAt = time.Now()
+		l.cancel = cancel
+		epoch := l.epoch
+		skip := c.skipList(l, done, results)
+		mu.Unlock()
+		out.Degraded = true
+		out.LocalShards++
+		if l.attempts > 1 {
+			out.Redispatches++
+		}
+		emit(Event{Kind: "local", Shard: l.shard, Attempt: l.attempts})
+		c.log.Warn("shard degraded to local run", "shard", l.shard.ID, "from", l.shard.From, "to", l.shard.To, "attempt", l.attempts)
+		inflight++
+		go func() {
+			err := req.Local(actx, l.shard, skip, c.dedupe(&mu, l, epoch, done, results, req.OnResult))
+			resCh <- attemptDone{l: l, epoch: epoch, local: true, err: err}
+		}()
+	}
+
+	grantRemote := func(l *lease, w *workerState) {
+		actx, cancel := context.WithCancel(ctx)
+		mu.Lock()
+		l.state = leaseGranted
+		l.worker = w
+		l.attempts++
+		l.remote++
+		l.epoch++
+		l.grantedAt = time.Now()
+		l.expiry = l.grantedAt.Add(c.cfg.LeaseTTL)
+		l.cancel = cancel
+		epoch := l.epoch
+		skip := c.skipList(l, done, results)
+		mu.Unlock()
+		if l.attempts > 1 {
+			out.Redispatches++
+		}
+		emit(Event{Kind: "grant", Shard: l.shard, Worker: w.url, Attempt: l.attempts})
+		c.log.Info("lease granted", "shard", l.shard.ID, "worker", w.url, "attempt", l.attempts, "skip", len(skip))
+		inflight++
+		go func() {
+			err := req.Dispatch(actx, w.url, l.shard, skip, c.dedupe(&mu, l, epoch, done, results, req.OnResult))
+			resCh <- attemptDone{l: l, epoch: epoch, err: err}
+		}()
+	}
+
+	for doneShards < len(leases) {
+		if err := ctx.Err(); err != nil {
+			c.drain(leases, resCh, inflight)
+			return out, err
+		}
+
+		// Grant every pending shard a slot if one exists. Degrade-to-local
+		// fires only when nothing is running and no worker can take work —
+		// the "every worker is unhealthy" contract — or when a single shard
+		// has burned its remote attempt budget.
+		granted := true
+		for granted {
+			granted = false
+			for _, l := range leases {
+				if l.state != leasePending {
+					continue
+				}
+				if l.remote >= c.cfg.MaxShardAttempts {
+					grantLocal(l)
+					granted = true
+					continue
+				}
+				if w := c.mon.acquire(c.cfg.MaxPerWorker); w != nil {
+					grantRemote(l, w)
+					granted = true
+				}
+			}
+			if !granted && inflight == 0 && !c.mon.anyAvailable(c.cfg.MaxPerWorker) {
+				// Total worker outage: run the next pending shard locally so
+				// the job completes (degraded) instead of stalling forever.
+				for _, l := range leases {
+					if l.state == leasePending {
+						grantLocal(l)
+						granted = true
+						break
+					}
+				}
+			}
+		}
+
+		select {
+		case d := <-resCh:
+			inflight--
+			c.finishAttempt(d, &mu, done, results, leases, &doneShards, emit)
+			if d.local && d.err != nil && ctx.Err() == nil {
+				// The local engine is authoritative: its error is the spec's
+				// error, not a network artifact. Fail the run.
+				c.drain(leases, resCh, inflight)
+				return out, d.err
+			}
+		case <-ticker.C:
+			now := time.Now()
+			var expired []*lease
+			mu.Lock()
+			for _, l := range leases {
+				if l.state == leaseGranted && now.After(l.expiry) {
+					expired = append(expired, l)
+				}
+			}
+			mu.Unlock()
+			for _, l := range expired {
+				out.Expirations++
+				c.revoke(l, &mu, ReasonExpired, emit)
+			}
+		case <-ctx.Done():
+		}
+	}
+
+	mu.Lock()
+	for i := 0; i < req.Machines; i++ {
+		if !covered(i) {
+			mu.Unlock()
+			return out, fmt.Errorf("cluster: machine %d has no result after all shards completed", i)
+		}
+	}
+	out.Results = make([]scenario.MachineResult, 0, len(results))
+	for _, r := range results {
+		out.Results = append(out.Results, r)
+	}
+	mu.Unlock()
+	sort.Slice(out.Results, func(a, b int) bool { return out.Results[a].Index < out.Results[b].Index })
+	return out, nil
+}
+
+// dedupe wraps the caller's OnResult with first-wins index dedupe and lease
+// renewal: every accepted result extends the granting lease's TTL (streamed
+// progress is the heartbeat that matters).
+func (c *Coordinator) dedupe(mu *sync.Mutex, l *lease, epoch int, done map[int]bool, results map[int]scenario.MachineResult, onResult func(scenario.MachineResult)) func(scenario.MachineResult) {
+	return func(m scenario.MachineResult) {
+		mu.Lock()
+		if done[m.Index] {
+			mu.Unlock()
+			return
+		}
+		if _, ok := results[m.Index]; ok {
+			mu.Unlock()
+			return
+		}
+		results[m.Index] = m
+		if l.epoch == epoch && l.state == leaseGranted {
+			l.expiry = time.Now().Add(c.cfg.LeaseTTL)
+		}
+		mu.Unlock()
+		if onResult != nil {
+			onResult(m)
+		}
+	}
+}
+
+// remaining returns the shard's machine indices still lacking a result.
+// Caller holds the results mutex.
+func (c *Coordinator) remaining(l *lease, done map[int]bool, results map[int]scenario.MachineResult) []int {
+	var miss []int
+	for i := l.shard.From; i < l.shard.To; i++ {
+		if done[i] {
+			continue
+		}
+		if _, ok := results[i]; ok {
+			continue
+		}
+		miss = append(miss, i)
+	}
+	return miss
+}
+
+// skipList returns the shard indices an attempt should not recompute.
+// Caller holds the results mutex.
+func (c *Coordinator) skipList(l *lease, done map[int]bool, results map[int]scenario.MachineResult) []int {
+	var skip []int
+	for i := l.shard.From; i < l.shard.To; i++ {
+		if done[i] {
+			skip = append(skip, i)
+			continue
+		}
+		if _, ok := results[i]; ok {
+			skip = append(skip, i)
+		}
+	}
+	return skip
+}
+
+// revoke cancels a granted lease and re-pends its shard. The epoch bump makes
+// the in-flight attempt's completion notice stale; its worker slot is
+// released here, exactly once.
+func (c *Coordinator) revoke(l *lease, mu *sync.Mutex, reason string, emit func(Event)) {
+	mu.Lock()
+	l.epoch++
+	l.state = leasePending
+	mu.Unlock()
+	age := time.Since(l.grantedAt)
+	emit(Event{Kind: "revoke", Shard: l.shard, Worker: l.worker.url, Attempt: l.attempts, Age: age, Reason: reason})
+	c.log.Warn("lease revoked", "shard", l.shard.ID, "worker", l.worker.url, "age", age, "reason", reason)
+	if l.cancel != nil {
+		l.cancel()
+	}
+	c.mon.release(l.worker, false)
+	l.worker = nil
+}
+
+// finishAttempt folds one dispatch goroutine's completion into the lease
+// table. Stale notices (the lease was revoked and the epoch moved on) only
+// tidy the goroutine; current ones either complete the shard or re-pend it.
+func (c *Coordinator) finishAttempt(d attemptDone, mu *sync.Mutex, done map[int]bool, results map[int]scenario.MachineResult, leases []*lease, doneShards *int, emit func(Event)) {
+	l := d.l
+	if l.epoch != d.epoch {
+		return // revoked while in flight; the slot was released at revoke time
+	}
+	if l.cancel != nil {
+		l.cancel()
+		l.cancel = nil
+	}
+	mu.Lock()
+	complete := len(c.remaining(l, done, results)) == 0
+	if complete {
+		l.state = leaseDone
+	} else {
+		l.state = leasePending
+	}
+	mu.Unlock()
+
+	if !d.local {
+		c.mon.release(l.worker, complete && d.err == nil)
+	}
+	age := time.Since(l.grantedAt)
+
+	if complete {
+		// Results cover the shard — even if the stream then erred, the work
+		// is done (a terminal-line hiccup after the last machine landed).
+		if d.err != nil && !d.local {
+			emit(Event{Kind: "revoke", Shard: l.shard, Worker: l.worker.url, Attempt: l.attempts, Age: age, Reason: "stream error after full delivery: " + d.err.Error()})
+		}
+		l.worker = nil
+		*doneShards++
+		return
+	}
+
+	if d.local {
+		// Local failure surfaces to Run's caller (deterministic engine error
+		// or cancellation); the shard stays pending so a cancelled drain is
+		// coherent.
+		return
+	}
+
+	reason := "incomplete shard stream"
+	if d.err != nil {
+		reason = d.err.Error()
+	}
+	emit(Event{Kind: "revoke", Shard: l.shard, Worker: l.worker.url, Attempt: l.attempts, Age: age, Reason: reason})
+	c.log.Warn("shard attempt failed", "shard", l.shard.ID, "worker", l.worker.url, "attempt", l.attempts, "err", reason)
+	l.worker = nil
+}
+
+// drain cancels every in-flight attempt and waits for their completion
+// notices, so Run never leaks dispatch goroutines on cancellation.
+func (c *Coordinator) drain(leases []*lease, resCh chan attemptDone, inflight int) {
+	for _, l := range leases {
+		if l.cancel != nil {
+			l.cancel()
+		}
+	}
+	for i := 0; i < inflight; i++ {
+		d := <-resCh
+		if !d.local && d.l.epoch == d.epoch && d.l.worker != nil {
+			c.mon.release(d.l.worker, false)
+			d.l.worker = nil
+		}
+	}
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived after
+// the Go version this repo pins).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

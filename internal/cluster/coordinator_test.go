@@ -1,0 +1,496 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// fakeFleet tracks which machine indices were delivered and how, across a
+// coordinator run driven by in-process fake transports.
+type fakeFleet struct {
+	mu       sync.Mutex
+	attempts map[int]int // shard ID -> dispatch count (remote only)
+	byWorker map[string]int
+	events   []Event
+}
+
+func newFakeFleet() *fakeFleet {
+	return &fakeFleet{attempts: map[int]int{}, byWorker: map[string]int{}}
+}
+
+func (f *fakeFleet) bump(sh Shard, url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts[sh.ID]++
+	f.byWorker[url]++
+	return f.attempts[sh.ID]
+}
+
+func (f *fakeFleet) record(e Event) {
+	f.mu.Lock()
+	f.events = append(f.events, e)
+	f.mu.Unlock()
+}
+
+// stream delivers the shard's non-skipped machines through onResult.
+func stream(sh Shard, skip []int, onResult func(scenario.MachineResult)) {
+	skipSet := map[int]bool{}
+	for _, i := range skip {
+		skipSet[i] = true
+	}
+	for i := sh.From; i < sh.To; i++ {
+		if !skipSet[i] {
+			onResult(scenario.MachineResult{Index: i})
+		}
+	}
+}
+
+func testCfg(workers ...string) Config {
+	return Config{
+		Workers:          workers,
+		LeaseTTL:         80 * time.Millisecond,
+		HeartbeatEvery:   10 * time.Millisecond,
+		ProbeTimeout:     10 * time.Millisecond,
+		UnhealthyAfter:   2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		ShardsPerWorker:  2,
+		MaxPerWorker:     2,
+		MaxShardAttempts: 3,
+	}
+}
+
+func healthyProbe(context.Context, string) error { return nil }
+
+// noLocal is the Local callback for tests where the degraded path must not run.
+func noLocal(t *testing.T) func(context.Context, Shard, []int, func(scenario.MachineResult)) error {
+	return func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+		t.Errorf("local fallback ran for shard %+v", sh)
+		return nil
+	}
+}
+
+func checkCoverage(t *testing.T, out Outcome, n int, doneBefore []int) {
+	t.Helper()
+	have := map[int]bool{}
+	for _, i := range doneBefore {
+		have[i] = true
+	}
+	for _, r := range out.Results {
+		if have[r.Index] {
+			t.Fatalf("machine %d delivered twice (or despite checkpoint)", r.Index)
+		}
+		have[r.Index] = true
+	}
+	if len(have) != n {
+		t.Fatalf("coverage %d/%d machines", len(have), n)
+	}
+	if !sort.SliceIsSorted(out.Results, func(a, b int) bool { return out.Results[a].Index < out.Results[b].Index }) {
+		t.Fatal("Outcome.Results not index-sorted")
+	}
+}
+
+func TestRunHealthyWorkers(t *testing.T) {
+	f := newFakeFleet()
+	c := New(testCfg("w1", "w2"), healthyProbe, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 23,
+		OnEvent:  f.record,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			f.bump(sh, url)
+			stream(sh, skip, onResult)
+			return nil
+		},
+		Local: func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			t.Error("local fallback ran with healthy workers")
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 23, nil)
+	if out.Degraded || out.LocalShards != 0 || out.Redispatches != 0 || out.Expirations != 0 {
+		t.Fatalf("healthy run reported failure handling: %+v", out)
+	}
+	if f.byWorker["w1"] == 0 || f.byWorker["w2"] == 0 {
+		t.Fatalf("load not spread: %v", f.byWorker)
+	}
+}
+
+func TestRunSkipsCheckpointIndices(t *testing.T) {
+	f := newFakeFleet()
+	done := []int{0, 1, 2, 3, 4, 7, 11}
+	c := New(testCfg("w1"), healthyProbe, nil)
+	defer c.Stop()
+
+	var streamed []int
+	var mu sync.Mutex
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 12,
+		Done:     done,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			f.bump(sh, url)
+			for _, i := range skip {
+				for _, d := range done {
+					if i == d && (i < sh.From || i >= sh.To) {
+						t.Errorf("skip index %d outside shard %+v", i, sh)
+					}
+				}
+			}
+			stream(sh, skip, onResult)
+			return nil
+		},
+		Local: noLocal(t),
+		OnResult: func(m scenario.MachineResult) {
+			mu.Lock()
+			streamed = append(streamed, m.Index)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 12, done)
+	for _, i := range streamed {
+		for _, d := range done {
+			if i == d {
+				t.Fatalf("checkpointed machine %d recomputed", i)
+			}
+		}
+	}
+	if len(streamed) != 12-len(done) {
+		t.Fatalf("OnResult fired %d times, want %d", len(streamed), 12-len(done))
+	}
+}
+
+// TestRunRedispatchAfterPartialStream kills a shard's first attempt midway and
+// checks the redispatch resumes from the delivered results instead of
+// recomputing them.
+func TestRunRedispatchAfterPartialStream(t *testing.T) {
+	f := newFakeFleet()
+	var mu sync.Mutex
+	resumeSkips := map[int][]int{}
+	c := New(testCfg("w1", "w2"), healthyProbe, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 16,
+		OnEvent:  f.record,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			n := f.bump(sh, url)
+			if sh.ID == 0 && n == 1 {
+				// Deliver exactly one machine, then die.
+				onResult(scenario.MachineResult{Index: sh.From})
+				return errors.New("connection reset by peer")
+			}
+			if sh.ID == 0 {
+				mu.Lock()
+				resumeSkips[n] = append([]int(nil), skip...)
+				mu.Unlock()
+			}
+			stream(sh, skip, onResult)
+			return nil
+		},
+		Local: noLocal(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 16, nil)
+	if out.Redispatches != 1 {
+		t.Fatalf("redispatches = %d, want 1", out.Redispatches)
+	}
+	if out.Degraded {
+		t.Fatal("redispatch must not mark the run degraded")
+	}
+	sh0 := Plan(16, 4)[0]
+	if got := resumeSkips[2]; len(got) != 1 || got[0] != sh0.From {
+		t.Fatalf("redispatch skip list %v, want [%d] (the delivered machine)", got, sh0.From)
+	}
+	var sawRevoke bool
+	f.mu.Lock()
+	for _, e := range f.events {
+		if e.Kind == "revoke" && e.Shard.ID == 0 {
+			sawRevoke = true
+		}
+	}
+	f.mu.Unlock()
+	if !sawRevoke {
+		t.Fatal("no revoke event for the failed attempt")
+	}
+}
+
+// TestRunLeaseExpiryOnStall stalls a shard's first attempt without streaming
+// anything; the lease watchdog must revoke it and redispatch.
+func TestRunLeaseExpiryOnStall(t *testing.T) {
+	f := newFakeFleet()
+	c := New(testCfg("w1", "w2"), healthyProbe, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 16,
+		OnEvent:  f.record,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			n := f.bump(sh, url)
+			if sh.ID == 1 && n == 1 {
+				<-ctx.Done() // stall silently until the revoke cancels us
+				return ctx.Err()
+			}
+			stream(sh, skip, onResult)
+			return nil
+		},
+		Local: noLocal(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 16, nil)
+	if out.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", out.Expirations)
+	}
+	var expired *Event
+	f.mu.Lock()
+	for i, e := range f.events {
+		if e.Kind == "revoke" && e.Reason == ReasonExpired {
+			expired = &f.events[i]
+		}
+	}
+	f.mu.Unlock()
+	if expired == nil {
+		t.Fatal("no lease-expired revoke event")
+	}
+	if expired.Age < 80*time.Millisecond {
+		t.Fatalf("lease revoked after %v, before its %v TTL", expired.Age, 80*time.Millisecond)
+	}
+}
+
+// TestRunStreamingRenewsLease pins the progress-based TTL: an attempt that
+// keeps streaming, however slowly it finishes, is never revoked.
+func TestRunStreamingRenewsLease(t *testing.T) {
+	cfg := testCfg("w1")
+	cfg.ShardsPerWorker = 1
+	cfg.MaxPerWorker = 1
+	c := New(cfg, healthyProbe, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 6, // 6*40ms = 3x TTL overall
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			for i := sh.From; i < sh.To; i++ {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(40 * time.Millisecond): // half the TTL per machine
+				}
+				onResult(scenario.MachineResult{Index: i})
+			}
+			return nil
+		},
+		Local: noLocal(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 6, nil)
+	if out.Expirations != 0 || out.Redispatches != 0 {
+		t.Fatalf("slow-but-streaming attempt was disturbed: %+v", out)
+	}
+}
+
+// TestRunDegradesToLocalWhenAllWorkersDead is the total-outage contract: the
+// job still completes, locally, and reports degraded.
+func TestRunDegradesToLocalWhenAllWorkersDead(t *testing.T) {
+	f := newFakeFleet()
+	c := New(testCfg("w1", "w2"),
+		func(context.Context, string) error { return errors.New("connection refused") }, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 9,
+		OnEvent:  f.record,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			f.bump(sh, url)
+			return errors.New("connection refused")
+		},
+		Local: func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			stream(sh, skip, onResult)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 9, nil)
+	if !out.Degraded {
+		t.Fatal("total worker outage did not report degraded")
+	}
+	if out.LocalShards == 0 {
+		t.Fatal("no shard ran locally despite dead workers")
+	}
+	var sawLocal bool
+	f.mu.Lock()
+	for _, e := range f.events {
+		if e.Kind == "local" {
+			sawLocal = true
+		}
+	}
+	f.mu.Unlock()
+	if !sawLocal {
+		t.Fatal("no local event emitted")
+	}
+}
+
+// TestRunShardAttemptBudget degrades a single cursed shard to local once its
+// remote attempts are exhausted, while other shards stay remote.
+func TestRunShardAttemptBudget(t *testing.T) {
+	f := newFakeFleet()
+	var localShards []int
+	var mu sync.Mutex
+	cfg := testCfg("w1", "w2")
+	cfg.BreakerThreshold = 100 // keep workers dispatchable so the shard budget, not the breaker, decides
+	c := New(cfg, healthyProbe, nil)
+	defer c.Stop()
+
+	out, err := c.Run(context.Background(), RunReq{
+		Machines: 16,
+		OnEvent:  f.record,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			f.bump(sh, url)
+			if sh.ID == 2 {
+				return errors.New("worker bug: this shard always crashes remotely")
+			}
+			stream(sh, skip, onResult)
+			return nil
+		},
+		Local: func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			mu.Lock()
+			localShards = append(localShards, sh.ID)
+			mu.Unlock()
+			stream(sh, skip, onResult)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, out, 16, nil)
+	if !out.Degraded || out.LocalShards != 1 {
+		t.Fatalf("want exactly the cursed shard degraded: %+v", out)
+	}
+	if len(localShards) != 1 || localShards[0] != 2 {
+		t.Fatalf("local shards %v, want [2]", localShards)
+	}
+	if f.attempts[2] != cfg.MaxShardAttempts {
+		t.Fatalf("cursed shard got %d remote attempts, want %d", f.attempts[2], cfg.MaxShardAttempts)
+	}
+}
+
+func TestRunLocalErrorIsTerminal(t *testing.T) {
+	engineErr := errors.New("scenario \"x\": machine 3: integrator blew up")
+	c := New(testCfg("w1"),
+		func(context.Context, string) error { return errors.New("connection refused") }, nil)
+	defer c.Stop()
+
+	_, err := c.Run(context.Background(), RunReq{
+		Machines: 4,
+		Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			return errors.New("connection refused")
+		},
+		Local: func(ctx context.Context, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+			return engineErr
+		},
+	})
+	if !errors.Is(err, engineErr) {
+		t.Fatalf("err = %v, want the local engine error", err)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	c := New(testCfg("w1", "w2"), healthyProbe, nil)
+	defer c.Stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, RunReq{
+			Machines: 10,
+			Dispatch: func(ctx context.Context, url string, sh Shard, skip []int, onResult func(scenario.MachineResult)) error {
+				started <- struct{}{}
+				<-ctx.Done()
+				return ctx.Err()
+			},
+			Local: noLocal(t),
+		})
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestMonitorMarksDeadWorkerUnhealthy(t *testing.T) {
+	var mu sync.Mutex
+	alive := map[string]bool{"w1": true, "w2": false}
+	transitions := map[string][]bool{}
+	cfg := testCfg("w1", "w2")
+	c := New(cfg, func(_ context.Context, url string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if alive[url] {
+			return nil
+		}
+		return errors.New("down")
+	}, func(url string, healthy bool) {
+		mu.Lock()
+		transitions[url] = append(transitions[url], healthy)
+		mu.Unlock()
+	})
+	defer c.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Monitor().HealthyCount() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.Monitor().HealthyCount(); n != 1 {
+		t.Fatalf("healthy count %d, want 1", n)
+	}
+
+	// Revive w2: first successful probe heals it.
+	mu.Lock()
+	alive["w2"] = true
+	mu.Unlock()
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Monitor().HealthyCount() != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.Monitor().HealthyCount(); n != 2 {
+		t.Fatalf("healthy count %d after revival, want 2", n)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if got := transitions["w2"]; len(got) < 2 || got[0] != false || got[len(got)-1] != true {
+		t.Fatalf("w2 transitions %v, want down then up", got)
+	}
+	snap := c.Monitor().Snapshot()
+	if len(snap) != 2 || snap[0].URL != "w1" || !snap[1].Healthy {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// workerState is one worker's live bookkeeping: heartbeat health, dispatch
+// breaker, and in-flight shard accounting.
+type workerState struct {
+	url     string
+	breaker *Breaker
+
+	mu          sync.Mutex
+	healthy     bool
+	misses      int // consecutive failed heartbeats
+	lastProbe   time.Time
+	inflight    int
+	shardsDone  int64
+	shardErrors int64
+}
+
+// WorkerStatus is one worker's snapshot for status documents and per-worker
+// metric series.
+type WorkerStatus struct {
+	URL               string    `json:"url"`
+	Healthy           bool      `json:"healthy"`
+	Breaker           string    `json:"breaker"`
+	ConsecutiveMisses int       `json:"consecutive_misses,omitempty"`
+	InFlightShards    int       `json:"inflight_shards"`
+	ShardsDone        int64     `json:"shards_done"`
+	ShardErrors       int64     `json:"shard_errors"`
+	LastProbe         time.Time `json:"last_probe"`
+}
+
+// Monitor heartbeats a static worker set. A worker is marked unhealthy after
+// UnhealthyAfter consecutive probe failures and healthy again on the first
+// success — recovery is immediate, suspicion is debounced. The probe itself
+// is injected (the service layer supplies an HTTP GET with a deadline).
+type Monitor struct {
+	workers  []*workerState
+	probe    func(ctx context.Context, url string) error
+	every    time.Duration
+	timeout  time.Duration
+	after    int
+	onHealth func(url string, healthy bool) // fires on transitions only; may be nil
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newMonitor(urls []string, cfg Config, probe func(ctx context.Context, url string) error, onHealth func(string, bool)) *Monitor {
+	m := &Monitor{
+		probe:    probe,
+		every:    cfg.HeartbeatEvery,
+		timeout:  cfg.ProbeTimeout,
+		after:    cfg.UnhealthyAfter,
+		onHealth: onHealth,
+		stop:     make(chan struct{}),
+	}
+	for _, u := range urls {
+		m.workers = append(m.workers, &workerState{
+			url: u,
+			// Optimistically healthy: the first dispatch should not wait a
+			// heartbeat round; a dead worker fails its dispatch and its first
+			// probes, and the breaker bridges the gap.
+			healthy: true,
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	return m
+}
+
+// Start launches the heartbeat loop (first round immediately).
+func (m *Monitor) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.every)
+		defer t.Stop()
+		for {
+			m.probeAll()
+			select {
+			case <-t.C:
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the heartbeat loop and waits for in-flight probes.
+func (m *Monitor) Stop() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+func (m *Monitor) probeAll() {
+	for _, w := range m.workers {
+		ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+		err := m.probe(ctx, w.url)
+		cancel()
+		w.mu.Lock()
+		w.lastProbe = time.Now()
+		was := w.healthy
+		if err != nil {
+			w.misses++
+			if w.misses >= m.after {
+				w.healthy = false
+			}
+		} else {
+			w.misses = 0
+			w.healthy = true
+		}
+		now := w.healthy
+		w.mu.Unlock()
+		if was != now && m.onHealth != nil {
+			m.onHealth(w.url, now)
+		}
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+	}
+}
+
+// available reports whether w can take a dispatch: heartbeat-healthy, breaker
+// admitting, and under the per-worker concurrency cap.
+func (w *workerState) available(maxPer int) bool {
+	w.mu.Lock()
+	ok := w.healthy && w.inflight < maxPer
+	w.mu.Unlock()
+	return ok && w.breaker.Allow()
+}
+
+// acquire picks the least-loaded available worker and claims a dispatch slot;
+// nil when none qualifies. Preference order is deterministic (load, then list
+// position) — irrelevant to output bytes (the merge is index-ordered) but it
+// keeps dispatch logs reproducible in the fake-transport tests.
+func (m *Monitor) acquire(maxPer int) *workerState {
+	var best *workerState
+	bestLoad := maxPer
+	for _, w := range m.workers {
+		w.mu.Lock()
+		load, healthy := w.inflight, w.healthy
+		w.mu.Unlock()
+		if !healthy || load >= maxPer || load >= bestLoad {
+			continue
+		}
+		if w.breaker.Allow() {
+			best, bestLoad = w, load
+		}
+	}
+	if best != nil {
+		best.mu.Lock()
+		best.inflight++
+		best.mu.Unlock()
+	}
+	return best
+}
+
+// release returns a dispatch slot and records the attempt's outcome in the
+// worker's counters and breaker.
+func (m *Monitor) release(w *workerState, ok bool) {
+	w.mu.Lock()
+	w.inflight--
+	if ok {
+		w.shardsDone++
+	} else {
+		w.shardErrors++
+	}
+	w.mu.Unlock()
+	if ok {
+		w.breaker.Success()
+	} else {
+		w.breaker.Fail()
+	}
+}
+
+// anyAvailable reports whether some worker could take a dispatch right now.
+func (m *Monitor) anyAvailable(maxPer int) bool {
+	for _, w := range m.workers {
+		if w.available(maxPer) {
+			return true
+		}
+	}
+	return false
+}
+
+// HealthyCount returns how many workers are currently heartbeat-healthy.
+func (m *Monitor) HealthyCount() int {
+	n := 0
+	for _, w := range m.workers {
+		w.mu.Lock()
+		if w.healthy {
+			n++
+		}
+		w.mu.Unlock()
+	}
+	return n
+}
+
+// WorkerCount returns the static worker-set size.
+func (m *Monitor) WorkerCount() int { return len(m.workers) }
+
+// Snapshot returns every worker's status in list order.
+func (m *Monitor) Snapshot() []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(m.workers))
+	for _, w := range m.workers {
+		w.mu.Lock()
+		out = append(out, WorkerStatus{
+			URL:               w.url,
+			Healthy:           w.healthy,
+			Breaker:           w.breaker.State(),
+			ConsecutiveMisses: w.misses,
+			InFlightShards:    w.inflight,
+			ShardsDone:        w.shardsDone,
+			ShardErrors:       w.shardErrors,
+			LastProbe:         w.lastProbe,
+		})
+		w.mu.Unlock()
+	}
+	return out
+}

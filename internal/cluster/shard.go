@@ -1,0 +1,58 @@
+// Package cluster is dimd's distributed tier: it splits an independent-fleet
+// scenario into deterministic machine-range shards, grants each shard to a
+// worker under a TTL lease, health-checks workers by heartbeat, and — the
+// headline property — survives losing them: a missed heartbeat, a dispatch
+// error budget exhausted, a stalled stream, or a kill -9 mid-shard revokes
+// the lease and re-dispatches the remaining machines elsewhere (or, when no
+// worker is left standing, runs them locally in degraded mode). Because every
+// machine is a deterministic function of its spec-derived trial, results are
+// deduplicated first-wins by machine index and the merged fleet is
+// byte-identical to a single-node run regardless of which failures occurred.
+//
+// The package is transport-agnostic: dispatch, health probes and the local
+// fallback are injected callbacks (internal/service provides the HTTP
+// implementations), so the lease/retry/degrade machinery is unit-testable
+// with in-process fakes.
+package cluster
+
+// Shard is one contiguous machine-index range [From, To) of a compiled
+// fleet. ID is the shard's position in plan order — stable for a given
+// (machines, shard count) pair, so logs and traces from different attempts
+// of the same shard correlate.
+type Shard struct {
+	ID   int `json:"id"`
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Size returns the number of machines the shard covers.
+func (s Shard) Size() int { return s.To - s.From }
+
+// Plan splits machines [0, n) into at most target contiguous shards of
+// near-equal size (earlier shards take the remainder machines). The split is
+// a pure function of its inputs: every coordinator restart re-plans the
+// identical shard table, which is what lets a recovered job's checkpoint
+// indices map back onto in-flight shards.
+func Plan(n, target int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	base, rem := n/target, n%target
+	shards := make([]Shard, target)
+	from := 0
+	for i := range shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		shards[i] = Shard{ID: i, From: from, To: from + size}
+		from += size
+	}
+	return shards
+}

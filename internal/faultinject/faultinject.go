@@ -44,6 +44,23 @@ const (
 	// 137, no deferred cleanup) between a checkpoint's temp-file write and
 	// its atomic rename — the torn-checkpoint window.
 	CheckpointKill = "checkpoint.kill"
+
+	// Network-class fault points for the distributed tier. All three fire on
+	// the worker side of a coordinator/worker pair, modelling the failure the
+	// coordinator must survive, not cause.
+
+	// ClusterHeartbeatDrop makes a worker answer its next (or nth) health
+	// probe with 503 — a dropped heartbeat on an otherwise healthy node.
+	ClusterHeartbeatDrop = "cluster.heartbeat.drop"
+	// ClusterShardStall freezes a worker's next (or nth) shard stream after
+	// the fault fires: results stop flowing and the terminal line never
+	// arrives, holding the connection open until the coordinator's lease
+	// expires and cancels it — a wedged process behind a live TCP session.
+	ClusterShardStall = "cluster.shard.stall"
+	// ClusterResultPartial cuts a worker's next (or nth) shard stream short:
+	// the connection closes mid-stream without the terminal line — a crash
+	// or network partition that truncates the response.
+	ClusterResultPartial = "cluster.result.partial"
 )
 
 // armed is non-zero while any point is configured; the zero fast path makes

@@ -75,3 +75,46 @@ func TestErrorHelper(t *testing.T) {
 		t.Fatalf("one-shot point errored twice: %v", err)
 	}
 }
+
+func TestClusterNetworkPoints(t *testing.T) {
+	defer Reset()
+	// The DIMD_FAULTS spec the cluster-chaos CI job arms: one dropped
+	// heartbeat, a stalled shard stream on the 2nd shard, a truncated result
+	// stream on the 1st.
+	if err := Configure("cluster.heartbeat.drop,cluster.shard.stall:2,cluster.result.partial"); err != nil {
+		t.Fatal(err)
+	}
+	if !Hit(ClusterHeartbeatDrop) {
+		t.Fatal("cluster.heartbeat.drop should fire on the 1st probe")
+	}
+	if Hit(ClusterHeartbeatDrop) {
+		t.Fatal("heartbeat drop fired twice (points are one-shot)")
+	}
+	if Hit(ClusterShardStall) {
+		t.Fatal("cluster.shard.stall fired before its 2nd traversal")
+	}
+	if !Hit(ClusterShardStall) {
+		t.Fatal("cluster.shard.stall should fire on the 2nd traversal")
+	}
+	if !Hit(ClusterResultPartial) {
+		t.Fatal("cluster.result.partial should fire on the 1st traversal")
+	}
+}
+
+func TestClusterPointsArmFromEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv("DIMD_FAULTS", "cluster.result.partial:3")
+	if err := ConfigureFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(ClusterResultPartial) || Hit(ClusterResultPartial) {
+		t.Fatal("fired before the 3rd hit")
+	}
+	if !Hit(ClusterResultPartial) {
+		t.Fatal("did not fire on the 3rd hit")
+	}
+	// Unarmed siblings stay inert.
+	if Hit(ClusterHeartbeatDrop) || Hit(ClusterShardStall) {
+		t.Fatal("unconfigured cluster point fired")
+	}
+}

@@ -313,3 +313,44 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(1e-4)
 	}
 }
+
+func TestRegistryLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_fixed_total", "fixed").Inc()
+	samples := []LabeledSample{
+		{Label: "http://w1:8080", Value: 1},
+		{Label: "http://w2:8080", Value: 0},
+	}
+	r.Labeled("t_worker_up", "per-worker health", TypeGauge, "worker", func() []LabeledSample {
+		return samples
+	})
+
+	var b strings.Builder
+	r.Render(&b)
+	want := "# HELP t_fixed_total fixed\n" +
+		"# TYPE t_fixed_total counter\n" +
+		"t_fixed_total 1\n" +
+		"# HELP t_worker_up per-worker health\n" +
+		"# TYPE t_worker_up gauge\n" +
+		"t_worker_up{worker=\"http://w1:8080\"} 1\n" +
+		"t_worker_up{worker=\"http://w2:8080\"} 0\n"
+	if b.String() != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// Labeled series stay out of Names() — golden name lists must not churn
+	// with dynamic label sets.
+	for _, n := range r.Names() {
+		if strings.Contains(n, "t_worker_up") {
+			t.Fatalf("labeled series leaked into Names(): %v", r.Names())
+		}
+	}
+
+	// An empty sample set renders nothing, not a bare preamble.
+	samples = nil
+	b.Reset()
+	r.Render(&b)
+	if strings.Contains(b.String(), "t_worker_up") {
+		t.Fatal("empty labeled series still rendered its preamble")
+	}
+}

@@ -111,6 +111,31 @@ func (r *Registry) Collect(fn func(b *strings.Builder)) {
 	r.metrics = append(r.metrics, collectorMetric(fn))
 }
 
+// LabeledSample is one sample of a labeled series: `name{labelKey="Label"} Value`.
+type LabeledSample struct {
+	Label string
+	Value float64
+}
+
+// Labeled registers a dynamically keyed labeled series — one # HELP/# TYPE
+// preamble, then one sample line per entry fn returns at render time, in fn's
+// order (callers emit a stable order so scrapes diff cleanly). It rides the
+// Collect slot, so like any collector it renders after the fixed metrics and
+// stays out of Names() — golden name lists don't churn when label sets do.
+func (r *Registry) Labeled(name, help, typ, labelKey string, fn func() []LabeledSample) {
+	r.Collect(func(b *strings.Builder) {
+		samples := fn()
+		if len(samples) == 0 {
+			return
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+		for _, s := range samples {
+			fmt.Fprintf(b, "%s{%s=%q} %v\n", name, labelKey, s.Label, s.Value)
+		}
+	})
+}
+
 // Render writes the exposition document.
 func (r *Registry) Render(b *strings.Builder) {
 	r.mu.Lock()

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// shardTestSpec is a small independent fleet with enough machines to split
+// three ways unevenly.
+func shardTestSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := Decode([]byte(`{
+		"name": "shard-test",
+		"duration_s": 4,
+		"fleet": {"machines": 7, "base_seed": 42},
+		"machine": {"cores": 2},
+		"workload": [{"kind": "burn", "threads": 2}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestShardUnionMatchesFullRun is the distributed tier's correctness anchor:
+// the union of disjoint shard runs must equal the full-fleet run, machine by
+// machine, exactly.
+func TestShardUnionMatchesFullRun(t *testing.T) {
+	spec := shardTestSpec(t)
+	full, err := RunOpts(spec, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var union []MachineResult
+	for _, r := range [][2]int{{0, 3}, {3, 5}, {5, 7}} {
+		part, err := RunShard(spec, 1, r[0], r[1], nil, RunOptions{})
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", r[0], r[1], err)
+		}
+		union = append(union, part...)
+	}
+	sort.Slice(union, func(a, b int) bool { return union[a].Index < union[b].Index })
+	if len(union) != len(full.Machines) {
+		t.Fatalf("shard union has %d machines, full run %d", len(union), len(full.Machines))
+	}
+	for i := range union {
+		if !reflect.DeepEqual(union[i], full.Machines[i]) {
+			t.Fatalf("machine %d diverged between sharded and full run:\nshard: %+v\nfull:  %+v",
+				i, union[i], full.Machines[i])
+		}
+	}
+}
+
+// TestShardSkipOmitsDelivered pins the redispatch contract: indices in skip
+// are neither re-simulated nor re-returned, and the remainder is identical to
+// a fresh shard run of the missing machines.
+func TestShardSkipOmitsDelivered(t *testing.T) {
+	spec := shardTestSpec(t)
+	fresh, err := RunShard(spec, 1, 1, 6, nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunShard(spec, 1, 1, 6, []int{2, 4}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []MachineResult
+	for _, m := range fresh {
+		if m.Index != 2 && m.Index != 4 {
+			want = append(want, m)
+		}
+	}
+	if !reflect.DeepEqual(resumed, want) {
+		t.Fatalf("resumed shard returned %d machines, want %d identical to fresh run minus skips",
+			len(resumed), len(want))
+	}
+	// A fully-skipped shard is a no-op, not an error (the lease watchdog can
+	// redispatch a shard whose last result raced the revoke).
+	none, err := RunShard(spec, 1, 1, 3, []int{1, 2}, RunOptions{})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("fully-skipped shard: got %d results, err %v", len(none), err)
+	}
+}
+
+func TestShardRejectsBadRanges(t *testing.T) {
+	spec := shardTestSpec(t)
+	for _, r := range [][2]int{{-1, 2}, {0, 8}, {3, 3}, {5, 2}} {
+		if _, err := RunShard(spec, 1, r[0], r[1], nil, RunOptions{}); err == nil {
+			t.Fatalf("shard [%d,%d) accepted; want range error", r[0], r[1])
+		}
+	}
+	sched, err := Decode([]byte(`{
+		"name": "shard-sched",
+		"duration_s": 4,
+		"fleet": {"machines": 2, "base_seed": 1},
+		"machine": {"cores": 2},
+		"scheduler": {"round_s": 2, "jobs": [{"name": "j", "rate": 0.5, "work_s": 1}]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunShard(sched, 1, 0, 2, nil, RunOptions{}); err == nil {
+		t.Fatal("scheduled fleet sharded; want machine-coupling error")
+	}
+}

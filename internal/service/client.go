@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/scenario"
 )
 
 // Client is the Go client for a dimd daemon — what `dimctl remote` drives.
@@ -59,6 +61,11 @@ type RetryPolicy struct {
 	// MaxDelay. Defaults: 100ms base, 5s cap.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// AttemptTimeout bounds each individual attempt of a unary call (it does
+	// not apply to streams, which are progress-bounded instead): a daemon
+	// that accepts the connection but never answers becomes a retryable
+	// timeout rather than a hang. 0 disables the bound.
+	AttemptTimeout time.Duration
 	// Seed feeds the jitter stream (deterministic, like everything else in
 	// this repo). Zero selects a fixed default seed.
 	Seed uint64
@@ -119,16 +126,32 @@ func retryable(err error) bool {
 
 // withRetry runs op under the client's policy, retrying errors canRetry
 // accepts. A zero Retry field (a hand-built Client) disables retries, as
-// does MaxAttempts 1.
-func (c *Client) withRetry(ctx context.Context, canRetry func(error) bool, op func() error) error {
+// does MaxAttempts 1. op receives the per-attempt context — the policy's
+// AttemptTimeout applies to each attempt separately, so a retried call gets a
+// fresh deadline.
+func (c *Client) withRetry(ctx context.Context, canRetry func(error) bool, op func(ctx context.Context) error) error {
 	p := c.Retry
 	if p.MaxAttempts == 1 || (p == RetryPolicy{}) {
-		return op()
+		return op(ctx)
 	}
 	p = p.withDefaults()
+	attemptOnce := func() error {
+		actx := ctx
+		if p.AttemptTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+			defer cancel()
+		}
+		return op(actx)
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		if err = op(); err == nil || !canRetry(err) || attempt >= p.MaxAttempts {
+		err = attemptOnce()
+		if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			// The attempt deadline fired, not the caller's: retryable.
+			err = fmt.Errorf("dimd: attempt timed out after %v: %w", p.AttemptTimeout, err)
+		}
+		if err == nil || !canRetry(err) || attempt >= p.MaxAttempts {
 			return err
 		}
 		wait := c.backoff(attempt)
@@ -166,8 +189,7 @@ func IsBusy(err error) bool {
 // do issues one reading call (GETs, DELETE) with retries: reads are
 // idempotent, so any transient failure may be retried.
 func (c *Client) do(method, path string, body any, out any) error {
-	ctx := context.Background()
-	return c.withRetry(ctx, retryable, func() error {
+	return c.withRetry(context.Background(), retryable, func(ctx context.Context) error {
 		return c.doOnce(ctx, method, path, body, out)
 	})
 }
@@ -215,11 +237,29 @@ func statusError(resp *http.Response, data []byte) error {
 		se.Message = ae.Error
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if d, err := time.ParseDuration(ra + "s"); err == nil {
-			se.RetryAfter = d
-		}
+		se.RetryAfter = parseRetryAfter(ra, time.Now())
 	}
 	return se
+}
+
+// parseRetryAfter handles both RFC 9110 forms of the header: delay-seconds
+// ("1", and tolerantly "1.5") and an absolute HTTP-date ("Fri, 08 Aug 2026
+// 07:00:00 GMT"), the form proxies in front of a draining daemon tend to
+// emit. Unparseable or already-past values yield 0 — the computed backoff
+// then governs alone.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if secs, err := strconv.ParseFloat(ra, 64); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if at, err := http.ParseTime(ra); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Submit submits a job. Retry safety is conditional: a plain submission
@@ -232,9 +272,8 @@ func (c *Client) Submit(req Request) (JobView, error) {
 	if req.Idempotent {
 		canRetry = retryable
 	}
-	ctx := context.Background()
 	var v JobView
-	err := c.withRetry(ctx, canRetry, func() error {
+	err := c.withRetry(context.Background(), canRetry, func(ctx context.Context) error {
 		return c.doOnce(ctx, http.MethodPost, "/v1/jobs", req, &v)
 	})
 	return v, err
@@ -280,9 +319,8 @@ func (c *Client) Health() (Health, error) {
 
 // getRaw fetches a non-JSON endpoint with read retries.
 func (c *Client) getRaw(path string) ([]byte, error) {
-	ctx := context.Background()
 	var data []byte
-	err := c.withRetry(ctx, retryable, func() error {
+	err := c.withRetry(context.Background(), retryable, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
 		if err != nil {
 			return err
@@ -501,6 +539,73 @@ func (c *Client) streamOnce(ctx context.Context, id string, next *int, fn func(E
 // errTruncated marks a stream that ended without its terminal event; it is
 // retryable (the client reconnects and resumes).
 var errTruncated = errors.New("dimd: stream ended before the job reached a terminal state")
+
+// ClusterHealth probes the daemon's shard-serving readiness — the
+// coordinator's heartbeat. Single attempt, no retries: the caller's lease
+// machinery owns failure policy.
+func (c *Client) ClusterHealth(ctx context.Context) error {
+	return c.doOnce(ctx, http.MethodGet, "/v1/cluster/health", nil, nil)
+}
+
+// ClusterStatus fetches a coordinator's worker-fleet status.
+func (c *Client) ClusterStatus() (ClusterStatus, error) {
+	var v ClusterStatus
+	err := c.do(http.MethodGet, "/v1/cluster/status", nil, &v)
+	return v, err
+}
+
+// ShardStream executes one shard on the daemon, invoking onResult per
+// streamed machine result. Single attempt by design: any truncation, error
+// line, or transport failure returns an error and the coordinator's lease
+// layer decides whether and where to re-dispatch. A stream that ends without
+// the terminal done line is truncation, never success.
+func (c *Client) ShardStream(ctx context.Context, req ShardRequest, onResult func(scenario.MachineResult)) error {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/shards", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return statusError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl shardLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return fmt.Errorf("dimd: decoding shard line: %w", err)
+		}
+		switch {
+		case sl.Machine != nil:
+			onResult(*sl.Machine)
+		case sl.Error != "":
+			return fmt.Errorf("dimd: shard %d failed on worker: %s", req.Shard.ID, sl.Error)
+		case sl.Done:
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("dimd: shard %d stream ended without its terminal line", req.Shard.ID)
+}
 
 // Wait blocks until the job reaches a terminal state, following the stream
 // (which ends exactly at terminality) and confirming with a status fetch.

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 forms of the header: delay-seconds
+// (integers, tolerantly floats) and absolute HTTP-dates, with already-past
+// and garbage values degrading to 0 so the computed backoff governs alone.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 7, 0, 0, 0, time.UTC)
+	cases := []struct {
+		ra   string
+		want time.Duration
+	}{
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"1.5", 1500 * time.Millisecond},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // already past
+		{now.Format(http.TimeFormat), 0},                   // exactly now: nothing left to wait
+		{"Fri, 08 Aug 2026 07:00:30 GMT", 30 * time.Second},
+		{"soon", 0},
+		{"", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.ra, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.ra, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHonored: a 429 carrying an HTTP-date Retry-After (the
+// form proxies emit) must actually stretch the wait beyond the computed
+// backoff, not be dropped as unparseable.
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// HTTP-dates carry 1-second resolution, so the smallest future
+			// hint that survives formatting is ~1s out.
+			w.Header().Set("Retry-After", time.Now().Add(1900*time.Millisecond).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	start := time.Now()
+	var out map[string]bool
+	if err := c.do(http.MethodGet, "/", nil, &out); err != nil {
+		t.Fatalf("do through 429: %v", err)
+	}
+	// The backoff alone is <= 2ms; the observed wait must reflect the header.
+	// Formatting floors the date to whole seconds, so the hint lands somewhere
+	// in [900ms, 1.9s] — anything well above the backoff proves it was used.
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("retried after %v; HTTP-date Retry-After was ignored", waited)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestBackoffCapSaturation: the exponential schedule must clamp at MaxDelay
+// for large attempt numbers — including the regime where the left shift
+// overflows time.Duration — and jitter keeps every wait in [cap/2, cap).
+func TestBackoffCapSaturation(t *testing.T) {
+	c := NewRetryClient("http://unused", RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second})
+	for _, attempt := range []int{4, 10, 40, 63, 64, 100} {
+		d := c.backoff(attempt)
+		if d < 500*time.Millisecond || d >= time.Second {
+			t.Errorf("backoff(%d) = %v, want in [500ms, 1s) (cap saturation with jitter)", attempt, d)
+		}
+	}
+	// Early attempts stay under the cap: attempt 1 jitters over [50ms, 100ms).
+	if d := c.backoff(1); d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Errorf("backoff(1) = %v, want in [50ms, 100ms)", d)
+	}
+}
+
+// TestRetryCancelMidBackoff: cancelling the caller's context while the client
+// sleeps between attempts must end the call promptly with the context error —
+// not after the full backoff, and with no further attempts.
+func TestRetryCancelMidBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, RetryPolicy{MaxAttempts: 5, BaseDelay: 30 * time.Second, MaxDelay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- c.withRetry(ctx, retryable, func(ctx context.Context) error {
+			return c.doOnce(ctx, http.MethodGet, "/", nil, nil)
+		})
+	}()
+	// Let the first attempt land and put the client into its 30s backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled backoff returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not interrupt the backoff sleep")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts after cancel, want 1", got)
+	}
+}
+
+// TestAttemptTimeoutRetries: a daemon that accepts the connection but never
+// answers must become a per-attempt timeout that the next attempt survives —
+// and the caller's own context must not be poisoned by the attempt deadline.
+func TestAttemptTimeoutRetries(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt: wedge until the test ends or the client gives up.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond,
+	})
+	var out map[string]bool
+	if err := c.do(http.MethodGet, "/", nil, &out); err != nil {
+		t.Fatalf("do through wedged first attempt: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (one wedged, one served)", got)
+	}
+}
+
+// TestAttemptTimeoutExhaustion: when every attempt wedges, the final error
+// names the per-attempt timeout so the operator sees "the daemon hangs", not
+// a bare context error.
+func TestAttemptTimeoutExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := NewRetryClient(srv.URL, RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		AttemptTimeout: 30 * time.Millisecond,
+	})
+	err := c.do(http.MethodGet, "/", nil, nil)
+	if err == nil {
+		t.Fatal("permanently wedged daemon returned nil error")
+	}
+	if !strings.Contains(err.Error(), "attempt timed out after") {
+		t.Fatalf("exhaustion error %q does not name the attempt timeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("exhaustion error %v does not unwrap to DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/scenario"
+)
+
+// ClusterConfig enables coordinator mode: unscheduled scenario jobs shard
+// across the static worker set, with lease-based recovery and degrade-to-local
+// when no worker is healthy. The zero value keeps the daemon single-node.
+//
+// Determinism survives distribution: shard boundaries are a pure function of
+// the fleet size, each machine simulates from its own seed regardless of which
+// worker (or the coordinator itself) runs it, and the coordinator folds the
+// streamed results through the same index-ordered aggregation a single-node
+// run uses — the final artifact is byte-identical no matter how many leases
+// expired along the way.
+type ClusterConfig struct {
+	// Workers is the static worker base-URL list; empty disables clustering.
+	Workers []string
+	// LeaseTTL, HeartbeatEvery, UnhealthyAfter, ShardsPerWorker, MaxPerWorker
+	// and MaxShardAttempts tune the cluster.Config knobs of the same names;
+	// zero selects that package's defaults.
+	LeaseTTL         time.Duration
+	HeartbeatEvery   time.Duration
+	UnhealthyAfter   int
+	ShardsPerWorker  int
+	MaxPerWorker     int
+	MaxShardAttempts int
+}
+
+// openCluster starts the coordinator tier. Called from Open after recovery so
+// re-enqueued jobs dispatch through it like fresh ones.
+func (s *Service) openCluster() {
+	cc := s.cfg.Cluster
+	s.cluClients = make(map[string]*Client, len(cc.Workers))
+	for _, url := range cc.Workers {
+		// No retry policy: the lease machinery is the retry layer, and a
+		// client-side retry would only blur the coordinator's failure signal.
+		s.cluClients[url] = NewClient(url)
+	}
+	probe := func(ctx context.Context, url string) error {
+		return s.cluClients[url].ClusterHealth(ctx)
+	}
+	onHealth := func(url string, healthy bool) {
+		if healthy {
+			s.log.Info("worker healthy", "worker", url)
+		} else {
+			s.log.Warn("worker unhealthy", "worker", url)
+		}
+	}
+	s.clu = cluster.New(cluster.Config{
+		Workers:          cc.Workers,
+		LeaseTTL:         cc.LeaseTTL,
+		HeartbeatEvery:   cc.HeartbeatEvery,
+		UnhealthyAfter:   cc.UnhealthyAfter,
+		ShardsPerWorker:  cc.ShardsPerWorker,
+		MaxPerWorker:     cc.MaxPerWorker,
+		MaxShardAttempts: cc.MaxShardAttempts,
+		Logger:           s.log,
+	}, probe, onHealth)
+	s.log.Info("coordinator mode", "workers", len(cc.Workers))
+}
+
+// executeClusteredScenario is execute's KindScenario arm under coordinator
+// mode: shard the fleet across the workers, stream results back into the
+// job's telemetry ring and checkpoint (resumable exactly like a single-node
+// run), then aggregate through the single-node path for byte-identical
+// output.
+func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifact, error) {
+	r := j.res
+	n := len(r.spec.Compile(r.scale))
+	raw, err := json.Marshal(r.spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding spec for dispatch: %w", err)
+	}
+
+	// Checkpoint plumbing, identical in shape to execute's single-node arm:
+	// recovered results re-emit and are excluded from dispatch via RunReq.Done;
+	// new results accumulate into the same checkpoint file.
+	var (
+		cpMu      sync.Mutex
+		cpDone    []scenario.MachineResult
+		recovered []scenario.MachineResult
+		doneIdx   []int
+	)
+	if j.checkpoint != nil && len(j.checkpoint.Machines) > 0 {
+		recovered = append(recovered, j.checkpoint.Machines...)
+		sort.Slice(recovered, func(a, b int) bool { return recovered[a].Index < recovered[b].Index })
+		cpDone = append(cpDone, recovered...)
+		for _, m := range recovered {
+			doneIdx = append(doneIdx, m.Index)
+			j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
+		}
+		s.met.resumes.Add(1)
+	}
+	onResult := func(m scenario.MachineResult) {
+		j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
+		if s.store == nil || s.cfg.CheckpointEvery < 0 {
+			return
+		}
+		cpMu.Lock()
+		cpDone = append(cpDone, m)
+		snap := append([]scenario.MachineResult(nil), cpDone...)
+		cpMu.Unlock()
+		sort.Slice(snap, func(a, b int) bool { return snap[a].Index < snap[b].Index })
+		sp := j.trace.Start("checkpoint", "lifecycle", 0)
+		err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap})
+		sp.EndArgs(map[string]any{"machines": len(snap)})
+		if err == nil {
+			s.met.checkpoints.Add(1)
+		} else {
+			s.met.walErrors.Add(1)
+		}
+	}
+
+	onEvent := func(e cluster.Event) {
+		switch e.Kind {
+		case "grant":
+			s.met.cluDispatched.Add(1)
+			if e.Attempt > 1 {
+				s.met.cluRetries.Add(1)
+			}
+			j.trace.Instant(fmt.Sprintf("shard %d -> %s", e.Shard.ID, e.Worker), "cluster", 0)
+		case "revoke":
+			s.met.cluLeaseAge.Observe(e.Age.Seconds())
+			if e.Reason == cluster.ReasonExpired {
+				s.met.cluExpirations.Add(1)
+			}
+			j.trace.Instant(fmt.Sprintf("shard %d revoked: %s", e.Shard.ID, e.Reason), "cluster", 0)
+		case "local":
+			s.met.cluLocal.Add(1)
+			j.trace.Instant(fmt.Sprintf("shard %d degraded to local", e.Shard.ID), "cluster", 0)
+		}
+	}
+
+	spClu := j.trace.Start("cluster", "lifecycle", 0)
+	out, err := s.clu.Run(ctx, cluster.RunReq{
+		Machines: n,
+		Done:     doneIdx,
+		Dispatch: func(ctx context.Context, url string, sh cluster.Shard, skip []int, onRes func(scenario.MachineResult)) error {
+			return s.cluClients[url].ShardStream(ctx, ShardRequest{
+				Spec:       raw,
+				Scale:      r.scale,
+				Shard:      sh,
+				Skip:       skip,
+				Integrator: machine.IntegratorOverride(),
+			}, onRes)
+		},
+		Local: func(ctx context.Context, sh cluster.Shard, skip []int, onRes func(scenario.MachineResult)) error {
+			_, err := scenario.RunShard(r.spec, r.scale, sh.From, sh.To, skip, scenario.RunOptions{
+				Context:   ctx,
+				OnMachine: onRes,
+			})
+			return err
+		},
+		OnResult: onResult,
+		OnEvent:  onEvent,
+	})
+	spClu.EndArgs(map[string]any{
+		"machines": n, "redispatches": out.Redispatches,
+		"expirations": out.Expirations, "local_shards": out.LocalShards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out.Degraded {
+		s.met.cluDegraded.Add(1)
+		j.markDegraded()
+		j.stream.append(Event{Type: "degraded", Job: j.ID, Error: fmt.Sprintf(
+			"%d shard(s) ran on the coordinator: no healthy worker available", out.LocalShards)})
+		s.log.Warn("job completed degraded", "job", j.ID, "local_shards", out.LocalShards)
+	}
+
+	// Merge: checkpoint-recovered + newly streamed results, index order, then
+	// the single-node aggregation path. With full coverage RunOpts simulates
+	// nothing — it validates and folds, so the artifact bytes are exactly what
+	// a single-node run of the same spec produces.
+	all := append(append([]scenario.MachineResult(nil), recovered...), out.Results...)
+	sort.Slice(all, func(a, b int) bool { return all[a].Index < all[b].Index })
+	res, err := scenario.RunOpts(r.spec, r.scale, scenario.RunOptions{
+		Context:   ctx,
+		Completed: all,
+		Trace:     j.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Rendered:   res.String(),
+		Files:      scenario.RenderResult(res),
+		SimSeconds: res.Duration.Seconds() * float64(len(res.Machines)),
+	}, nil
+}

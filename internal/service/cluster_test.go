@@ -1,0 +1,407 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/scenario"
+)
+
+// newWorkerService boots a plain daemon behind httptest — any dimd can serve
+// shards; worker mode is just "someone else's coordinator points at you".
+func newWorkerService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{Workers: 2, DefaultScale: 1})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		srv.Close()
+	})
+	return svc, srv
+}
+
+// newCoordinatorService boots a coordinator daemon over the given worker URLs
+// with chaos-friendly (fast) lease timing.
+func newCoordinatorService(t *testing.T, cfg Config, workers ...string) (*Service, *Client) {
+	t.Helper()
+	cfg.Cluster = ClusterConfig{
+		Workers:        workers,
+		LeaseTTL:       300 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		UnhealthyAfter: 2,
+		// Coarse shards (2 per worker) so a mid-stream cut always leaves
+		// undelivered machines behind — the redispatch tests depend on the
+		// faulted shard not being a single machine.
+		ShardsPerWorker: 2,
+	}
+	return newTestService(t, cfg)
+}
+
+// singleNodeReference computes the artifact bytes a single-node run of the
+// spec produces — the ground truth every clustered run must match exactly.
+func singleNodeReference(t *testing.T, raw []byte, scale float64) (string, map[string]string) {
+	t.Helper()
+	spec, err := scenario.Decode(raw)
+	if err != nil {
+		t.Fatalf("decoding reference spec: %v", err)
+	}
+	res, err := scenario.RunOpts(spec, scale, scenario.RunOptions{})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	files := map[string]string{}
+	for _, f := range scenario.RenderResult(res) {
+		files[f.Name] = string(f.Content)
+	}
+	return res.String(), files
+}
+
+// checkByteIdentical fetches the finished job's output and files through the
+// API and diffs them against the single-node reference.
+func checkByteIdentical(t *testing.T, c *Client, id string, wantOut string, wantFiles map[string]string) {
+	t.Helper()
+	out, err := c.Output(id)
+	if err != nil {
+		t.Fatalf("output: %v", err)
+	}
+	if out != wantOut {
+		t.Errorf("clustered output diverged from single-node reference:\n got %d bytes\nwant %d bytes", len(out), len(wantOut))
+	}
+	names, err := c.Files(id)
+	if err != nil {
+		t.Fatalf("files: %v", err)
+	}
+	if len(names) != len(wantFiles) {
+		t.Fatalf("file list %v, want %d files", names, len(wantFiles))
+	}
+	for _, name := range names {
+		data, err := c.File(id, name)
+		if err != nil {
+			t.Fatalf("file %s: %v", name, err)
+		}
+		if string(data) != wantFiles[name] {
+			t.Errorf("file %s diverged from single-node reference (%d vs %d bytes)", name, len(data), len(wantFiles[name]))
+		}
+	}
+}
+
+func TestClusterArtifactByteIdentical(t *testing.T) {
+	w1, s1 := newWorkerService(t)
+	w2, s2 := newWorkerService(t)
+	svc, c := newCoordinatorService(t, Config{Workers: 2, DefaultScale: 1}, s1.URL, s2.URL)
+
+	raw := tinySpec("clu-identical", 11, 7)
+	wantOut, wantFiles := singleNodeReference(t, raw, 1)
+
+	v, err := c.Submit(Request{Spec: raw})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Degraded {
+		t.Error("healthy-worker run reported degraded")
+	}
+	checkByteIdentical(t, c, v.ID, wantOut, wantFiles)
+
+	if served := w1.met.cluServed.Load() + w2.met.cluServed.Load(); served == 0 {
+		t.Error("no worker served a shard; the fleet ran on the coordinator")
+	}
+	if got := svc.met.cluDispatched.Load(); got == 0 {
+		t.Error("coordinator dispatched no shards")
+	}
+
+	// Cluster status over the wire: both workers enabled and healthy.
+	st, err := c.ClusterStatus()
+	if err != nil {
+		t.Fatalf("cluster status: %v", err)
+	}
+	if !st.Enabled || st.Workers != 2 || st.Healthy != 2 || len(st.Detail) != 2 {
+		t.Errorf("cluster status %+v, want enabled with 2/2 healthy", st)
+	}
+
+	// Workers are not coordinators: their status says disabled.
+	wst, err := NewClient(s1.URL).ClusterStatus()
+	if err != nil {
+		t.Fatalf("worker cluster status: %v", err)
+	}
+	if wst.Enabled {
+		t.Error("plain worker claims coordinator mode")
+	}
+}
+
+func TestClusterRedispatchOnPartialStream(t *testing.T) {
+	_, s1 := newWorkerService(t)
+	_, s2 := newWorkerService(t)
+	svc, c := newCoordinatorService(t, Config{Workers: 1, DefaultScale: 1}, s1.URL, s2.URL)
+
+	// First shard stream is cut after one machine, without a terminal line.
+	// The coordinator must re-dispatch the remainder and still produce the
+	// single-node bytes.
+	if err := faultinject.Configure(faultinject.ClusterResultPartial); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	raw := tinySpec("clu-partial", 9, 21)
+	wantOut, wantFiles := singleNodeReference(t, raw, 1)
+
+	v, err := c.Submit(Request{Spec: raw})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Degraded {
+		t.Error("partial-stream recovery should stay remote, not degrade")
+	}
+	if svc.met.cluRetries.Load() == 0 {
+		t.Error("no shard retry recorded after a truncated stream")
+	}
+	checkByteIdenticalInProc(t, svc, v.ID, wantOut, wantFiles)
+	checkByteIdentical(t, c, v.ID, wantOut, wantFiles)
+}
+
+func TestClusterLeaseExpiryOnStall(t *testing.T) {
+	_, s1 := newWorkerService(t)
+	_, s2 := newWorkerService(t)
+	svc, c := newCoordinatorService(t, Config{Workers: 1, DefaultScale: 1}, s1.URL, s2.URL)
+
+	// One shard request freezes behind a live connection: no bytes, no error.
+	// Only the lease TTL can unwedge it.
+	if err := faultinject.Configure(faultinject.ClusterShardStall); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	raw := tinySpec("clu-stall", 9, 33)
+	wantOut, wantFiles := singleNodeReference(t, raw, 1)
+
+	v, err := c.Submit(Request{Spec: raw})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", fin.State, fin.Error)
+	}
+	if svc.met.cluExpirations.Load() == 0 {
+		t.Error("stalled shard did not register a lease expiration")
+	}
+	if svc.met.cluLeaseAge.Count() == 0 {
+		t.Error("lease-age histogram recorded no revocation")
+	}
+	checkByteIdentical(t, c, v.ID, wantOut, wantFiles)
+}
+
+func TestClusterDegradeToLocalWhenAllWorkersDead(t *testing.T) {
+	// Ports from TEST-NET that nothing listens on: every dispatch and every
+	// heartbeat fails at connect.
+	svc, c := newCoordinatorService(t, Config{Workers: 1, DefaultScale: 1},
+		"http://127.0.0.1:1", "http://127.0.0.1:2")
+
+	raw := tinySpec("clu-degrade", 7, 45)
+	wantOut, wantFiles := singleNodeReference(t, raw, 1)
+
+	v, err := c.Submit(Request{Spec: raw})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", fin.State, fin.Error)
+	}
+	if !fin.Degraded {
+		t.Error("all-workers-dead run did not report degraded")
+	}
+	if svc.met.cluDegraded.Load() == 0 || svc.met.cluLocal.Load() == 0 {
+		t.Errorf("degraded=%d local=%d; want both nonzero",
+			svc.met.cluDegraded.Load(), svc.met.cluLocal.Load())
+	}
+	checkByteIdentical(t, c, v.ID, wantOut, wantFiles)
+
+	// The degradation is visible on the stream and in /metrics, not just the
+	// status document.
+	sawDegradedEvent := false
+	if err := c.Stream(context.Background(), v.ID, func(e Event) error {
+		if e.Type == "degraded" {
+			sawDegradedEvent = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if !sawDegradedEvent {
+		t.Error("stream carried no degraded event")
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(text, "dimd_cluster_jobs_degraded_total 1") {
+		t.Error("metrics do not show dimd_cluster_jobs_degraded_total 1")
+	}
+
+	// The heartbeat monitor needs a couple of probe rounds to mark the dead
+	// workers unhealthy; the job itself finished faster than that.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.clu.Monitor().HealthyCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead workers never marked unhealthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	text, err = c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(text, `dimd_cluster_worker_healthy{worker="http://127.0.0.1:1"} 0`) {
+		t.Error("metrics do not show the dead worker's labeled health gauge")
+	}
+	if !strings.Contains(text, "dimd_cluster_workers_healthy 0") {
+		t.Error("metrics do not show zero healthy workers")
+	}
+}
+
+func TestClusterDegradedFlagSurvivesRestart(t *testing.T) {
+	dir, err := os.MkdirTemp("", "dimd-clu-restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	cfg := Config{Workers: 1, DefaultScale: 1, DataDir: dir, Cluster: ClusterConfig{
+		Workers:        []string{"http://127.0.0.1:1"},
+		LeaseTTL:       200 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+	}}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Submit(Request{Spec: tinySpec("clu-restart", 4, 50)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !j.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := j.View(); v.State != StateDone || !v.Degraded {
+		t.Fatalf("pre-restart view %+v, want done+degraded", v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Restart over the same journal, this time single-node: the degraded flag
+	// must come back from the "done" record, not from live cluster state.
+	svc2, err := Open(Config{Workers: 1, DefaultScale: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc2.Shutdown(ctx)
+	}()
+	j2, err := svc2.Job(j.ID)
+	if err != nil {
+		t.Fatalf("restored job: %v", err)
+	}
+	if v := j2.View(); v.State != StateDone || !v.Degraded {
+		t.Errorf("post-restart view state=%s degraded=%v, want done+degraded", v.State, v.Degraded)
+	}
+}
+
+// checkByteIdenticalInProc compares the in-memory artifact (not the HTTP
+// view) against the reference — catches divergence before serialization.
+func checkByteIdenticalInProc(t *testing.T, svc *Service, id string, wantOut string, wantFiles map[string]string) {
+	t.Helper()
+	j, err := svc.Job(id)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	art := j.artifactRef()
+	if art == nil {
+		t.Fatal("no artifact")
+	}
+	if art.Rendered != wantOut {
+		t.Error("in-memory rendered output diverged from single-node reference")
+	}
+	if len(art.Files) != len(wantFiles) {
+		t.Fatalf("artifact has %d files, want %d", len(art.Files), len(wantFiles))
+	}
+	for _, f := range art.Files {
+		if string(f.Content) != wantFiles[f.Name] {
+			t.Errorf("artifact file %s diverged", f.Name)
+		}
+	}
+}
+
+func TestShardEndpointValidation(t *testing.T) {
+	_, srv := newWorkerService(t)
+	c := NewClient(srv.URL)
+
+	// Scale outside the admission bound is refused before any simulation.
+	err := c.ShardStream(context.Background(), ShardRequest{
+		Spec:  tinySpec("clu-bad-scale", 2, 1),
+		Scale: MaxScale + 1,
+		Shard: cluster.Shard{ID: 0, From: 0, To: 2},
+	}, func(scenario.MachineResult) {})
+	if se, ok := err.(*StatusError); !ok || se.Code != 400 {
+		t.Errorf("oversized scale: err %v, want HTTP 400", err)
+	}
+
+	// A scheduled spec cannot shard (cross-machine coupling); the engine error
+	// rides the stream as an error line.
+	err = c.ShardStream(context.Background(), ShardRequest{
+		Spec:  schedSpec("clu-sched"),
+		Scale: 1,
+		Shard: cluster.Shard{ID: 0, From: 0, To: 2},
+	}, func(scenario.MachineResult) {})
+	if err == nil || !strings.Contains(err.Error(), "cannot shard") {
+		t.Errorf("scheduled spec: err %v, want a cannot-shard rejection", err)
+	}
+
+	// Integrator pinning: a coordinator configured differently is refused
+	// with 409 rather than silently computing different bytes.
+	err = c.ShardStream(context.Background(), ShardRequest{
+		Spec:       tinySpec("clu-integ", 2, 1),
+		Scale:      1,
+		Shard:      cluster.Shard{ID: 0, From: 0, To: 2},
+		Integrator: "exact",
+	}, func(scenario.MachineResult) {})
+	if se, ok := err.(*StatusError); !ok || se.Code != 409 {
+		t.Errorf("integrator mismatch: err %v, want HTTP 409", err)
+	}
+}

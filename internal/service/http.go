@@ -23,6 +23,9 @@ import (
 //	GET    /v1/jobs/{id}/output    rendered report (text/plain; byte-identical to dimctl)
 //	GET    /v1/jobs/{id}/files     artefact names (JSON list)
 //	GET    /v1/jobs/{id}/files/{name}  one CSV artefact (byte-identical to dimctl export)
+//	POST   /v1/shards              execute one shard for a remote coordinator (NDJSON stream)
+//	GET    /v1/cluster/health      worker heartbeat probe (503 when unable to take shards)
+//	GET    /v1/cluster/status      coordinator's worker-fleet status
 //	GET    /v1/catalog             experiments, scenarios, policies
 //	GET    /v1/fleet/heat          live fleet heat-map (SSE; ?once=1 for one JSON frame)
 //	GET    /healthz                liveness + drain state
@@ -39,6 +42,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
 	mux.HandleFunc("GET /v1/jobs/{id}/files", s.handleFiles)
 	mux.HandleFunc("GET /v1/jobs/{id}/files/{name}", s.handleFile)
+	mux.HandleFunc("POST /v1/shards", s.handleShardRun)
+	mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
+	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /v1/fleet/heat", s.handleHeat)
 	mux.HandleFunc("GET /healthz", s.handleHealth)

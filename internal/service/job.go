@@ -239,11 +239,16 @@ type Job struct {
 	err         string
 	cacheHit    bool
 	cancelAsked bool
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
-	artifact    *Artifact
-	cancelFunc  func()
+	// degraded marks a clustered job that completed with at least one shard
+	// run on the coordinator because no healthy worker could take it. The
+	// result bytes are still correct (determinism), but the operator asked
+	// for distributed execution and did not fully get it.
+	degraded   bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	artifact   *Artifact
+	cancelFunc func()
 }
 
 // JobView is the status document served over HTTP.
@@ -256,6 +261,9 @@ type JobView struct {
 	Key      string  `json:"key"`
 	State    string  `json:"state"`
 	CacheHit bool    `json:"cache_hit"`
+	// Degraded reports a clustered run that fell back to local execution for
+	// one or more shards (results are still byte-correct; capacity was not).
+	Degraded bool `json:"degraded,omitempty"`
 	// CancelRequested reports that a running job's context has been
 	// cancelled but the engine has not yet reached its next cancellation
 	// point (metric tick or round barrier).
@@ -281,6 +289,7 @@ func (j *Job) View() JobView {
 	v := JobView{
 		ID: j.ID, Kind: j.kind, Name: j.name, Policy: j.policy,
 		Scale: j.scale, Key: j.Key, State: j.state, CacheHit: j.cacheHit,
+		Degraded:        j.degraded,
 		CancelRequested: j.cancelAsked && !terminalState(j.state),
 		Error:           j.err, SubmittedAt: j.submitted, Events: j.stream.Len(),
 	}
@@ -299,6 +308,14 @@ func (j *Job) View() JobView {
 		}
 	}
 	return v
+}
+
+// markDegraded records that this job's clustered run fell back to local
+// execution for at least one shard.
+func (j *Job) markDegraded() {
+	j.mu.Lock()
+	j.degraded = true
+	j.mu.Unlock()
 }
 
 // Terminal reports whether the job has reached a final state.

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -51,6 +52,16 @@ type metrics struct {
 	walFsync      *obs.Histogram // journal fsync syscall
 	submitLatency *obs.Histogram // POST /v1/jobs handler, wall time
 	streamLatency *obs.Histogram // GET .../stream, time to first event flushed
+
+	// Cluster counters (coordinator side unless noted; zero and inert on
+	// single-node daemons and plain workers).
+	cluDispatched  *obs.Counter   // shard lease grants, first attempts and retries
+	cluRetries     *obs.Counter   // shard lease grants past a shard's first
+	cluExpirations *obs.Counter   // leases revoked by TTL expiry
+	cluLocal       *obs.Counter   // shards degraded to in-process execution
+	cluDegraded    *obs.Counter   // jobs completed in degraded mode
+	cluServed      *obs.Counter   // shards this daemon executed for a remote coordinator
+	cluLeaseAge    *obs.Histogram // age of revoked leases at revocation
 }
 
 // init builds the registry. Registration order is the legacy render order —
@@ -126,6 +137,63 @@ func (m *metrics) init(s *Service) {
 		"POST /v1/jobs handler latency", nil)
 	m.streamLatency = r.Histogram("dimd_stream_latency_seconds",
 		"stream time-to-first-event latency", nil)
+
+	// Cluster tier. The gauges read through s.clu so they render 0 on
+	// single-node daemons — the metric *names* are identical everywhere,
+	// which keeps the golden name list one list.
+	intGauge("dimd_cluster_workers", "configured cluster workers (coordinator mode)",
+		func() int64 {
+			if s.clu == nil {
+				return 0
+			}
+			return int64(s.clu.Monitor().WorkerCount())
+		})
+	intGauge("dimd_cluster_workers_healthy", "cluster workers currently passing heartbeats",
+		func() int64 {
+			if s.clu == nil {
+				return 0
+			}
+			return int64(s.clu.Monitor().HealthyCount())
+		})
+	m.cluDispatched = r.Counter("dimd_cluster_shards_dispatched_total", "shard leases granted to workers")
+	m.cluRetries = r.Counter("dimd_cluster_shard_retries_total", "shard leases granted past a shard's first attempt")
+	m.cluExpirations = r.Counter("dimd_cluster_lease_expirations_total", "shard leases revoked by TTL expiry")
+	m.cluLocal = r.Counter("dimd_cluster_shards_local_total", "shards degraded to in-process execution")
+	m.cluDegraded = r.Counter("dimd_cluster_jobs_degraded_total", "jobs completed with at least one locally run shard")
+	m.cluServed = r.Counter("dimd_cluster_shards_served_total", "shards executed for a remote coordinator")
+	m.cluLeaseAge = r.Histogram("dimd_cluster_lease_age_seconds",
+		"age of revoked shard leases at revocation", nil)
+	// Per-worker health/progress series, labeled by worker URL — dynamic like
+	// the phase profiler's, so they live outside the pinned name list and
+	// render nothing on non-coordinators.
+	workerSamples := func(val func(ws cluster.WorkerStatus) float64) func() []obs.LabeledSample {
+		return func() []obs.LabeledSample {
+			if s.clu == nil {
+				return nil
+			}
+			snap := s.clu.Monitor().Snapshot()
+			out := make([]obs.LabeledSample, len(snap))
+			for i, ws := range snap {
+				out[i] = obs.LabeledSample{Label: ws.URL, Value: val(ws)}
+			}
+			return out
+		}
+	}
+	r.Labeled("dimd_cluster_worker_healthy", "worker heartbeat health (1 healthy, 0 not)",
+		obs.TypeGauge, "worker", workerSamples(func(ws cluster.WorkerStatus) float64 {
+			if ws.Healthy {
+				return 1
+			}
+			return 0
+		}))
+	r.Labeled("dimd_cluster_worker_shards_done", "shards completed per worker",
+		obs.TypeCounter, "worker", workerSamples(func(ws cluster.WorkerStatus) float64 {
+			return float64(ws.ShardsDone)
+		}))
+	r.Labeled("dimd_cluster_worker_shard_errors", "failed shard attempts per worker",
+		obs.TypeCounter, "worker", workerSamples(func(ws cluster.WorkerStatus) float64 {
+			return float64(ws.ShardErrors)
+		}))
 
 	// The phase profiler's per-phase series render after everything else, and
 	// only while profiling is enabled — the default document stays pinned.

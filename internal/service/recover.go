@@ -13,6 +13,7 @@ type recoveredJob struct {
 	rec      journalRecord // the "submitted" record (request + identity)
 	state    string
 	errMsg   string
+	degraded bool
 	started  time.Time
 	finished time.Time
 }
@@ -61,6 +62,7 @@ func (s *Service) recoverFromJournal(rep storeReplay) {
 		case "done":
 			if rj, ok := byID[rec.ID]; ok {
 				rj.state = StateDone
+				rj.degraded = rec.Degraded
 				rj.finished = rec.At
 			}
 		case "failed", "canceled":
@@ -100,6 +102,7 @@ func (s *Service) recoverFromJournal(rep storeReplay) {
 		case StateDone:
 			if art, ok := s.store.loadArtifact(rj.rec.Key); ok {
 				j.state = StateDone
+				j.degraded = rj.degraded
 				j.artifact = art
 				s.cache.put(j.Key, art)
 				j.stream.append(Event{Type: "state", Job: id, State: StateDone})

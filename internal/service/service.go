@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/export"
 	"repro/internal/faultinject"
 	"repro/internal/fleetsched"
@@ -94,6 +95,11 @@ type Config struct {
 	// checkpointing (recovery then reruns from scratch).
 	CheckpointEvery int
 
+	// Cluster, when it names workers, runs this daemon as a coordinator:
+	// unscheduled scenario jobs shard across the worker set with lease-based
+	// recovery. See ClusterConfig.
+	Cluster ClusterConfig
+
 	// Logger receives structured job-lifecycle logs. Nil discards them —
 	// logging is observability, never load-bearing.
 	Logger *slog.Logger
@@ -139,6 +145,11 @@ type Service struct {
 	// and checkpoint writes funnel through Service.journal / execute's
 	// checkpoint hooks, which tolerate a nil store.
 	store *store
+	// clu is the coordinator tier; nil unless Config.Cluster names workers.
+	// cluClients holds one retry-free client per worker URL — the lease
+	// machinery, not the HTTP client, owns failure handling.
+	clu        *cluster.Coordinator
+	cluClients map[string]*Client
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -199,6 +210,11 @@ func Open(cfg Config) (*Service, error) {
 		// it touches and re-enqueued jobs sit in the queue until workers
 		// start below.
 		s.recoverFromJournal(rep)
+	}
+	if len(cfg.Cluster.Workers) > 0 {
+		// Before the worker pool: recovered jobs must find the coordinator
+		// already serving when a worker picks them up.
+		s.openCluster()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -476,6 +492,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	if s.clu != nil {
+		s.clu.Stop()
+	}
 	if s.store != nil {
 		// After the drain: every worker has finished journaling.
 		if cerr := s.store.close(); cerr != nil && err == nil {
@@ -595,11 +614,12 @@ func (s *Service) runJob(j *Job) {
 	}
 	state, msg := j.state, j.err
 	finished := j.finished
+	degraded := j.degraded
 	j.mu.Unlock()
 
 	switch state {
 	case StateDone:
-		s.journal(journalRecord{Op: "done", ID: j.ID, At: finished}, true)
+		s.journal(journalRecord{Op: "done", ID: j.ID, At: finished, Degraded: degraded}, true)
 	case StateCanceled:
 		s.journal(journalRecord{Op: "canceled", ID: j.ID, At: finished, Error: msg}, true)
 	default:
@@ -662,6 +682,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 		return &Artifact{Rendered: rendered, Files: files}, nil
 
 	case KindScenario:
+		if s.clu != nil {
+			return s.executeClusteredScenario(ctx, j)
+		}
 		opts := scenario.RunOptions{
 			Context:        ctx,
 			TelemetryEvery: s.cfg.TelemetryEvery,

@@ -62,6 +62,11 @@ type journalRecord struct {
 
 	// Error carries the failure reason (op "failed"/"canceled").
 	Error string `json:"error,omitempty"`
+
+	// Degraded marks a "done" record whose clustered run fell back to local
+	// execution for one or more shards, so a restarted daemon restores the
+	// job's degraded flag along with its artifact.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // jobCheckpoint is the on-disk resume token for one in-flight job, shaped by

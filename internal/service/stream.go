@@ -12,7 +12,7 @@ import (
 // out of the bounded ring before a slow subscriber read them.
 type Event struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // state | round | machine | telemetry | policy | gap | done | error | recovered
+	Type string `json:"type"` // state | round | machine | telemetry | policy | gap | done | error | recovered | degraded
 	Job  string `json:"job"`
 
 	// State carries the job state for "state"/"done"/"error" events.

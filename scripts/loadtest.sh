@@ -11,18 +11,29 @@
 #   scripts/loadtest.sh
 #   LANES=128 scripts/loadtest.sh
 #
+# After the single-node phases, a cluster phase boots a coordinator plus
+# CLUSTER_WORKERS worker daemons, measures distributed scaling against a solo
+# baseline, then kill -9s one worker mid-job and measures how long the
+# lease-recovery machinery takes to finish the job anyway.
+#
 # Environment:
-#   LANES   concurrent submission lanes (default 64)
-#   OUT     results file to merge into (default BENCH_results.json)
+#   LANES             concurrent submission lanes (default 64)
+#   OUT               results file to merge into (default BENCH_results.json)
+#   CLUSTER_WORKERS   worker daemons in the cluster phase (default 2)
+#   CLUSTER_MACHINES  fleet size of the cluster-phase job (default 256)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LANES="${LANES:-64}"
 OUT="${OUT:-BENCH_results.json}"
+CLUSTER_WORKERS="${CLUSTER_WORKERS:-2}"
+CLUSTER_MACHINES="${CLUSTER_MACHINES:-256}"
 
 work="$(mktemp -d)"
 DPID=""
+CPID=""
 LANE_PIDS=()
+WORKER_PIDS=()
 PIDFILE="${TMPDIR:-/tmp}/dimd-loadtest.pid"
 
 # Cleanup must run on interrupt as well as normal exit: an orphaned dimd (or
@@ -33,6 +44,13 @@ cleanup() {
     for pid in "${LANE_PIDS[@]:-}"; do
         [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
     done
+    for pid in "${WORKER_PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+    done
+    if [[ -n "$CPID" ]]; then
+        kill "$CPID" 2>/dev/null || true
+        wait "$CPID" 2>/dev/null || true
+    fi
     if [[ -n "$DPID" ]]; then
         kill "$DPID" 2>/dev/null || true
         wait "$DPID" 2>/dev/null || true
@@ -146,10 +164,120 @@ fi
 DPID=""
 grep -q "drained, bye" "$work/dimd.log" || { echo "loadtest: no clean drain marker" >&2; exit 1; }
 
-python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" "$work/metrics.txt" <<'EOF'
+# ---------------------------------------------------------------------------
+# Cluster phase: scaling + worker-kill recovery.
+# ---------------------------------------------------------------------------
+
+# boot_dimd LOGFILE FLAGS... -> sets BOOT_PID and BOOT_ADDR.
+boot_dimd() {
+    local log="$1"; shift
+    "$work/dimd" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+    BOOT_PID=$!
+    BOOT_ADDR=""
+    for _ in $(seq 1 100); do
+        BOOT_ADDR="$(sed -n 's/^dimd: serving on \([0-9.:]*\).*/\1/p' "$log")"
+        [[ -n "$BOOT_ADDR" ]] && return 0
+        sleep 0.1
+    done
+    echo "loadtest: daemon ($*) never came up:" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+# Two distinct specs (different seeds -> different content addresses): one
+# for the scaling measurement, one for the kill-recovery run, so the second
+# can never ride the first's cache entry.
+for seed in 9100 9101; do
+    cat > "$work/cluster-spec-$seed.json" <<EOF
+{
+  "name": "loadtest-cluster",
+  "duration_s": 600,
+  "fleet": {"machines": $CLUSTER_MACHINES, "base_seed": $seed},
+  "machine": {"cores": 2},
+  "workload": [{"kind": "burn", "threads": 1}]
+}
+EOF
+done
+
+timed_run() {
+    local base="$1" spec="$2" out="$3"
+    local start end
+    start=$(date +%s.%N)
+    "$work/dimctl" remote run -addr "$base" -spec "$spec" >"$out" 2>"$out.err" \
+        || { echo "loadtest: cluster-phase run failed:" >&2; cat "$out.err" >&2; exit 1; }
+    end=$(date +%s.%N)
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.6f\n", e - s }'
+}
+
+echo "loadtest: cluster solo baseline ($CLUSTER_MACHINES machines, single node)"
+boot_dimd "$work/solo.log"
+DPID=$BOOT_PID
+SOLO_S=$(timed_run "http://$BOOT_ADDR" "$work/cluster-spec-9100.json" "$work/cluster-solo.out")
+kill -TERM "$DPID"; wait "$DPID" || { echo "loadtest: solo daemon bad exit" >&2; exit 1; }
+DPID=""
+echo "loadtest: solo   $SOLO_S s"
+
+echo "loadtest: booting $CLUSTER_WORKERS workers + coordinator"
+WORKER_PIDS=()
+WORKER_URLS=""
+for i in $(seq 1 "$CLUSTER_WORKERS"); do
+    boot_dimd "$work/worker-$i.log" -role worker
+    WORKER_PIDS+=("$BOOT_PID")
+    WORKER_URLS="$WORKER_URLS${WORKER_URLS:+,}http://$BOOT_ADDR"
+done
+boot_dimd "$work/coordinator.log" -role coordinator -cluster-workers "$WORKER_URLS" \
+    -lease-ttl 2s -heartbeat-every 200ms
+CPID=$BOOT_PID
+CBASE="http://$BOOT_ADDR"
+
+CLUSTER_S=$(timed_run "$CBASE" "$work/cluster-spec-9100.json" "$work/cluster-dist.out")
+echo "loadtest: cluster $CLUSTER_S s ($CLUSTER_WORKERS workers)"
+
+# Recovery: start the second job, wait until the first worker holds a shard
+# lease, then SIGKILL it. The coordinator must finish the job regardless;
+# recovery latency is kill-to-completion wall time.
+echo "loadtest: kill-one-worker recovery run"
+VICTIM_PID="${WORKER_PIDS[0]}"
+VICTIM_URL="${WORKER_URLS%%,*}"
+DISRUPT_START=$(date +%s.%N)
+"$work/dimctl" remote run -addr "$CBASE" -spec "$work/cluster-spec-9101.json" \
+    >"$work/cluster-kill.out" 2>"$work/cluster-kill.err" &
+LANE_PIDS=("$!")
+for _ in $(seq 1 200); do
+    "$work/dimctl" remote cluster -addr "$CBASE" 2>/dev/null \
+        | grep -F "$VICTIM_URL" | grep -Eq 'inflight=[1-9]' && break
+    sleep 0.02
+done
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+KILL_T=$(date +%s.%N)
+if ! wait "${LANE_PIDS[0]}"; then
+    echo "loadtest: recovery run failed:" >&2
+    cat "$work/cluster-kill.err" >&2
+    exit 1
+fi
+LANE_PIDS=()
+DISRUPT_END=$(date +%s.%N)
+RECOVER_S=$(awk -v k="$KILL_T" -v e="$DISRUPT_END" 'BEGIN { printf "%.6f", e - k }')
+DISRUPT_S=$(awk -v s="$DISRUPT_START" -v e="$DISRUPT_END" 'BEGIN { printf "%.6f", e - s }')
+RETRIES=$("$work/dimctl" remote metrics -addr "$CBASE" \
+    | awk '$1 == "dimd_cluster_shard_retries_total" { print $2 }')
+RETRIES="${RETRIES:-0}"
+echo "loadtest: recovery $RECOVER_S s after kill (disrupted run $DISRUPT_S s, $RETRIES shard retries)"
+
+kill -TERM "$CPID"; wait "$CPID" || { echo "loadtest: coordinator bad exit" >&2; exit 1; }
+CPID=""
+for pid in "${WORKER_PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+done
+WORKER_PIDS=()
+
+python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" "$work/metrics.txt" \
+    "$CLUSTER_WORKERS" "$SOLO_S" "$CLUSTER_S" "$RECOVER_S" "$DISRUPT_S" "$RETRIES" <<'EOF'
 import json, re, sys
 
-out, lanes, cold_s, cold_jps, warm_s, warm_jps, metrics_path = sys.argv[1:]
+(out, lanes, cold_s, cold_jps, warm_s, warm_jps, metrics_path,
+ cluster_workers, solo_s, cluster_s, recover_s, disrupt_s, retries) = sys.argv[1:]
 try:
     with open(out) as f:
         results = json.load(f)
@@ -168,6 +296,26 @@ def entry(total_s, jps):
 
 results["ServiceLoadtest/cold"] = entry(cold_s, cold_jps)
 results["ServiceLoadtest/warm"] = entry(warm_s, warm_jps)
+
+# Cluster phase: the solo/cluster pair yields scaling efficiency (ideal = 1.0
+# at cluster_s == solo_s / workers; on one host the workers share cores, so
+# treat this as a regression tripwire, not an absolute), and the kill run
+# yields recovery latency — SIGKILL of a lease-holding worker to job done.
+w = int(cluster_workers)
+results["ClusterLoadtest/solo"] = {
+    "ns_op": round(float(solo_s) * 1e9, 1), "allocs_op": None,
+}
+results["ClusterLoadtest/cluster"] = {
+    "ns_op": round(float(cluster_s) * 1e9, 1), "allocs_op": None,
+    "workers": w,
+    "scaling_efficiency": round(float(solo_s) / (float(cluster_s) * w), 3),
+}
+results["ClusterLoadtest/worker_kill_recovery"] = {
+    "ns_op": round(float(recover_s) * 1e9, 1), "allocs_op": None,
+    "recovery_s": round(float(recover_s), 3),
+    "disrupted_run_s": round(float(disrupt_s), 3),
+    "shard_retries": int(float(retries)),
+}
 
 def histogram(text, name):
     # Cumulative bucket counts in le order, +Inf last, as exposed.
@@ -218,5 +366,9 @@ with open(out, "w") as f:
         comma = "," if i < len(keys) - 1 else ""
         f.write(f'  "{k}": {json.dumps(results[k])}{comma}\n')
     f.write("}\n")
-print(f"loadtest: recorded ServiceLoadtest cold/warm + latency percentiles into {out}")
+eff = results["ClusterLoadtest/cluster"]["scaling_efficiency"]
+rec_s = results["ClusterLoadtest/worker_kill_recovery"]["recovery_s"]
+print(f"loadtest: cluster scaling efficiency {eff} over {w} workers, "
+      f"worker-kill recovery {rec_s}s")
+print(f"loadtest: recorded ServiceLoadtest + ClusterLoadtest into {out}")
 EOF

@@ -32,6 +32,17 @@ if out=$(grep -rn --include='*.go' -E '(Fprintf|Sprintf|Printf|WriteString)\([^)
     fail=1
 fi
 
+# Layering: internal/cluster reports lease/health transitions through
+# callbacks (OnEvent, onHealth) and the service layer translates them into
+# registry metrics. A direct obs import in the coordinator would let shard
+# accounting drift out from under the golden-pinned /metrics surface.
+if out=$(grep -rn --include='*.go' '"repro/internal/obs"' internal/cluster 2>/dev/null \
+        | grep -v '_test\.go:'); then
+    echo "obslint: internal/cluster must not import internal/obs (report through callbacks; internal/service owns the metrics):" >&2
+    echo "$out" >&2
+    fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
     echo "obslint: route metrics through internal/obs (Registry.Counter/Gauge/Histogram/Text or Collect)" >&2
     exit 1
