@@ -60,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return traceCmd(rest[1:], stdout, stderr)
 	case "top":
 		return topCmd(rest[1:], stdout, stderr)
+	case "snapshot":
+		return snapshotCmd(rest[1:], stdout, stderr)
+	case "incident":
+		return incidentCmd(rest[1:], stdout, stderr)
 	case "scenario":
 		return scenarioCmd(rest[1:], dimetrodon.Scale(*scale), *outDir, stdout, stderr)
 	case "sched":
@@ -473,7 +477,9 @@ var boolTrailingFlags = map[string]bool{"batched": true, "once": true}
 func splitFlags(args []string) (names, rest []string) {
 	for i := 0; i < len(args); i++ {
 		a := args[i]
-		if strings.HasPrefix(a, "-") {
+		// A bare "-" is a positional operand (e.g. `incident export -`),
+		// never a flag.
+		if strings.HasPrefix(a, "-") && a != "-" {
 			rest = append(rest, a)
 			bare := strings.TrimLeft(a, "-")
 			if !strings.Contains(a, "=") && !boolTrailingFlags[bare] && i+1 < len(args) {
@@ -514,6 +520,10 @@ usage:
                                                       inspect a dimd daemon
   dimctl trace <job-id> [-addr URL] [-out FILE]       fetch a job's Chrome trace JSON
   dimctl top [-addr URL] [-once] [-interval D]        live fleet heat map
+  dimctl snapshot [-addr URL] [-out FILE]             capture a content-hashed fleet snapshot
+  dimctl incident list|show <id> [-addr URL]          inspect flight-recorder dumps
+  dimctl incident export <id|-> [-out DIR] [-job ID]  write replayable per-job bundles
+  dimctl incident replay <bundle-dir>...              re-run a bundle, byte-verify vs expected/
 
 flags:
 `)

@@ -14,6 +14,9 @@
 //	dimd -role worker                 shard worker for a remote coordinator
 //	dimd -role coordinator -cluster-workers http://w1:8080,http://w2:8080
 //	                                  fan scenario fleets out across workers
+//	dimd -flight-records 8192         size the incident flight-recorder ring
+//	dimd -slo-queue-wait 0.5 -slo-violation 2
+//	                                  arm SLO burn-rate rules; breaches auto-dump incidents
 //
 // In coordinator mode, scenario jobs are split into machine-range shards and
 // dispatched to the static worker set under TTL leases: a worker that dies,
@@ -82,6 +85,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	clusterWorkers := fs.String("cluster-workers", "", "comma-separated worker base URLs (coordinator role only)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "shard lease TTL before a silent worker is presumed dead; 0 = default")
 	heartbeatEvery := fs.Duration("heartbeat-every", 0, "worker health-probe cadence; 0 = default")
+	flightRecords := fs.Int("flight-records", 0, "flight-recorder ring size; 0 = default (4096), negative disables")
+	maxIncidents := fs.Int("max-incidents", 0, "retained incident dumps; 0 = default (32)")
+	sloQueueWait := fs.Float64("slo-queue-wait", 0, "queue-wait SLO threshold in seconds; 0 disables the rule")
+	sloViolation := fs.Float64("slo-violation", 0, "per-machine thermal-violation SLO threshold in seconds; 0 disables the rule")
+	sloBurnBudget := fs.Float64("slo-burn-budget", 0, "tolerated bad fraction per SLO window; 0 = default (0.1)")
+	sloMinEvents := fs.Int("slo-min-events", 0, "minimum new observations before an SLO window evaluates; 0 = default (8)")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text, json or off")
 	logLevel := fs.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
 	profilePhases := fs.Bool("profile-phases", false, "accumulate engine phase timings (exported as dimd_phase_seconds_total)")
@@ -159,6 +168,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cfg.Cluster.Workers = workerURLs
 	cfg.Cluster.LeaseTTL = *leaseTTL
 	cfg.Cluster.HeartbeatEvery = *heartbeatEvery
+	cfg.FlightRecords = *flightRecords
+	cfg.MaxIncidents = *maxIncidents
+	cfg.SLO.QueueWaitS = *sloQueueWait
+	cfg.SLO.ViolationS = *sloViolation
+	cfg.SLO.Budget = *sloBurnBudget
+	cfg.SLO.MinEvents = *sloMinEvents
 	svc, err := dimetrodon.OpenService(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "dimd: %v\n", err)

@@ -85,8 +85,9 @@ type ProbeFunc func(ctx context.Context, url string) error
 
 // Event is one lease-lifecycle notification, the hook the service layer maps
 // to metrics and trace spans. Kind is "grant" (Attempt 1 = first dispatch,
-// >1 = redispatch), "revoke" (Reason and lease Age set), or "local" (the
-// shard fell back to in-process execution).
+// >1 = redispatch), "revoke" (Reason and lease Age set), "done" (the shard's
+// results are complete; Age is the final attempt's duration), or "local"
+// (the shard fell back to in-process execution).
 type Event struct {
 	Kind    string
 	Shard   Shard
@@ -495,9 +496,14 @@ func (c *Coordinator) finishAttempt(d attemptDone, mu *sync.Mutex, done map[int]
 	if complete {
 		// Results cover the shard — even if the stream then erred, the work
 		// is done (a terminal-line hiccup after the last machine landed).
-		if d.err != nil && !d.local {
-			emit(Event{Kind: "revoke", Shard: l.shard, Worker: l.worker.url, Attempt: l.attempts, Age: age, Reason: "stream error after full delivery: " + d.err.Error()})
+		worker := ""
+		if l.worker != nil {
+			worker = l.worker.url
 		}
+		if d.err != nil && !d.local {
+			emit(Event{Kind: "revoke", Shard: l.shard, Worker: worker, Attempt: l.attempts, Age: age, Reason: "stream error after full delivery: " + d.err.Error()})
+		}
+		emit(Event{Kind: "done", Shard: l.shard, Worker: worker, Attempt: l.attempts, Age: age})
 		l.worker = nil
 		*doneShards++
 		return

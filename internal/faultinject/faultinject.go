@@ -61,6 +61,12 @@ const (
 	// the connection closes mid-stream without the terminal line — a crash
 	// or network partition that truncates the response.
 	ClusterResultPartial = "cluster.result.partial"
+
+	// SLOBreach forces the next (or nth) SLO evaluation to report a breach —
+	// a violation storm without having to out-heat the thermal model. The
+	// incident-replay CI job arms it to deterministically trigger the flight
+	// recorder's auto-dump path.
+	SLOBreach = "slo.breach"
 )
 
 // armed is non-zero while any point is configured; the zero fast path makes

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultFlightRecords is the default ring capacity: enough to hold the last
+// few seconds of a busy fleet's spans, stream events and heat frames without
+// the ring itself becoming a memory hazard.
+const DefaultFlightRecords = 4096
+
+// FlightRecord is one entry in the flight recorder: a compact, pre-digested
+// observation (a completed span, a stream event, a heat-map frame) tagged
+// with the monotonic instant it was recorded.
+type FlightRecord struct {
+	// Seq is the record's position in the recorder's total history; the ring
+	// keeps only the newest records, so Seq of the oldest surviving record
+	// reveals how many were overwritten.
+	Seq int64 `json:"seq"`
+	// AtNS is nanoseconds since the recorder started.
+	AtNS int64 `json:"at_ns"`
+	// Kind classifies the record: "span", "stream", "heat", "slo", ...
+	Kind string `json:"kind"`
+	// Job is the owning job ID, when the observation is job-scoped.
+	Job string `json:"job,omitempty"`
+	// Name is the record's label: span name, stream event type, heat key.
+	Name string `json:"name,omitempty"`
+	// Value carries the record's one number: span duration (seconds), stream
+	// sequence, heat peak °C, SLO burn rate.
+	Value float64 `json:"value"`
+}
+
+// FlightRecorder is a bounded, allocation-stable ring of recent
+// observations — the black box an incident dump reads back. The write path
+// assigns into a preallocated slot and allocates nothing: record strings are
+// retained by reference and no formatting happens under the lock, so
+// recording is cheap enough to hang off every stream append and span
+// completion without perturbing the hot path.
+//
+// A nil *FlightRecorder is a valid no-op recorder, mirroring the nil-safe
+// Tracer: code records unconditionally and the disabled cost is one nil
+// check.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	t0   time.Time
+	buf  []FlightRecord
+	next int64 // total records ever written; buf[next%len(buf)] is the next slot
+}
+
+// NewFlightRecorder builds a recorder with capacity n (clamped to at least
+// 16; n <= 0 selects DefaultFlightRecords). The ring is fully preallocated.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightRecords
+	}
+	if n < 16 {
+		n = 16
+	}
+	return &FlightRecorder{t0: time.Now(), buf: make([]FlightRecord, n)}
+}
+
+// Record appends one observation, overwriting the oldest when the ring is
+// full. Safe on a nil recorder.
+func (r *FlightRecorder) Record(kind, job, name string, value float64) {
+	if r == nil {
+		return
+	}
+	at := time.Since(r.t0).Nanoseconds()
+	r.mu.Lock()
+	slot := &r.buf[r.next%int64(len(r.buf))]
+	slot.Seq = r.next
+	slot.AtNS = at
+	slot.Kind = kind
+	slot.Job = job
+	slot.Name = name
+	slot.Value = value
+	r.next++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the surviving records oldest-first. Safe on nil (returns
+// nil).
+func (r *FlightRecorder) Snapshot() []FlightRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int64(len(r.buf))
+	start := r.next - n
+	if start < 0 {
+		start = 0
+	}
+	out := make([]FlightRecord, 0, r.next-start)
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// Len returns how many records the ring currently holds.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < int64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many records were ever written (Total - Len were
+// overwritten).
+func (r *FlightRecorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Cap returns the ring capacity.
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}

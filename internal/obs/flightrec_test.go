@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderWrap(t *testing.T) {
+	r := NewFlightRecorder(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Record("span", "job-1", "s", float64(i))
+	}
+	if r.Len() != 10 || r.Total() != 10 {
+		t.Fatalf("len=%d total=%d, want 10/10", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 10 || snap[0].Seq != 0 || snap[9].Value != 9 {
+		t.Fatalf("pre-wrap snapshot wrong: %+v", snap)
+	}
+
+	// Overflow: 40 total records through a 16-slot ring keeps the newest 16.
+	for i := 10; i < 40; i++ {
+		r.Record("span", "job-1", "s", float64(i))
+	}
+	if r.Len() != 16 || r.Total() != 40 {
+		t.Fatalf("len=%d total=%d, want 16/40", r.Len(), r.Total())
+	}
+	snap = r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("post-wrap snapshot len = %d, want 16", len(snap))
+	}
+	for i, rec := range snap {
+		wantSeq := int64(24 + i) // oldest surviving = total - cap
+		if rec.Seq != wantSeq || rec.Value != float64(wantSeq) {
+			t.Fatalf("snapshot[%d] = seq %d value %g, want seq %d", i, rec.Seq, rec.Value, wantSeq)
+		}
+		if i > 0 && rec.AtNS < snap[i-1].AtNS {
+			t.Fatalf("snapshot out of time order at %d", i)
+		}
+	}
+}
+
+func TestFlightRecorderNilAndClamp(t *testing.T) {
+	var r *FlightRecorder
+	r.Record("span", "", "", 0) // must not panic
+	if r.Snapshot() != nil || r.Len() != 0 || r.Total() != 0 || r.Cap() != 0 {
+		t.Fatal("nil recorder must be a zero-valued no-op")
+	}
+	if got := NewFlightRecorder(0).Cap(); got != DefaultFlightRecords {
+		t.Fatalf("default cap = %d, want %d", got, DefaultFlightRecords)
+	}
+	if got := NewFlightRecorder(3).Cap(); got != 16 {
+		t.Fatalf("clamped cap = %d, want 16", got)
+	}
+}
+
+// TestFlightRecorderAllocStable pins the "allocation-stable" contract: once
+// the ring is built, recording allocates nothing — strings land by reference
+// into preallocated slots.
+func TestFlightRecorderAllocStable(t *testing.T) {
+	r := NewFlightRecorder(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record("stream", "job-7", "telemetry", 42.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		threshold float64
+		want      int64
+	}{
+		// Threshold on a bucket boundary counts observations in buckets whose
+		// lower bound >= threshold — i.e. everything strictly above it.
+		{0.001, 4}, // 0.005, 0.05, 0.5, 5
+		{0.01, 3},  // 0.05, 0.5, 5
+		{1, 1},     // 5
+		{10, 0},
+	}
+	for _, c := range cases {
+		if got := h.CountAbove(c.threshold); got != c.want {
+			t.Errorf("CountAbove(%g) = %d, want %d", c.threshold, got, c.want)
+		}
+	}
+}
+
+func TestBurnRate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w_seconds", "test", []float64{0.001, 0.01, 0.1, 1})
+	b := &BurnRate{Name: "test", H: h, Threshold: 0.01, Budget: 0.25, MinEvents: 4}
+
+	// Too few events: no evaluation.
+	h.Observe(5)
+	if fire, _, _ := b.Check(); fire {
+		t.Fatal("fired under MinEvents")
+	}
+
+	// A bad window: 3 of 4 above threshold — fires once.
+	h.Observe(5)
+	h.Observe(2)
+	h.Observe(0.0001)
+	fire, rate, events := b.Check()
+	if !fire || events != 4 {
+		t.Fatalf("want fire on bad window, got fire=%v rate=%g events=%d", fire, rate, events)
+	}
+	if rate != 0.75 {
+		t.Fatalf("rate = %g, want 0.75", rate)
+	}
+
+	// Still breached: latched, no re-fire.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	if fire, _, _ := b.Check(); fire {
+		t.Fatal("re-fired while still breached")
+	}
+
+	// A compliant window re-arms...
+	for i := 0; i < 4; i++ {
+		h.Observe(0.0001)
+	}
+	if fire, rate, _ := b.Check(); fire || rate != 0 {
+		t.Fatalf("compliant window: fire=%v rate=%g", fire, rate)
+	}
+	// ...so the next breach fires again.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	if fire, _, _ := b.Check(); !fire {
+		t.Fatal("did not re-fire after re-arm")
+	}
+
+	// Nil safety.
+	var nilB *BurnRate
+	if fire, _, _ := nilB.Check(); fire {
+		t.Fatal("nil BurnRate fired")
+	}
+}
+
+func TestTracerRecordsAndImport(t *testing.T) {
+	remote := NewTracer()
+	sp := remote.Start("shard.run", "shard", 3)
+	time.Sleep(time.Millisecond)
+	sp.EndArgs(map[string]any{"machines": 8})
+	remote.Instant("shard.done", "shard", 3)
+
+	recs := remote.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Name != "shard.run" || recs[0].Ph != "X" || recs[0].DurNS <= 0 {
+		t.Fatalf("bad complete record: %+v", recs[0])
+	}
+	if recs[1].Ph != "i" {
+		t.Fatalf("bad instant record: %+v", recs[1])
+	}
+
+	local := NewTracer()
+	local.Instant("submitted", "lifecycle", 0)
+	local.Import(recs, 2, time.Now())
+	if local.Len() != 3 {
+		t.Fatalf("after import len = %d, want 3", local.Len())
+	}
+
+	raw, err := local.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	pids := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		pids[e.PID]++
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp on %q", e.Name)
+		}
+	}
+	if pids[1] != 1 || pids[2] != 2 {
+		t.Fatalf("pid partition = %v, want {1:1, 2:2}", pids)
+	}
+
+	// Nil tracer: both directions no-op.
+	var nilT *Tracer
+	if nilT.Records() != nil {
+		t.Fatal("nil Records")
+	}
+	nilT.Import(recs, 2, time.Now())
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer()
+	var names []string
+	tr.SetSink(func(name, cat string, durNS int64) { names = append(names, cat+":"+name) })
+	tr.Start("run", "lifecycle", 0).End()
+	tr.Instant("done", "lifecycle", 0)
+	if len(names) != 2 || names[0] != "lifecycle:run" || names[1] != "lifecycle:done" {
+		t.Fatalf("sink saw %v", names)
+	}
+	var nilT *Tracer
+	nilT.SetSink(func(string, string, int64) {}) // must not panic
+}

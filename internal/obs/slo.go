@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// CountAbove returns the number of observations that landed in buckets lying
+// entirely above threshold — observations v with v > bound for every bound
+// <= threshold. It is the bucket-resolution approximation of "observations
+// exceeding the SLO threshold": pick thresholds on bucket boundaries (the
+// DefBuckets decades) for an exact count.
+func (h *Histogram) CountAbove(threshold float64) int64 {
+	// Buckets are (bounds[i-1], bounds[i]]; bucket i is entirely above the
+	// threshold when its lower bound >= threshold. SearchFloat64s finds the
+	// first bucket whose upper bound >= threshold; that bucket may straddle
+	// the threshold (undercounting is the conservative direction for an SLO
+	// evaluator), so counting starts one past it.
+	i := sort.SearchFloat64s(h.bounds, threshold) + 1
+	var n int64
+	for ; i < len(h.counts); i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// BurnRate evaluates an error-budget burn over a histogram: the fraction of
+// new observations (since the previous Check) exceeding Threshold, compared
+// against the budget. It is the SLO evaluator behind the flight recorder's
+// auto-dump — cheap enough to run at every job completion, stateful enough
+// to fire once per breach episode instead of once per bad observation.
+type BurnRate struct {
+	// Name labels the rule in incident reasons ("slo:queue-wait").
+	Name string
+	// H is the histogram under watch.
+	H *Histogram
+	// Threshold is the per-observation SLO bound (seconds for latency
+	// histograms, violation-seconds for thermal ones).
+	Threshold float64
+	// Budget is the tolerated bad fraction per evaluation window (0.1 =
+	// 10% of observations may exceed Threshold).
+	Budget float64
+	// MinEvents gates evaluation: fewer than this many new observations
+	// since the last Check and the window carries over un-judged.
+	MinEvents int64
+
+	mu        sync.Mutex
+	lastTotal int64
+	lastBad   int64
+	breached  bool
+}
+
+// Check evaluates the window since the previous firing evaluation. fire is
+// true exactly once per breach episode: when the bad fraction first exceeds
+// Budget; the rule re-arms after a compliant window. rate is the bad
+// fraction over the evaluated window and events the window's size.
+func (b *BurnRate) Check() (fire bool, rate float64, events int64) {
+	if b == nil || b.H == nil {
+		return false, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.H.Count()
+	bad := b.H.CountAbove(b.Threshold)
+	events = total - b.lastTotal
+	if events < b.MinEvents {
+		return false, 0, events
+	}
+	dBad := bad - b.lastBad
+	b.lastTotal, b.lastBad = total, bad
+	if events > 0 {
+		rate = float64(dBad) / float64(events)
+	}
+	over := rate > b.Budget
+	fire = over && !b.breached
+	b.breached = over
+	return fire, rate, events
+}

@@ -22,17 +22,24 @@ type Tracer struct {
 	spans   []span
 	max     int
 	dropped int
+	sink    SpanSink
 }
 
 type span struct {
 	name    string
 	cat     string
+	pid     int // 0 renders as the coordinator's pid 1; >0 names a remote process track
 	tid     int
 	phase   byte // 'X' complete, 'i' instant
 	startNS int64
 	durNS   int64
 	args    map[string]any
 }
+
+// SpanSink observes completed spans and instants (durNS 0) as they are
+// recorded — the flight recorder's tap. It runs outside the tracer's lock
+// and must be cheap and non-blocking.
+type SpanSink func(name, cat string, durNS int64)
 
 // DefaultMaxSpans bounds one tracer's retained spans.
 const DefaultMaxSpans = 8192
@@ -90,12 +97,28 @@ func (t *Tracer) Instant(name, cat string, tid int) {
 
 func (t *Tracer) add(s span) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.spans) >= t.max {
 		t.dropped++
+		t.mu.Unlock()
 		return
 	}
 	t.spans = append(t.spans, s)
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(s.name, s.cat, s.durNS)
+	}
+}
+
+// SetSink installs (or clears, with nil) the tracer's span observer. Safe on
+// a nil tracer.
+func (t *Tracer) SetSink(fn SpanSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
 }
 
 // Len returns the number of retained spans; Dropped how many the bound shed.
@@ -149,12 +172,73 @@ func (t *Tracer) ChromeTrace() ([]byte, error) {
 	t.mu.Unlock()
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, s := range spans {
+		pid := s.pid
+		if pid == 0 {
+			pid = 1
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: s.name, Cat: s.cat, Ph: string(s.phase), PID: 1, TID: s.tid,
+			Name: s.name, Cat: s.cat, Ph: string(s.phase), PID: pid, TID: s.tid,
 			TS:   float64(s.startNS) / 1e3,
 			Dur:  float64(s.durNS) / 1e3,
 			Args: s.args,
 		})
 	}
 	return json.Marshal(out)
+}
+
+// SpanRecord is one span in wire form: what a worker ships back alongside
+// its shard results so the coordinator can stitch a cluster-wide trace.
+// Timestamps are nanoseconds relative to the exporting tracer's start.
+type SpanRecord struct {
+	Name    string         `json:"name"`
+	Cat     string         `json:"cat,omitempty"`
+	Ph      string         `json:"ph"` // "X" or "i"
+	TID     int            `json:"tid"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns,omitempty"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// Records exports the retained spans in wire form, ordered as recorded. Safe
+// on nil (returns nil).
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, SpanRecord{
+			Name: s.name, Cat: s.cat, Ph: string(s.phase), TID: s.tid,
+			StartNS: s.startNS, DurNS: s.durNS, Args: s.args,
+		})
+	}
+	return out
+}
+
+// Import stitches spans exported by a remote tracer into this one under
+// process track pid (>= 2; the importing tracer's own spans render as pid
+// 1). at is the local wall-clock instant corresponding to the remote
+// tracer's start — typically captured just before the dispatch that created
+// it — so remote timestamps land on this tracer's timeline. Imported spans
+// count against the span bound like local ones. Safe on a nil tracer.
+func (t *Tracer) Import(recs []SpanRecord, pid int, at time.Time) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	base := at.Sub(t.t0).Nanoseconds()
+	if base < 0 {
+		base = 0
+	}
+	for _, r := range recs {
+		ph := byte('X')
+		if r.Ph == "i" {
+			ph = 'i'
+		}
+		t.add(span{
+			name: r.Name, cat: r.Cat, pid: pid, tid: r.TID, phase: ph,
+			startNS: base + r.StartNS, durNS: r.DurNS, args: r.Args,
+		})
+	}
 }

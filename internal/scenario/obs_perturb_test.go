@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/machine"
@@ -44,12 +45,20 @@ func TestObservabilityNonPerturbing(t *testing.T) {
 
 				obs.EnableProfiling(true)
 				tr := obs.NewTracer()
-				samples := 0
+				rec := obs.NewFlightRecorder(256)
+				tr.SetSink(func(name, cat string, durNS int64) {
+					rec.Record("span", "", name, float64(durNS))
+				})
+				var samples, states atomic.Int64
 				observed, err := runEngine(spec, scale, RunOptions{
 					Trace:          tr,
 					TelemetryEvery: 1,
-					OnTelemetry:    func(MachineSample) { samples++ },
+					OnTelemetry:    func(MachineSample) { samples.Add(1) },
 					OnMachine:      func(MachineResult) {},
+					OnState: func(i int, st machine.State) {
+						states.Add(1)
+						rec.Record("state", "", "machine", st.Now.Seconds())
+					},
 				})
 				if err != nil {
 					t.Fatalf("%s: observed run: %v", label, err)
@@ -64,8 +73,14 @@ func TestObservabilityNonPerturbing(t *testing.T) {
 				if tr.Len() == 0 {
 					t.Errorf("%s: traced run recorded no spans", label)
 				}
-				if samples == 0 {
+				if samples.Load() == 0 {
 					t.Errorf("%s: telemetry hook never fired", label)
+				}
+				if states.Load() == 0 {
+					t.Errorf("%s: machine-state observer never fired", label)
+				}
+				if rec.Total() == 0 {
+					t.Errorf("%s: flight recorder captured nothing", label)
 				}
 			}
 		}

@@ -105,6 +105,13 @@ type RunOptions struct {
 	// observational: spans read the wall clock and already-computed values,
 	// never simulation state, so traced output is byte-identical to untraced.
 	Trace *obs.Tracer
+	// OnState, when non-nil, receives each completed machine's final thermal
+	// state through the pure machine.Checkpoint() observer — the tap the
+	// daemon's fleet snapshot reads per-machine temperatures from. Capture is
+	// a pure observation (no accounting flush), so a run with OnState set
+	// stays byte-identical to one without. Calls arrive concurrently, like
+	// OnMachine; recovered (Completed) machines do not re-fire.
+	OnState func(index int, st machine.State)
 }
 
 // MachineSample is one in-run telemetry point from a fleet member. It is
@@ -244,6 +251,9 @@ func measure(m *machine.Machine, tm1 *dtm.TM1, srv *webserver.Server, t MachineT
 	if srv != nil {
 		stats := srv.Snapshot(m.Now())
 		res.Web = &stats
+	}
+	if opts.OnState != nil {
+		opts.OnState(t.Index, m.Checkpoint())
 	}
 	return res, nil
 }

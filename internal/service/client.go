@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 )
@@ -558,25 +559,27 @@ func (c *Client) ClusterStatus() (ClusterStatus, error) {
 // streamed machine result. Single attempt by design: any truncation, error
 // line, or transport failure returns an error and the coordinator's lease
 // layer decides whether and where to re-dispatch. A stream that ends without
-// the terminal done line is truncation, never success.
-func (c *Client) ShardStream(ctx context.Context, req ShardRequest, onResult func(scenario.MachineResult)) error {
+// the terminal done line is truncation, never success. On success it returns
+// the worker's shard spans (ridden on the terminal line) for the coordinator
+// to stitch into the job's cluster-wide trace; nil from pre-PR-10 workers.
+func (c *Client) ShardStream(ctx context.Context, req ShardRequest, onResult func(scenario.MachineResult)) ([]obs.SpanRecord, error) {
 	raw, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/shards", bytes.NewReader(raw))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(hreq)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(resp.Body)
-		return statusError(resp, data)
+		return nil, statusError(resp, data)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -587,24 +590,48 @@ func (c *Client) ShardStream(ctx context.Context, req ShardRequest, onResult fun
 		}
 		var sl shardLine
 		if err := json.Unmarshal(line, &sl); err != nil {
-			return fmt.Errorf("dimd: decoding shard line: %w", err)
+			return nil, fmt.Errorf("dimd: decoding shard line: %w", err)
 		}
 		switch {
 		case sl.Machine != nil:
 			onResult(*sl.Machine)
 		case sl.Error != "":
-			return fmt.Errorf("dimd: shard %d failed on worker: %s", req.Shard.ID, sl.Error)
+			return nil, fmt.Errorf("dimd: shard %d failed on worker: %s", req.Shard.ID, sl.Error)
 		case sl.Done:
-			return nil
+			return sl.Spans, nil
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return err
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	return fmt.Errorf("dimd: shard %d stream ended without its terminal line", req.Shard.ID)
+	return nil, fmt.Errorf("dimd: shard %d stream ended without its terminal line", req.Shard.ID)
+}
+
+// Snapshot captures the daemon's full state document — queue, jobs with
+// checkpoints and machine thermal states, cluster health, heat map — as a
+// content-hashed artifact.
+func (c *Client) Snapshot() (Snapshot, error) {
+	var v Snapshot
+	err := c.do(http.MethodGet, "/v1/snapshot", nil, &v)
+	return v, err
+}
+
+// Incidents lists the daemon's retained flight-recorder dumps.
+func (c *Client) Incidents() ([]IncidentSummary, error) {
+	var v []IncidentSummary
+	err := c.do(http.MethodGet, "/v1/incidents", nil, &v)
+	return v, err
+}
+
+// Incident fetches one full incident dump: flight-recorder ring plus the
+// fleet snapshot taken at trigger time.
+func (c *Client) Incident(id string) (Incident, error) {
+	var v Incident
+	err := c.do(http.MethodGet, "/v1/incidents/"+id, nil, &v)
+	return v, err
 }
 
 // Wait blocks until the job reaches a terminal state, following the stream

@@ -42,10 +42,12 @@ type ClusterConfig struct {
 func (s *Service) openCluster() {
 	cc := s.cfg.Cluster
 	s.cluClients = make(map[string]*Client, len(cc.Workers))
-	for _, url := range cc.Workers {
+	s.cluPIDs = make(map[string]int, len(cc.Workers))
+	for i, url := range cc.Workers {
 		// No retry policy: the lease machinery is the retry layer, and a
 		// client-side retry would only blur the coordinator's failure signal.
 		s.cluClients[url] = NewClient(url)
+		s.cluPIDs[url] = i + 2 // pid 1 is the coordinator's own spans
 	}
 	probe := func(ctx context.Context, url string) error {
 		return s.cluClients[url].ClusterHealth(ctx)
@@ -68,6 +70,36 @@ func (s *Service) openCluster() {
 		Logger:           s.log,
 	}, probe, onHealth)
 	s.log.Info("coordinator mode", "workers", len(cc.Workers))
+}
+
+// clusterHeat renders the heat frame handleHeat serves. Single-node daemons
+// and plain workers serve their local map; a coordinator additionally polls
+// each worker's one-shot frame (short timeout — a slow worker costs latency,
+// never correctness) and folds the "<job>/s<shard>" rows into the matching
+// local jobs, so `dimctl top` against the coordinator shows the whole sharded
+// fleet's cells, not just completion summaries.
+func (s *Service) clusterHeat(ctx context.Context) HeatFrame {
+	local := s.heat.snapshot()
+	if s.clu == nil {
+		return local
+	}
+	urls := s.cfg.Cluster.Workers
+	remotes := make([]HeatFrame, len(urls))
+	var wg sync.WaitGroup
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			wctx, cancel := context.WithTimeout(ctx, time.Second)
+			defer cancel()
+			var f HeatFrame
+			if c.doOnce(wctx, "GET", "/v1/fleet/heat?once=1", nil, &f) == nil {
+				remotes[i] = f
+			}
+		}(i, s.cluClients[url])
+	}
+	wg.Wait()
+	return mergeHeatFrames(local, remotes...)
 }
 
 // executeClusteredScenario is execute's KindScenario arm under coordinator
@@ -103,6 +135,8 @@ func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifa
 		s.met.resumes.Add(1)
 	}
 	onResult := func(m scenario.MachineResult) {
+		s.met.fleetViolation.Observe(m.ViolationS)
+		s.heat.observeResult(j.ID, m)
 		j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
 		if s.store == nil || s.cfg.CheckpointEvery < 0 {
 			return
@@ -113,7 +147,7 @@ func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifa
 		cpMu.Unlock()
 		sort.Slice(snap, func(a, b int) bool { return snap[a].Index < snap[b].Index })
 		sp := j.trace.Start("checkpoint", "lifecycle", 0)
-		err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap})
+		err := s.store.writeCheckpoint(j.ID, &JobCheckpoint{Kind: KindScenario, Machines: snap})
 		sp.EndArgs(map[string]any{"machines": len(snap)})
 		if err == nil {
 			s.met.checkpoints.Add(1)
@@ -139,6 +173,8 @@ func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifa
 		case "local":
 			s.met.cluLocal.Add(1)
 			j.trace.Instant(fmt.Sprintf("shard %d degraded to local", e.Shard.ID), "cluster", 0)
+		case "done":
+			j.trace.Instant(fmt.Sprintf("shard %d done on %s (attempt %d)", e.Shard.ID, e.Worker, e.Attempt), "cluster", 0)
 		}
 	}
 
@@ -147,13 +183,25 @@ func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifa
 		Machines: n,
 		Done:     doneIdx,
 		Dispatch: func(ctx context.Context, url string, sh cluster.Shard, skip []int, onRes func(scenario.MachineResult)) error {
-			return s.cluClients[url].ShardStream(ctx, ShardRequest{
+			// Dispatch time anchors the worker's relative span clock: its shard
+			// spans land on the coordinator's timeline at the moment the
+			// request left, rendered under the worker's own trace process ID.
+			t0d := time.Now()
+			spans, err := s.cluClients[url].ShardStream(ctx, ShardRequest{
 				Spec:       raw,
 				Scale:      r.scale,
 				Shard:      sh,
 				Skip:       skip,
 				Integrator: machine.IntegratorOverride(),
+				Job:        j.ID,
 			}, onRes)
+			if err != nil {
+				return err
+			}
+			if len(spans) > 0 {
+				j.trace.Import(spans, s.cluPIDs[url], t0d)
+			}
+			return nil
 		},
 		Local: func(ctx context.Context, sh cluster.Shard, skip []int, onRes func(scenario.MachineResult)) error {
 			_, err := scenario.RunShard(r.spec, r.scale, sh.From, sh.To, skip, scenario.RunOptions{
@@ -178,6 +226,8 @@ func (s *Service) executeClusteredScenario(ctx context.Context, j *Job) (*Artifa
 		j.stream.append(Event{Type: "degraded", Job: j.ID, Error: fmt.Sprintf(
 			"%d shard(s) ran on the coordinator: no healthy worker available", out.LocalShards)})
 		s.log.Warn("job completed degraded", "job", j.ID, "local_shards", out.LocalShards)
+		s.dumpIncident("degraded", j.ID, fmt.Sprintf(
+			"%d shard(s) degraded to local execution: no healthy worker available", out.LocalShards))
 	}
 
 	// Merge: checkpoint-recovered + newly streamed results, index order, then

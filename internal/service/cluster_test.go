@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -266,6 +267,12 @@ func TestClusterDegradeToLocalWhenAllWorkersDead(t *testing.T) {
 		t.Error("metrics do not show dimd_cluster_jobs_degraded_total 1")
 	}
 
+	// Degrade-to-local auto-dumps an incident with the flight recorder.
+	sums := svc.inc.summaries()
+	if len(sums) != 1 || sums[0].Reason != "degraded" || sums[0].Job != v.ID {
+		t.Errorf("incident list %+v, want one degraded dump for %s", sums, v.ID)
+	}
+
 	// The heartbeat monitor needs a couple of probe rounds to mark the dead
 	// workers unhealthy; the job itself finished faster than that.
 	deadline := time.Now().Add(10 * time.Second)
@@ -373,7 +380,7 @@ func TestShardEndpointValidation(t *testing.T) {
 	c := NewClient(srv.URL)
 
 	// Scale outside the admission bound is refused before any simulation.
-	err := c.ShardStream(context.Background(), ShardRequest{
+	_, err := c.ShardStream(context.Background(), ShardRequest{
 		Spec:  tinySpec("clu-bad-scale", 2, 1),
 		Scale: MaxScale + 1,
 		Shard: cluster.Shard{ID: 0, From: 0, To: 2},
@@ -384,7 +391,7 @@ func TestShardEndpointValidation(t *testing.T) {
 
 	// A scheduled spec cannot shard (cross-machine coupling); the engine error
 	// rides the stream as an error line.
-	err = c.ShardStream(context.Background(), ShardRequest{
+	_, err = c.ShardStream(context.Background(), ShardRequest{
 		Spec:  schedSpec("clu-sched"),
 		Scale: 1,
 		Shard: cluster.Shard{ID: 0, From: 0, To: 2},
@@ -395,7 +402,7 @@ func TestShardEndpointValidation(t *testing.T) {
 
 	// Integrator pinning: a coordinator configured differently is refused
 	// with 409 rather than silently computing different bytes.
-	err = c.ShardStream(context.Background(), ShardRequest{
+	_, err = c.ShardStream(context.Background(), ShardRequest{
 		Spec:       tinySpec("clu-integ", 2, 1),
 		Scale:      1,
 		Shard:      cluster.Shard{ID: 0, From: 0, To: 2},
@@ -404,4 +411,154 @@ func TestShardEndpointValidation(t *testing.T) {
 	if se, ok := err.(*StatusError); !ok || se.Code != 409 {
 		t.Errorf("integrator mismatch: err %v, want HTTP 409", err)
 	}
+}
+
+// TestClusterStitchedTrace is the cluster-tracing acceptance check: a sharded
+// job's /debug/trace export is one valid Chrome trace holding the
+// coordinator's lifecycle spans (pid 1) AND at least one per-worker shard
+// span imported under a worker pid (>= 2).
+func TestClusterStitchedTrace(t *testing.T) {
+	_, s1 := newWorkerService(t)
+	_, s2 := newWorkerService(t)
+	_, c := newCoordinatorService(t, Config{Workers: 2, DefaultScale: 1}, s1.URL, s2.URL)
+
+	v, err := c.Submit(Request{Spec: tinySpec("clu-trace", 10, 61)})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if fin, err := c.Wait(context.Background(), v.ID); err != nil || fin.State != StateDone {
+		t.Fatalf("wait: %v (state %s)", err, fin.State)
+	}
+
+	raw, err := c.Trace(v.ID)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace export is not valid Chrome trace JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", doc.DisplayTimeUnit)
+	}
+	lifecycle := map[string]bool{}
+	shardSpans := 0
+	workerPIDs := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.TS < 0 {
+			t.Errorf("event %q has negative timestamp %v", e.Name, e.TS)
+		}
+		if e.Cat == "lifecycle" && e.PID == 1 {
+			lifecycle[e.Name] = true
+		}
+		if e.Cat == "shard" && e.PID >= 2 && e.Ph == "X" {
+			shardSpans++
+			workerPIDs[e.PID] = true
+		}
+	}
+	for _, want := range []string{"submit", "queue", "run", "cluster", "finalize"} {
+		if !lifecycle[want] {
+			t.Errorf("stitched trace is missing coordinator lifecycle span %q", want)
+		}
+	}
+	if shardSpans == 0 {
+		t.Fatal("stitched trace has no per-worker shard spans")
+	}
+	for pid := range workerPIDs {
+		if pid != 2 && pid != 3 {
+			t.Errorf("shard span under pid %d, want the workers' pids 2/3", pid)
+		}
+	}
+}
+
+// TestMergeHeatFrames unit-tests the coordinator-side fold: worker rows keyed
+// "<job>/s<shard>" strip their suffix and merge cell-wise max into the local
+// job row; summaries recompute over the merged cells.
+func TestMergeHeatFrames(t *testing.T) {
+	local := HeatFrame{Jobs: []JobHeatView{
+		{Job: "job-0001", Machines: 4, Cells: []float64{50, 0, 0, 40}},
+	}}
+	w1 := HeatFrame{Jobs: []JobHeatView{
+		{Job: "job-0001/s0", Machines: 2, Cells: []float64{80, 60}, VirtualS: 1.5},
+	}}
+	w2 := HeatFrame{Jobs: []JobHeatView{
+		{Job: "job-0001/s1", Machines: 4, Cells: []float64{0, 0, 70, 30}},
+		{Job: "job-0009/s0", Machines: 1, Cells: []float64{95}},
+	}}
+
+	out := mergeHeatFrames(local, w1, w2)
+	if len(out.Jobs) != 2 {
+		t.Fatalf("merged frame has %d rows, want 2: %+v", len(out.Jobs), out.Jobs)
+	}
+	j := out.Jobs[0]
+	if j.Job != "job-0001" {
+		t.Fatalf("first merged row is %q, want job-0001", j.Job)
+	}
+	want := []float64{80, 60, 70, 40}
+	if len(j.Cells) != 4 {
+		t.Fatalf("merged cells %v, want 4 cells", j.Cells)
+	}
+	for i, c := range j.Cells {
+		if c != want[i] {
+			t.Errorf("cell %d = %v, want %v (cell-wise max)", i, c, want[i])
+		}
+	}
+	if j.MaxC != 80 || j.HottestMachine != 0 {
+		t.Errorf("summary MaxC=%v hottest=%d, want 80 at cell 0", j.MaxC, j.HottestMachine)
+	}
+	if j.VirtualS != 1.5 {
+		t.Errorf("VirtualS %v, want the workers' high-water 1.5", j.VirtualS)
+	}
+	// A worker row with no local counterpart passes through under its
+	// stripped name.
+	if out.Jobs[1].Job != "job-0009" || out.Jobs[1].MaxC != 95 {
+		t.Errorf("orphan worker row %+v, want job-0009 at 95C", out.Jobs[1])
+	}
+}
+
+// TestClusterHeatMergedOverWire checks the endpoint half: while a sharded job
+// runs, the coordinator's ?once=1 heat frame folds the workers' live shard
+// rows into the job's row.
+func TestClusterHeatMergedOverWire(t *testing.T) {
+	_, s1 := newWorkerService(t)
+	_, s2 := newWorkerService(t)
+	_, c := newCoordinatorService(t, Config{Workers: 2, DefaultScale: 1}, s1.URL, s2.URL)
+
+	// Long enough to observe mid-run: 8 machines x hundreds of virtual
+	// seconds with the exact integrator.
+	v, err := c.Submit(Request{Spec: slowSpec("clu-heat")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer func() {
+		_, _ = c.Cancel(v.ID)
+		_, _ = c.Wait(context.Background(), v.ID)
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		f, err := c.Heat()
+		if err != nil {
+			t.Fatalf("heat: %v", err)
+		}
+		for _, j := range f.Jobs {
+			if strings.Contains(j.Job, "/s") {
+				t.Fatalf("merged frame leaked a raw worker row: %q", j.Job)
+			}
+			if j.Job == v.ID && j.MaxC > 0 && len(j.Cells) > 1 {
+				return // workers' telemetry visible through the coordinator
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("coordinator heat frame never showed the workers' shard telemetry")
 }

@@ -401,7 +401,7 @@ func TestRecoveryResumesSchedFromCheckpoint(t *testing.T) {
 	// the job started but never finished, with that checkpoint on disk.
 	dir := t.TempDir()
 	harvest := openDurable(t, t.TempDir(), Config{Workers: 1, DefaultScale: 1, CheckpointEvery: 1})
-	var lastCP *jobCheckpoint
+	var lastCP *JobCheckpoint
 	hj, err := harvest.Submit(req)
 	if err != nil {
 		t.Fatalf("harvest submit: %v", err)
@@ -411,7 +411,7 @@ func TestRecoveryResumesSchedFromCheckpoint(t *testing.T) {
 	cpPath := filepath.Join(harvest.cfg.DataDir, "checkpoints", hj.ID+".json")
 	for !hj.Terminal() {
 		if raw, err := os.ReadFile(cpPath); err == nil {
-			var cp jobCheckpoint
+			var cp JobCheckpoint
 			if json.Unmarshal(raw, &cp) == nil && cp.Sched != nil {
 				lastCP = &cp
 			}
@@ -503,7 +503,7 @@ func TestRecoveryRejectsCorruptCheckpoint(t *testing.T) {
 	}
 	// A checkpoint whose digest matches nothing: replay verification at
 	// round 1 must reject it.
-	tampered := &jobCheckpoint{Kind: KindSched, Sched: &fleetsched.Checkpoint{Round: 1, Digest: "bogus"}}
+	tampered := &JobCheckpoint{Kind: KindSched, Sched: &fleetsched.Checkpoint{Round: 1, Digest: "bogus"}}
 	if err := st.writeCheckpoint("job-000001", tampered); err != nil {
 		t.Fatalf("write checkpoint: %v", err)
 	}

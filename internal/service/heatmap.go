@@ -1,10 +1,12 @@
 package service
 
 import (
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/fleetsched"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -26,6 +28,10 @@ const heatMaxCells = 512
 type heatState struct {
 	mu   sync.Mutex
 	jobs map[string]*jobHeat
+	// rec, when non-nil, receives a throttled "heat" record per job — the
+	// flight recorder's heat-frame feed. Throttling is by observation count
+	// (every heatRecordEvery-th), deterministic per observation sequence.
+	rec *obs.FlightRecorder
 }
 
 type jobHeat struct {
@@ -34,8 +40,13 @@ type jobHeat struct {
 	hot      []int // machine index currently owning each cell's peak
 	virtualS float64
 	round    int
+	observes int // observations folded in, for the recorder throttle
 	updated  time.Time
 }
+
+// heatRecordEvery throttles heat-frame flight records: one per this many
+// observations per job.
+const heatRecordEvery = 64
 
 // HeatFrame is one snapshot of every live job's heat map — the document the
 // SSE endpoint streams and `dimctl top` renders.
@@ -101,11 +112,38 @@ func (jh *jobHeat) observe(index int, peakC, virtualS float64) {
 	jh.updated = time.Now()
 }
 
+// record taps the flight recorder on every heatRecordEvery-th observation of
+// a job. Caller holds h.mu; jh.observes was already incremented.
+func (h *heatState) record(jobID string, jh *jobHeat, peakC float64) {
+	if h.rec == nil {
+		return
+	}
+	if jh.observes%heatRecordEvery == 1 {
+		h.rec.Record("heat", jobID, "frame", peakC)
+	}
+}
+
 // observeSample folds one scenario telemetry sample into the job's heat map.
 func (h *heatState) observeSample(jobID string, sm scenario.MachineSample) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.job(jobID).observe(sm.Index, sm.PeakJunctionC, sm.NowS)
+	jh := h.job(jobID)
+	jh.observes++
+	jh.observe(sm.Index, sm.PeakJunctionC, sm.NowS)
+	h.record(jobID, jh, sm.PeakJunctionC)
+}
+
+// observeResult folds one completed machine's summary into the job's heat
+// map — the coordinator's feed: shard results stream back as completions, so
+// a coordinator's own map lights up even though the telemetry ticks happened
+// on the workers.
+func (h *heatState) observeResult(jobID string, m scenario.MachineResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	jh := h.job(jobID)
+	jh.observes++
+	jh.observe(m.Index, m.PeakJunction, 0)
+	h.record(jobID, jh, m.PeakJunction)
 }
 
 // observeRound folds one scheduler round barrier into the job's heat map.
@@ -115,8 +153,10 @@ func (h *heatState) observeRound(jobID string, rt fleetsched.RoundTelemetry) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	jh := h.job(jobID)
+	jh.observes++
 	jh.observe(rt.HottestMachine, rt.MaxJunctionC, rt.NowS)
 	jh.round = rt.Round
+	h.record(jobID, jh, rt.MaxJunctionC)
 }
 
 // drop removes a terminal job's heat map.
@@ -161,4 +201,79 @@ func sortJobHeat(jobs []JobHeatView) {
 			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
 		}
 	}
+}
+
+// mergeHeatFrames folds worker frames into a coordinator's local frame so
+// `dimctl top` on a coordinator shows the whole sharded fleet. Worker rows
+// are keyed "<job>/s<shard>" (see handleShardRun); the shard suffix strips so
+// every shard of a job folds into one row, cell-wise max with the modulo
+// aliasing the heat map already uses. Rows that match no local job pass
+// through under their stripped name — a coordinator restarted mid-run still
+// shows its workers' in-flight heat.
+func mergeHeatFrames(local HeatFrame, remotes ...HeatFrame) HeatFrame {
+	rows := map[string]*JobHeatView{}
+	order := []string{}
+	fold := func(v JobHeatView, key string) {
+		dst, ok := rows[key]
+		if !ok {
+			cp := v
+			cp.Job = key
+			cp.Cells = append([]float64(nil), v.Cells...)
+			rows[key] = &cp
+			order = append(order, key)
+			return
+		}
+		if v.Machines > dst.Machines {
+			dst.Machines = v.Machines
+		}
+		for len(dst.Cells) < len(v.Cells) && len(dst.Cells) < heatMaxCells {
+			dst.Cells = append(dst.Cells, 0)
+		}
+		for i, c := range v.Cells {
+			cell := i % len(dst.Cells)
+			if c > dst.Cells[cell] {
+				dst.Cells[cell] = c
+			}
+		}
+		if v.VirtualS > dst.VirtualS {
+			dst.VirtualS = v.VirtualS
+		}
+		if v.Round > dst.Round {
+			dst.Round = v.Round
+		}
+		if v.Updated.After(dst.Updated) {
+			dst.Updated = v.Updated
+		}
+	}
+	for _, v := range local.Jobs {
+		fold(v, v.Job)
+	}
+	for _, rf := range remotes {
+		for _, v := range rf.Jobs {
+			key := v.Job
+			if i := strings.LastIndex(key, "/s"); i > 0 {
+				key = key[:i]
+			}
+			fold(v, key)
+		}
+	}
+	out := HeatFrame{At: local.At, Jobs: make([]JobHeatView, 0, len(order))}
+	for _, key := range order {
+		v := rows[key]
+		v.MaxC, v.MeanC, v.HottestMachine = 0, 0, 0
+		var sum float64
+		for i, c := range v.Cells {
+			sum += c
+			if c > v.MaxC {
+				v.MaxC = c
+				v.HottestMachine = i
+			}
+		}
+		if len(v.Cells) > 0 {
+			v.MeanC = sum / float64(len(v.Cells))
+		}
+		out.Jobs = append(out.Jobs, *v)
+	}
+	sortJobHeat(out.Jobs)
+	return out
 }

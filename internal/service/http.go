@@ -28,6 +28,9 @@ import (
 //	GET    /v1/cluster/status      coordinator's worker-fleet status
 //	GET    /v1/catalog             experiments, scenarios, policies
 //	GET    /v1/fleet/heat          live fleet heat-map (SSE; ?once=1 for one JSON frame)
+//	GET    /v1/snapshot            content-hashed full-state snapshot
+//	GET    /v1/incidents           flight-recorder incident dumps (summaries)
+//	GET    /v1/incidents/{id}      one full incident dump
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                Prometheus text exposition
 //	GET    /debug/trace/{id}       job trace (Chrome trace-event JSON)
@@ -47,6 +50,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /v1/fleet/heat", s.handleHeat)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
+	mux.HandleFunc("GET /v1/incidents/{id}", s.handleIncident)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
@@ -267,7 +273,7 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 // `dimctl top -once` and scripted checks use.
 func (s *Service) handleHeat(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("once") == "1" {
-		writeJSON(w, http.StatusOK, s.heat.snapshot())
+		writeJSON(w, http.StatusOK, s.clusterHeat(r.Context()))
 		return
 	}
 	interval := 500 * time.Millisecond
@@ -287,7 +293,7 @@ func (s *Service) handleHeat(w http.ResponseWriter, r *http.Request) {
 		if _, err := fmt.Fprint(w, "event: heat\ndata: "); err != nil {
 			return
 		}
-		if err := enc.Encode(s.heat.snapshot()); err != nil { // Encode appends \n
+		if err := enc.Encode(s.clusterHeat(r.Context())); err != nil { // Encode appends \n
 			return
 		}
 		if _, err := fmt.Fprint(w, "\n"); err != nil {

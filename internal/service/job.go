@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -232,7 +233,16 @@ type Job struct {
 	// checkpoint, when non-nil, is its surviving resume token. Both are set
 	// single-threaded during recovery, before any worker runs.
 	recovered  bool
-	checkpoint *jobCheckpoint
+	checkpoint *JobCheckpoint
+
+	// machStates holds final per-machine thermal states captured through the
+	// pure machine.Checkpoint() observer, for the fleet snapshot. Bounded:
+	// only indices below maxSnapshotStates are kept, so the retained set is
+	// deterministic regardless of completion order. Guarded by stMu (its own
+	// lock — captures arrive concurrently from engine workers and must not
+	// contend with the job's state lock).
+	stMu       sync.Mutex
+	machStates map[int]machine.State
 
 	mu          sync.Mutex
 	state       string
@@ -340,3 +350,45 @@ func (j *Job) artifactRef() *Artifact {
 // terminal jobs). Safe to export concurrently with a running job — the tracer
 // snapshots.
 func (j *Job) Trace() *obs.Tracer { return j.trace }
+
+// maxSnapshotStates bounds per-job retained machine states: the first
+// maxSnapshotStates fleet indices tell the thermal story, and keeping a
+// fixed index range (rather than first-N-to-finish) keeps the retained set
+// deterministic under concurrent completion.
+const maxSnapshotStates = 64
+
+// captureState retains one machine's final thermal state for the fleet
+// snapshot. It is the RunOptions.OnState hook — a pure observation of
+// machine.Checkpoint(), so capturing never perturbs the run.
+func (j *Job) captureState(index int, st machine.State) {
+	if index < 0 || index >= maxSnapshotStates {
+		return
+	}
+	j.stMu.Lock()
+	if j.machStates == nil {
+		j.machStates = make(map[int]machine.State, maxSnapshotStates)
+	}
+	j.machStates[index] = st
+	j.stMu.Unlock()
+}
+
+// MachineStateSnap is one retained machine state in a job's snapshot entry.
+type MachineStateSnap struct {
+	Index int           `json:"index"`
+	State machine.State `json:"state"`
+}
+
+// statesSnapshot renders the retained machine states index-sorted.
+func (j *Job) statesSnapshot() []MachineStateSnap {
+	j.stMu.Lock()
+	defer j.stMu.Unlock()
+	if len(j.machStates) == 0 {
+		return nil
+	}
+	out := make([]MachineStateSnap, 0, len(j.machStates))
+	for i, st := range j.machStates {
+		out = append(out, MachineStateSnap{Index: i, State: st})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}

@@ -62,6 +62,14 @@ type metrics struct {
 	cluDegraded    *obs.Counter   // jobs completed in degraded mode
 	cluServed      *obs.Counter   // shards this daemon executed for a remote coordinator
 	cluLeaseAge    *obs.Histogram // age of revoked leases at revocation
+
+	// Incident-observability tier (PR 10): the flight recorder's dump
+	// triggers and the snapshot endpoint's own health.
+	fleetViolation  *obs.Histogram // per-machine thermal violation seconds (scenario completions)
+	snapshots       *obs.Counter   // fleet snapshots served
+	snapshotSeconds *obs.Histogram // snapshot capture latency
+	incidents       *obs.Counter   // incident dumps recorded (auto + forced)
+	sloBreaches     *obs.Counter   // SLO burn-rate breach transitions detected
 }
 
 // init builds the registry. Registration order is the legacy render order —
@@ -163,6 +171,17 @@ func (m *metrics) init(s *Service) {
 	m.cluServed = r.Counter("dimd_cluster_shards_served_total", "shards executed for a remote coordinator")
 	m.cluLeaseAge = r.Histogram("dimd_cluster_lease_age_seconds",
 		"age of revoked shard leases at revocation", nil)
+	// Incident-observability tier. The violation histogram is the burn-rate
+	// evaluator's substrate; snapshot/incident counters alarm on the dump
+	// machinery itself.
+	m.fleetViolation = r.Histogram("dimd_fleet_violation_seconds",
+		"per-machine thermal violation time over the measurement window", nil)
+	m.snapshots = r.Counter("dimd_snapshots_total", "fleet snapshots captured")
+	m.snapshotSeconds = r.Histogram("dimd_snapshot_seconds",
+		"fleet snapshot capture latency", nil)
+	m.incidents = r.Counter("dimd_incidents_total", "flight-recorder incident dumps recorded")
+	m.sloBreaches = r.Counter("dimd_slo_breaches_total", "SLO burn-rate breach transitions")
+
 	// Per-worker health/progress series, labeled by worker URL — dynamic like
 	// the phase profiler's, so they live outside the pinned name list and
 	// render nothing on non-coordinators.

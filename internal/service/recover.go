@@ -91,7 +91,7 @@ func (s *Service) recoverFromJournal(rep storeReplay) {
 			name:   name,
 			policy: rj.rec.Policy,
 			scale:  rj.rec.Scale,
-			stream: newStream(s.cfg.MaxEvents),
+			stream: s.newJobStream(),
 		}
 		j.submitted = rj.rec.At
 		j.started = rj.started
@@ -169,6 +169,7 @@ func (s *Service) requeueRecovered(j *Job, rj *recoveredJob) {
 	// before the send publishes the job to any worker. (Recovery actually
 	// runs before the pool starts, but the invariant is cheap to keep.)
 	j.trace = obs.NewTracer()
+	j.trace.SetSink(s.spanSink(j.ID))
 	j.trace.Instant("recovered", "lifecycle", 0)
 	j.enqueued = time.Now()
 	j.queueSpan = j.trace.Start("queue", "lifecycle", 0)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -100,6 +101,17 @@ type Config struct {
 	// recovery. See ClusterConfig.
 	Cluster ClusterConfig
 
+	// FlightRecords sizes the flight-recorder ring (recent spans, stream
+	// events and heat frames, dumped with incidents). Default: 4096 records;
+	// negative disables the recorder entirely.
+	FlightRecords int
+	// MaxIncidents bounds retained incident dumps (oldest evicted first).
+	// Default: 32.
+	MaxIncidents int
+	// SLO configures the burn-rate evaluators whose breaches auto-dump
+	// incidents. The zero value disables SLO evaluation.
+	SLO SLOConfig
+
 	// Logger receives structured job-lifecycle logs. Nil discards them —
 	// logging is observability, never load-bearing.
 	Logger *slog.Logger
@@ -130,6 +142,13 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 5
 	}
+	if c.FlightRecords == 0 {
+		c.FlightRecords = obs.DefaultFlightRecords
+	}
+	if c.MaxIncidents <= 0 {
+		c.MaxIncidents = 32
+	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -150,6 +169,16 @@ type Service struct {
 	// machinery, not the HTTP client, owns failure handling.
 	clu        *cluster.Coordinator
 	cluClients map[string]*Client
+	// cluPIDs maps each worker URL to its stable Chrome-trace process ID
+	// (config order + 2; pid 1 is the coordinator) so stitched traces render
+	// each worker as its own process row.
+	cluPIDs map[string]int
+
+	// rec is the flight recorder (nil when disabled; every feed is nil-safe);
+	// inc retains incident dumps; slo holds the armed burn-rate rules.
+	rec *obs.FlightRecorder
+	inc *incidentLog
+	slo []*obs.BurnRate
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -190,6 +219,12 @@ func Open(cfg Config) (*Service, error) {
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
 	s.met.init(s)
+	if cfg.FlightRecords > 0 {
+		s.rec = obs.NewFlightRecorder(cfg.FlightRecords)
+	}
+	s.heat.rec = s.rec
+	s.inc = newIncidentLog(cfg.MaxIncidents)
+	s.initSLO()
 	s.log = cfg.Logger
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -201,6 +236,7 @@ func Open(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.store = st
+		s.inc.open(filepath.Join(cfg.DataDir, "incidents"))
 		st.log.SetFsyncObserver(s.met.walFsync.Observe)
 		s.met.walReplayed.Store(int64(rep.stats.Records))
 		if rep.stats.Truncated {
@@ -229,6 +265,27 @@ func Open(cfg Config) (*Service, error) {
 		"workers", cfg.Workers, "queue", cfg.QueueDepth,
 		"durable", cfg.DataDir != "", "recovered", s.Recovered())
 	return s, nil
+}
+
+// newJobStream builds a job's event stream with the flight recorder tapped
+// into every append.
+func (s *Service) newJobStream() *stream {
+	st := newStream(s.cfg.MaxEvents)
+	if s.rec != nil {
+		st.onAppend = func(e Event) { s.rec.Record("stream", e.Job, e.Type, float64(e.Seq)) }
+	}
+	return st
+}
+
+// spanSink returns the flight-recorder tap for one job's tracer: span
+// durations land in the ring as they complete.
+func (s *Service) spanSink(jobID string) obs.SpanSink {
+	if s.rec == nil {
+		return nil
+	}
+	return func(name, cat string, durNS int64) {
+		s.rec.Record("span", jobID, name, float64(durNS)/1e9)
+	}
 }
 
 // journal durably records one journal entry; a no-op for in-memory daemons.
@@ -299,10 +356,14 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		policy: r.policy,
 		scale:  r.scale,
 		res:    r,
-		stream: newStream(s.cfg.MaxEvents),
+		stream: s.newJobStream(),
 		trace:  tr,
 	}
 	j.submitted = time.Now()
+	// The flight recorder taps every span completion and stream append from
+	// here on; both feeds read values already computed for the trace/stream,
+	// so recording perturbs nothing.
+	tr.SetSink(s.spanSink(j.ID))
 	if hit {
 		j.state = StateDone
 		j.cacheHit = true
@@ -562,6 +623,9 @@ func (s *Service) runJob(j *Job) {
 		j.stream.closeStream()
 		s.heat.drop(j.ID)
 		s.log.Error("job panicked", "job", j.ID)
+		// The flight recorder's ring still holds the run-up to the panic;
+		// dump it with a snapshot before anything else overwrites it.
+		s.dumpIncident("panic", j.ID, fmt.Sprintf("%v", r))
 	}()
 
 	art, err := s.execute(ctx, j)
@@ -640,6 +704,9 @@ func (s *Service) runJob(j *Job) {
 	} else {
 		s.log.Warn("job "+state, "job", j.ID, "error", msg)
 	}
+	// SLO evaluation rides job completion: every terminal job re-judges the
+	// burn rate over the violation/queue-wait histograms it just fed.
+	s.checkSLO(j.ID)
 }
 
 // trimStack keeps a panic stack readable in an error field: the goroutine
@@ -693,6 +760,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 				s.heat.observeSample(j.ID, sm)
 				j.stream.append(Event{Type: "telemetry", Job: j.ID, Machine: sampleEvent(sm)})
 			},
+			// Per-machine thermal state for the fleet snapshot, via the pure
+			// machine.Checkpoint() observer (bounded; see captureState).
+			OnState: j.captureState,
 		}
 		// Checkpointing for independent-machine fleets is completion
 		// accumulation: finished machines persist as they land, and a
@@ -713,6 +783,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 			s.met.resumes.Add(1)
 		}
 		opts.OnMachine = func(m scenario.MachineResult) {
+			s.met.fleetViolation.Observe(m.ViolationS)
 			j.stream.append(Event{Type: "machine", Job: j.ID, Machine: machineEvent(m)})
 			if s.store == nil || s.cfg.CheckpointEvery < 0 {
 				return
@@ -723,7 +794,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 			cpMu.Unlock()
 			sort.Slice(snap, func(a, b int) bool { return snap[a].Index < snap[b].Index })
 			sp := j.trace.Start("checkpoint", "lifecycle", 0)
-			err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindScenario, Machines: snap})
+			err := s.store.writeCheckpoint(j.ID, &JobCheckpoint{Kind: KindScenario, Machines: snap})
 			sp.EndArgs(map[string]any{"machines": len(snap)})
 			if err == nil {
 				s.met.checkpoints.Add(1)
@@ -754,7 +825,7 @@ func (s *Service) execute(ctx context.Context, j *Job) (*Artifact, error) {
 			fsOpts.CheckpointEvery = s.cfg.CheckpointEvery
 			fsOpts.OnCheckpoint = func(cp fleetsched.Checkpoint) {
 				sp := j.trace.Start("checkpoint", "lifecycle", 0)
-				err := s.store.writeCheckpoint(j.ID, &jobCheckpoint{Kind: KindSched, Sched: &cp})
+				err := s.store.writeCheckpoint(j.ID, &JobCheckpoint{Kind: KindSched, Sched: &cp})
 				sp.EndArgs(map[string]any{"round": cp.Round})
 				if err == nil {
 					s.met.checkpoints.Add(1)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -26,6 +27,15 @@ type ShardRequest struct {
 	Shard      cluster.Shard   `json:"shard"`
 	Skip       []int           `json:"skip,omitempty"`
 	Integrator string          `json:"integrator,omitempty"`
+	// Job is the coordinator's job ID — trace context propagated with the
+	// dispatch. The worker tags its heat-map rows "<job>/s<shard>" (so a
+	// coordinator can stitch a fleet-wide heat map) and returns its shard
+	// spans on the terminal line for the coordinator to import under this
+	// job's trace. Empty (an old coordinator) disables both; note the
+	// DisallowUnknownFields decode means coordinators must not send this
+	// field to pre-PR-10 workers — mixed-version clusters should upgrade
+	// workers first.
+	Job string `json:"job,omitempty"`
 }
 
 // shardLine is one NDJSON line of a shard result stream: a machine result, a
@@ -37,6 +47,9 @@ type shardLine struct {
 	Error   string                  `json:"error,omitempty"`
 	Done    bool                    `json:"done,omitempty"`
 	Count   int                     `json:"count,omitempty"`
+	// Spans rides the terminal line: the worker's shard spans, exported for
+	// the coordinator to stitch into the job's cluster-wide trace.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // handleShardRun executes one shard on this daemon for a remote coordinator,
@@ -103,8 +116,25 @@ func (s *Service) handleShardRun(w http.ResponseWriter, r *http.Request) {
 		count int
 		cut   bool
 	)
+	// Trace context propagated on the dispatch: the worker records its own
+	// shard spans (returned on the terminal line) and mirrors telemetry into
+	// its local heat map under "<job>/s<shard>" so the coordinator's merged
+	// frame covers the whole sharded fleet.
+	tr := obs.NewTracer()
+	spShard := tr.Start(fmt.Sprintf("shard-%02d", req.Shard.ID), "shard", req.Shard.ID)
+	var heatKey string
+	if req.Job != "" {
+		heatKey = fmt.Sprintf("%s/s%d", req.Job, req.Shard.ID)
+		defer s.heat.drop(heatKey)
+	}
 	_, err = scenario.RunShard(spec, req.Scale, req.Shard.From, req.Shard.To, req.Skip, scenario.RunOptions{
-		Context: ctx,
+		Context:        ctx,
+		TelemetryEvery: s.cfg.TelemetryEvery,
+		OnTelemetry: func(sm scenario.MachineSample) {
+			if heatKey != "" {
+				s.heat.observeSample(heatKey, sm)
+			}
+		},
 		OnMachine: func(m scenario.MachineResult) {
 			emu.Lock()
 			defer emu.Unlock()
@@ -128,6 +158,10 @@ func (s *Service) handleShardRun(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 	})
+	spShard.EndArgs(map[string]any{
+		"from": req.Shard.From, "to": req.Shard.To,
+		"skip": len(req.Skip), "machines": count,
+	})
 	emu.Lock()
 	defer emu.Unlock()
 	if cut {
@@ -139,7 +173,7 @@ func (s *Service) handleShardRun(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(shardLine{Error: err.Error()})
 		return
 	}
-	_ = enc.Encode(shardLine{Done: true, Count: count})
+	_ = enc.Encode(shardLine{Done: true, Count: count, Spans: tr.Records()})
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -69,14 +69,14 @@ type journalRecord struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
-// jobCheckpoint is the on-disk resume token for one in-flight job, shaped by
+// JobCheckpoint is the on-disk resume token for one in-flight job, shaped by
 // kind: scenario jobs accumulate completed per-machine results (independent
 // machines — finished ones are simply not re-simulated); sched jobs carry the
 // engine's round-barrier checkpoint (resume = verified deterministic replay).
 // Experiment and sched-compare jobs carry nothing and re-run from scratch —
 // they are deterministic, so the recomputed bytes are identical; only the
 // spent CPU is lost.
-type jobCheckpoint struct {
+type JobCheckpoint struct {
 	Kind     string                   `json:"kind"`
 	Machines []scenario.MachineResult `json:"machines,omitempty"`
 	Sched    *fleetsched.Checkpoint   `json:"sched,omitempty"`
@@ -193,7 +193,7 @@ func (st *store) loadArtifact(key string) (*Artifact, bool) {
 }
 
 // writeCheckpoint durably stores a job's resume token.
-func (st *store) writeCheckpoint(jobID string, cp *jobCheckpoint) error {
+func (st *store) writeCheckpoint(jobID string, cp *JobCheckpoint) error {
 	raw, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("service: marshaling checkpoint: %w", err)
@@ -203,12 +203,12 @@ func (st *store) writeCheckpoint(jobID string, cp *jobCheckpoint) error {
 
 // loadCheckpoint reads a job's resume token; ok is false when absent or
 // unreadable (the job then re-runs from scratch).
-func (st *store) loadCheckpoint(jobID string) (*jobCheckpoint, bool) {
+func (st *store) loadCheckpoint(jobID string) (*JobCheckpoint, bool) {
 	raw, err := os.ReadFile(st.checkpointPath(jobID))
 	if err != nil {
 		return nil, false
 	}
-	var cp jobCheckpoint
+	var cp JobCheckpoint
 	if err := json.Unmarshal(raw, &cp); err != nil {
 		return nil, false
 	}

@@ -81,6 +81,10 @@ type stream struct {
 	dropped int
 	closed  bool
 	notify  chan struct{}
+	// onAppend, when non-nil, observes each appended event after its Seq is
+	// assigned — the flight recorder's tap. It runs under the stream lock and
+	// must be cheap and non-blocking (the recorder's ring write is).
+	onAppend func(Event)
 }
 
 func newStream(max int) *stream {
@@ -104,6 +108,9 @@ func (st *stream) append(e Event) {
 	}
 	e.Seq = st.next
 	st.next++
+	if st.onAppend != nil {
+		st.onAppend(e)
+	}
 	st.events = append(st.events, e)
 	if len(st.events) > st.max {
 		over := len(st.events) - st.max

@@ -43,6 +43,32 @@ type Log struct {
 	f       *os.File
 	dirty   bool // appended since last fsync
 	onFsync func(seconds float64)
+
+	// running totals since Open, for Stats
+	appends int64
+	bytes   int64
+	fsyncs  int64
+}
+
+// Stats is a point-in-time journal health summary — what a daemon snapshot
+// embeds so an incident dump shows how much journal the crash-recovery path
+// would have to replay.
+type Stats struct {
+	// Appends and Bytes count records and payload+frame bytes written since
+	// Open (not lifetime file totals — Open does not re-count the replay).
+	Appends int64 `json:"appends"`
+	Bytes   int64 `json:"bytes"`
+	// Fsyncs counts completed Sync flushes; Dirty reports appends not yet
+	// fsynced — nonzero at a crash is exactly the torn-tail window.
+	Fsyncs int64 `json:"fsyncs"`
+	Dirty  bool  `json:"dirty"`
+}
+
+// Stats returns the journal's running write totals.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Bytes: l.bytes, Fsyncs: l.fsyncs, Dirty: l.dirty}
 }
 
 // SetFsyncObserver installs fn, called with each fsync's wall-clock duration
@@ -159,6 +185,8 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.dirty = true
+	l.appends++
+	l.bytes += int64(len(frame))
 	return nil
 }
 
@@ -181,6 +209,7 @@ func (l *Log) Sync() error {
 		l.onFsync(time.Since(t0).Seconds())
 	}
 	l.dirty = false
+	l.fsyncs++
 	return nil
 }
 

@@ -133,6 +133,21 @@ phase() {
     awk -v s="$start" -v e="$end" -v n="$LANES" 'BEGIN { printf "%.6f %.3f\n", e - s, n / (e - s) }'
 }
 
+# snapshot_probe OUTFILE -> "seconds bytes" for one GET /v1/snapshot capture.
+snapshot_probe() {
+    local out="$1" start end
+    start=$(date +%s.%N)
+    "$work/dimctl" snapshot -addr "$BASE" -out "$out" >/dev/null
+    end=$(date +%s.%N)
+    awk -v s="$start" -v e="$end" -v b="$(wc -c < "$out")" \
+        'BEGIN { printf "%.6f %d\n", e - s, b }'
+}
+
+# Cold capture: a fresh daemon with an empty job table — the floor for
+# snapshot latency and artifact size.
+read -r SNAP_COLD_S SNAP_COLD_B < <(snapshot_probe "$work/snap-cold.json")
+echo "loadtest: snapshot cold   $SNAP_COLD_S s  $SNAP_COLD_B bytes"
+
 echo "loadtest: cold phase ($LANES distinct specs)"
 read -r COLD_S COLD_JPS < <(phase cold)
 echo "loadtest: cold  $COLD_S s  ->  $COLD_JPS jobs/s"
@@ -148,6 +163,13 @@ if [[ "$hits" -ne "$LANES" ]]; then
     echo "loadtest: only $hits/$LANES warm lanes hit the cache" >&2
     exit 1
 fi
+
+# Loaded capture: the job table now retains every lane's job (with machine
+# states and heat rows), so this is snapshot latency and size under load —
+# the incident-response case, where capture must stay cheap enough to fire
+# from a breach handler.
+read -r SNAP_LOAD_S SNAP_LOAD_B < <(snapshot_probe "$work/snap-loaded.json")
+echo "loadtest: snapshot loaded $SNAP_LOAD_S s  $SNAP_LOAD_B bytes"
 
 # Scrape the latency histograms before shutdown: every lane's POST /v1/jobs
 # landed in dimd_submit_latency_seconds and every Wait's stream connection in
@@ -273,11 +295,13 @@ done
 WORKER_PIDS=()
 
 python3 - "$OUT" "$LANES" "$COLD_S" "$COLD_JPS" "$WARM_S" "$WARM_JPS" "$work/metrics.txt" \
-    "$CLUSTER_WORKERS" "$SOLO_S" "$CLUSTER_S" "$RECOVER_S" "$DISRUPT_S" "$RETRIES" <<'EOF'
+    "$CLUSTER_WORKERS" "$SOLO_S" "$CLUSTER_S" "$RECOVER_S" "$DISRUPT_S" "$RETRIES" \
+    "$SNAP_COLD_S" "$SNAP_COLD_B" "$SNAP_LOAD_S" "$SNAP_LOAD_B" <<'EOF'
 import json, re, sys
 
 (out, lanes, cold_s, cold_jps, warm_s, warm_jps, metrics_path,
- cluster_workers, solo_s, cluster_s, recover_s, disrupt_s, retries) = sys.argv[1:]
+ cluster_workers, solo_s, cluster_s, recover_s, disrupt_s, retries,
+ snap_cold_s, snap_cold_b, snap_load_s, snap_load_b) = sys.argv[1:]
 try:
     with open(out) as f:
         results = json.load(f)
@@ -316,6 +340,18 @@ results["ClusterLoadtest/worker_kill_recovery"] = {
     "disrupted_run_s": round(float(disrupt_s), 3),
     "shard_retries": int(float(retries)),
 }
+
+# Snapshot capture: one GET /v1/snapshot on the fresh daemon ("cold") and one
+# after both submission phases, when the job table retains every lane's job
+# ("loaded") — the incident-dump case. Latency is end-to-end through dimctl
+# (capture + serialisation + write); bytes is the artifact on disk.
+for key, s, b in [("cold", snap_cold_s, snap_cold_b),
+                  ("loaded", snap_load_s, snap_load_b)]:
+    results[f"SnapshotCapture/{key}"] = {
+        "ns_op": round(float(s) * 1e9, 1), "allocs_op": None,
+        "capture_s": round(float(s), 4),
+        "artifact_bytes": int(b),
+    }
 
 def histogram(text, name):
     # Cumulative bucket counts in le order, +Inf last, as exposed.

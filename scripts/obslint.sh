@@ -43,6 +43,16 @@ if out=$(grep -rn --include='*.go' '"repro/internal/obs"' internal/cluster 2>/de
     fail=1
 fi
 
+# Same layer, other direction: internal/cluster must not name dimd_* series
+# either — the dimd_cluster_* family is minted by internal/service from the
+# coordinator's callbacks, and a literal here would fork that vocabulary.
+if out=$(grep -rn --include='*.go' '"dimd_' internal/cluster 2>/dev/null \
+        | grep -v '_test\.go:'); then
+    echo "obslint: internal/cluster must not name dimd_* metric series (the service layer mints dimd_cluster_* from its callbacks):" >&2
+    echo "$out" >&2
+    fail=1
+fi
+
 if [[ $fail -ne 0 ]]; then
     echo "obslint: route metrics through internal/obs (Registry.Counter/Gauge/Histogram/Text or Collect)" >&2
     exit 1
